@@ -1,0 +1,66 @@
+// Command parallax-bench regenerates the paper's evaluation tables and
+// figures on the simulated cluster and prints measured values next to the
+// paper's reported ones.
+//
+// Usage:
+//
+//	parallax-bench [-experiment all|table1|table2|table3|table4|table5|table6|fig7|fig8|fig9|ablations|pruning]
+//	               [-machines N] [-gpus G]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parallax/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment to run")
+	machines := flag.Int("machines", 8, "simulated machines")
+	gpus := flag.Int("gpus", 6, "GPUs per machine")
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	env.Machines = *machines
+	env.GPUs = *gpus
+
+	run := func(name string, fn func() string) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		out := fn()
+		fmt.Print(out)
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	run("table1", func() string { return experiments.Table1(env).Render() })
+	run("table2", func() string { return experiments.Table2(env).Render() })
+	run("table3", func() string { return experiments.Table3(env).Render() })
+	run("table4", func() string { return experiments.Table4(env).Render() })
+	run("table5", func() string { return experiments.Table5(env).Render() })
+	run("table6", func() string { return experiments.Table6(env).Render() })
+	run("fig7", func() string { return experiments.Figure7(env).Render() })
+	run("fig8", func() string { return experiments.Figure8(env).Render() })
+	run("fig9", func() string { return experiments.Figure9(env).Render() })
+	run("pruning", func() string {
+		return experiments.RenderPruning(experiments.ExtensionPruning(env))
+	})
+	run("ablations", func() string {
+		s := experiments.RenderAblationAlpha(experiments.AblationAlphaThreshold(env), env)
+		s += experiments.RenderAblationLocalAgg(experiments.AblationLocalAggregation(env))
+		s += experiments.RenderAblationPlacement(experiments.AblationPlacement(env))
+		return s
+	})
+
+	switch *exp {
+	case "all", "table1", "table2", "table3", "table4", "table5", "table6",
+		"fig7", "fig8", "fig9", "ablations", "pruning":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

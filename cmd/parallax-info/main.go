@@ -1,0 +1,108 @@
+// Command parallax-info inspects the paper models and the sparsity-aware
+// plan: per-variable sizes, α values, Table 3's network-transfer formulas
+// evaluated for the configured cluster, and the hybrid plan each model
+// gets.
+//
+// Usage:
+//
+//	parallax-info [-model all|resnet50|inception|lm|nmt] [-machines 8] [-gpus 6] [-partitions 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parallax/internal/cluster"
+	"parallax/internal/core"
+	"parallax/internal/engine"
+	"parallax/internal/metrics"
+	"parallax/internal/models"
+)
+
+func main() {
+	model := flag.String("model", "all", "model: all|resnet50|inception|lm|nmt")
+	machines := flag.Int("machines", 8, "machines")
+	gpus := flag.Int("gpus", 6, "GPUs per machine")
+	partitions := flag.Int("partitions", 0, "sparse partitions (0 = paper's best)")
+	flag.Parse()
+
+	specs := map[string]*models.Spec{
+		"resnet50": models.ResNet50(), "inception": models.InceptionV3(),
+		"lm": models.LM(), "nmt": models.NMT(),
+	}
+	var order []string
+	if *model == "all" {
+		order = []string{"resnet50", "inception", "lm", "nmt"}
+	} else if _, ok := specs[*model]; ok {
+		order = []string{*model}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	hw := cluster.DefaultHardware()
+	for _, name := range order {
+		spec := specs[name]
+		p := *partitions
+		if p <= 0 {
+			if spec.Name == "LM" {
+				p = 128
+			} else if spec.Name == "NMT" {
+				p = 64
+			} else {
+				p = 1
+			}
+		}
+		fmt.Printf("== %s ==\n", spec.Name)
+		fmt.Printf("dense %.1fM elements, sparse %.1fM elements, alpha_model %.3f\n",
+			float64(spec.DenseElements())/1e6, float64(spec.SparseElements())/1e6, spec.AlphaModel())
+		fmt.Printf("batch/GPU %d, step compute %.0f ms\n\n",
+			spec.BatchPerGPU, (spec.FwdTime+spec.BwdTime)*1000)
+
+		plan, err := core.BuildPlan(engine.PlanVars(spec), core.Options{
+			Arch: core.ArchHybrid, NumMachines: *machines,
+			SparsePartitions: p, SmartPlacement: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n := float64(*machines)
+		fmt.Printf("%-24s %-7s %-10s %-12s %-22s\n", "variable", "kind", "alpha", "method", "Table-3 bytes/machine")
+		fmt.Println(strings.Repeat("-", 80))
+		for i, v := range spec.Vars {
+			a := plan.Assignments[i]
+			w := float64(v.Bytes())
+			var formula float64
+			switch a.Method {
+			case core.MethodAllReduce:
+				formula = 4 * w * (n - 1) / n
+			case core.MethodAllGatherv:
+				formula = 2 * v.Alpha * w * (n - 1)
+			case core.MethodPS:
+				formula = 4 * v.Alpha * w * (n - 1) / n
+			}
+			kind := "dense"
+			if v.Sparse {
+				kind = "sparse"
+			}
+			method := a.Method.String()
+			if a.Partitions > 1 {
+				method = fmt.Sprintf("%s x%d", method, a.Partitions)
+			}
+			fmt.Printf("%-24s %-7s %-10.4f %-12s %-22s\n",
+				v.Name, kind, v.Alpha, method, metrics.HumanBytes(formula))
+		}
+
+		res, err := engine.RunArch(spec, core.ArchHybrid, *machines, *gpus, p, hw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nsimulated hybrid: %.1f ms/step, %s %s/s, avg %s per machine per step\n\n",
+			res.StepTime*1000, metrics.Humanize(res.Throughput), spec.Unit,
+			metrics.HumanBytes(res.AvgMachineBytes()))
+	}
+}

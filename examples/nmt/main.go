@@ -1,0 +1,86 @@
+// NMT example: the paper's Figure 3 program, in Go.
+//
+// A translation-style model with encoder and decoder embeddings declared
+// inside one partitioner scope (both get the same partition count), a
+// dense recurrent stack, and a softmax over the destination vocabulary.
+// Parallax routes the two embeddings through partitioned parameter servers
+// and everything else through AllReduce, with global-norm clipping via the
+// chief-worker read-back path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parallax"
+	"parallax/internal/data"
+)
+
+func main() {
+	const (
+		srcVocab = 1200
+		dstVocab = 900
+		dim      = 24
+		hidden   = 48
+		batch    = 16
+	)
+	rng := parallax.NewRNG(5)
+
+	g := parallax.NewGraph()
+	enTexts := g.Input("en_texts", parallax.Int, batch)
+	deTexts := g.Input("de_texts", parallax.Int, batch)
+	labels := g.Input("labels", parallax.Int, batch)
+
+	var embEnc, embDec *parallax.Node
+	g.InPartitioner(func() { // Fig. 3 line 9: `with parallax.partitioner():`
+		embEnc = g.Variable("emb_enc", rng.RandN(0.1, srcVocab, dim))
+		embDec = g.Variable("emb_dec", rng.RandN(0.1, dstVocab, dim))
+	})
+	w1 := g.Variable("rnn/kernel", rng.RandN(0.1, 2*dim, hidden))
+	b1 := g.Variable("rnn/bias", parallax.NewDense(hidden))
+	w2 := g.Variable("softmax/kernel", rng.RandN(0.1, hidden, dstVocab))
+
+	h := g.ConcatCols(g.Gather(embEnc, enTexts), g.Gather(embDec, deTexts))
+	h = g.Relu(g.AddBias(g.MatMul(h, w1), b1))
+	g.SoftmaxCE(g.MatMul(h, w2), labels)
+
+	// Measure the α each embedding sees under this workload (§2.2) and let
+	// Parallax search the partition count with the cost model of §3.2.
+	srcAlpha := parallax.MeasureAlpha(data.NewZipfText(srcVocab, batch, 1, 1.0, 11), srcVocab, 8)
+	dstAlpha := parallax.MeasureAlpha(data.NewZipfText(dstVocab, batch, 1, 1.0, 12), dstVocab, 8)
+
+	runner, err := parallax.GetRunner(g, parallax.Uniform(2, 2), parallax.Config{
+		NewOptimizer: func() parallax.Optimizer { return parallax.NewSGD(0.3) },
+		AlphaHint:    map[string]float64{"emb_enc": srcAlpha, "emb_dec": dstAlpha},
+		ClipNorm:     5.0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(runner.Describe())
+	fmt.Printf("alpha enc %.4f dec %.4f, partitions %d\n\n", srcAlpha, dstAlpha, runner.SparsePartitions())
+
+	srcShards := make([]parallax.Dataset, runner.Workers())
+	dstShards := make([]parallax.Dataset, runner.Workers())
+	for w := range srcShards {
+		srcShards[w] = parallax.Shard(data.NewZipfText(srcVocab, batch, 1, 1.0, 11), w, runner.Workers())
+		dstShards[w] = parallax.Shard(data.NewZipfText(dstVocab, batch, 1, 1.0, 12), w, runner.Workers())
+	}
+	for step := 0; step < 40; step++ {
+		feeds := make([]parallax.Feed, runner.Workers())
+		for w := range feeds {
+			src := srcShards[w].Next()
+			dst := dstShards[w].Next()
+			feeds[w] = parallax.Feed{Ints: map[string][]int{
+				"en_texts": src.Tokens, "de_texts": dst.Tokens, "labels": dst.Labels,
+			}}
+		}
+		loss, err := runner.Run(feeds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if step%10 == 0 || step == 39 {
+			fmt.Printf("step %2d  loss %.4f\n", step, loss)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: the smallest end-to-end Parallax program.
+//
+// It builds a single-GPU graph with one sparse embedding and one dense
+// projection, lets Parallax transform it for a 2-machine × 2-GPU cluster,
+// and trains for a few synchronous steps. Note what the code does NOT
+// contain: no server/worker processes, no AllReduce calls, no pull/push —
+// the transformation inserts all of that from the variables' gradient
+// types (the paper's transparency claim, §4.1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parallax"
+	"parallax/internal/data"
+)
+
+func main() {
+	const (
+		vocab = 1000
+		dim   = 24
+		batch = 16
+	)
+	rng := parallax.NewRNG(1)
+
+	// 1. A single-GPU computation graph (Fig. 3 lines 4-17).
+	g := parallax.NewGraph()
+	tokens := g.Input("tokens", parallax.Int, batch)
+	labels := g.Input("labels", parallax.Int, batch)
+	var emb *parallax.Node
+	g.InPartitioner(func() { // partitioner scope marks partition targets
+		emb = g.Variable("embedding", rng.RandN(0.1, vocab, dim))
+	})
+	proj := g.Variable("proj", rng.RandN(0.1, dim, vocab))
+	g.SoftmaxCE(g.MatMul(g.Gather(emb, tokens), proj), labels)
+
+	// 2. Transform for the cluster (Fig. 3 lines 19-22).
+	runner, err := parallax.GetRunner(g, parallax.Uniform(2, 2), parallax.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(runner.Describe())
+
+	// 3. Shard the input stream and train (Fig. 3 lines 24-25).
+	shards := make([]parallax.Dataset, runner.Workers())
+	for w := range shards {
+		shards[w] = parallax.Shard(data.NewZipfText(vocab, batch, 1, 1.0, 9), w, runner.Workers())
+	}
+	for step := 0; step < 30; step++ {
+		feeds := make([]parallax.Feed, runner.Workers())
+		for w := range feeds {
+			b := shards[w].Next()
+			feeds[w] = parallax.Feed{Ints: map[string][]int{"tokens": b.Tokens, "labels": b.Labels}}
+		}
+		loss, err := runner.Run(feeds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if step%10 == 0 {
+			fmt.Printf("step %2d  loss %.4f\n", step, loss)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Sweep example: how the sparsity degree α shapes the architecture choice
+// (the paper's §6.6 / Table 6).
+//
+// For a range of data-instance lengths, it measures the α the workload
+// induces on the embedding (longer instances touch more vocabulary rows),
+// then simulates the constructed LM at paper scale under Parallax's hybrid
+// architecture and under pure PS, printing the speedup — which grows as
+// the model gets sparser, peaking at the shortest instances.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parallax"
+	"parallax/internal/cluster"
+	"parallax/internal/core"
+	"parallax/internal/data"
+	"parallax/internal/engine"
+	"parallax/internal/metrics"
+	"parallax/internal/models"
+)
+
+func main() {
+	const vocab = 50_000
+	hw := cluster.DefaultHardware()
+
+	fmt.Println("length  alpha(data)  alpha_model  Parallax   TF-PS      speedup")
+	for _, length := range []int{120, 60, 30, 15, 8, 4, 1} {
+		// α measured from an actual Zipf token stream with this instance
+		// length (batch 128 as in the paper).
+		measured := parallax.MeasureAlpha(
+			data.NewZipfText(vocab, 128, length, 1.0, int64(length)), vocab, 5)
+
+		spec := models.ConstructedLM(measured, length)
+		prlx, err := engine.RunArch(spec, core.ArchHybrid, 8, 6, 64, hw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tfps, err := engine.RunArch(spec, core.ArchNaivePS, 8, 6, 64, hw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %11.4f  %11.3f  %-9s  %-9s  %.2fx\n",
+			length, measured, spec.AlphaModel(),
+			metrics.Humanize(prlx.Throughput), metrics.Humanize(tfps.Throughput),
+			prlx.Throughput/tfps.Throughput)
+	}
+}

@@ -1,0 +1,61 @@
+// Package arrt is the AllReduce-architecture runtime: it synchronizes one
+// model replica's gradients with the collective primitives (ring AllReduce
+// for dense gradients, ring AllGatherv for sparse ones) and keeps replica
+// variables identical across workers, the invariant that makes the AR
+// architecture "simple ... because all workers always have the same
+// variable values" (§2.1).
+package arrt
+
+import (
+	"fmt"
+
+	"parallax/internal/collective"
+	"parallax/internal/optim"
+	"parallax/internal/tensor"
+)
+
+// Replica is one worker's endpoint of the AR runtime.
+type Replica struct {
+	comm      *collective.Comm
+	denseAgg  optim.AggMethod
+	sparseAgg optim.AggMethod
+}
+
+// New wraps a collective endpoint.
+func New(c *collective.Comm, denseAgg, sparseAgg optim.AggMethod) *Replica {
+	return &Replica{comm: c, denseAgg: denseAgg, sparseAgg: sparseAgg}
+}
+
+// Rank returns the worker's rank.
+func (r *Replica) Rank() int { return r.comm.Rank() }
+
+// BroadcastInit overwrites value with rank root's copy on all workers, so
+// training starts from identical replicas.
+func (r *Replica) BroadcastInit(name string, value *tensor.Dense, root int) {
+	collective.Broadcast(r.comm, "init/"+name, value, root)
+}
+
+// SyncDense aggregates a dense gradient across all workers in place (sum
+// via ring AllReduce, then the configured finalization). After it returns,
+// every worker holds the identical aggregated gradient.
+func (r *Replica) SyncDense(name string, step int, grad *tensor.Dense) {
+	collective.RingAllReduce(r.comm, tag(name, step), grad)
+	optim.FinalizeDense(grad, r.comm.Size(), r.denseAgg)
+}
+
+// SyncSparse aggregates a sparse gradient across all workers via
+// AllGatherv (concatenation in rank order) and returns the aggregated
+// gradient, identical on every worker.
+func (r *Replica) SyncSparse(name string, step int, grad *tensor.Sparse) *tensor.Sparse {
+	out := collective.AllGatherv(r.comm, tag(name, step), grad)
+	optim.FinalizeSparse(out, r.comm.Size(), r.sparseAgg)
+	return out
+}
+
+// SumScalar returns the sum of v across workers (loss averaging, norm
+// exchange).
+func (r *Replica) SumScalar(name string, step int, v float64) float64 {
+	return collective.ReduceScalar(r.comm, tag(name, step), v)
+}
+
+func tag(name string, step int) string { return fmt.Sprintf("%s@%d", name, step) }

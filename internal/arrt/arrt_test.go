@@ -1,0 +1,97 @@
+package arrt
+
+import (
+	"sync"
+	"testing"
+
+	"parallax/internal/collective"
+	"parallax/internal/optim"
+	"parallax/internal/tensor"
+)
+
+func TestReplicasStayIdenticalOverSteps(t *testing.T) {
+	const n = 4
+	finals := make([]*tensor.Dense, n)
+	var mu sync.Mutex
+	collective.RunWorld(n, func(c *collective.Comm) {
+		r := New(c, optim.AggMean, optim.AggSum)
+		rng := tensor.NewRNG(int64(100 + c.Rank())) // different init per rank
+		v := rng.RandN(1, 6)
+		r.BroadcastInit("v", v, 0)
+		opt := optim.NewSGD(0.1)
+		for step := 0; step < 5; step++ {
+			g := tensor.NewRNG(int64(step*10+c.Rank())).RandN(1, 6)
+			r.SyncDense("v", step, g)
+			opt.ApplyDense("v", v, g)
+		}
+		mu.Lock()
+		finals[c.Rank()] = v
+		mu.Unlock()
+	})
+	for rank := 1; rank < n; rank++ {
+		if finals[rank].MaxAbsDiff(finals[0]) > 1e-5 {
+			t.Fatalf("replica %d diverged by %v", rank, finals[rank].MaxAbsDiff(finals[0]))
+		}
+	}
+}
+
+func TestSyncDenseMeanMatchesSequential(t *testing.T) {
+	const n = 3
+	grads := make([]*tensor.Dense, n)
+	for i := range grads {
+		grads[i] = tensor.NewRNG(int64(i)).RandN(1, 10)
+	}
+	want := tensor.NewDense(10)
+	for _, g := range grads {
+		want.AddInto(g)
+	}
+	want.Scale(1.0 / n)
+	outs := make([]*tensor.Dense, n)
+	collective.RunWorld(n, func(c *collective.Comm) {
+		r := New(c, optim.AggMean, optim.AggMean)
+		g := grads[c.Rank()].Clone()
+		r.SyncDense("g", 0, g)
+		outs[c.Rank()] = g
+	})
+	for i, o := range outs {
+		if o.MaxAbsDiff(want) > 1e-5 {
+			t.Fatalf("rank %d mean-aggregated grad wrong by %v", i, o.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestSyncSparseEquivalentToDenseSum(t *testing.T) {
+	const n = 3
+	outs := make([]*tensor.Sparse, n)
+	grads := make([]*tensor.Sparse, n)
+	for i := range grads {
+		rng := tensor.NewRNG(int64(i + 7))
+		rows := []int{rng.Intn(5), rng.Intn(5)}
+		grads[i] = tensor.NewSparse(rows, rng.RandN(1, 2, 3), 5)
+	}
+	collective.RunWorld(n, func(c *collective.Comm) {
+		outs[c.Rank()] = New(c, optim.AggSum, optim.AggSum).SyncSparse("e", 0, grads[c.Rank()])
+	})
+	want := tensor.NewDense(5, 3)
+	for _, g := range grads {
+		want.AddInto(g.ToDense())
+	}
+	for i, o := range outs {
+		if o.ToDense().MaxAbsDiff(want) > 1e-5 {
+			t.Fatalf("rank %d gathered grad wrong", i)
+		}
+	}
+}
+
+func TestSumScalar(t *testing.T) {
+	const n = 5
+	outs := make([]float64, n)
+	collective.RunWorld(n, func(c *collective.Comm) {
+		outs[c.Rank()] = New(c, optim.AggMean, optim.AggMean).SumScalar("loss", 3, float64(c.Rank()))
+	})
+	for i, v := range outs {
+		if v != 10 {
+			t.Fatalf("rank %d sum = %v, want 10", i, v)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package collective implements the communication primitives the paper's
+// AllReduce architecture relies on — ring AllReduce, ring AllGatherv, and
+// Broadcast — as real message-passing algorithms over an in-memory
+// transport, executed by one goroutine per worker.
+//
+// These are functional implementations moving real tensor data, used by the
+// real-mode training engine and the correctness test suite. The virtual-time
+// *cost* of the same communication patterns is modelled separately in
+// internal/engine on top of internal/simnet; keeping data plane and cost
+// plane separate lets us run paper-scale byte volumes without allocating
+// paper-scale tensors.
+package collective
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one transport datagram.
+type message struct {
+	tag     string
+	payload interface{}
+}
+
+// World is the shared transport for a fixed group of ranks: a buffered FIFO
+// channel per directed pair.
+type World struct {
+	size  int
+	pipes [][]chan message // pipes[src][dst]
+}
+
+// NewWorld creates a transport for size ranks. Channel buffers are sized so
+// that the ring algorithms' send-then-receive step pattern cannot deadlock.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("collective: world size %d", size))
+	}
+	w := &World{size: size, pipes: make([][]chan message, size)}
+	for s := range w.pipes {
+		w.pipes[s] = make([]chan message, size)
+		for d := range w.pipes[s] {
+			w.pipes[s][d] = make(chan message, 8)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm is one rank's endpoint in a World.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Comm returns the endpoint for the given rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("collective: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers payload to dst under tag. It blocks only if the pair's
+// buffer is full.
+func (c *Comm) Send(dst int, tag string, payload interface{}) {
+	c.world.pipes[c.rank][dst] <- message{tag: tag, payload: payload}
+}
+
+// Recv blocks until a message from src arrives and returns its payload.
+// A tag mismatch means the two ranks' protocols diverged; that is a bug,
+// so it panics rather than silently reordering.
+func (c *Comm) Recv(src int, tag string) interface{} {
+	m := <-c.world.pipes[src][c.rank]
+	if m.tag != tag {
+		panic(fmt.Sprintf("collective: rank %d expected tag %q from %d, got %q", c.rank, tag, src, m.tag))
+	}
+	return m.payload
+}
+
+// Barrier blocks until all ranks have entered it. Implemented as a
+// dissemination barrier (log₂ rounds).
+func (c *Comm) Barrier(tag string) {
+	n := c.Size()
+	for dist := 1; dist < n; dist *= 2 {
+		dst := (c.rank + dist) % n
+		src := (c.rank - dist + n) % n
+		c.Send(dst, tag, nil)
+		c.Recv(src, tag)
+	}
+}
+
+// RunWorld spawns fn for every rank on its own goroutine and waits for all
+// to finish. It is the harness the tests and real-mode engine use.
+func RunWorld(size int, fn func(c *Comm)) {
+	w := NewWorld(size)
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(r int) {
+			defer wg.Done()
+			fn(w.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+}

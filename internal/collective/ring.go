@@ -1,0 +1,151 @@
+package collective
+
+import (
+	"fmt"
+
+	"parallax/internal/tensor"
+)
+
+// chunkBounds splits n elements into size near-equal contiguous chunks and
+// returns the [start,end) of chunk i.
+func chunkBounds(n, size, i int) (int, int) {
+	base, extra := n/size, n%size
+	start := i*base + min(i, extra)
+	length := base
+	if i < extra {
+		length++
+	}
+	return start, start + length
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RingAllReduce sums t element-wise across all ranks, leaving every rank
+// with the identical total, using the bandwidth-optimal ring algorithm
+// (Patarasuk & Yuan [31], the algorithm NCCL uses): a reduce-scatter phase
+// of N−1 steps followed by an all-gather phase of N−1 steps, each step
+// moving 1/N of the tensor to the right-hand neighbour.
+//
+// This is the aggregation path for *dense* gradients in the AR and hybrid
+// architectures. t is modified in place.
+func RingAllReduce(c *Comm, tag string, t *tensor.Dense) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	data := t.Data()
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+
+	// Reduce-scatter: after step s, rank r holds the partial sum of chunk
+	// (r - s) mod n over s+1 ranks; after n-1 steps, rank r holds the full
+	// sum of chunk (r+1) mod n.
+	for s := 0; s < n-1; s++ {
+		sendChunk := (c.rank - s + n) % n
+		recvChunk := (c.rank - s - 1 + n) % n
+		ss, se := chunkBounds(len(data), n, sendChunk)
+		out := make([]float32, se-ss)
+		copy(out, data[ss:se])
+		c.Send(right, fmt.Sprintf("%s/rs%d", tag, s), out)
+		in := c.Recv(left, fmt.Sprintf("%s/rs%d", tag, s)).([]float32)
+		rs, re := chunkBounds(len(data), n, recvChunk)
+		if len(in) != re-rs {
+			panic(fmt.Sprintf("collective: allreduce chunk size mismatch %d vs %d", len(in), re-rs))
+		}
+		for i, v := range in {
+			data[rs+i] += v
+		}
+	}
+	// All-gather: circulate the fully reduced chunks.
+	for s := 0; s < n-1; s++ {
+		sendChunk := (c.rank + 1 - s + n) % n
+		recvChunk := (c.rank - s + n) % n
+		ss, se := chunkBounds(len(data), n, sendChunk)
+		out := make([]float32, se-ss)
+		copy(out, data[ss:se])
+		c.Send(right, fmt.Sprintf("%s/ag%d", tag, s), out)
+		in := c.Recv(left, fmt.Sprintf("%s/ag%d", tag, s)).([]float32)
+		rs, re := chunkBounds(len(data), n, recvChunk)
+		if len(in) != re-rs {
+			panic(fmt.Sprintf("collective: allgather chunk size mismatch %d vs %d", len(in), re-rs))
+		}
+		copy(data[rs:re], in)
+	}
+}
+
+// AllGatherv concatenates every rank's sparse gradient in rank order and
+// returns the result on all ranks — the aggregation path for *sparse*
+// gradients in the pure-AR architecture (§2.1: AllGatherv "aggregates
+// gradients by concatenating"). It uses a ring: each of the N−1 steps
+// forwards the block received in the previous step.
+func AllGatherv(c *Comm, tag string, s *tensor.Sparse) *tensor.Sparse {
+	n := c.Size()
+	if n == 1 {
+		return s.Clone()
+	}
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	blocks := make([]*tensor.Sparse, n)
+	blocks[c.rank] = s
+	cur := s
+	for step := 0; step < n-1; step++ {
+		c.Send(right, fmt.Sprintf("%s/agv%d", tag, step), cur)
+		cur = c.Recv(left, fmt.Sprintf("%s/agv%d", tag, step)).(*tensor.Sparse)
+		origin := (c.rank - step - 1 + n) % n
+		blocks[origin] = cur
+	}
+	return tensor.ConcatSparse(blocks)
+}
+
+// Broadcast copies root's tensor to every rank (in place on non-roots)
+// using a binomial tree, log₂(N) rounds. Used to synchronize initial
+// variable values across AR replicas so all workers start identical.
+func Broadcast(c *Comm, tag string, t *tensor.Dense, root int) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	// Re-index ranks so root is virtual rank 0.
+	vr := (c.rank - root + n) % n
+	for dist := 1; dist < n; dist *= 2 {
+		if vr < dist {
+			peer := vr + dist
+			if peer < n {
+				dst := (peer + root) % n
+				out := make([]float32, t.NumElements())
+				copy(out, t.Data())
+				c.Send(dst, tag, out)
+			}
+		} else if vr < dist*2 {
+			src := ((vr - dist) + root) % n
+			in := c.Recv(src, tag).([]float32)
+			if len(in) != t.NumElements() {
+				panic(fmt.Sprintf("collective: broadcast size mismatch %d vs %d", len(in), t.NumElements()))
+			}
+			copy(t.Data(), in)
+		}
+	}
+}
+
+// ReduceScalar sums a float64 across all ranks and returns the total on
+// every rank (an allreduce over one value), used for aggregating loss
+// metrics and global gradient norms.
+func ReduceScalar(c *Comm, tag string, v float64) float64 {
+	n := c.Size()
+	total := v
+	// Simple ring accumulation: n-1 shifts.
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	cur := v
+	for s := 0; s < n-1; s++ {
+		c.Send(right, fmt.Sprintf("%s/red%d", tag, s), cur)
+		cur = c.Recv(left, fmt.Sprintf("%s/red%d", tag, s)).(float64)
+		total += cur
+	}
+	return total
+}

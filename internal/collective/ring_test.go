@@ -1,0 +1,203 @@
+package collective
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"parallax/internal/tensor"
+)
+
+func TestRingAllReduceSums(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8} {
+		n := n
+		const elems = 23 // deliberately not divisible by world sizes
+		results := make([]*tensor.Dense, n)
+		RunWorld(n, func(c *Comm) {
+			d := tensor.NewDense(elems)
+			for i := 0; i < elems; i++ {
+				d.Data()[i] = float32(c.Rank()*100 + i)
+			}
+			RingAllReduce(c, "t", d)
+			results[c.Rank()] = d
+		})
+		for i := 0; i < elems; i++ {
+			var want float32
+			for r := 0; r < n; r++ {
+				want += float32(r*100 + i)
+			}
+			for r := 0; r < n; r++ {
+				if got := results[r].Data()[i]; math.Abs(float64(got-want)) > 1e-3 {
+					t.Fatalf("n=%d rank %d elem %d = %v, want %v", n, r, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRingAllReduceTinyTensor(t *testing.T) {
+	// Fewer elements than ranks: some chunks are empty.
+	const n = 6
+	results := make([]*tensor.Dense, n)
+	RunWorld(n, func(c *Comm) {
+		d := tensor.FromSlice([]float32{float32(c.Rank()), 1}, 2)
+		RingAllReduce(c, "t", d)
+		results[c.Rank()] = d
+	})
+	want0 := float32(0 + 1 + 2 + 3 + 4 + 5)
+	for r := 0; r < n; r++ {
+		if results[r].Data()[0] != want0 || results[r].Data()[1] != n {
+			t.Fatalf("rank %d got %v", r, results[r].Data())
+		}
+	}
+}
+
+func TestAllGathervConcatsInRankOrder(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		results := make([]*tensor.Sparse, n)
+		RunWorld(n, func(c *Comm) {
+			rows := []int{c.Rank(), c.Rank()}
+			vals := tensor.NewDense(2, 3)
+			vals.Fill(float32(c.Rank() + 1))
+			s := tensor.NewSparse(rows, vals, n+1)
+			results[c.Rank()] = AllGatherv(c, "g", s)
+		})
+		for r := 0; r < n; r++ {
+			got := results[r]
+			if got.NNZRows() != 2*n {
+				t.Fatalf("n=%d rank %d nnz = %d, want %d", n, r, got.NNZRows(), 2*n)
+			}
+			for origin := 0; origin < n; origin++ {
+				if got.Rows[2*origin] != origin {
+					t.Fatalf("n=%d rank %d block %d has row %d (not rank order)", n, r, origin, got.Rows[2*origin])
+				}
+				if got.Values.At(2*origin, 0) != float32(origin+1) {
+					t.Fatalf("block %d values wrong", origin)
+				}
+			}
+		}
+	}
+}
+
+func TestAllGathervAllRanksAgree(t *testing.T) {
+	const n = 4
+	results := make([]*tensor.Sparse, n)
+	RunWorld(n, func(c *Comm) {
+		g := tensor.NewRNG(int64(c.Rank()))
+		k := 1 + c.Rank()
+		rows := make([]int, k)
+		for i := range rows {
+			rows[i] = g.Intn(10)
+		}
+		results[c.Rank()] = AllGatherv(c, "g", tensor.NewSparse(rows, g.RandN(1, k, 2), 10))
+	})
+	ref := results[0].ToDense()
+	for r := 1; r < n; r++ {
+		if results[r].ToDense().MaxAbsDiff(ref) > 1e-6 {
+			t.Fatalf("rank %d gathered different effective gradient", r)
+		}
+	}
+}
+
+func TestBroadcastFromEveryRoot(t *testing.T) {
+	const n = 5
+	for root := 0; root < n; root++ {
+		results := make([]*tensor.Dense, n)
+		RunWorld(n, func(c *Comm) {
+			d := tensor.NewDense(7)
+			if c.Rank() == root {
+				for i := range d.Data() {
+					d.Data()[i] = float32(100*root + i)
+				}
+			}
+			Broadcast(c, "b", d, root)
+			results[c.Rank()] = d
+		})
+		for r := 0; r < n; r++ {
+			for i := 0; i < 7; i++ {
+				if results[r].Data()[i] != float32(100*root+i) {
+					t.Fatalf("root=%d rank=%d elem %d = %v", root, r, i, results[r].Data()[i])
+				}
+			}
+		}
+	}
+}
+
+func TestReduceScalar(t *testing.T) {
+	const n = 6
+	var mu sync.Mutex
+	var got []float64
+	RunWorld(n, func(c *Comm) {
+		total := ReduceScalar(c, "r", float64(c.Rank()+1))
+		mu.Lock()
+		got = append(got, total)
+		mu.Unlock()
+	})
+	for _, v := range got {
+		if v != 21 {
+			t.Fatalf("ReduceScalar = %v, want 21", v)
+		}
+	}
+}
+
+func TestBarrierCompletes(t *testing.T) {
+	const n = 7
+	var mu sync.Mutex
+	count := 0
+	RunWorld(n, func(c *Comm) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		c.Barrier("b1")
+		mu.Lock()
+		if count != n {
+			t.Errorf("rank %d passed barrier before all arrived (count=%d)", c.Rank(), count)
+		}
+		mu.Unlock()
+	})
+}
+
+func TestRecvTagMismatchPanics(t *testing.T) {
+	w := NewWorld(2)
+	done := make(chan bool)
+	go func() {
+		defer func() { done <- recover() != nil }()
+		w.Comm(0).Send(1, "a", nil)
+		w.Comm(1).Recv(0, "b")
+	}()
+	if !<-done {
+		t.Fatal("expected panic on tag mismatch")
+	}
+}
+
+// Property: RingAllReduce equals the sequential sum for random sizes and
+// world sizes.
+func TestRingAllReduceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := tensor.NewRNG(seed)
+		n := 1 + g.Intn(6)
+		elems := 1 + g.Intn(40)
+		inputs := make([]*tensor.Dense, n)
+		want := tensor.NewDense(elems)
+		for r := range inputs {
+			inputs[r] = g.RandN(1, elems)
+			want.AddInto(inputs[r])
+		}
+		results := make([]*tensor.Dense, n)
+		RunWorld(n, func(c *Comm) {
+			d := inputs[c.Rank()].Clone()
+			RingAllReduce(c, "p", d)
+			results[c.Rank()] = d
+		})
+		for r := 0; r < n; r++ {
+			if results[r].MaxAbsDiff(want) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

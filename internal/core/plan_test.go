@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"parallax/internal/cluster"
+)
+
+func testVars() []VarInfo {
+	return []VarInfo{
+		{Name: "embedding", Rows: 1000, Width: 64, Sparse: true, Alpha: 0.02, PartitionTarget: true},
+		{Name: "w1", Rows: 64, Width: 64, Alpha: 1},
+		{Name: "w2", Rows: 64, Width: 32, Alpha: 1},
+		{Name: "softmax", Rows: 1000, Width: 64, Sparse: true, Alpha: 0.05, PartitionTarget: true},
+	}
+}
+
+func TestHybridSplitsByGradType(t *testing.T) {
+	plan, err := BuildPlan(testVars(), Options{
+		Arch: ArchHybrid, NumMachines: 4, SparsePartitions: 8, SmartPlacement: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Assignments {
+		if a.Sparse && a.Method != MethodPS {
+			t.Errorf("%s: sparse var got %v", a.Name, a.Method)
+		}
+		if !a.Sparse && a.Method != MethodAllReduce {
+			t.Errorf("%s: dense var got %v", a.Name, a.Method)
+		}
+	}
+	c := plan.CountByMethod()
+	if c[MethodPS] != 2 || c[MethodAllReduce] != 2 {
+		t.Fatalf("method counts = %v", c)
+	}
+}
+
+func TestARUsesAllGathervForSparse(t *testing.T) {
+	plan, err := BuildPlan(testVars(), Options{Arch: ArchAR, NumMachines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Assignments {
+		want := MethodAllReduce
+		if a.Sparse {
+			want = MethodAllGatherv
+		}
+		if a.Method != want {
+			t.Errorf("%s: got %v, want %v", a.Name, a.Method, want)
+		}
+		if len(a.Servers) != 0 {
+			t.Errorf("%s: collective method should have no servers", a.Name)
+		}
+	}
+}
+
+func TestPSArchsPutEverythingOnServers(t *testing.T) {
+	for _, arch := range []Arch{ArchNaivePS, ArchOptPS} {
+		plan, err := BuildPlan(testVars(), Options{Arch: arch, NumMachines: 4, SparsePartitions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range plan.Assignments {
+			if a.Method != MethodPS {
+				t.Errorf("%v %s: got %v", arch, a.Name, a.Method)
+			}
+		}
+	}
+}
+
+func TestPartitioningOnlyTargets(t *testing.T) {
+	plan, _ := BuildPlan(testVars(), Options{
+		Arch: ArchOptPS, NumMachines: 4, SparsePartitions: 8, SmartPlacement: true,
+	})
+	for _, a := range plan.Assignments {
+		if a.PartitionTarget && a.Partitions != 8 {
+			t.Errorf("%s: partitions = %d, want 8", a.Name, a.Partitions)
+		}
+		if !a.PartitionTarget && a.Partitions != 1 {
+			t.Errorf("%s: partitions = %d, want 1", a.Name, a.Partitions)
+		}
+		if len(a.Servers) != a.Partitions {
+			t.Errorf("%s: %d servers for %d partitions", a.Name, len(a.Servers), a.Partitions)
+		}
+	}
+}
+
+func TestSmartPlacementBalances(t *testing.T) {
+	plan, _ := BuildPlan(testVars(), Options{
+		Arch: ArchOptPS, NumMachines: 4, SparsePartitions: 16, SmartPlacement: true,
+	})
+	if imb := plan.MaxServerImbalance(); imb > 0.3 {
+		t.Fatalf("smart placement imbalance %v too high (loads %v)", imb, plan.ServerBytes)
+	}
+}
+
+func TestAlphaThresholdPromotesToDense(t *testing.T) {
+	vars := []VarInfo{
+		{Name: "hot_emb", Rows: 100, Width: 10, Sparse: true, Alpha: 0.9, PartitionTarget: true},
+		{Name: "cold_emb", Rows: 100, Width: 10, Sparse: true, Alpha: 0.1, PartitionTarget: true},
+		{Name: "w", Rows: 10, Width: 10, Alpha: 1},
+	}
+	plan, err := BuildPlan(vars, Options{
+		Arch: ArchHybrid, NumMachines: 2, AlphaDenseThreshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Assignment{}
+	for _, a := range plan.Assignments {
+		byName[a.Name] = a
+	}
+	if a := byName["hot_emb"]; a.Method != MethodAllReduce || !a.TreatAsDense {
+		t.Fatalf("hot_emb: %v treatAsDense=%v", a.Method, a.TreatAsDense)
+	}
+	if a := byName["cold_emb"]; a.Method != MethodPS || a.TreatAsDense {
+		t.Fatalf("cold_emb: %v", a.Method)
+	}
+}
+
+func TestDefaultAlphaThreshold(t *testing.T) {
+	hw := cluster.DefaultHardware()
+	th := DefaultAlphaThreshold(hw)
+	if th <= 0 || th >= 1 {
+		t.Fatalf("threshold = %v, want in (0,1)", th)
+	}
+	// With the default calibration RPC/NCCL ≈ 0.42.
+	if th < 0.3 || th > 0.7 {
+		t.Fatalf("threshold = %v, expected ~0.6 with the calibrated RPC/NCCL ratio", th)
+	}
+}
+
+func TestBuildPlanErrors(t *testing.T) {
+	if _, err := BuildPlan(nil, Options{Arch: ArchAR, NumMachines: 1}); err == nil {
+		t.Fatal("want error for no vars")
+	}
+	if _, err := BuildPlan(testVars(), Options{Arch: ArchAR, NumMachines: 0}); err == nil {
+		t.Fatal("want error for no machines")
+	}
+	bad := []VarInfo{{Name: "x", Rows: 1, Width: 1, Alpha: 0}}
+	if _, err := BuildPlan(bad, Options{Arch: ArchAR, NumMachines: 1}); err == nil {
+		t.Fatal("want error for alpha=0")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ArchHybrid.String() != "Hybrid" || MethodPS.String() != "ps" || MethodAllGatherv.String() != "allgatherv" {
+		t.Fatal("bad strings")
+	}
+}

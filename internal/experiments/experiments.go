@@ -1,0 +1,72 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated cluster, printing measured values next
+// to the paper's reported ones. Each experiment returns structured results
+// (for tests and benches) and renders a plain-text table.
+//
+// The per-experiment index lives in DESIGN.md; EXPERIMENTS.md records a
+// full paper-vs-measured run.
+package experiments
+
+import (
+	"fmt"
+
+	"parallax/internal/cluster"
+	"parallax/internal/core"
+	"parallax/internal/engine"
+	"parallax/internal/metrics"
+	"parallax/internal/models"
+)
+
+// Env fixes the simulated cluster for all experiments: the paper's testbed
+// of 8 machines × 6 GPUs on 100 Gbps InfiniBand.
+type Env struct {
+	HW       cluster.Hardware
+	Machines int
+	GPUs     int // per machine
+}
+
+// DefaultEnv returns the paper's cluster.
+func DefaultEnv() Env {
+	return Env{HW: cluster.DefaultHardware(), Machines: 8, GPUs: 6}
+}
+
+// bestPartitions returns the paper's tuned partition counts (Table 2 best:
+// 128 for LM, 64 for NMT; dense models are unpartitioned).
+func bestPartitions(spec *models.Spec) int {
+	switch spec.Name {
+	case "LM":
+		return 128
+	case "NMT":
+		return 64
+	default:
+		return 1
+	}
+}
+
+// run simulates spec under arch on the env cluster.
+func (e Env) run(spec *models.Spec, arch core.Arch, machines, gpus, parts int) engine.Result {
+	res, err := engine.RunArch(spec, arch, machines, gpus, parts, e.HW)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err)) // configs are internal constants
+	}
+	return res
+}
+
+// FrameworkName maps architectures to the systems the paper compares.
+func FrameworkName(a core.Arch) string {
+	switch a {
+	case core.ArchAR:
+		return "Horovod"
+	case core.ArchNaivePS:
+		return "TF-PS"
+	case core.ArchHybrid:
+		return "Parallax"
+	case core.ArchOptPS:
+		return "OptPS"
+	default:
+		return a.String()
+	}
+}
+
+// humanize shortens throughput numbers for table cells.
+func humanize(v float64) string { return metrics.Humanize(v) }

@@ -1,0 +1,234 @@
+package graph
+
+import (
+	"fmt"
+
+	"parallax/internal/tensor"
+)
+
+// Feed supplies per-step input values by input-node name.
+type Feed struct {
+	Floats map[string]*tensor.Dense
+	Ints   map[string][]int
+}
+
+// GradSet is the result of a backward pass: one gradient per variable,
+// either dense or sparse according to the variable's usage. It is the Go
+// analogue of the variable→gradient mapping Parallax records in
+// MetaGraphDef (§5).
+type GradSet struct {
+	Dense  map[string]*tensor.Dense
+	Sparse map[string]*tensor.Sparse
+}
+
+// NewGradSet returns an empty gradient set.
+func NewGradSet() *GradSet {
+	return &GradSet{Dense: map[string]*tensor.Dense{}, Sparse: map[string]*tensor.Sparse{}}
+}
+
+// Exec evaluates a graph with real tensors: it owns the variable storage
+// and runs forward+backward steps. One Exec corresponds to one model
+// replica (one "GPU" in the paper's terms).
+type Exec struct {
+	g      *Graph
+	values map[string]*tensor.Dense // variable storage by name
+}
+
+// NewExec creates an executor with variables initialized from their Init
+// tensors. It returns an error if the graph is invalid or a variable has
+// no initial value (accounting-mode graphs cannot be executed).
+func NewExec(g *Graph) (*Exec, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	vals := make(map[string]*tensor.Dense, len(g.vars))
+	for _, v := range g.vars {
+		if v.Init == nil {
+			return nil, fmt.Errorf("graph: variable %q has no initial value; accounting-mode graphs are not executable", v.Name)
+		}
+		vals[v.Name] = v.Init.Clone()
+	}
+	return &Exec{g: g, values: vals}, nil
+}
+
+// Graph returns the executor's graph.
+func (e *Exec) Graph() *Graph { return e.g }
+
+// VarValue returns the current value of a variable (live storage, not a
+// copy). The runtimes use it to apply updates and synchronize replicas.
+func (e *Exec) VarValue(name string) *tensor.Dense {
+	v, ok := e.values[name]
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown variable %q", name))
+	}
+	return v
+}
+
+// SetVarValue replaces a variable's storage (used when pulling fresh values
+// from a parameter server).
+func (e *Exec) SetVarValue(name string, t *tensor.Dense) {
+	cur, ok := e.values[name]
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown variable %q", name))
+	}
+	if !cur.SameShape(t) {
+		panic(fmt.Sprintf("graph: SetVarValue shape mismatch for %q: %v vs %v", name, cur.Shape(), t.Shape()))
+	}
+	e.values[name] = t
+}
+
+// Step runs one forward+backward pass with the given feed and returns the
+// loss and per-variable gradients.
+func (e *Exec) Step(feed Feed) (float64, *GradSet, error) {
+	floats := make([]*tensor.Dense, len(e.g.nodes))
+	ints := make([][]int, len(e.g.nodes))
+
+	// Forward pass in construction (topological) order.
+	var loss float64
+	var lossGrad *tensor.Dense // d(loss)/d(logits), computed with the loss
+	for _, n := range e.g.nodes {
+		switch n.Kind {
+		case OpInput:
+			if n.DType == Int {
+				v, ok := feed.Ints[n.Name]
+				if !ok {
+					return 0, nil, fmt.Errorf("graph: missing int feed %q", n.Name)
+				}
+				if len(v) != n.Shape[0] {
+					return 0, nil, fmt.Errorf("graph: feed %q has %d entries, want %d", n.Name, len(v), n.Shape[0])
+				}
+				ints[n.ID] = v
+			} else {
+				v, ok := feed.Floats[n.Name]
+				if !ok {
+					return 0, nil, fmt.Errorf("graph: missing float feed %q", n.Name)
+				}
+				floats[n.ID] = v
+			}
+		case OpVariable:
+			floats[n.ID] = e.values[n.Name]
+		case OpGather:
+			floats[n.ID] = tensor.Gather(floats[n.Inputs[0].ID], ints[n.Inputs[1].ID])
+		case OpMatMul:
+			floats[n.ID] = tensor.MatMul(floats[n.Inputs[0].ID], floats[n.Inputs[1].ID])
+		case OpAddBias:
+			out := floats[n.Inputs[0].ID].Clone()
+			tensor.AddBiasRows(out, floats[n.Inputs[1].ID])
+			floats[n.ID] = out
+		case OpAdd:
+			out := floats[n.Inputs[0].ID].Clone()
+			out.AddInto(floats[n.Inputs[1].ID])
+			floats[n.ID] = out
+		case OpRelu:
+			floats[n.ID] = tensor.ReluForward(floats[n.Inputs[0].ID])
+		case OpTanh:
+			floats[n.ID] = tensor.TanhForward(floats[n.Inputs[0].ID])
+		case OpConcatCols:
+			a, b := floats[n.Inputs[0].ID], floats[n.Inputs[1].ID]
+			m, wa, wb := a.Dim(0), a.Dim(1), b.Dim(1)
+			out := tensor.NewDense(m, wa+wb)
+			for i := 0; i < m; i++ {
+				copy(out.Data()[i*(wa+wb):], a.Data()[i*wa:(i+1)*wa])
+				copy(out.Data()[i*(wa+wb)+wa:], b.Data()[i*wb:(i+1)*wb])
+			}
+			floats[n.ID] = out
+		case OpSoftmaxCE:
+			logits := floats[n.Inputs[0].ID]
+			labels := ints[n.Inputs[1].ID]
+			loss, lossGrad = tensor.SoftmaxCrossEntropy(logits, labels)
+		default:
+			return 0, nil, fmt.Errorf("graph: cannot execute op %v", n.Kind)
+		}
+	}
+
+	// Backward pass in reverse order. denseGrad[id] accumulates dense
+	// output-gradients; sparse contributions flow straight into varSparse.
+	denseGrad := make([]*tensor.Dense, len(e.g.nodes))
+	varSparse := make(map[string][]*tensor.Sparse)
+	addDense := func(n *Node, g *tensor.Dense) {
+		if denseGrad[n.ID] == nil {
+			denseGrad[n.ID] = g.Clone()
+		} else {
+			denseGrad[n.ID].AddInto(g)
+		}
+	}
+
+	for i := len(e.g.nodes) - 1; i >= 0; i-- {
+		n := e.g.nodes[i]
+		if n.Kind == OpSoftmaxCE {
+			addDense(n.Inputs[0], lossGrad)
+			continue
+		}
+		dy := denseGrad[n.ID]
+		if dy == nil {
+			continue // node does not influence the loss
+		}
+		switch n.Kind {
+		case OpInput, OpVariable:
+			// leaves
+		case OpGather:
+			table, idx := n.Inputs[0], ints[n.Inputs[1].ID]
+			sp := tensor.NewSparse(idx, dy.Clone(), table.Shape[0])
+			if table.Kind == OpVariable {
+				varSparse[table.Name] = append(varSparse[table.Name], sp)
+			} else {
+				// Gather from an intermediate tensor: densify.
+				addDense(table, sp.ToDense())
+			}
+		case OpMatMul:
+			a, b := floats[n.Inputs[0].ID], floats[n.Inputs[1].ID]
+			addDense(n.Inputs[0], tensor.MatMulT2(dy, b))
+			addDense(n.Inputs[1], tensor.MatMulT1(a, dy))
+		case OpAddBias:
+			addDense(n.Inputs[0], dy)
+			addDense(n.Inputs[1], tensor.SumRows(dy))
+		case OpAdd:
+			addDense(n.Inputs[0], dy)
+			addDense(n.Inputs[1], dy)
+		case OpRelu:
+			addDense(n.Inputs[0], tensor.ReluBackward(floats[n.Inputs[0].ID], dy))
+		case OpTanh:
+			addDense(n.Inputs[0], tensor.TanhBackward(floats[n.ID], dy))
+		case OpConcatCols:
+			a, b := n.Inputs[0], n.Inputs[1]
+			m, wa, wb := a.Shape[0], a.Shape[1], b.Shape[1]
+			da := tensor.NewDense(m, wa)
+			db := tensor.NewDense(m, wb)
+			for r := 0; r < m; r++ {
+				copy(da.Data()[r*wa:(r+1)*wa], dy.Data()[r*(wa+wb):r*(wa+wb)+wa])
+				copy(db.Data()[r*wb:(r+1)*wb], dy.Data()[r*(wa+wb)+wa:(r+1)*(wa+wb)])
+			}
+			addDense(a, da)
+			addDense(b, db)
+		default:
+			return 0, nil, fmt.Errorf("graph: no backward for op %v", n.Kind)
+		}
+	}
+
+	// Assemble per-variable gradients, honoring the static GradKind: a
+	// variable with any dense contribution gets a dense gradient (sparse
+	// parts densified), otherwise the concatenated sparse gradient.
+	gs := NewGradSet()
+	for _, v := range e.g.vars {
+		d := denseGrad[v.node.ID]
+		sps := varSparse[v.Name]
+		switch {
+		case d == nil && len(sps) == 0:
+			// Variable did not influence this step's loss: contribute an
+			// explicit zero so synchronization stays uniform.
+			if e.g.GradKind(v) == GradSparse {
+				gs.Sparse[v.Name] = tensor.NewSparse(nil, tensor.NewDense(0, v.Shape[1]), v.Shape[0])
+			} else {
+				gs.Dense[v.Name] = tensor.NewDense(v.Shape...)
+			}
+		case d == nil:
+			gs.Sparse[v.Name] = tensor.ConcatSparse(sps)
+		default:
+			for _, sp := range sps {
+				d.AddInto(sp.ToDense())
+			}
+			gs.Dense[v.Name] = d
+		}
+	}
+	return loss, gs, nil
+}

@@ -1,0 +1,96 @@
+package graph
+
+// GradKind classifies a variable's gradient type, the property Parallax's
+// hybrid architecture dispatches on: dense gradients synchronize via
+// AllReduce, sparse gradients via parameter servers (§3.1).
+type GradKind int
+
+const (
+	// GradNone means the variable is unused (Validate rejects this).
+	GradNone GradKind = iota
+	// GradDense means at least one consumer produces a dense gradient.
+	GradDense
+	// GradSparse means every consumer is a Gather lookup, so the gradient
+	// is IndexedSlices-shaped.
+	GradSparse
+)
+
+func (k GradKind) String() string {
+	switch k {
+	case GradDense:
+		return "dense"
+	case GradSparse:
+		return "sparse"
+	default:
+		return "none"
+	}
+}
+
+// GradKind statically classifies v by inspecting its consumers, mirroring
+// how TensorFlow chooses the gradient tensor type at graph-construction
+// time ("TensorFlow creates a sparse type gradient tensor for a variable
+// used in a sparse access operation, gather", §5).
+func (g *Graph) GradKind(v *Variable) GradKind {
+	kind := GradNone
+	for _, n := range g.nodes {
+		for slot, in := range n.Inputs {
+			if in != v.node {
+				continue
+			}
+			if n.Kind == OpGather && slot == 0 {
+				if kind == GradNone {
+					kind = GradSparse
+				}
+			} else {
+				kind = GradDense
+			}
+		}
+	}
+	return kind
+}
+
+// DenseVariables returns variables with dense gradients, in declaration
+// order.
+func (g *Graph) DenseVariables() []*Variable {
+	var out []*Variable
+	for _, v := range g.vars {
+		if g.GradKind(v) == GradDense {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SparseVariables returns variables with sparse gradients, in declaration
+// order.
+func (g *Graph) SparseVariables() []*Variable {
+	var out []*Variable
+	for _, v := range g.vars {
+		if g.GradKind(v) == GradSparse {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ModelAlpha computes α_model as defined in §2.2: a weighted average of
+// per-variable α values, each variable weighted by its element count.
+// Dense variables have α = 1; sparse variables use the supplied per-
+// variable α (the average fraction of rows touched per iteration, a
+// property of the workload).
+func (g *Graph) ModelAlpha(sparseAlpha map[string]float64) float64 {
+	var num, den float64
+	for _, v := range g.vars {
+		e := float64(v.Elements())
+		a := 1.0
+		if g.GradKind(v) == GradSparse {
+			a = sparseAlpha[v.Name]
+		}
+		num += a * e
+		den += e
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

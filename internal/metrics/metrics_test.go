@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHumanize(t *testing.T) {
+	cases := map[float64]string{
+		274_000: "274k",
+		98_900:  "98.9k",
+		5_800:   "5.8k",
+		191:     "191",
+		0.5:     "0.50",
+	}
+	for v, want := range cases {
+		if got := Humanize(v); got != want {
+			t.Errorf("Humanize(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	if got := HumanBytes(1.5e9); got != "1.50 GB" {
+		t.Errorf("got %q", got)
+	}
+	if got := HumanBytes(2.5e6); got != "2.5 MB" {
+		t.Errorf("got %q", got)
+	}
+	if got := HumanBytes(12); got != "12 B" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestScalingEfficiency(t *testing.T) {
+	// Paper §1: LM on TF with 48 GPUs has 7% scaling efficiency.
+	if got := ScalingEfficiency(98_900, 29_100, 48); got < 0.06 || got > 0.08 {
+		t.Fatalf("efficiency = %v, want ~0.07", got)
+	}
+	if ScalingEfficiency(1, 0, 4) != 0 {
+		t.Fatal("zero baseline must give 0")
+	}
+}
+
+func TestNormalizedThroughput(t *testing.T) {
+	if got := NormalizedThroughput(7600, 191); got < 39 || got > 41 {
+		t.Fatalf("normalized = %v, want ~39.8", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Table 1", "Model", "PS", "AR")
+	tbl.AddRow("ResNet-50", "5.8k", "7.6k")
+	tbl.AddRow("LM", "98.9k", "45.5k")
+	tbl.AddNote("48 GPUs")
+	s := tbl.String()
+	for _, want := range []string{"== Table 1 ==", "Model", "ResNet-50", "98.9k", "note: 48 GPUs", "-----"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	if tbl.Rows() != 2 {
+		t.Fatalf("Rows = %d", tbl.Rows())
+	}
+	// Missing cells render empty, extra cells are dropped.
+	tbl2 := NewTable("x", "a", "b")
+	tbl2.AddRow("1")
+	tbl2.AddRow("1", "2", "3")
+	if !strings.Contains(tbl2.String(), "1") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(274_000, 98_900); got != "2.77x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if Ratio(1, 0) != "n/a" {
+		t.Fatal("division by zero not handled")
+	}
+}

@@ -1,0 +1,55 @@
+package models
+
+import (
+	"parallax/internal/graph"
+)
+
+// SpecFromGraph derives a paper-scale-style Spec from a real computation
+// graph, so the discrete-event engine (and the partition search built on
+// it) can reason about a user's model. Variable shapes and gradient kinds
+// come from the graph; per-variable α for sparse variables comes from the
+// caller (measure it with data.MeasureAlpha or pass a conservative hint);
+// compute time is estimated from parameter count (≈2 flops per parameter
+// per example forward, twice that backward, on a ~12 TFLOPS GPU — TITAN Xp
+// class).
+func SpecFromGraph(g *graph.Graph, alpha map[string]float64, batchPerGPU int) *Spec {
+	const gpuFlops = 12e12
+	s := &Spec{
+		Name: "user-model", Unit: "examples", BatchPerGPU: batchPerGPU, UnitsPerExample: 1,
+	}
+	var flops float64
+	for i, v := range g.Variables() {
+		width := int64(1)
+		for _, d := range v.Shape[1:] {
+			width *= int64(d)
+		}
+		sparse := g.GradKind(v) == graph.GradSparse
+		a := 1.0
+		if sparse {
+			a = alpha[v.Name]
+			if a <= 0 || a > 1 {
+				a = 0.05
+			}
+			// Sparse lookups touch α of the table; dense layers touch all
+			// of it.
+			flops += 2 * a * float64(v.Elements()) * float64(batchPerGPU)
+		} else {
+			flops += 2 * float64(v.Elements()) * float64(batchPerGPU)
+		}
+		s.Vars = append(s.Vars, VarSpec{
+			Name: v.Name, Rows: int64(v.Shape[0]), Width: width,
+			Sparse: sparse, Alpha: a,
+			PartitionTarget: v.PartitionScope >= 0,
+			Layer:           i,
+		})
+	}
+	s.Layers = len(s.Vars)
+	s.FwdTime = flops / gpuFlops
+	s.BwdTime = 2 * s.FwdTime
+	// Keep compute times off zero for degenerate tiny graphs.
+	if s.FwdTime < 1e-6 {
+		s.FwdTime = 1e-6
+		s.BwdTime = 2e-6
+	}
+	return s
+}

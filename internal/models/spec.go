@@ -1,0 +1,143 @@
+// Package models describes the four evaluation models of the paper —
+// ResNet-50, Inception-v3, LM and NMT — at paper scale (variable counts,
+// element counts, per-iteration sparsity α, compute times), plus small
+// *real* trainable counterparts built on internal/graph for convergence
+// experiments.
+//
+// Paper-scale models are specs, not executable graphs: an 813M-element
+// embedding cannot (and need not) be allocated to measure communication
+// behaviour. The discrete-event engine consumes these specs in accounting
+// mode. Element counts follow Table 1; structural details (hidden sizes,
+// vocabulary) follow §6.1.
+package models
+
+import (
+	"fmt"
+	"math"
+)
+
+// VarSpec describes one variable of a paper-scale model.
+type VarSpec struct {
+	Name string
+	// Rows and Width give the variable shape [Rows, Width]; Elements =
+	// Rows*Width. For rank-1 or rank-4 variables the flattened 2-D view is
+	// used (partitioning acts on the first dimension).
+	Rows  int64
+	Width int64
+	// Sparse marks variables accessed via gather (embedding tables); their
+	// gradient is IndexedSlices-shaped.
+	Sparse bool
+	// Alpha is the per-worker, per-iteration element ratio of §2.2: the
+	// average fraction of rows one worker's batch touches. 1 for dense.
+	Alpha float64
+	// PartitionTarget marks variables declared under a partitioner scope.
+	PartitionTarget bool
+	// Layer is the model layer the variable belongs to, 0-based from the
+	// input; it controls when in the backward pass the variable's gradient
+	// becomes ready (gradients arrive in reverse layer order).
+	Layer int
+}
+
+// Elements returns Rows*Width.
+func (v VarSpec) Elements() int64 { return v.Rows * v.Width }
+
+// Bytes returns the variable's wire size at 4 bytes/element.
+func (v VarSpec) Bytes() int64 { return v.Elements() * 4 }
+
+// Spec is a paper-scale model description.
+type Spec struct {
+	Name string
+	// Unit is the throughput unit: "images" or "words".
+	Unit string
+	// BatchPerGPU is examples per GPU per step (§6.1: 64 for the image
+	// models, 128 for the NLP models).
+	BatchPerGPU int
+	// UnitsPerExample converts examples to throughput units: 1 for images;
+	// average words per sentence for the NLP models.
+	UnitsPerExample int
+	// Layers is the depth used to spread compute and gradient-readiness
+	// over the step (backpropagation emits gradients layer by layer).
+	Layers int
+	// FwdTime and BwdTime are per-GPU compute seconds per step, calibrated
+	// so 1-GPU throughput lands near the paper's (see calibration notes in
+	// internal/cluster/hardware.go).
+	FwdTime, BwdTime float64
+	Vars             []VarSpec
+}
+
+// DenseElements sums elements of dense variables.
+func (s *Spec) DenseElements() int64 {
+	var n int64
+	for _, v := range s.Vars {
+		if !v.Sparse {
+			n += v.Elements()
+		}
+	}
+	return n
+}
+
+// SparseElements sums elements of sparse variables.
+func (s *Spec) SparseElements() int64 {
+	var n int64
+	for _, v := range s.Vars {
+		if v.Sparse {
+			n += v.Elements()
+		}
+	}
+	return n
+}
+
+// AlphaModel computes the element-weighted α of §2.2.
+func (s *Spec) AlphaModel() float64 {
+	var num, den float64
+	for _, v := range s.Vars {
+		e := float64(v.Elements())
+		num += v.Alpha * e
+		den += e
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// UnitsPerStepPerGPU returns throughput units one GPU produces per step.
+func (s *Spec) UnitsPerStepPerGPU() float64 {
+	return float64(s.BatchPerGPU * s.UnitsPerExample)
+}
+
+// Validate checks spec invariants.
+func (s *Spec) Validate() error {
+	if len(s.Vars) == 0 {
+		return fmt.Errorf("models: %s has no variables", s.Name)
+	}
+	for _, v := range s.Vars {
+		if v.Rows <= 0 || v.Width <= 0 {
+			return fmt.Errorf("models: %s/%s has empty shape", s.Name, v.Name)
+		}
+		if v.Alpha <= 0 || v.Alpha > 1 {
+			return fmt.Errorf("models: %s/%s alpha %v out of (0,1]", s.Name, v.Name, v.Alpha)
+		}
+		if !v.Sparse && v.Alpha != 1 {
+			return fmt.Errorf("models: %s/%s dense but alpha %v", s.Name, v.Name, v.Alpha)
+		}
+		if v.Layer < 0 || v.Layer >= s.Layers {
+			return fmt.Errorf("models: %s/%s layer %d out of range", s.Name, v.Name, v.Layer)
+		}
+	}
+	if s.FwdTime <= 0 || s.BwdTime <= 0 {
+		return fmt.Errorf("models: %s has no compute time", s.Name)
+	}
+	return nil
+}
+
+// UnionAlpha returns the element ratio of the union of k independent
+// batches each touching fraction alpha of rows: 1-(1-alpha)^k. Local
+// aggregation ships the union of a machine's workers' rows, and the
+// variable update touches the union of all workers' rows.
+func UnionAlpha(alpha float64, k int) float64 {
+	if k <= 1 {
+		return alpha
+	}
+	return 1 - math.Pow(1-alpha, float64(k))
+}

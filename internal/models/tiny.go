@@ -1,0 +1,106 @@
+package models
+
+import (
+	"parallax/internal/graph"
+	"parallax/internal/tensor"
+)
+
+// The tiny models are real, executable graphs with the same *structure* as
+// the paper models (sparse embeddings feeding dense stacks) at laptop
+// scale. They drive the convergence experiments (Figure 7 analogue) and
+// the distributed-equivalence correctness tests.
+
+// TinyLMConfig sizes a TinyLM.
+type TinyLMConfig struct {
+	Vocab, Dim, Hidden, Batch int
+	Seed                      int64
+}
+
+// DefaultTinyLM returns a configuration that trains in well under a second.
+func DefaultTinyLM() TinyLMConfig {
+	return TinyLMConfig{Vocab: 500, Dim: 32, Hidden: 64, Batch: 32, Seed: 42}
+}
+
+// BuildTinyLM constructs an embedding→tanh(hidden)→softmax language model:
+// one sparse partition-target variable ("embedding") plus three dense
+// variables, structurally parallel to the paper's LM.
+func BuildTinyLM(cfg TinyLMConfig) *graph.Graph {
+	rng := tensor.NewRNG(cfg.Seed)
+	g := graph.New()
+	tokens := g.Input("tokens", graph.Int, cfg.Batch)
+	labels := g.Input("labels", graph.Int, cfg.Batch)
+	var emb *graph.Node
+	g.InPartitioner(func() {
+		emb = g.Variable("embedding", rng.RandN(0.1, cfg.Vocab, cfg.Dim))
+	})
+	w1 := g.Variable("lstm/kernel", rng.RandN(0.1, cfg.Dim, cfg.Hidden))
+	b1 := g.Variable("lstm/bias", tensor.NewDense(cfg.Hidden))
+	w2 := g.Variable("softmax/kernel", rng.RandN(0.1, cfg.Hidden, cfg.Vocab))
+
+	h := g.Gather(emb, tokens)
+	h = g.Tanh(g.AddBias(g.MatMul(h, w1), b1))
+	g.SoftmaxCE(g.MatMul(h, w2), labels)
+	return g
+}
+
+// TinyNMTConfig sizes a TinyNMT.
+type TinyNMTConfig struct {
+	SrcVocab, DstVocab, Dim, Hidden, Batch int
+	Seed                                   int64
+}
+
+// DefaultTinyNMT returns a small translation-model configuration.
+func DefaultTinyNMT() TinyNMTConfig {
+	return TinyNMTConfig{SrcVocab: 400, DstVocab: 300, Dim: 24, Hidden: 48, Batch: 24, Seed: 43}
+}
+
+// BuildTinyNMT constructs a two-embedding model mirroring the paper's NMT
+// example (Fig. 3): encoder and decoder embeddings declared inside one
+// partitioner scope, concatenated and passed through a dense stack to a
+// softmax over the destination vocabulary.
+func BuildTinyNMT(cfg TinyNMTConfig) *graph.Graph {
+	rng := tensor.NewRNG(cfg.Seed)
+	g := graph.New()
+	src := g.Input("en_texts", graph.Int, cfg.Batch)
+	dst := g.Input("de_texts", graph.Int, cfg.Batch)
+	labels := g.Input("labels", graph.Int, cfg.Batch)
+	var embEnc, embDec *graph.Node
+	g.InPartitioner(func() {
+		embEnc = g.Variable("emb_enc", rng.RandN(0.1, cfg.SrcVocab, cfg.Dim))
+		embDec = g.Variable("emb_dec", rng.RandN(0.1, cfg.DstVocab, cfg.Dim))
+	})
+	w1 := g.Variable("rnn/kernel", rng.RandN(0.1, 2*cfg.Dim, cfg.Hidden))
+	b1 := g.Variable("rnn/bias", tensor.NewDense(cfg.Hidden))
+	w2 := g.Variable("softmax/kernel", rng.RandN(0.1, cfg.Hidden, cfg.DstVocab))
+
+	h := g.ConcatCols(g.Gather(embEnc, src), g.Gather(embDec, dst))
+	h = g.Relu(g.AddBias(g.MatMul(h, w1), b1))
+	g.SoftmaxCE(g.MatMul(h, w2), labels)
+	return g
+}
+
+// TinyMLPConfig sizes a TinyMLP.
+type TinyMLPConfig struct {
+	Features, Hidden, Classes, Batch int
+	Seed                             int64
+}
+
+// DefaultTinyMLP returns a small image-classifier configuration.
+func DefaultTinyMLP() TinyMLPConfig {
+	return TinyMLPConfig{Features: 64, Hidden: 96, Classes: 10, Batch: 32, Seed: 44}
+}
+
+// BuildTinyMLP constructs a dense-only classifier (the structural analogue
+// of the paper's image models: no sparse variables at all).
+func BuildTinyMLP(cfg TinyMLPConfig) *graph.Graph {
+	rng := tensor.NewRNG(cfg.Seed)
+	g := graph.New()
+	x := g.Input("images", graph.Float, cfg.Batch, cfg.Features)
+	labels := g.Input("labels", graph.Int, cfg.Batch)
+	w1 := g.Variable("fc1/kernel", rng.RandN(0.15, cfg.Features, cfg.Hidden))
+	b1 := g.Variable("fc1/bias", tensor.NewDense(cfg.Hidden))
+	w2 := g.Variable("fc2/kernel", rng.RandN(0.15, cfg.Hidden, cfg.Classes))
+	h := g.Relu(g.AddBias(g.MatMul(x, w1), b1))
+	g.SoftmaxCE(g.MatMul(h, w2), labels)
+	return g
+}

@@ -1,0 +1,157 @@
+// Package optim implements the optimizers and gradient utilities used by
+// the training runtimes: plain SGD and momentum SGD, each supporting both
+// dense gradients and sparse (IndexedSlices) gradients, plus global-norm
+// clipping and the mean/sum aggregation policies exposed through
+// ParallaxConfig (§4.1: "aggregation methods for each type of variable
+// indicating whether to compute the average of gradients ... or the sum").
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"parallax/internal/graph"
+	"parallax/internal/tensor"
+)
+
+// Optimizer applies a gradient to a variable's storage. Implementations
+// keep per-variable state keyed by name, so one optimizer instance serves a
+// whole model.
+type Optimizer interface {
+	// ApplyDense performs an in-place update of v with dense gradient g.
+	ApplyDense(name string, v *tensor.Dense, g *tensor.Dense)
+	// ApplySparse performs an in-place update of v with sparse gradient g,
+	// touching only the referenced rows.
+	ApplySparse(name string, v *tensor.Dense, g *tensor.Sparse)
+}
+
+// SGD is stateless stochastic gradient descent: v -= lr * g.
+type SGD struct {
+	LR float32
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float32) *SGD { return &SGD{LR: lr} }
+
+// ApplyDense implements Optimizer.
+func (s *SGD) ApplyDense(_ string, v *tensor.Dense, g *tensor.Dense) {
+	v.AXPY(-s.LR, g)
+}
+
+// ApplySparse implements Optimizer. Duplicate rows accumulate, matching
+// TensorFlow's scatter-sub semantics for IndexedSlices.
+func (s *SGD) ApplySparse(_ string, v *tensor.Dense, g *tensor.Sparse) {
+	tensor.ScatterAddSparse(v, -s.LR, g)
+}
+
+// Momentum is SGD with classical momentum. Sparse gradients update only the
+// touched rows' velocity, the behaviour of TF's sparse momentum apply.
+type Momentum struct {
+	LR, Mu float32
+	vel    map[string]*tensor.Dense
+}
+
+// NewMomentum returns a momentum optimizer.
+func NewMomentum(lr, mu float32) *Momentum {
+	return &Momentum{LR: lr, Mu: mu, vel: make(map[string]*tensor.Dense)}
+}
+
+func (m *Momentum) velocity(name string, shape []int) *tensor.Dense {
+	v, ok := m.vel[name]
+	if !ok {
+		v = tensor.NewDense(shape...)
+		m.vel[name] = v
+	}
+	return v
+}
+
+// ApplyDense implements Optimizer.
+func (m *Momentum) ApplyDense(name string, v *tensor.Dense, g *tensor.Dense) {
+	vel := m.velocity(name, v.Shape())
+	vel.Scale(m.Mu)
+	vel.AddInto(g)
+	v.AXPY(-m.LR, vel)
+}
+
+// ApplySparse implements Optimizer.
+func (m *Momentum) ApplySparse(name string, v *tensor.Dense, g *tensor.Sparse) {
+	vel := m.velocity(name, v.Shape())
+	co := g.Coalesce()
+	w := co.RowWidth()
+	for i, r := range co.Rows {
+		vrow := vel.Data()[r*w : (r+1)*w]
+		grow := co.Values.Data()[i*w : (i+1)*w]
+		dst := v.Data()[r*w : (r+1)*w]
+		for j := range vrow {
+			vrow[j] = m.Mu*vrow[j] + grow[j]
+			dst[j] -= m.LR * vrow[j]
+		}
+	}
+}
+
+// AggMethod selects how gradients from N workers combine.
+type AggMethod int
+
+const (
+	// AggMean divides the summed gradient by the worker count (the usual
+	// synchronous-SGD convention).
+	AggMean AggMethod = iota
+	// AggSum keeps the raw sum.
+	AggSum
+)
+
+func (a AggMethod) String() string {
+	if a == AggSum {
+		return "sum"
+	}
+	return "mean"
+}
+
+// FinalizeDense converts a summed dense gradient to the configured
+// aggregation in place.
+func FinalizeDense(g *tensor.Dense, workers int, m AggMethod) {
+	if m == AggMean && workers > 1 {
+		g.Scale(1 / float32(workers))
+	}
+}
+
+// FinalizeSparse converts a concatenated/summed sparse gradient to the
+// configured aggregation in place.
+func FinalizeSparse(g *tensor.Sparse, workers int, m AggMethod) {
+	if m == AggMean && workers > 1 {
+		g.Scale(1 / float32(workers))
+	}
+}
+
+// ClipByGlobalNorm scales all gradients in gs so their joint L2 norm does
+// not exceed maxNorm, returning the pre-clip norm. This is the operation
+// whose need for *aggregated* gradients forces the chief-worker read-back
+// path in §5.
+func ClipByGlobalNorm(gs *graph.GradSet, maxNorm float64) float64 {
+	if maxNorm <= 0 {
+		panic(fmt.Sprintf("optim: maxNorm %v", maxNorm))
+	}
+	var dense []*tensor.Dense
+	var sparse []*tensor.Sparse
+	for _, d := range gs.Dense {
+		dense = append(dense, d)
+	}
+	for _, s := range gs.Sparse {
+		sparse = append(sparse, s)
+	}
+	norm := tensor.GlobalNorm(dense, sparse)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, d := range dense {
+			d.Scale(scale)
+		}
+		for _, s := range sparse {
+			s.Scale(scale)
+		}
+	}
+	return norm
+}
+
+// LossIsFinite reports whether a loss value is usable (guards training
+// loops against divergence).
+func LossIsFinite(l float64) bool { return !math.IsNaN(l) && !math.IsInf(l, 0) }

@@ -1,0 +1,164 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func synthetic(th0, th1, th2 float64) Measure {
+	return func(p int) float64 { return th0 + th1/float64(p) + th2*float64(p) }
+}
+
+func TestFitRecoversExactModel(t *testing.T) {
+	m := synthetic(0.5, 12, 0.002)
+	var samples []Sample
+	for _, p := range []int{2, 8, 32, 128} {
+		samples = append(samples, Sample{P: p, IterTime: m(p)})
+	}
+	got, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Theta0-0.5) > 1e-6 || math.Abs(got.Theta1-12) > 1e-5 || math.Abs(got.Theta2-0.002) > 1e-8 {
+		t.Fatalf("fit = %+v", got)
+	}
+	crit, ok := got.CriticalP()
+	want := math.Sqrt(12 / 0.002)
+	if !ok || math.Abs(crit-want) > 0.1 {
+		t.Fatalf("critical P = %v, want %v", crit, want)
+	}
+}
+
+func TestFitRejectsDegenerateSamples(t *testing.T) {
+	if _, err := Fit([]Sample{{P: 4, IterTime: 1}, {P: 4, IterTime: 1.1}, {P: 8, IterTime: 2}}); err == nil {
+		t.Fatal("expected error for < 3 distinct P")
+	}
+	if _, err := Fit([]Sample{{P: 4, IterTime: 1}, {P: -1, IterTime: 1}, {P: 8, IterTime: 2}, {P: 2, IterTime: 2}}); err == nil {
+		t.Fatal("expected error for non-positive P")
+	}
+}
+
+func TestSearchFindsNearOptimalP(t *testing.T) {
+	// True optimum at sqrt(10/0.001) = 100.
+	m := synthetic(0.3, 10, 0.001)
+	res, err := Search(m, 8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueOpt := 100.0
+	if math.Abs(float64(res.BestP)-trueOpt) > 40 {
+		t.Fatalf("BestP = %d, want near %v (samples %v)", res.BestP, trueOpt, res.Samples)
+	}
+	// The predicted point must be no more than a few percent worse than
+	// the true optimum (the paper's bar: within 5% of brute force).
+	if m(res.BestP) > m(100)*1.05 {
+		t.Fatalf("BestP=%d gives %v, optimum %v", res.BestP, m(res.BestP), m(100))
+	}
+}
+
+func TestSearchUsesFewRuns(t *testing.T) {
+	// §6.5: "Parallax spends at most 20 minutes to get sampling results of
+	// at most 5 runs" — allow a little slack for the halving phase.
+	m := synthetic(0.3, 10, 0.001)
+	res, _ := Search(m, 8, 4096)
+	if res.Runs > 8 {
+		t.Fatalf("sampling search used %d runs, want <= 8", res.Runs)
+	}
+	brute := BruteForce(m, 2, 4096)
+	if brute.Runs <= res.Runs*3 {
+		t.Fatalf("brute force (%d runs) should need many times more runs than sampling (%d)",
+			brute.Runs, res.Runs)
+	}
+}
+
+func TestSearchMonotoneDecreasingPicksLargestSampled(t *testing.T) {
+	// If time keeps dropping with P (θ2 = 0), search must pick something
+	// at the top of its sampled bracket without extrapolating wildly.
+	m := func(p int) float64 { return 1 + 100/float64(p) }
+	res, err := Search(m, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestP < 256 {
+		t.Fatalf("BestP = %d, want near the top of the sampled range", res.BestP)
+	}
+}
+
+func TestSearchOptimumAtStart(t *testing.T) {
+	// Start point already optimal: both directions increase.
+	m := synthetic(0.1, 0.8, 0.1) // optimum sqrt(8) ≈ 2.8
+	res, err := Search(m, 4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestP < 1 || res.BestP > 8 {
+		t.Fatalf("BestP = %d, want small", res.BestP)
+	}
+}
+
+func TestBruteForceStopsAfterDegradation(t *testing.T) {
+	m := synthetic(0.2, 5, 0.01) // optimum ~22
+	res := BruteForce(m, 2, 4096)
+	if m(res.BestP) > m(22)*1.02 {
+		t.Fatalf("brute force best %d not near optimum 22", res.BestP)
+	}
+	// Must stop well before maxP thanks to the 10% rule.
+	if res.Runs > 200 {
+		t.Fatalf("brute force never stopped: %d runs", res.Runs)
+	}
+}
+
+func TestPredictMatchesDefinition(t *testing.T) {
+	m := CostModel{Theta0: 1, Theta1: 2, Theta2: 3}
+	if got := m.Predict(2); math.Abs(got-(1+1+6)) > 1e-12 {
+		t.Fatalf("Predict = %v", got)
+	}
+	if _, ok := (CostModel{Theta1: -1, Theta2: 1}).CriticalP(); ok {
+		t.Fatal("no critical point expected for negative theta1")
+	}
+}
+
+// Property: for random convex ground-truth models, Search's choice is never
+// more than 10% worse than the true optimum over the feasible range.
+func TestSearchQualityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := seedRand(seed)
+		th0 := 0.05 + r()*0.5
+		th1 := 1 + r()*20
+		th2 := 0.0005 + r()*0.01
+		m := synthetic(th0, th1, th2)
+		res, err := Search(m, 8, 8192)
+		if err != nil {
+			return false
+		}
+		// true optimum over integers
+		bestT := math.Inf(1)
+		for p := 1; p <= 8192; p *= 2 {
+			if v := m(p); v < bestT {
+				bestT = v
+			}
+		}
+		crit := int(math.Sqrt(th1 / th2))
+		if crit >= 1 && crit <= 8192 {
+			if v := m(crit); v < bestT {
+				bestT = v
+			}
+		}
+		return m(res.BestP) <= bestT*1.10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seedRand returns a tiny deterministic PRNG in [0,1).
+func seedRand(seed int64) func() float64 {
+	s := uint64(seed)*2654435761 + 1
+	return func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s%1_000_000) / 1_000_000
+	}
+}

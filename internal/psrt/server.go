@@ -1,0 +1,337 @@
+// Package psrt is the parameter-server runtime: real variable storage
+// sharded into row-range partitions across server processes, gradient
+// accumulators with synchronous-training semantics, versioned pulls, and
+// the chief-worker read-back path used for global-norm clipping (§5).
+//
+// One Server instance corresponds to one server process (the paper
+// launches one per machine, colocated with that machine's workers, §4.3).
+// Workers interact through Push/Pull; in synchronous mode an update
+// applies when gradients from all expected sources have arrived — the
+// accumulator mechanism of §5 ("we first place accumulators on servers
+// ... each accumulator handles gradients of a single sparse variable") —
+// and pulls for the next iteration block until the update lands.
+package psrt
+
+import (
+	"fmt"
+	"sync"
+
+	"parallax/internal/optim"
+	"parallax/internal/tensor"
+)
+
+// Mode selects update semantics.
+type Mode int
+
+const (
+	// Sync applies an update once all sources' gradients arrive; pulls for
+	// iteration i+1 wait for update i (synchronous training, §2.1).
+	Sync Mode = iota
+	// Async applies each source's gradient immediately on push; pulls
+	// never wait (asynchronous training; staleness is the caller's
+	// concern).
+	Async
+)
+
+// Config configures a Server.
+type Config struct {
+	// Sources is the number of gradient pushes expected per partition per
+	// step in Sync mode (workers, or machines under local aggregation).
+	Sources int
+	// Optimizer applies aggregated gradients to served variables. Each
+	// server owns the update ops for its variables (smart placement).
+	Optimizer optim.Optimizer
+	DenseAgg  optim.AggMethod
+	SparseAgg optim.AggMethod
+	Mode      Mode
+	// DeferUpdates holds aggregated gradients until ApplyUpdate is called
+	// (the chief-worker clipping path). Only meaningful in Sync mode.
+	DeferUpdates bool
+	// MeanDivisor is the denominator used for AggMean finalization. Under
+	// local aggregation each push already sums a whole machine's workers,
+	// so the mean must divide by the total worker count, not by the number
+	// of pushes. Zero means "use Sources".
+	MeanDivisor int
+}
+
+// meanDiv returns the effective mean denominator.
+func (c Config) meanDiv() int {
+	if c.MeanDivisor > 0 {
+		return c.MeanDivisor
+	}
+	return c.Sources
+}
+
+// Server hosts variable partitions.
+type Server struct {
+	cfg  Config
+	mu   sync.Mutex
+	vars map[string]*servedVar
+}
+
+type servedVar struct {
+	name   string
+	sparse bool
+	ranges []tensor.RowRange
+	width  int
+	dim0   int
+	parts  []*part
+}
+
+type part struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	value *tensor.Dense // [range.Len(), width]
+
+	accDense  *tensor.Dense
+	accSparse []*tensor.Sparse
+	pushes    int
+
+	aggregated bool // Sync+DeferUpdates: gradients aggregated, not applied
+	aggDense   *tensor.Dense
+	aggSparse  *tensor.Sparse
+	aggSeq     int64   // completed aggregations
+	aggNorm2   float64 // squared norm of the latest aggregated gradient
+
+	version int64 // applied updates
+}
+
+// NewServer creates an empty server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Mode == Sync && cfg.Sources <= 0 {
+		return nil, fmt.Errorf("psrt: sync server needs Sources > 0")
+	}
+	if cfg.Optimizer == nil {
+		return nil, fmt.Errorf("psrt: nil optimizer")
+	}
+	if cfg.Mode == Async && cfg.DeferUpdates {
+		return nil, fmt.Errorf("psrt: DeferUpdates requires Sync mode")
+	}
+	return &Server{cfg: cfg, vars: map[string]*servedVar{}}, nil
+}
+
+// AddVar registers a variable (or a subset of its partitions) on this
+// server. init is the full initial value; ranges lists the row ranges of
+// ALL partitions (so indices agree across servers); owned lists which
+// partition indices this server hosts.
+func (s *Server) AddVar(name string, init *tensor.Dense, ranges []tensor.RowRange, owned []int, sparse bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.vars[name]; dup {
+		return fmt.Errorf("psrt: variable %q already registered", name)
+	}
+	if init.Rank() < 1 {
+		return fmt.Errorf("psrt: variable %q has rank 0", name)
+	}
+	width := init.RowWidth()
+	v := &servedVar{
+		name:   name,
+		sparse: sparse,
+		ranges: ranges,
+		width:  width,
+		dim0:   init.Dim(0),
+		parts:  make([]*part, len(ranges)),
+	}
+	for _, pi := range owned {
+		if pi < 0 || pi >= len(ranges) {
+			return fmt.Errorf("psrt: partition %d out of range for %q", pi, name)
+		}
+		rr := ranges[pi]
+		val := tensor.NewDense(rr.Len(), width)
+		copy(val.Data(), init.Data()[rr.Start*width:rr.End*width])
+		p := &part{value: val}
+		p.cond = sync.NewCond(&p.mu)
+		v.parts[pi] = p
+	}
+	s.vars[name] = v
+	return nil
+}
+
+func (s *Server) lookup(name string, pi int) (*servedVar, *part, error) {
+	s.mu.Lock()
+	v, ok := s.vars[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("psrt: unknown variable %q", name)
+	}
+	if pi < 0 || pi >= len(v.parts) || v.parts[pi] == nil {
+		return nil, nil, fmt.Errorf("psrt: variable %q partition %d not hosted here", name, pi)
+	}
+	return v, v.parts[pi], nil
+}
+
+// PushDense delivers one source's dense gradient for a partition. The
+// gradient must already be in partition-local coordinates (the full
+// tensor for unpartitioned variables).
+func (s *Server) PushDense(name string, pi int, grad *tensor.Dense) error {
+	v, p, err := s.lookup(name, pi)
+	if err != nil {
+		return err
+	}
+	if v.sparse {
+		return fmt.Errorf("psrt: dense push to sparse variable %q", name)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s.cfg.Mode == Async {
+		g := grad.Clone()
+		optim.FinalizeDense(g, s.cfg.meanDiv(), s.cfg.DenseAgg)
+		s.cfg.Optimizer.ApplyDense(partKey(name, pi), p.value, g)
+		p.version++
+		p.cond.Broadcast()
+		return nil
+	}
+	if p.accDense == nil {
+		p.accDense = grad.Clone()
+	} else {
+		p.accDense.AddInto(grad)
+	}
+	p.pushes++
+	if p.pushes == s.cfg.Sources {
+		s.completeLocked(name, pi, v, p)
+	}
+	return nil
+}
+
+// PushSparse delivers one source's sparse gradient for a partition, rows in
+// partition-local coordinates.
+func (s *Server) PushSparse(name string, pi int, grad *tensor.Sparse) error {
+	v, p, err := s.lookup(name, pi)
+	if err != nil {
+		return err
+	}
+	if !v.sparse {
+		return fmt.Errorf("psrt: sparse push to dense variable %q", name)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s.cfg.Mode == Async {
+		g := grad.Clone()
+		optim.FinalizeSparse(g, s.cfg.meanDiv(), s.cfg.SparseAgg)
+		s.cfg.Optimizer.ApplySparse(partKey(name, pi), p.value, g)
+		p.version++
+		p.cond.Broadcast()
+		return nil
+	}
+	p.accSparse = append(p.accSparse, grad.Clone())
+	p.pushes++
+	if p.pushes == s.cfg.Sources {
+		s.completeLocked(name, pi, v, p)
+	}
+	return nil
+}
+
+// completeLocked aggregates the accumulator; with DeferUpdates it parks the
+// aggregated gradient for the chief, otherwise applies immediately.
+func (s *Server) completeLocked(name string, pi int, v *servedVar, p *part) {
+	if v.sparse {
+		agg := tensor.SumSparse(p.accSparse)
+		optim.FinalizeSparse(agg, s.cfg.meanDiv(), s.cfg.SparseAgg)
+		p.aggSparse = agg
+	} else {
+		agg := p.accDense
+		optim.FinalizeDense(agg, s.cfg.meanDiv(), s.cfg.DenseAgg)
+		p.aggDense = agg
+	}
+	p.accSparse = nil
+	p.accDense = nil
+	p.pushes = 0
+	p.aggregated = true
+	p.aggSeq++
+	if v.sparse {
+		p.aggNorm2 = p.aggSparse.L2NormSquared()
+	} else {
+		p.aggNorm2 = p.aggDense.L2NormSquared()
+	}
+	if !s.cfg.DeferUpdates {
+		s.applyLocked(name, pi, v, p, 1)
+		return
+	}
+	p.cond.Broadcast() // wake WaitAggregated
+}
+
+func (s *Server) applyLocked(name string, pi int, v *servedVar, p *part, scale float32) {
+	if v.sparse {
+		g := p.aggSparse
+		if scale != 1 {
+			g.Scale(scale)
+		}
+		s.cfg.Optimizer.ApplySparse(partKey(name, pi), p.value, g)
+	} else {
+		g := p.aggDense
+		if scale != 1 {
+			g.Scale(scale)
+		}
+		s.cfg.Optimizer.ApplyDense(partKey(name, pi), p.value, g)
+	}
+	p.aggSparse = nil
+	p.aggDense = nil
+	p.aggregated = false
+	p.version++
+	p.cond.Broadcast()
+}
+
+// WaitAggregatedNormSquared blocks until the partition's seq-th
+// aggregation has completed (DeferUpdates mode; pass step+1 for the
+// current step) and returns the squared L2 norm of that aggregated
+// gradient — the chief-worker read-back of §5 ("to compute a global norm
+// of gradients for clipping"). The norm is retained after the update
+// applies, so non-chief workers can read it at any point of the step.
+func (s *Server) WaitAggregatedNormSquared(name string, pi int, seq int64) (float64, error) {
+	_, p, err := s.lookup(name, pi)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.aggSeq < seq {
+		p.cond.Wait()
+	}
+	return p.aggNorm2, nil
+}
+
+// ApplyUpdate applies the parked aggregated gradient scaled by scale; only
+// the chief worker calls this (DeferUpdates mode).
+func (s *Server) ApplyUpdate(name string, pi int, scale float32) error {
+	v, p, err := s.lookup(name, pi)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.aggregated {
+		return fmt.Errorf("psrt: ApplyUpdate before aggregation of %s/%d", name, pi)
+	}
+	s.applyLocked(name, pi, v, p, scale)
+	return nil
+}
+
+// Pull returns a copy of the partition's value once its version is at least
+// minVersion (pass the iteration number for synchronous training; 0 never
+// waits).
+func (s *Server) Pull(name string, pi int, minVersion int64) (*tensor.Dense, error) {
+	_, p, err := s.lookup(name, pi)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.version < minVersion {
+		p.cond.Wait()
+	}
+	return p.value.Clone(), nil
+}
+
+// Version returns the partition's applied-update count.
+func (s *Server) Version(name string, pi int) (int64, error) {
+	_, p, err := s.lookup(name, pi)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.version, nil
+}
+
+func partKey(name string, pi int) string { return fmt.Sprintf("%s/part%d", name, pi) }

@@ -1,0 +1,241 @@
+package psrt
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"parallax/internal/optim"
+	"parallax/internal/tensor"
+)
+
+func fullRange(dim0 int) []tensor.RowRange { return tensor.PartitionRows(dim0, 1) }
+
+func TestSyncDenseAggregatesMean(t *testing.T) {
+	s, err := NewServer(Config{Sources: 2, Optimizer: optim.NewSGD(1), DenseAgg: optim.AggMean, SparseAgg: optim.AggMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := tensor.FromSlice([]float32{10, 10}, 2, 1)
+	if err := s.AddVar("w", init, fullRange(2), []int{0}, false); err != nil {
+		t.Fatal(err)
+	}
+	g1 := tensor.FromSlice([]float32{2, 2}, 2, 1)
+	g2 := tensor.FromSlice([]float32{4, 4}, 2, 1)
+	if err := s.PushDense("w", 0, g1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Version("w", 0); v != 0 {
+		t.Fatal("update applied before all pushes")
+	}
+	if err := s.PushDense("w", 0, g2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Pull("w", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mean grad = 3, lr = 1 -> 10 - 3 = 7
+	if got.At(0, 0) != 7 {
+		t.Fatalf("value = %v, want 7", got.At(0, 0))
+	}
+}
+
+func TestSyncSparseAggregatesSum(t *testing.T) {
+	s, _ := NewServer(Config{Sources: 2, Optimizer: optim.NewSGD(1), DenseAgg: optim.AggSum, SparseAgg: optim.AggSum})
+	init := tensor.NewDense(4, 1)
+	init.Fill(10)
+	if err := s.AddVar("emb", init, fullRange(4), []int{0}, true); err != nil {
+		t.Fatal(err)
+	}
+	sp1 := tensor.NewSparse([]int{1}, tensor.FromSlice([]float32{2}, 1, 1), 4)
+	sp2 := tensor.NewSparse([]int{1, 3}, tensor.FromSlice([]float32{3, 5}, 2, 1), 4)
+	if err := s.PushSparse("emb", 0, sp1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushSparse("emb", 0, sp2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Pull("emb", 0, 1)
+	if got.At(1, 0) != 5 || got.At(3, 0) != 5 || got.At(0, 0) != 10 {
+		t.Fatalf("value = %v", got.Data())
+	}
+}
+
+func TestPartitionedVariableAcrossServers(t *testing.T) {
+	// Two servers each own one partition of a 4-row variable.
+	mk := func() *Server {
+		s, _ := NewServer(Config{Sources: 1, Optimizer: optim.NewSGD(1), SparseAgg: optim.AggSum})
+		return s
+	}
+	s0, s1 := mk(), mk()
+	init := tensor.NewDense(4, 2)
+	for i := 0; i < 4; i++ {
+		init.Set(float32(i), i, 0)
+	}
+	ranges := tensor.PartitionRows(4, 2)
+	if err := s0.AddVar("emb", init, ranges, []int{0}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.AddVar("emb", init, ranges, []int{1}, true); err != nil {
+		t.Fatal(err)
+	}
+	// Each server got its slice of the initial value.
+	v0, _ := s0.Pull("emb", 0, 0)
+	v1, _ := s1.Pull("emb", 1, 0)
+	if v0.At(0, 0) != 0 || v0.At(1, 0) != 1 || v1.At(0, 0) != 2 || v1.At(1, 0) != 3 {
+		t.Fatalf("sharding wrong: %v %v", v0.Data(), v1.Data())
+	}
+	// A push to the wrong server errors.
+	sp := tensor.NewSparse([]int{0}, tensor.NewDense(1, 2), 2)
+	if err := s0.PushSparse("emb", 1, sp); err == nil {
+		t.Fatal("expected error pushing to unowned partition")
+	}
+}
+
+func TestAsyncAppliesImmediately(t *testing.T) {
+	s, _ := NewServer(Config{Sources: 3, Optimizer: optim.NewSGD(1), Mode: Async, DenseAgg: optim.AggSum})
+	init := tensor.FromSlice([]float32{10}, 1, 1)
+	if err := s.AddVar("w", init, fullRange(1), []int{0}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushDense("w", 0, tensor.FromSlice([]float32{1}, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Pull("w", 0, 0)
+	if got.At(0, 0) != 9 {
+		t.Fatalf("async push not applied: %v", got.At(0, 0))
+	}
+}
+
+func TestSyncPullBlocksUntilUpdate(t *testing.T) {
+	s, _ := NewServer(Config{Sources: 1, Optimizer: optim.NewSGD(0.5), DenseAgg: optim.AggSum})
+	init := tensor.FromSlice([]float32{4}, 1, 1)
+	if err := s.AddVar("w", init, fullRange(1), []int{0}, false); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan float32)
+	go func() {
+		v, err := s.Pull("w", 0, 1) // waits for first update
+		if err != nil {
+			t.Error(err)
+		}
+		done <- v.At(0, 0)
+	}()
+	if err := s.PushDense("w", 0, tensor.FromSlice([]float32{2}, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-done; got != 3 {
+		t.Fatalf("pulled %v, want 3", got)
+	}
+}
+
+func TestDeferUpdatesChiefClippingPath(t *testing.T) {
+	s, _ := NewServer(Config{
+		Sources: 1, Optimizer: optim.NewSGD(1), SparseAgg: optim.AggSum,
+		DeferUpdates: true,
+	})
+	init := tensor.NewDense(2, 1)
+	if err := s.AddVar("emb", init, fullRange(2), []int{0}, true); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var norm2 float64
+	go func() {
+		defer wg.Done()
+		n, err := s.WaitAggregatedNormSquared("emb", 0, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		norm2 = n
+		if err := s.ApplyUpdate("emb", 0, 0.5); err != nil {
+			t.Error(err)
+		}
+	}()
+	sp := tensor.NewSparse([]int{0}, tensor.FromSlice([]float32{4}, 1, 1), 2)
+	if err := s.PushSparse("emb", 0, sp); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if math.Abs(norm2-16) > 1e-6 {
+		t.Fatalf("norm2 = %v, want 16", norm2)
+	}
+	got, _ := s.Pull("emb", 0, 1)
+	if got.At(0, 0) != -2 { // 0 - 1*(4*0.5)
+		t.Fatalf("value = %v, want -2", got.At(0, 0))
+	}
+}
+
+func TestApplyUpdateBeforeAggregationErrors(t *testing.T) {
+	s, _ := NewServer(Config{Sources: 1, Optimizer: optim.NewSGD(1), DeferUpdates: true})
+	if err := s.AddVar("w", tensor.NewDense(1, 1), fullRange(1), []int{0}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyUpdate("w", 0, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewServer(Config{Sources: 0, Optimizer: optim.NewSGD(1)}); err == nil {
+		t.Fatal("sync without sources must fail")
+	}
+	if _, err := NewServer(Config{Sources: 1}); err == nil {
+		t.Fatal("nil optimizer must fail")
+	}
+	if _, err := NewServer(Config{Mode: Async, DeferUpdates: true, Optimizer: optim.NewSGD(1)}); err == nil {
+		t.Fatal("async + defer must fail")
+	}
+}
+
+func TestTypeMismatchErrors(t *testing.T) {
+	s, _ := NewServer(Config{Sources: 1, Optimizer: optim.NewSGD(1)})
+	if err := s.AddVar("w", tensor.NewDense(2, 1), fullRange(2), []int{0}, false); err != nil {
+		t.Fatal(err)
+	}
+	sp := tensor.NewSparse([]int{0}, tensor.NewDense(1, 1), 2)
+	if err := s.PushSparse("w", 0, sp); err == nil {
+		t.Fatal("sparse push to dense var must fail")
+	}
+	if err := s.PushDense("missing", 0, tensor.NewDense(1, 1)); err == nil {
+		t.Fatal("unknown var must fail")
+	}
+	if err := s.AddVar("w", tensor.NewDense(2, 1), fullRange(2), []int{0}, false); err == nil {
+		t.Fatal("duplicate var must fail")
+	}
+}
+
+func TestConcurrentPushersRace(t *testing.T) {
+	const sources = 8
+	s, _ := NewServer(Config{Sources: sources, Optimizer: optim.NewSGD(1), SparseAgg: optim.AggSum})
+	init := tensor.NewDense(16, 2)
+	if err := s.AddVar("emb", init, fullRange(16), []int{0}, true); err != nil {
+		t.Fatal(err)
+	}
+	const steps = 5
+	var wg sync.WaitGroup
+	for w := 0; w < sources; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < steps; it++ {
+				sp := tensor.NewSparse([]int{w % 16, (w + it) % 16},
+					tensor.FromSlice([]float32{1, 1, 1, 1}, 2, 2), 16)
+				if err := s.PushSparse("emb", 0, sp); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Pull("emb", 0, int64(it+1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v, _ := s.Version("emb", 0); v != steps {
+		t.Fatalf("version = %d, want %d", v, steps)
+	}
+}

@@ -1,0 +1,121 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The Parallax reproduction has no GPU cluster, so distributed training runs
+// against a simulated one: workers, parameter servers, NICs and GPUs are
+// modelled as actors whose actions are events on a single virtual clock.
+// Everything in internal/simnet and internal/engine is built on this kernel.
+//
+// Determinism: events at equal timestamps fire in scheduling order (a
+// monotonically increasing sequence number breaks ties), so a given
+// experiment configuration always produces exactly the same timeline.
+package sim
+
+import "container/heap"
+
+// Time is virtual time in seconds.
+type Time float64
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event scheduler. The zero value is not usable; call
+// NewKernel.
+type Kernel struct {
+	now    Time
+	queue  eventHeap
+	seq    int64
+	fired  int64
+	halted bool
+}
+
+// NewKernel returns a kernel with the clock at 0.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.queue)
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it indicates a logic error in the caller's timeline construction.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic("sim: scheduling event in the past")
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	k.At(k.now+d, fn)
+}
+
+// Run executes events until the queue is empty or Halt is called, and
+// returns the final virtual time.
+func (k *Kernel) Run() Time {
+	k.halted = false
+	for k.queue.Len() > 0 && !k.halted {
+		e := heap.Pop(&k.queue).(*event)
+		k.now = e.at
+		k.fired++
+		e.fn()
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps <= t (or until Halt), then
+// advances the clock to t and returns it. Events after t stay queued.
+func (k *Kernel) RunUntil(t Time) Time {
+	k.halted = false
+	for k.queue.Len() > 0 && !k.halted && k.queue[0].at <= t {
+		e := heap.Pop(&k.queue).(*event)
+		k.now = e.at
+		k.fired++
+		e.fn()
+	}
+	if !k.halted && t > k.now {
+		k.now = t
+	}
+	return k.now
+}
+
+// Halt stops the currently executing Run/RunUntil after the current event
+// handler returns. Queued events are preserved.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// Fired returns the total number of events executed so far (a determinism
+// and progress diagnostic).
+func (k *Kernel) Fired() int64 { return k.fired }

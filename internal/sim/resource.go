@@ -1,0 +1,127 @@
+package sim
+
+// Resource models an exclusive, FIFO-serialized facility in virtual time —
+// a NIC direction, a CPU aggregation thread pool, a GPU. Work submitted to
+// a Resource begins when all previously submitted work has drained, and
+// occupies the resource for its duration.
+//
+// This is the mechanism that makes the paper's parameter-server hot-spot
+// analysis (§3.1) emerge in simulation: a server machine whose egress NIC
+// must ship w(N−1) bytes of one big variable serializes those transfers,
+// while AllReduce's ring spreads w/N chunks across all NICs.
+type Resource struct {
+	k      *Kernel
+	name   string
+	freeAt Time
+	busy   Time // total occupied time, for utilization accounting
+	jobs   int64
+}
+
+// NewResource returns an idle resource on kernel k.
+func NewResource(k *Kernel, name string) *Resource {
+	return &Resource{k: k, name: name}
+}
+
+// Name returns the resource's identifier.
+func (r *Resource) Name() string { return r.name }
+
+// Use enqueues a job of the given duration and schedules done (if non-nil)
+// at its completion time. It returns the job's start and end times. A
+// negative duration panics; a zero duration claims the queue position
+// without occupying time.
+func (r *Resource) Use(dur Time, done func()) (start, end Time) {
+	if dur < 0 {
+		panic("sim: negative resource duration")
+	}
+	start = r.freeAt
+	if now := r.k.Now(); start < now {
+		start = now
+	}
+	end = start + dur
+	r.freeAt = end
+	r.busy += dur
+	r.jobs++
+	if done != nil {
+		r.k.At(end, done)
+	}
+	return start, end
+}
+
+// UseAfter is like Use but the job cannot start before readyAt (e.g. data
+// dependencies): it begins at max(readyAt, queue head, now).
+func (r *Resource) UseAfter(readyAt Time, dur Time, done func()) (start, end Time) {
+	if dur < 0 {
+		panic("sim: negative resource duration")
+	}
+	start = r.freeAt
+	if start < readyAt {
+		start = readyAt
+	}
+	if now := r.k.Now(); start < now {
+		start = now
+	}
+	end = start + dur
+	r.freeAt = end
+	r.busy += dur
+	r.jobs++
+	if done != nil {
+		r.k.At(end, done)
+	}
+	return start, end
+}
+
+// FreeAt returns the time at which all queued work drains.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// BusyTime returns the cumulative occupied duration.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// Jobs returns the number of jobs processed.
+func (r *Resource) Jobs() int64 { return r.jobs }
+
+// Utilization returns busy/elapsed in [0,1] given a measurement horizon.
+func (r *Resource) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	u := float64(r.busy) / float64(horizon)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Counter is a virtual-time countdown latch: when Add has been matched by
+// the same number of Done calls, the callback fires immediately (in the
+// current event). It coordinates fan-in joins such as "all workers pushed
+// their gradients".
+type Counter struct {
+	remaining int
+	fn        func()
+	fired     bool
+}
+
+// NewCounter returns a latch expecting n Done calls before invoking fn.
+// n must be positive.
+func NewCounter(n int, fn func()) *Counter {
+	if n <= 0 {
+		panic("sim: counter with non-positive count")
+	}
+	return &Counter{remaining: n, fn: fn}
+}
+
+// Done decrements the latch; the final call fires the callback. Calling
+// Done after firing panics — it indicates a double-completion bug.
+func (c *Counter) Done() {
+	if c.fired {
+		panic("sim: counter completed twice")
+	}
+	c.remaining--
+	if c.remaining == 0 {
+		c.fired = true
+		c.fn()
+	}
+}
+
+// Remaining returns the outstanding count.
+func (c *Counter) Remaining() int { return c.remaining }

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.After(3, func() { order = append(order, 3) })
+	k.After(1, func() { order = append(order, 1) })
+	k.After(2, func() { order = append(order, 2) })
+	end := k.Run()
+	if end != 3 {
+		t.Fatalf("final time = %v, want 3", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTiesBreakBySchedulingOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.At(1, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var hits []Time
+	k.After(1, func() {
+		hits = append(hits, k.Now())
+		k.After(1, func() { hits = append(hits, k.Now()) })
+	})
+	k.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.After(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		k.At(1, func() {})
+	})
+	k.Run()
+}
+
+func TestRunUntilStopsAndAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.After(1, func() { fired++ })
+	k.After(10, func() { fired++ })
+	k.RunUntil(5)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if fired != 2 || k.Now() != 10 {
+		t.Fatalf("after Run: fired=%d now=%v", fired, k.Now())
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.After(1, func() { fired++; k.Halt() })
+	k.After(2, func() { fired++ })
+	k.Run()
+	if fired != 1 || k.Pending() != 1 {
+		t.Fatalf("fired=%d pending=%d", fired, k.Pending())
+	}
+}
+
+func TestResourceSerializesJobs(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "nic")
+	var ends []Time
+	// Three back-to-back 2s jobs submitted at t=0 should finish at 2, 4, 6.
+	for i := 0; i < 3; i++ {
+		r.Use(2, func() { ends = append(ends, k.Now()) })
+	}
+	k.Run()
+	if len(ends) != 3 || ends[0] != 2 || ends[1] != 4 || ends[2] != 6 {
+		t.Fatalf("ends = %v", ends)
+	}
+	if r.BusyTime() != 6 {
+		t.Fatalf("BusyTime = %v, want 6", r.BusyTime())
+	}
+	if r.Utilization(6) != 1 {
+		t.Fatalf("Utilization = %v, want 1", r.Utilization(6))
+	}
+}
+
+func TestResourceIdleGapThenUse(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "nic")
+	var start2 Time
+	k.After(10, func() {
+		s, e := r.Use(1, nil)
+		start2 = s
+		if e != 11 {
+			t.Errorf("end = %v, want 11", e)
+		}
+	})
+	k.Run()
+	if start2 != 10 {
+		t.Fatalf("start = %v, want 10 (resource must not start before now)", start2)
+	}
+}
+
+func TestUseAfterRespectsReadyTime(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "gpu")
+	s, e := r.UseAfter(5, 2, nil)
+	if s != 5 || e != 7 {
+		t.Fatalf("UseAfter start=%v end=%v, want 5,7", s, e)
+	}
+	// Queued behind the first job even though ready earlier.
+	s2, e2 := r.UseAfter(0, 1, nil)
+	if s2 != 7 || e2 != 8 {
+		t.Fatalf("second job start=%v end=%v, want 7,8", s2, e2)
+	}
+}
+
+func TestCounterFiresOnce(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	c := NewCounter(3, func() { fired++ })
+	k.After(1, c.Done)
+	k.After(2, c.Done)
+	k.After(3, c.Done)
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on extra Done")
+		}
+	}()
+	c.Done()
+}
+
+// Property: a resource's completion time for n sequential jobs equals the
+// sum of their durations when submitted at t=0, regardless of order.
+func TestResourceConservationProperty(t *testing.T) {
+	f := func(durs []uint8) bool {
+		k := NewKernel()
+		r := NewResource(k, "x")
+		var total Time
+		for _, d := range durs {
+			dur := Time(d) / 16
+			total += dur
+			r.Use(dur, nil)
+		}
+		end := k.Run()
+		_ = end
+		return r.FreeAt() == total && r.BusyTime() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		k := NewKernel()
+		r := NewResource(k, "nic")
+		var log []Time
+		for i := 0; i < 10; i++ {
+			d := Time(i%3) + 1
+			k.After(Time(i)/2, func() {
+				r.Use(d, func() { log = append(log, k.Now()) })
+			})
+		}
+		k.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic event count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("timeline diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package simnet models the cluster network for the discrete-event
+// simulation: one full-duplex NIC per machine (separate egress and ingress
+// FIFO resources), per-protocol effective bandwidth, a fixed per-message
+// latency, and byte accounting per machine.
+//
+// The byte counters are what Table 3 of the paper analyses: the amount of
+// network transfer required per machine for each (variable type,
+// architecture) combination. internal/experiments verifies the fabric's
+// measured bytes against the paper's closed-form expressions.
+//
+// Booking discipline: a transfer occupies the sender's egress NIC starting
+// at the moment Transfer is called (the caller invokes it at data-ready
+// time, from inside an event), and the receiver's ingress NIC is booked in
+// a *second* event at egress completion. This two-stage booking keeps both
+// NICs' FIFO order equal to data-arrival order, so a transfer that becomes
+// ready later can never block one that is ready now.
+package simnet
+
+import (
+	"fmt"
+
+	"parallax/internal/cluster"
+	"parallax/internal/sim"
+)
+
+// Fabric is the simulated network connecting machines.
+type Fabric struct {
+	k  *sim.Kernel
+	hw cluster.Hardware
+
+	egress  []*sim.Resource
+	ingress []*sim.Resource
+	local   []*sim.Resource // intra-machine bus
+
+	sent []int64 // network bytes out per machine
+	recv []int64 // network bytes in per machine
+
+	sentByProto map[cluster.Protocol]int64
+	transfers   int64
+}
+
+// New returns a fabric for n machines on kernel k with hardware constants
+// hw.
+func New(k *sim.Kernel, n int, hw cluster.Hardware) *Fabric {
+	if n <= 0 {
+		panic(fmt.Sprintf("simnet: %d machines", n))
+	}
+	f := &Fabric{
+		k:           k,
+		hw:          hw,
+		egress:      make([]*sim.Resource, n),
+		ingress:     make([]*sim.Resource, n),
+		local:       make([]*sim.Resource, n),
+		sent:        make([]int64, n),
+		recv:        make([]int64, n),
+		sentByProto: make(map[cluster.Protocol]int64),
+	}
+	for i := 0; i < n; i++ {
+		f.egress[i] = sim.NewResource(k, fmt.Sprintf("m%d/egress", i))
+		f.ingress[i] = sim.NewResource(k, fmt.Sprintf("m%d/ingress", i))
+		f.local[i] = sim.NewResource(k, fmt.Sprintf("m%d/localbus", i))
+	}
+	return f
+}
+
+// NumMachines returns the machine count.
+func (f *Fabric) NumMachines() int { return len(f.egress) }
+
+// Kernel returns the underlying event kernel.
+func (f *Fabric) Kernel() *sim.Kernel { return f.k }
+
+// Hardware returns the fabric's cost constants.
+func (f *Fabric) Hardware() cluster.Hardware { return f.hw }
+
+// Transfer moves bytes from machine src to machine dst over the given
+// protocol and invokes deliver when the last byte arrives at dst. The data
+// is taken to be ready *now* (call Transfer from the event at which the
+// payload becomes available). Transfers between co-located endpoints
+// (src == dst) use the machine-local bus and are not counted as network
+// traffic, matching the paper's model where a worker and its machine's
+// server communicate "locally within the machine without involving network
+// communication" (§3.1).
+func (f *Fabric) Transfer(src, dst int, bytes int64, proto cluster.Protocol, deliver func()) {
+	if bytes < 0 {
+		panic("simnet: negative transfer size")
+	}
+	f.transfers++
+	if src == dst {
+		dur := sim.Time(float64(bytes) / f.hw.LocalBusBandwidth)
+		f.local[src].Use(dur, deliver)
+		return
+	}
+	f.sent[src] += bytes
+	f.recv[dst] += bytes
+	f.sentByProto[proto] += bytes
+	dur := sim.Time(float64(bytes) / f.hw.Bandwidth(proto))
+	lat := sim.Time(f.hw.NetLatency)
+	f.egress[src].Use(dur, func() {
+		f.k.After(lat, func() {
+			f.ingress[dst].Use(dur, deliver)
+		})
+	})
+}
+
+// Local occupies machine m's local bus (PCIe/NVLink class) for moving
+// bytes, starting now, and invokes done at completion. Used for
+// intra-machine gradient staging, local aggregation and broadcast.
+func (f *Fabric) Local(m int, bytes int64, done func()) {
+	if bytes < 0 {
+		panic("simnet: negative local transfer size")
+	}
+	dur := sim.Time(float64(bytes) / f.hw.LocalBusBandwidth)
+	f.local[m].Use(dur, done)
+}
+
+// SentBytes returns the network bytes machine m has sent since the last
+// ResetCounters.
+func (f *Fabric) SentBytes(m int) int64 { return f.sent[m] }
+
+// RecvBytes returns the network bytes machine m has received since the last
+// ResetCounters.
+func (f *Fabric) RecvBytes(m int) int64 { return f.recv[m] }
+
+// TotalBytes returns sent+received for machine m — the per-machine "amount
+// of network transfer" of Table 3.
+func (f *Fabric) TotalBytes(m int) int64 { return f.sent[m] + f.recv[m] }
+
+// BytesByProtocol returns cumulative bytes sent over proto.
+func (f *Fabric) BytesByProtocol(p cluster.Protocol) int64 { return f.sentByProto[p] }
+
+// Transfers returns the number of Transfer calls (message count).
+func (f *Fabric) Transfers() int64 { return f.transfers }
+
+// ResetCounters zeroes all byte counters (NIC queues are unaffected). Used
+// to measure steady-state iterations, discarding warm-up.
+func (f *Fabric) ResetCounters() {
+	for i := range f.sent {
+		f.sent[i] = 0
+		f.recv[i] = 0
+	}
+	f.sentByProto = make(map[cluster.Protocol]int64)
+	f.transfers = 0
+}
+
+// EgressUtilization returns the busy fraction of machine m's egress NIC
+// over the horizon.
+func (f *Fabric) EgressUtilization(m int, horizon sim.Time) float64 {
+	return f.egress[m].Utilization(horizon)
+}

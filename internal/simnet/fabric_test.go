@@ -1,0 +1,217 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"parallax/internal/cluster"
+	"parallax/internal/sim"
+)
+
+func testHW() cluster.Hardware {
+	hw := cluster.DefaultHardware()
+	hw.NICBandwidth = 1000 // 1000 B/s for easy arithmetic
+	hw.ProtocolEff = map[cluster.Protocol]float64{
+		cluster.ProtoNCCL: 1.0,
+		cluster.ProtoRPC:  0.5,
+		cluster.ProtoMPI:  0.25,
+	}
+	hw.NetLatency = 0.001
+	hw.LocalBusBandwidth = 1e6
+	return hw
+}
+
+func TestTransferTiming(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, 2, testHW())
+	var at sim.Time
+	f.Transfer(0, 1, 500, cluster.ProtoNCCL, func() { at = k.Now() })
+	k.Run()
+	// egress 0.5s + latency 0.001 + ingress 0.5s
+	want := sim.Time(0.5 + 0.001 + 0.5)
+	if math.Abs(float64(at-want)) > 1e-9 {
+		t.Fatalf("delivery at %v, want %v", at, want)
+	}
+}
+
+func TestProtocolBandwidthApplied(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, 2, testHW())
+	var nccl, rpc sim.Time
+	f.Transfer(0, 1, 500, cluster.ProtoNCCL, func() { nccl = k.Now() })
+	k.Run()
+	k2 := sim.NewKernel()
+	f2 := New(k2, 2, testHW())
+	f2.Transfer(0, 1, 500, cluster.ProtoRPC, func() { rpc = k2.Now() })
+	k2.Run()
+	if !(rpc > nccl*1.5) {
+		t.Fatalf("RPC transfer (%v) should be ~2x slower than NCCL (%v)", rpc, nccl)
+	}
+}
+
+func TestEgressSerialization(t *testing.T) {
+	// Two transfers from machine 0 to different destinations must
+	// serialize on 0's egress NIC.
+	k := sim.NewKernel()
+	f := New(k, 3, testHW())
+	var d1, d2 sim.Time
+	f.Transfer(0, 1, 1000, cluster.ProtoNCCL, func() { d1 = k.Now() })
+	f.Transfer(0, 2, 1000, cluster.ProtoNCCL, func() { d2 = k.Now() })
+	k.Run()
+	// first: egress [0,1], ingress [1.001, 2.001]
+	// second: egress [1,2], ingress [2.001, 3.001]
+	if math.Abs(float64(d1)-2.001) > 1e-9 || math.Abs(float64(d2)-3.001) > 1e-9 {
+		t.Fatalf("d1=%v d2=%v, want 2.001, 3.001", d1, d2)
+	}
+}
+
+func TestIngressContention(t *testing.T) {
+	// Two senders to one receiver contend on the receiver's ingress NIC.
+	k := sim.NewKernel()
+	f := New(k, 3, testHW())
+	var done []sim.Time
+	f.Transfer(0, 2, 1000, cluster.ProtoNCCL, func() { done = append(done, k.Now()) })
+	f.Transfer(1, 2, 1000, cluster.ProtoNCCL, func() { done = append(done, k.Now()) })
+	k.Run()
+	if len(done) != 2 {
+		t.Fatalf("deliveries = %d", len(done))
+	}
+	// Both egress in parallel finish at 1; ingress serializes: 2.001, 3.001.
+	if math.Abs(float64(done[0])-2.001) > 1e-9 || math.Abs(float64(done[1])-3.001) > 1e-9 {
+		t.Fatalf("done = %v, want [2.001 3.001]", done)
+	}
+}
+
+func TestFullDuplex(t *testing.T) {
+	// A machine can send and receive simultaneously (ring AllReduce relies
+	// on this).
+	k := sim.NewKernel()
+	f := New(k, 2, testHW())
+	var d0, d1 sim.Time
+	f.Transfer(0, 1, 1000, cluster.ProtoNCCL, func() { d0 = k.Now() })
+	f.Transfer(1, 0, 1000, cluster.ProtoNCCL, func() { d1 = k.Now() })
+	k.Run()
+	if math.Abs(float64(d0)-2.001) > 1e-9 || math.Abs(float64(d1)-2.001) > 1e-9 {
+		t.Fatalf("full duplex broken: d0=%v d1=%v", d0, d1)
+	}
+}
+
+func TestLocalTransferBypassesNetwork(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, 2, testHW())
+	delivered := false
+	f.Transfer(0, 0, 1<<20, cluster.ProtoRPC, func() { delivered = true })
+	k.Run()
+	if !delivered {
+		t.Fatal("local transfer not delivered")
+	}
+	if f.SentBytes(0) != 0 || f.RecvBytes(0) != 0 {
+		t.Fatal("local transfer counted as network bytes")
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, 3, testHW())
+	f.Transfer(0, 1, 100, cluster.ProtoNCCL, nil)
+	f.Transfer(0, 2, 50, cluster.ProtoRPC, nil)
+	f.Transfer(2, 0, 25, cluster.ProtoRPC, nil)
+	k.Run()
+	if f.SentBytes(0) != 150 || f.RecvBytes(0) != 25 || f.TotalBytes(0) != 175 {
+		t.Fatalf("m0 sent=%d recv=%d", f.SentBytes(0), f.RecvBytes(0))
+	}
+	if f.RecvBytes(1) != 100 || f.RecvBytes(2) != 50 {
+		t.Fatal("receiver accounting wrong")
+	}
+	if f.BytesByProtocol(cluster.ProtoRPC) != 75 {
+		t.Fatalf("rpc bytes = %d", f.BytesByProtocol(cluster.ProtoRPC))
+	}
+	if f.Transfers() != 3 {
+		t.Fatalf("transfers = %d", f.Transfers())
+	}
+	f.ResetCounters()
+	if f.TotalBytes(0) != 0 || f.Transfers() != 0 {
+		t.Fatal("ResetCounters incomplete")
+	}
+}
+
+func TestTransferFromFutureEvent(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, 2, testHW())
+	var at sim.Time
+	k.After(5, func() {
+		f.Transfer(0, 1, 1000, cluster.ProtoNCCL, func() { at = k.Now() })
+	})
+	k.Run()
+	want := sim.Time(5 + 1 + 0.001 + 1)
+	if math.Abs(float64(at-want)) > 1e-9 {
+		t.Fatalf("delivery at %v, want %v", at, want)
+	}
+}
+
+func TestLateReadyTransferDoesNotBlockEarlyOne(t *testing.T) {
+	// A transfer that becomes ready at t=10 must not delay one ready at
+	// t=0, even if the late one is *scheduled* first — the regression the
+	// two-stage booking discipline prevents.
+	k := sim.NewKernel()
+	f := New(k, 3, testHW())
+	var early, late sim.Time
+	k.After(10, func() {
+		f.Transfer(1, 2, 1000, cluster.ProtoNCCL, func() { late = k.Now() })
+	})
+	k.After(0, func() {
+		f.Transfer(0, 2, 1000, cluster.ProtoNCCL, func() { early = k.Now() })
+	})
+	k.Run()
+	if math.Abs(float64(early)-2.001) > 1e-9 {
+		t.Fatalf("early delivery at %v, want 2.001", early)
+	}
+	if math.Abs(float64(late)-12.001) > 1e-9 {
+		t.Fatalf("late delivery at %v, want 12.001", late)
+	}
+}
+
+func TestLocalBusCost(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, 1, testHW())
+	var at sim.Time
+	f.Local(0, 1_000_000, func() { at = k.Now() }) // 1e6 B at 1e6 B/s = 1s
+	k.Run()
+	if math.Abs(float64(at)-1) > 1e-9 {
+		t.Fatalf("local bus completion %v, want 1", at)
+	}
+}
+
+func TestHotSpotAsymmetry(t *testing.T) {
+	// The PS hot-spot of §3.1: one machine serving a variable to N-1
+	// pullers is bottlenecked on its egress; the same volume moved in a
+	// balanced ring is not. With 4 machines and w bytes per pull, server
+	// egress takes 3w/B while ring steps overlap across NICs.
+	const w = 12000
+	hw := testHW()
+	hw.NetLatency = 0
+
+	// Server pattern: machine 0 sends w to each of 1..3.
+	k1 := sim.NewKernel()
+	f1 := New(k1, 4, hw)
+	n1 := sim.NewCounter(3, func() {})
+	for d := 1; d < 4; d++ {
+		f1.Transfer(0, d, w, cluster.ProtoNCCL, n1.Done)
+	}
+	serverTime := k1.Run()
+
+	// Ring pattern: every machine sends w/4 to its successor, 2*(N-1)
+	// rounds; all NICs busy in parallel.
+	k2 := sim.NewKernel()
+	f2 := New(k2, 4, hw)
+	for step := 0; step < 6; step++ {
+		for m := 0; m < 4; m++ {
+			f2.Transfer(m, (m+1)%4, w/4, cluster.ProtoNCCL, nil)
+		}
+	}
+	ringTime := k2.Run()
+
+	if !(ringTime < serverTime) {
+		t.Fatalf("ring (%v) should beat hot-spot server (%v) for same per-variable volume", ringTime, serverTime)
+	}
+}

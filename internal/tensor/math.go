@@ -1,0 +1,213 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul returns a @ b for 2-D tensors: [m,k] x [k,n] -> [m,n].
+func MatMul(a, b *Dense) *Dense {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(1) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.shape, b.shape))
+	}
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := NewDense(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT1 returns aᵀ @ b for 2-D tensors: [k,m]ᵀ x [k,n] -> [m,n].
+// Used by backprop for weight gradients.
+func MatMulT1(a, b *Dense) *Dense {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(0) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMulT1 shape mismatch %v x %v", a.shape, b.shape))
+	}
+	k, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := NewDense(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT2 returns a @ bᵀ for 2-D tensors: [m,k] x [n,k]ᵀ -> [m,n].
+// Used by backprop for input gradients.
+func MatMulT2(a, b *Dense) *Dense {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(1) != b.Dim(1) {
+		panic(fmt.Sprintf("tensor: MatMulT2 shape mismatch %v x %v", a.shape, b.shape))
+	}
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
+	out := NewDense(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// AddBiasRows adds a [n] bias vector to every row of a [m,n] tensor,
+// in place.
+func AddBiasRows(t, bias *Dense) {
+	if t.Rank() != 2 || bias.Rank() != 1 || t.Dim(1) != bias.Dim(0) {
+		panic(fmt.Sprintf("tensor: AddBiasRows shape mismatch %v + %v", t.shape, bias.shape))
+	}
+	n := t.Dim(1)
+	for i := 0; i < t.Dim(0); i++ {
+		row := t.data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += bias.data[j]
+		}
+	}
+}
+
+// SumRows returns the column-wise sum of a [m,n] tensor as a [n] vector
+// (the bias gradient).
+func SumRows(t *Dense) *Dense {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: SumRows on rank-%d tensor", t.Rank()))
+	}
+	n := t.Dim(1)
+	out := NewDense(n)
+	for i := 0; i < t.Dim(0); i++ {
+		row := t.data[i*n : (i+1)*n]
+		for j := range row {
+			out.data[j] += row[j]
+		}
+	}
+	return out
+}
+
+// ReluForward returns max(x, 0) element-wise.
+func ReluForward(x *Dense) *Dense {
+	out := x.Clone()
+	for i, v := range out.data {
+		if v < 0 {
+			out.data[i] = 0
+		}
+	}
+	return out
+}
+
+// ReluBackward returns dy masked by x > 0.
+func ReluBackward(x, dy *Dense) *Dense {
+	if !x.SameShape(dy) {
+		panic(fmt.Sprintf("tensor: ReluBackward shape mismatch %v vs %v", x.shape, dy.shape))
+	}
+	out := dy.Clone()
+	for i, v := range x.data {
+		if v <= 0 {
+			out.data[i] = 0
+		}
+	}
+	return out
+}
+
+// TanhForward returns tanh(x) element-wise.
+func TanhForward(x *Dense) *Dense {
+	out := x.Clone()
+	for i, v := range out.data {
+		out.data[i] = float32(math.Tanh(float64(v)))
+	}
+	return out
+}
+
+// TanhBackward returns dy * (1 - y²) where y = tanh(x) is the forward
+// output.
+func TanhBackward(y, dy *Dense) *Dense {
+	if !y.SameShape(dy) {
+		panic(fmt.Sprintf("tensor: TanhBackward shape mismatch %v vs %v", y.shape, dy.shape))
+	}
+	out := dy.Clone()
+	for i := range out.data {
+		out.data[i] *= 1 - y.data[i]*y.data[i]
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes, for logits [m, classes] and integer labels
+// [m], the mean cross-entropy loss and the gradient with respect to the
+// logits (softmax(x) - onehot(label), scaled by 1/m).
+func SoftmaxCrossEntropy(logits *Dense, labels []int) (loss float64, grad *Dense) {
+	if logits.Rank() != 2 || logits.Dim(0) != len(labels) {
+		panic(fmt.Sprintf("tensor: SoftmaxCrossEntropy logits %v vs %d labels", logits.shape, len(labels)))
+	}
+	m, c := logits.Dim(0), logits.Dim(1)
+	grad = NewDense(m, c)
+	inv := 1 / float64(m)
+	for i := 0; i < m; i++ {
+		row := logits.data[i*c : (i+1)*c]
+		maxv := rowMax(row)
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		lbl := labels[i]
+		if lbl < 0 || lbl >= c {
+			panic(fmt.Sprintf("tensor: label %d out of range [0,%d)", lbl, c))
+		}
+		logZ := math.Log(sum) + float64(maxv)
+		loss += (logZ - float64(row[lbl])) * inv
+		grow := grad.data[i*c : (i+1)*c]
+		for j, v := range row {
+			grow[j] = float32(math.Exp(float64(v)-logZ) * inv)
+		}
+		grow[lbl] -= float32(inv)
+	}
+	return loss, grad
+}
+
+func rowMax(row []float32) float32 {
+	m := row[0]
+	for _, v := range row[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// GlobalNorm returns the L2 norm across a mixed set of dense and sparse
+// gradients, as used for gradient clipping (§5: "compute a global norm of
+// gradients for clipping").
+func GlobalNorm(dense []*Dense, sparse []*Sparse) float64 {
+	var s float64
+	for _, d := range dense {
+		s += d.L2NormSquared()
+	}
+	for _, sp := range sparse {
+		s += sp.L2NormSquared()
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,125 @@
+package tensor
+
+import "fmt"
+
+// RowRange describes one partition of a variable's first dimension:
+// rows [Start, End).
+type RowRange struct {
+	Start, End int
+}
+
+// Len returns the number of rows in the range.
+func (r RowRange) Len() int { return r.End - r.Start }
+
+// PartitionRows splits dim0 rows into p near-equal contiguous ranges, the
+// same scheme TensorFlow's variable partitioner uses and the layout Parallax
+// assumes when distributing sparse-variable partitions across servers
+// (§3.2). The first dim0 % p ranges get one extra row. p may exceed dim0,
+// in which case trailing ranges are empty.
+func PartitionRows(dim0, p int) []RowRange {
+	if p <= 0 {
+		panic(fmt.Sprintf("tensor: PartitionRows with p=%d", p))
+	}
+	out := make([]RowRange, p)
+	base, extra := dim0/p, dim0%p
+	start := 0
+	for i := range out {
+		n := base
+		if i < extra {
+			n++
+		}
+		out[i] = RowRange{Start: start, End: start + n}
+		start += n
+	}
+	return out
+}
+
+// PartitionOfRow returns the index of the partition containing row, given
+// the ranges produced by PartitionRows for the same dim0.
+func PartitionOfRow(ranges []RowRange, row int) int {
+	lo, hi := 0, len(ranges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case row < ranges[mid].Start:
+			hi = mid
+		case row >= ranges[mid].End:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	panic(fmt.Sprintf("tensor: row %d not covered by %d ranges", row, len(ranges)))
+}
+
+// SplitSparse routes each slice of s to the partition owning its row and
+// returns one sparse tensor per partition, with rows re-based to the
+// partition's local coordinates (row - Start). Empty partitions get a
+// zero-row sparse tensor. This is the "dividing incoming values and indices
+// into disjoint sets" step that makes partitioned aggregation parallel
+// (§3.2).
+func SplitSparse(s *Sparse, ranges []RowRange) []*Sparse {
+	w := s.RowWidth()
+	counts := make([]int, len(ranges))
+	assign := make([]int, len(s.Rows))
+	for i, r := range s.Rows {
+		p := PartitionOfRow(ranges, r)
+		assign[i] = p
+		counts[p]++
+	}
+	out := make([]*Sparse, len(ranges))
+	fill := make([]int, len(ranges))
+	for p := range out {
+		out[p] = &Sparse{
+			Rows:   make([]int, counts[p]),
+			Values: NewDense(counts[p], w),
+			Dim0:   ranges[p].Len(),
+		}
+	}
+	for i, r := range s.Rows {
+		p := assign[i]
+		j := fill[p]
+		fill[p]++
+		out[p].Rows[j] = r - ranges[p].Start
+		copy(out[p].Values.data[j*w:(j+1)*w], s.Values.data[i*w:(i+1)*w])
+	}
+	return out
+}
+
+// StitchSparse reassembles per-partition sparse tensors (local row
+// coordinates) into one sparse tensor over the full variable — the
+// "stitching the partial results from each partition into one tensor"
+// overhead the paper's Eq. 1 charges θ2·P for.
+func StitchSparse(parts []*Sparse, ranges []RowRange, dim0 int) *Sparse {
+	if len(parts) != len(ranges) {
+		panic(fmt.Sprintf("tensor: StitchSparse %d parts vs %d ranges", len(parts), len(ranges)))
+	}
+	total := 0
+	w := -1
+	for _, p := range parts {
+		total += len(p.Rows)
+		if len(p.Rows) > 0 && w < 0 {
+			w = p.RowWidth()
+		}
+	}
+	if w < 0 {
+		w = 0
+		for _, p := range parts {
+			if p.Values.Rank() > 1 {
+				w = p.Values.Dim(1)
+				break
+			}
+		}
+	}
+	rows := make([]int, 0, total)
+	vals := NewDense(total, w)
+	off := 0
+	for pi, p := range parts {
+		for i, r := range p.Rows {
+			rows = append(rows, r+ranges[pi].Start)
+			copy(vals.data[(off+i)*w:(off+i+1)*w], p.Values.data[i*w:(i+1)*w])
+		}
+		off += len(p.Rows)
+	}
+	return &Sparse{Rows: rows, Values: vals, Dim0: dim0}
+}

@@ -1,0 +1,468 @@
+// Package transform turns a single-GPU computation graph into a running
+// distributed training job, the reproduction of Parallax's automatic graph
+// transformation (§4.3): it replicates the forward/backward graph onto one
+// executor per GPU, routes every variable's gradient through the
+// synchronization method its plan assigns (ring AllReduce, AllGatherv, or
+// parameter servers with partitioning and optional local aggregation), and
+// keeps the strict synchronous-training semantics — including the
+// chief-worker path that reads aggregated gradients back for global-norm
+// clipping (§5).
+//
+// Everything runs in-process: workers are goroutines, the AR data plane is
+// internal/collective, the PS data plane is internal/psrt. The virtual-time
+// *performance* of the same topology is modelled by internal/engine; this
+// package is the functional data plane used for correctness tests and
+// convergence experiments.
+package transform
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"parallax/internal/arrt"
+	"parallax/internal/cluster"
+	"parallax/internal/collective"
+	"parallax/internal/core"
+	"parallax/internal/graph"
+	"parallax/internal/optim"
+	"parallax/internal/psrt"
+	"parallax/internal/tensor"
+)
+
+// Options configures a distributed trainer.
+type Options struct {
+	Plan     *core.Plan
+	Resource cluster.ResourceInfo
+	// NewOptimizer constructs a fresh optimizer; one instance is created
+	// per AR replica and one per server, so stateful optimizers (momentum)
+	// keep correctly scoped slots.
+	NewOptimizer func() optim.Optimizer
+	DenseAgg     optim.AggMethod
+	SparseAgg    optim.AggMethod
+	// LocalAggregation merges gradients inside each machine before pushing
+	// to servers (Parallax's optimized PS).
+	LocalAggregation bool
+	// ClipNorm > 0 enables global-norm clipping across all variables; it
+	// forces the deferred-update chief path on the servers.
+	ClipNorm float64
+	// Async switches PS variables to asynchronous updates (§2.1). AR
+	// variables are inherently synchronous.
+	Async bool
+}
+
+type varRoute struct {
+	v      *graph.Variable
+	assign core.Assignment
+	ranges []tensor.RowRange
+}
+
+// Trainer executes synchronized data-parallel steps over in-process
+// workers.
+type Trainer struct {
+	g       *graph.Graph
+	opt     Options
+	workers int
+
+	execs    []*graph.Exec
+	replicas []*arrt.Replica
+	arOpts   []optim.Optimizer
+
+	servers []*psrt.Server // one per machine; nil when no PS variables
+	routes  []varRoute
+
+	// local aggregation state, per machine per variable, recreated each
+	// step.
+	aggs map[string]*machineAgg
+
+	step int
+	mu   sync.Mutex
+}
+
+// machineAgg collects one machine's worker gradients for one variable in
+// one step; the last worker to arrive acts as the machine's local chief
+// and pushes the merged gradient (§5: "a worker in the machine becomes a
+// local chief worker to collect gradients within a machine and send them
+// to servers").
+type machineAgg struct {
+	mu     sync.Mutex
+	got    int
+	sparse []*tensor.Sparse
+	dense  *tensor.Dense
+}
+
+// New builds a trainer for graph g under the given plan and resources.
+func New(g *graph.Graph, opts Options) (*Trainer, error) {
+	if opts.Plan == nil {
+		return nil, fmt.Errorf("transform: nil plan")
+	}
+	if err := opts.Resource.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.NewOptimizer == nil {
+		return nil, fmt.Errorf("transform: NewOptimizer is required")
+	}
+	vars := g.Variables()
+	if len(opts.Plan.Assignments) != len(vars) {
+		return nil, fmt.Errorf("transform: plan has %d assignments for %d variables",
+			len(opts.Plan.Assignments), len(vars))
+	}
+	if opts.Plan.Arch == core.ArchAR && opts.Async {
+		return nil, fmt.Errorf("transform: async training requires PS-managed variables")
+	}
+
+	workers := opts.Resource.TotalGPUs()
+	machines := opts.Resource.NumMachines()
+	t := &Trainer{g: g, opt: opts, workers: workers, aggs: map[string]*machineAgg{}}
+
+	// Replicate the graph: one executor per GPU (§4.3: "main computation
+	// operations ... are replicated as many as the number of GPUs").
+	for w := 0; w < workers; w++ {
+		e, err := graph.NewExec(g)
+		if err != nil {
+			return nil, err
+		}
+		t.execs = append(t.execs, e)
+		t.arOpts = append(t.arOpts, opts.NewOptimizer())
+	}
+	world := collective.NewWorld(workers)
+	for w := 0; w < workers; w++ {
+		t.replicas = append(t.replicas, arrt.New(world.Comm(w), opts.DenseAgg, opts.SparseAgg))
+	}
+
+	// Route variables.
+	anyPS := false
+	for i, v := range vars {
+		a := opts.Plan.Assignments[i]
+		if a.Name != v.Name {
+			return nil, fmt.Errorf("transform: plan assignment %d is %q, variable is %q", i, a.Name, v.Name)
+		}
+		r := varRoute{v: v, assign: a}
+		if a.Method == core.MethodPS {
+			anyPS = true
+			r.ranges = tensor.PartitionRows(v.Shape[0], a.Partitions)
+		}
+		t.routes = append(t.routes, r)
+	}
+
+	// Launch one server per machine if needed (§4.2: "if sparse variables
+	// are included in the graph, Parallax launches a server process for
+	// each machine").
+	if anyPS {
+		sources := workers
+		if opts.LocalAggregation {
+			sources = machines
+		}
+		mode := psrt.Sync
+		if opts.Async {
+			mode = psrt.Async
+		}
+		for m := 0; m < machines; m++ {
+			srv, err := psrt.NewServer(psrt.Config{
+				Sources:      sources,
+				Optimizer:    opts.NewOptimizer(),
+				DenseAgg:     opts.DenseAgg,
+				SparseAgg:    opts.SparseAgg,
+				Mode:         mode,
+				DeferUpdates: opts.ClipNorm > 0 && !opts.Async,
+				MeanDivisor:  workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.servers = append(t.servers, srv)
+		}
+		for _, r := range t.routes {
+			if r.assign.Method != core.MethodPS {
+				continue
+			}
+			owned := make(map[int][]int) // machine -> partition indices
+			for pi, srv := range r.assign.Servers {
+				owned[srv] = append(owned[srv], pi)
+			}
+			for m, parts := range owned {
+				if err := t.servers[m].AddVar(r.v.Name, r.v.Init, r.ranges, parts, r.assign.Sparse); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// Workers returns the number of model replicas (GPUs).
+func (t *Trainer) Workers() int { return t.workers }
+
+// Step runs one synchronous data-parallel iteration: feeds[w] is worker w's
+// shard batch. It returns the mean loss across workers.
+func (t *Trainer) Step(feeds []graph.Feed) (float64, error) {
+	if len(feeds) != t.workers {
+		return 0, fmt.Errorf("transform: %d feeds for %d workers", len(feeds), t.workers)
+	}
+	step := t.step
+	t.step++
+	t.resetAggs()
+
+	losses := make([]float64, t.workers)
+	errs := make([]error, t.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < t.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			losses[w], errs[w] = t.workerStep(w, step, feeds[w])
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	var mean float64
+	for _, l := range losses {
+		mean += l
+	}
+	return mean / float64(t.workers), nil
+}
+
+func (t *Trainer) resetAggs() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.aggs = map[string]*machineAgg{}
+}
+
+func (t *Trainer) agg(key string) *machineAgg {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.aggs[key]
+	if !ok {
+		a = &machineAgg{}
+		t.aggs[key] = a
+	}
+	return a
+}
+
+// workerStep is one worker's side of an iteration.
+func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
+	exec := t.execs[w]
+
+	// Pull phase: fetch fresh PS values for this iteration (Fig 2(a)(b)'s
+	// pull arrows). Version step means "after step updates have applied".
+	minVersion := int64(step)
+	if t.opt.Async {
+		minVersion = 0
+	}
+	for _, r := range t.routes {
+		if r.assign.Method != core.MethodPS {
+			continue
+		}
+		val := exec.VarValue(r.v.Name)
+		width := val.RowWidth()
+		for pi, rr := range r.ranges {
+			if rr.Len() == 0 {
+				continue
+			}
+			pv, err := t.servers[r.assign.Servers[pi]].Pull(r.v.Name, pi, minVersion)
+			if err != nil {
+				return 0, err
+			}
+			copy(val.Data()[rr.Start*width:rr.End*width], pv.Data())
+		}
+	}
+
+	// Compute.
+	loss, grads, err := exec.Step(feed)
+	if err != nil {
+		return 0, err
+	}
+
+	// Push/aggregate phase.
+	var arDense []string  // AR-managed dense grads, aggregated in place
+	var arSparse []string // AllGatherv-managed names
+	arSparseAgg := map[string]*tensor.Sparse{}
+	for _, r := range t.routes {
+		switch r.assign.Method {
+		case core.MethodAllReduce:
+			g := grads.Dense[r.v.Name]
+			if g == nil {
+				// A sparse variable promoted to dense treatment (α
+				// threshold): densify its sparse gradient first.
+				g = grads.Sparse[r.v.Name].ToDense()
+			}
+			t.replicas[w].SyncDense(r.v.Name, step, g)
+			grads.Dense[r.v.Name] = g
+			arDense = append(arDense, r.v.Name)
+		case core.MethodAllGatherv:
+			agg := t.replicas[w].SyncSparse(r.v.Name, step, grads.Sparse[r.v.Name])
+			arSparseAgg[r.v.Name] = agg
+			arSparse = append(arSparse, r.v.Name)
+		case core.MethodPS:
+			if err := t.pushPS(w, r, grads); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	// Clipping: compute the global norm over *aggregated* gradients — AR
+	// parts are replicated on every worker, PS parts are read back from
+	// the servers (§5) — then scale AR updates locally and have the chief
+	// apply scaled PS updates.
+	scale := float32(1)
+	if t.opt.ClipNorm > 0 && !t.opt.Async {
+		var norm2 float64
+		for _, name := range arDense {
+			norm2 += grads.Dense[name].L2NormSquared()
+		}
+		for _, name := range arSparse {
+			norm2 += arSparseAgg[name].L2NormSquared()
+		}
+		for _, r := range t.routes {
+			if r.assign.Method != core.MethodPS {
+				continue
+			}
+			for pi := range r.ranges {
+				n2, err := t.servers[r.assign.Servers[pi]].WaitAggregatedNormSquared(r.v.Name, pi, int64(step+1))
+				if err != nil {
+					return 0, err
+				}
+				norm2 += n2
+			}
+		}
+		if norm := math.Sqrt(norm2); norm > t.opt.ClipNorm {
+			scale = float32(t.opt.ClipNorm / norm)
+		}
+		if w == 0 { // chief worker triggers the deferred PS updates
+			for _, r := range t.routes {
+				if r.assign.Method != core.MethodPS {
+					continue
+				}
+				for pi := range r.ranges {
+					if err := t.servers[r.assign.Servers[pi]].ApplyUpdate(r.v.Name, pi, scale); err != nil {
+						return 0, err
+					}
+				}
+			}
+		}
+	}
+
+	// Apply AR updates locally; every replica performs the identical
+	// update, keeping replicas synchronized.
+	for _, r := range t.routes {
+		switch r.assign.Method {
+		case core.MethodAllReduce:
+			g := grads.Dense[r.v.Name]
+			if scale != 1 {
+				g = g.Clone()
+				g.Scale(scale)
+			}
+			t.arOpts[w].ApplyDense(r.v.Name, t.execs[w].VarValue(r.v.Name), g)
+		case core.MethodAllGatherv:
+			g := arSparseAgg[r.v.Name]
+			if scale != 1 {
+				g = g.Clone()
+				g.Scale(scale)
+			}
+			t.arOpts[w].ApplySparse(r.v.Name, t.execs[w].VarValue(r.v.Name), g)
+		}
+	}
+	return loss, nil
+}
+
+// pushPS routes worker w's gradient for one PS variable: split by
+// partition, optionally merge within the machine, push to the owning
+// servers.
+func (t *Trainer) pushPS(w int, r varRoute, grads *graph.GradSet) error {
+	machine := t.opt.Resource.MachineOfWorker(w)
+	name := r.v.Name
+
+	pushParts := func(sparseParts []*tensor.Sparse, dense *tensor.Dense) error {
+		for pi, rr := range r.ranges {
+			srv := t.servers[r.assign.Servers[pi]]
+			if r.assign.Sparse {
+				if err := srv.PushSparse(name, pi, sparseParts[pi]); err != nil {
+					return err
+				}
+			} else {
+				width := dense.RowWidth()
+				part := tensor.FromSlice(
+					append([]float32(nil), dense.Data()[rr.Start*width:rr.End*width]...),
+					rr.Len(), width)
+				if err := srv.PushDense(name, pi, part); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	if !t.opt.LocalAggregation {
+		if r.assign.Sparse {
+			return pushParts(tensor.SplitSparse(grads.Sparse[name], r.ranges), nil)
+		}
+		return pushParts(nil, grads.Dense[name])
+	}
+
+	// Local aggregation: the machine's last-arriving worker merges and
+	// pushes.
+	g := t.opt.Resource.GPUsPerMachine(machine)
+	a := t.agg(fmt.Sprintf("%s/m%d", name, machine))
+	a.mu.Lock()
+	if r.assign.Sparse {
+		a.sparse = append(a.sparse, grads.Sparse[name])
+	} else if a.dense == nil {
+		a.dense = grads.Dense[name].Clone()
+	} else {
+		a.dense.AddInto(grads.Dense[name])
+	}
+	a.got++
+	doPush := a.got == g
+	var sparseMerged *tensor.Sparse
+	var denseMerged *tensor.Dense
+	if doPush {
+		if r.assign.Sparse {
+			sparseMerged = tensor.SumSparse(a.sparse)
+		} else {
+			denseMerged = a.dense
+		}
+	}
+	a.mu.Unlock()
+	if !doPush {
+		return nil
+	}
+	if r.assign.Sparse {
+		return pushParts(tensor.SplitSparse(sparseMerged, r.ranges), nil)
+	}
+	return pushParts(nil, denseMerged)
+}
+
+// VarValue reconstructs the current full value of a variable: from the
+// servers for PS variables, from replica 0 for AR variables.
+func (t *Trainer) VarValue(name string) (*tensor.Dense, error) {
+	for _, r := range t.routes {
+		if r.v.Name != name {
+			continue
+		}
+		if r.assign.Method != core.MethodPS {
+			return t.execs[0].VarValue(name).Clone(), nil
+		}
+		out := tensor.NewDense(r.v.Shape...)
+		width := out.RowWidth()
+		minVersion := int64(t.step)
+		if t.opt.Async {
+			minVersion = 0
+		}
+		for pi, rr := range r.ranges {
+			if rr.Len() == 0 {
+				continue
+			}
+			pv, err := t.servers[r.assign.Servers[pi]].Pull(name, pi, minVersion)
+			if err != nil {
+				return nil, err
+			}
+			copy(out.Data()[rr.Start*width:rr.End*width], pv.Data())
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("transform: unknown variable %q", name)
+}

@@ -1,0 +1,183 @@
+// Package parallax is a Go reproduction of Parallax (Kim et al., EuroSys
+// 2019): sparsity-aware data-parallel training of deep neural networks.
+//
+// Parallax observes that the variables of a model fall into two classes by
+// how their gradients are produced — dense variables (every element
+// touched each iteration) and sparse variables (only the rows an
+// embedding lookup gathers) — and that the efficient synchronization
+// mechanism differs per class: ring AllReduce for dense gradients,
+// parameter servers for sparse ones. This package exposes the paper's
+// programming interface (Fig. 3) in Go idiom:
+//
+//	g := parallax.NewGraph()
+//	tokens := g.Input("tokens", parallax.Int, batch)
+//	labels := g.Input("labels", parallax.Int, batch)
+//	var emb *parallax.Node
+//	g.InPartitioner(func() {                       // partitioner scope
+//		emb = g.Variable("embedding", init)
+//	})
+//	logits := g.MatMul(g.Gather(emb, tokens), w)
+//	g.SoftmaxCE(logits, labels)
+//
+//	runner, err := parallax.GetRunner(g, resources, parallax.Config{})
+//	shard := parallax.Shard(dataset, workerID, runner.Workers())
+//	loss, err := runner.Run(feeds)                 // one synchronous step
+//
+// The runner analyzes the graph, classifies every variable by its gradient
+// type, builds the hybrid plan (AllReduce for dense variables, partitioned
+// parameter servers for sparse ones), optionally searches for the optimal
+// number of sparse-variable partitions, and executes synchronous
+// data-parallel steps across in-process workers.
+package parallax
+
+import (
+	"parallax/internal/cluster"
+	"parallax/internal/core"
+	"parallax/internal/data"
+	"parallax/internal/graph"
+	"parallax/internal/optim"
+	"parallax/internal/tensor"
+)
+
+// Re-exported graph-construction types: the single-GPU graph the user
+// writes is exactly what GetRunner transforms (§4.1 "transparency").
+type (
+	// Graph is a single-GPU computation graph under construction.
+	Graph = graph.Graph
+	// Node is a graph vertex.
+	Node = graph.Node
+	// Feed supplies one step's input values by input name.
+	Feed = graph.Feed
+	// Dense is a dense float32 tensor.
+	Dense = tensor.Dense
+	// Sparse is an IndexedSlices-style sparse tensor.
+	Sparse = tensor.Sparse
+	// RNG is a deterministic random source for initializers and data.
+	RNG = tensor.RNG
+	// ResourceInfo describes the machines and GPUs to train on.
+	ResourceInfo = cluster.ResourceInfo
+	// Dataset is an endless batch stream.
+	Dataset = data.Dataset
+	// Optimizer applies gradients to variables.
+	Optimizer = optim.Optimizer
+)
+
+// Input dtypes.
+const (
+	// Float marks a float32 tensor input.
+	Float = graph.Float
+	// Int marks an integer vector input (token ids, labels).
+	Int = graph.Int
+)
+
+// NewGraph returns an empty single-GPU computation graph.
+func NewGraph() *Graph { return graph.New() }
+
+// NewRNG returns a deterministic random generator.
+func NewRNG(seed int64) *RNG { return tensor.NewRNG(seed) }
+
+// NewDense returns a zero-filled tensor.
+func NewDense(shape ...int) *Dense { return tensor.NewDense(shape...) }
+
+// NewSGD returns a stateless SGD optimizer with the given learning rate.
+func NewSGD(lr float32) Optimizer { return optim.NewSGD(lr) }
+
+// NewMomentum returns a momentum-SGD optimizer.
+func NewMomentum(lr, mu float32) Optimizer { return optim.NewMomentum(lr, mu) }
+
+// Uniform returns a cluster of n machines with g GPUs each.
+func Uniform(n, g int) ResourceInfo { return cluster.Uniform(n, g) }
+
+// ParseResources reads a "host:gpu,gpu,..." resource file (the paper's
+// resource_info_file).
+func ParseResources(text string) (ResourceInfo, error) { return cluster.Parse(text) }
+
+// Shard splits a dataset so worker w of n consumes a disjoint subset (the
+// paper's parallax.shard, Fig. 3 line 6).
+func Shard(d Dataset, w, n int) Dataset { return data.NewShard(d, w, n) }
+
+// AggMethod selects how worker gradients combine.
+type AggMethod = optim.AggMethod
+
+// Aggregation methods for Config.
+const (
+	// AggMean averages gradients over workers (the synchronous-SGD
+	// convention and the default).
+	AggMean = optim.AggMean
+	// AggSum keeps the raw sum.
+	AggSum = optim.AggSum
+)
+
+// Arch selects the training architecture; the zero value (Hybrid) is
+// Parallax's sparsity-aware default. The alternatives exist for baselines
+// and experiments.
+type Arch int
+
+// Architectures.
+const (
+	// Hybrid uses AllReduce for dense variables and parameter servers for
+	// sparse ones (the paper's contribution).
+	Hybrid Arch = iota
+	// AllReduceOnly forces collectives for everything (Horovod-style).
+	AllReduceOnly
+	// PSOnly forces naive parameter servers for everything (TF-PS-style).
+	PSOnly
+	// OptimizedPS forces Parallax's optimized parameter servers.
+	OptimizedPS
+)
+
+// coreArch maps the public architecture to the planner's.
+func (a Arch) coreArch() core.Arch {
+	switch a {
+	case AllReduceOnly:
+		return core.ArchAR
+	case PSOnly:
+		return core.ArchNaivePS
+	case OptimizedPS:
+		return core.ArchOptPS
+	default:
+		return core.ArchHybrid
+	}
+}
+
+// Config is the ParallaxConfig of §4.1: optional knobs; the zero value is
+// a sensible default (hybrid architecture, local aggregation, mean
+// aggregation, automatic partition search).
+type Config struct {
+	// Arch selects the architecture; default Hybrid.
+	Arch Arch
+	// NewOptimizer constructs optimizer instances (one per replica, one
+	// per server). Default: SGD with learning rate 0.1.
+	NewOptimizer func() Optimizer
+	// DenseAgg / SparseAgg choose mean or sum aggregation per gradient
+	// type (§4.1). Default AggMean for both.
+	DenseAgg, SparseAgg AggMethod
+	// DisableLocalAggregation turns off intra-machine gradient merging
+	// (enabled by default for PS-managed variables, §4.3).
+	DisableLocalAggregation bool
+	// SparsePartitions fixes the partition count for variables declared
+	// inside partitioner scopes. 0 means search automatically using the
+	// cost model of §3.2 over the simulated cluster.
+	SparsePartitions int
+	// AlphaHint estimates, per sparse variable, the fraction of rows one
+	// worker's batch touches; used only by the automatic partition search
+	// and the α-threshold rule. Unset entries default to 0.05. Measure
+	// real values with MeasureAlpha.
+	AlphaHint map[string]float64
+	// AlphaDenseThreshold promotes sparse variables with α at or above
+	// the threshold to dense AllReduce treatment (§3.1). 0 disables the
+	// rule (the default, matching the paper's deployed configuration).
+	AlphaDenseThreshold float64
+	// ClipNorm > 0 enables global-norm gradient clipping via the
+	// chief-worker aggregated-gradient read-back (§5).
+	ClipNorm float64
+	// Async switches PS variables to asynchronous updates (§2.1 —
+	// supported, though the paper's evaluation uses synchronous training).
+	Async bool
+}
+
+// MeasureAlpha estimates the α a dataset induces on a vocabulary of the
+// given size (§2.2): the mean fraction of rows touched per batch.
+func MeasureAlpha(d Dataset, vocab, iters int) float64 {
+	return data.MeasureAlpha(d, vocab, iters)
+}

@@ -1,0 +1,172 @@
+package parallax
+
+import (
+	"strings"
+	"testing"
+
+	"parallax/internal/data"
+)
+
+// buildAPIModel constructs a small sparse model purely through the public
+// API, following the Fig. 3 pattern.
+func buildAPIModel(batch, vocab int) *Graph {
+	rng := NewRNG(17)
+	g := NewGraph()
+	tokens := g.Input("tokens", Int, batch)
+	labels := g.Input("labels", Int, batch)
+	var emb *Node
+	g.InPartitioner(func() {
+		emb = g.Variable("embedding", rng.RandN(0.1, vocab, 16))
+	})
+	w := g.Variable("proj", rng.RandN(0.1, 16, vocab))
+	g.SoftmaxCE(g.MatMul(g.Gather(emb, tokens), w), labels)
+	return g
+}
+
+func TestGetRunnerDefaultsAndTraining(t *testing.T) {
+	g := buildAPIModel(8, 120)
+	runner, err := GetRunner(g, Uniform(2, 2), Config{SparsePartitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runner.Workers() != 4 {
+		t.Fatalf("workers = %d", runner.Workers())
+	}
+	ds := data.NewZipfText(120, 8, 1, 1.0, 5)
+	shards := make([]Dataset, runner.Workers())
+	for w := range shards {
+		shards[w] = Shard(data.NewZipfText(120, 8, 1, 1.0, 5), w, runner.Workers())
+	}
+	_ = ds
+	var first, last float64
+	for step := 0; step < 20; step++ {
+		feeds := make([]Feed, runner.Workers())
+		for w := range feeds {
+			b := shards[w].(*data.Shard).Next()
+			feeds[w] = Feed{Ints: map[string][]int{"tokens": b.Tokens, "labels": b.Labels}}
+		}
+		loss, err := runner.Run(feeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if !(last < first) {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestDescribeShowsHybridSplit(t *testing.T) {
+	g := buildAPIModel(4, 50)
+	runner, err := GetRunner(g, Uniform(2, 1), Config{SparsePartitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := runner.Describe()
+	if !strings.Contains(d, "embedding") || !strings.Contains(d, "ps") {
+		t.Errorf("Describe missing PS route:\n%s", d)
+	}
+	if !strings.Contains(d, "proj") || !strings.Contains(d, "allreduce") {
+		t.Errorf("Describe missing AR route:\n%s", d)
+	}
+}
+
+func TestAutomaticPartitionSearch(t *testing.T) {
+	g := buildAPIModel(8, 2000)
+	runner, err := GetRunner(g, Uniform(2, 2), Config{
+		AlphaHint: map[string]float64{"embedding": 0.02},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := runner.SparsePartitions()
+	if p < 1 || p > 2000 {
+		t.Fatalf("searched partitions = %d out of range", p)
+	}
+	// A quick step must work with the searched partitioning.
+	feeds := make([]Feed, runner.Workers())
+	for w := range feeds {
+		feeds[w] = Feed{Ints: map[string][]int{
+			"tokens": {1, 2, 3, 4, 5, 6, 7, 8},
+			"labels": {0, 1, 2, 3, 4, 5, 6, 7},
+		}}
+	}
+	if _, err := runner.Run(feeds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseOnlyGraphSkipsSearchAndServers(t *testing.T) {
+	rng := NewRNG(3)
+	g := NewGraph()
+	x := g.Input("x", Float, 4, 8)
+	labels := g.Input("labels", Int, 4)
+	w := g.Variable("w", rng.RandN(0.2, 8, 5))
+	g.SoftmaxCE(g.MatMul(x, w), labels)
+	runner, err := GetRunner(g, Uniform(2, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runner.SparsePartitions() != 1 {
+		t.Fatalf("dense model searched partitions: %d", runner.SparsePartitions())
+	}
+	feeds := make([]Feed, 2)
+	for i := range feeds {
+		feeds[i] = Feed{
+			Floats: map[string]*Dense{"x": rng.RandN(1, 4, 8)},
+			Ints:   map[string][]int{"labels": {0, 1, 2, 3}},
+		}
+	}
+	if _, err := runner.Run(feeds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetRunnerValidations(t *testing.T) {
+	g := NewGraph()
+	g.Input("x", Float, 1, 1) // no loss
+	if _, err := GetRunner(g, Uniform(1, 1), Config{}); err == nil {
+		t.Fatal("graph without loss must fail")
+	}
+	g2 := buildAPIModel(2, 10)
+	if _, err := GetRunner(g2, ResourceInfo{}, Config{}); err == nil {
+		t.Fatal("empty resources must fail")
+	}
+}
+
+func TestMeasureAlphaPublicAPI(t *testing.T) {
+	a := MeasureAlpha(data.NewZipfText(500, 16, 4, 1.0, 9), 500, 5)
+	if a <= 0 || a >= 1 {
+		t.Fatalf("alpha = %v", a)
+	}
+}
+
+func TestConfigVariants(t *testing.T) {
+	g := buildAPIModel(4, 40)
+	for _, cfg := range []Config{
+		{Arch: AllReduceOnly, SparsePartitions: 1},
+		{Arch: PSOnly, SparsePartitions: 2},
+		{Arch: OptimizedPS, SparsePartitions: 2},
+		{Arch: Hybrid, SparsePartitions: 2, ClipNorm: 1.0},
+		{Arch: PSOnly, SparsePartitions: 2, Async: true},
+		{Arch: Hybrid, SparsePartitions: 2, DenseAgg: AggSum, SparseAgg: AggSum,
+			NewOptimizer: func() Optimizer { return NewMomentum(0.01, 0.9) }},
+	} {
+		runner, err := GetRunner(g, Uniform(2, 1), cfg)
+		if err != nil {
+			t.Fatalf("config %+v: %v", cfg, err)
+		}
+		feeds := make([]Feed, runner.Workers())
+		for w := range feeds {
+			feeds[w] = Feed{Ints: map[string][]int{
+				"tokens": {1, 2, 3, 4}, "labels": {5, 6, 7, 8},
+			}}
+		}
+		if _, err := runner.Run(feeds); err != nil {
+			t.Fatalf("config %+v: step: %v", cfg, err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package parallax
+
+import (
+	"fmt"
+
+	"parallax/internal/cluster"
+	"parallax/internal/core"
+	"parallax/internal/engine"
+	"parallax/internal/graph"
+	"parallax/internal/models"
+	"parallax/internal/partition"
+	"parallax/internal/transform"
+)
+
+// Runner executes synchronous data-parallel training steps for a
+// transformed graph, the object parallax.get_runner returns in Fig. 3.
+type Runner struct {
+	trainer *transform.Trainer
+	plan    *core.Plan
+	workers int
+	parts   int
+}
+
+// GetRunner analyzes the single-GPU graph, builds the sparsity-aware plan
+// for the given cluster, transforms the graph into per-GPU replicas plus
+// parameter servers, and returns a Runner (§4.1's get_runner).
+func GetRunner(g *Graph, resource ResourceInfo, cfg Config) (*Runner, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := resource.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NewOptimizer == nil {
+		cfg.NewOptimizer = func() Optimizer { return NewSGD(0.1) }
+	}
+
+	vars := planVars(g, cfg.AlphaHint)
+	parts := cfg.SparsePartitions
+	if parts <= 0 {
+		parts = searchPartitions(g, resource, cfg)
+	}
+	arch := cfg.Arch.coreArch()
+	plan, err := core.BuildPlan(vars, core.Options{
+		Arch:                arch,
+		NumMachines:         resource.NumMachines(),
+		SparsePartitions:    parts,
+		AlphaDenseThreshold: cfg.AlphaDenseThreshold,
+		SmartPlacement:      arch == core.ArchHybrid || arch == core.ArchOptPS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	localAgg := !cfg.DisableLocalAggregation &&
+		(arch == core.ArchHybrid || arch == core.ArchOptPS)
+	tr, err := transform.New(g, transform.Options{
+		Plan:             plan,
+		Resource:         resource,
+		NewOptimizer:     cfg.NewOptimizer,
+		DenseAgg:         cfg.DenseAgg,
+		SparseAgg:        cfg.SparseAgg,
+		LocalAggregation: localAgg,
+		ClipNorm:         cfg.ClipNorm,
+		Async:            cfg.Async,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{trainer: tr, plan: plan, workers: resource.TotalGPUs(), parts: parts}, nil
+}
+
+// planVars converts graph variables to planner inputs using the α hints.
+func planVars(g *Graph, alphaHint map[string]float64) []core.VarInfo {
+	var vars []core.VarInfo
+	for _, v := range g.Variables() {
+		width := int64(1)
+		for _, d := range v.Shape[1:] {
+			width *= int64(d)
+		}
+		sparse := g.GradKind(v) == graph.GradSparse
+		alpha := 1.0
+		if sparse {
+			alpha = alphaHint[v.Name]
+			if alpha <= 0 || alpha > 1 {
+				alpha = 0.05
+			}
+		}
+		vars = append(vars, core.VarInfo{
+			Name: v.Name, Rows: int64(v.Shape[0]), Width: width,
+			Sparse: sparse, Alpha: alpha, PartitionTarget: v.PartitionScope >= 0,
+		})
+	}
+	return vars
+}
+
+// searchPartitions runs the §3.2 sampling search over the simulated
+// cluster: a spec is derived from the user's graph, each candidate P is
+// "trained for a few iterations" on the discrete-event engine, and the
+// cost model picks the best count. (The real system samples on the
+// physical cluster; the simulator stands in for it here, see DESIGN.md.)
+func searchPartitions(g *Graph, resource ResourceInfo, cfg Config) int {
+	hasTarget := false
+	for _, v := range g.Variables() {
+		if v.PartitionScope >= 0 && g.GradKind(v) == graph.GradSparse {
+			hasTarget = true
+			break
+		}
+	}
+	if !hasTarget {
+		return 1
+	}
+	batch := firstBatchDim(g)
+	spec := models.SpecFromGraph(g, cfg.AlphaHint, batch)
+	hw := cluster.DefaultHardware()
+	measure := func(p int) float64 {
+		res, err := engine.RunArch(spec, core.ArchHybrid, resource.NumMachines(),
+			maxGPUs(resource), p, hw)
+		if err != nil {
+			return 1e9
+		}
+		return res.StepTime
+	}
+	maxP := 1
+	for _, v := range g.Variables() {
+		if v.PartitionScope >= 0 && v.Shape[0] > maxP {
+			maxP = v.Shape[0]
+		}
+	}
+	if maxP > 2048 {
+		maxP = 2048
+	}
+	res, err := partition.Search(measure, resource.NumMachines(), maxP)
+	if err != nil || res.BestP < 1 {
+		return resource.NumMachines()
+	}
+	return res.BestP
+}
+
+func firstBatchDim(g *Graph) int {
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.OpInput && len(n.Shape) > 0 {
+			return n.Shape[0]
+		}
+	}
+	return 1
+}
+
+func maxGPUs(r ResourceInfo) int {
+	m := 1
+	for i := 0; i < r.NumMachines(); i++ {
+		if g := r.GPUsPerMachine(i); g > m {
+			m = g
+		}
+	}
+	return m
+}
+
+// Run executes one synchronous training step; feeds[w] is worker w's batch
+// (use Shard to produce disjoint batches). It returns the mean loss.
+func (r *Runner) Run(feeds []Feed) (float64, error) {
+	return r.trainer.Step(feeds)
+}
+
+// Workers returns the number of model replicas (total GPUs).
+func (r *Runner) Workers() int { return r.workers }
+
+// SparsePartitions returns the partition count in effect (searched or
+// configured).
+func (r *Runner) SparsePartitions() int { return r.parts }
+
+// VarValue returns the current full value of a variable (assembled from
+// the servers for PS variables).
+func (r *Runner) VarValue(name string) (*Dense, error) {
+	return r.trainer.VarValue(name)
+}
+
+// Describe summarizes the plan: how each variable is synchronized.
+func (r *Runner) Describe() string {
+	s := fmt.Sprintf("parallax: %d workers, %s architecture\n", r.workers, r.plan.Arch)
+	for _, a := range r.plan.Assignments {
+		extra := ""
+		if a.Method == core.MethodPS && a.Partitions > 1 {
+			extra = fmt.Sprintf(" x%d partitions", a.Partitions)
+		}
+		if a.TreatAsDense {
+			extra += " (promoted to dense)"
+		}
+		kind := "dense"
+		if a.Sparse {
+			kind = "sparse"
+		}
+		s += fmt.Sprintf("  %-24s %-6s -> %s%s\n", a.Name, kind, a.Method, extra)
+	}
+	return s
+}
