@@ -19,6 +19,7 @@ import (
 )
 
 func BenchmarkTable1_ArchitectureThroughput(b *testing.B) {
+	b.ReportAllocs()
 	env := experiments.DefaultEnv()
 	var res experiments.Table1Result
 	for i := 0; i < b.N; i++ {
@@ -31,6 +32,7 @@ func BenchmarkTable1_ArchitectureThroughput(b *testing.B) {
 }
 
 func BenchmarkTable2_PartitionSweep(b *testing.B) {
+	b.ReportAllocs()
 	env := experiments.DefaultEnv()
 	var res experiments.Table2Result
 	for i := 0; i < b.N; i++ {
@@ -43,6 +45,7 @@ func BenchmarkTable2_PartitionSweep(b *testing.B) {
 }
 
 func BenchmarkTable3_NetworkTransfer(b *testing.B) {
+	b.ReportAllocs()
 	env := experiments.DefaultEnv()
 	var res experiments.Table3Result
 	for i := 0; i < b.N; i++ {
@@ -54,6 +57,7 @@ func BenchmarkTable3_NetworkTransfer(b *testing.B) {
 }
 
 func BenchmarkTable4_HybridAblation(b *testing.B) {
+	b.ReportAllocs()
 	env := experiments.DefaultEnv()
 	var res experiments.Table4Result
 	for i := 0; i < b.N; i++ {
@@ -66,6 +70,7 @@ func BenchmarkTable4_HybridAblation(b *testing.B) {
 }
 
 func BenchmarkTable5_PartitioningMethods(b *testing.B) {
+	b.ReportAllocs()
 	env := experiments.DefaultEnv()
 	var res experiments.Table5Result
 	for i := 0; i < b.N; i++ {
@@ -79,6 +84,7 @@ func BenchmarkTable5_PartitioningMethods(b *testing.B) {
 }
 
 func BenchmarkTable6_SparsityDegree(b *testing.B) {
+	b.ReportAllocs()
 	env := experiments.DefaultEnv()
 	var res experiments.Table6Result
 	for i := 0; i < b.N; i++ {
@@ -90,6 +96,7 @@ func BenchmarkTable6_SparsityDegree(b *testing.B) {
 }
 
 func BenchmarkFigure7_Convergence(b *testing.B) {
+	b.ReportAllocs()
 	env := experiments.DefaultEnv()
 	var res experiments.Figure7Result
 	for i := 0; i < b.N; i++ {
@@ -103,6 +110,7 @@ func BenchmarkFigure7_Convergence(b *testing.B) {
 }
 
 func BenchmarkFigure8_Scaling(b *testing.B) {
+	b.ReportAllocs()
 	env := experiments.DefaultEnv()
 	var res experiments.Figure8Result
 	for i := 0; i < b.N; i++ {
@@ -115,6 +123,7 @@ func BenchmarkFigure8_Scaling(b *testing.B) {
 }
 
 func BenchmarkFigure9_NormalizedThroughput(b *testing.B) {
+	b.ReportAllocs()
 	env := experiments.DefaultEnv()
 	var res experiments.Figure9Result
 	for i := 0; i < b.N; i++ {
@@ -127,6 +136,7 @@ func BenchmarkFigure9_NormalizedThroughput(b *testing.B) {
 }
 
 func BenchmarkAblation_AlphaThreshold(b *testing.B) {
+	b.ReportAllocs()
 	env := experiments.DefaultEnv()
 	var rows []experiments.AblationAlphaRow
 	for i := 0; i < b.N; i++ {
@@ -138,6 +148,7 @@ func BenchmarkAblation_AlphaThreshold(b *testing.B) {
 }
 
 func BenchmarkAblation_LocalAggregation(b *testing.B) {
+	b.ReportAllocs()
 	env := experiments.DefaultEnv()
 	var rows []experiments.AblationLocalAggRow
 	for i := 0; i < b.N; i++ {
@@ -151,6 +162,7 @@ func BenchmarkAblation_LocalAggregation(b *testing.B) {
 // Micro-benchmarks of the substrate hot paths.
 
 func BenchmarkEngineStep_LMHybrid(b *testing.B) {
+	b.ReportAllocs()
 	hw := experiments.DefaultEnv().HW
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -161,11 +173,13 @@ func BenchmarkEngineStep_LMHybrid(b *testing.B) {
 }
 
 func BenchmarkRealTrainingStep(b *testing.B) {
+	b.ReportAllocs()
 	g := buildAPIModel(16, 500)
 	runner, err := GetRunner(g, Uniform(2, 2), Config{SparsePartitions: 4})
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer runner.Close()
 	ds := data.NewZipfText(500, 16, 1, 1.0, 3)
 	feeds := make([]Feed, runner.Workers())
 	for w := range feeds {
@@ -180,7 +194,55 @@ func BenchmarkRealTrainingStep(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainerStep measures one synchronous step of the functional
+// data plane on a hybrid LM-style workload: a partitioned sparse embedding
+// synchronized through parameter servers with local aggregation, plus
+// dense hidden/softmax layers synchronized through ring AllReduce, on a
+// 2-machine × 2-GPU cluster. ns/op and allocs/op here are the
+// persistent-runtime regression guard (see CHANGES.md for the
+// before/after record).
+func BenchmarkTrainerStep(b *testing.B) {
+	b.ReportAllocs()
+	const (
+		vocab = 1000
+		batch = 32
+		dim   = 32
+	)
+	rng := NewRNG(11)
+	g := NewGraph()
+	tokens := g.Input("tokens", Int, batch)
+	labels := g.Input("labels", Int, batch)
+	var emb *Node
+	g.InPartitioner(func() {
+		emb = g.Variable("embedding", rng.RandN(0.1, vocab, dim))
+	})
+	w1 := g.Variable("hidden/kernel", rng.RandN(0.1, dim, 64))
+	b1 := g.Variable("hidden/bias", NewDense(64))
+	w2 := g.Variable("softmax/kernel", rng.RandN(0.1, 64, vocab))
+	h := g.Tanh(g.AddBias(g.MatMul(g.Gather(emb, tokens), w1), b1))
+	g.SoftmaxCE(g.MatMul(h, w2), labels)
+
+	runner, err := GetRunner(g, Uniform(2, 2), Config{SparsePartitions: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer runner.Close()
+	ds := data.NewZipfText(vocab, batch, 1, 1.0, 13)
+	feeds := make([]Feed, runner.Workers())
+	for w := range feeds {
+		bt := ds.Next()
+		feeds[w] = Feed{Ints: map[string][]int{"tokens": bt.Tokens, "labels": bt.Labels}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkExtension_PrunedDenseModel(b *testing.B) {
+	b.ReportAllocs()
 	env := experiments.DefaultEnv()
 	var rows []experiments.PruningRow
 	for i := 0; i < b.N; i++ {

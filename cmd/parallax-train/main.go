@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"parallax"
 	"parallax/internal/data"
@@ -63,27 +64,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer runner.Close()
 	fmt.Print(runner.Describe())
 	fmt.Printf("measured alpha(embedding) = %.4f, sparse partitions = %d\n\n",
 		alpha, runner.SparsePartitions())
 
-	shards := make([]parallax.Dataset, runner.Workers())
-	for w := range shards {
-		shards[w] = parallax.Shard(data.NewZipfText(*vocab, *batch, 1, 1.0, 7), w, runner.Workers())
+	// The persistent runtime's loop driver: one endless stream, consumed
+	// as disjoint per-worker shards, with per-step metrics via the hook.
+	stats, err := runner.RunLoop(ds, *steps, func(s parallax.StepStats) {
+		if s.Step%10 == 0 || s.Step == *steps-1 {
+			fmt.Printf("step %4d  loss %.4f  (%v, %d KB pushed)\n",
+				s.Step, s.Loss, s.StepTime.Round(10*time.Microsecond), s.BytesPushed/1024)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	_ = ds
-	for step := 0; step < *steps; step++ {
-		feeds := make([]parallax.Feed, runner.Workers())
-		for w := range feeds {
-			b := shards[w].Next()
-			feeds[w] = parallax.Feed{Ints: map[string][]int{"tokens": b.Tokens, "labels": b.Labels}}
-		}
-		loss, err := runner.Run(feeds)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if step%10 == 0 || step == *steps-1 {
-			fmt.Printf("step %4d  loss %.4f\n", step, loss)
-		}
-	}
+	fmt.Printf("\n%s\n", stats)
 }

@@ -52,6 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer runner.Close()
 	fmt.Print(runner.Describe())
 	fmt.Printf("measured alpha %.4f, searched partitions %d\n\n", alpha, runner.SparsePartitions())
 

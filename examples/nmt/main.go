@@ -57,6 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer runner.Close()
 	fmt.Print(runner.Describe())
 	fmt.Printf("alpha enc %.4f dec %.4f, partitions %d\n\n", srcAlpha, dstAlpha, runner.SparsePartitions())
 

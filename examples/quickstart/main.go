@@ -35,30 +35,27 @@ func main() {
 	proj := g.Variable("proj", rng.RandN(0.1, dim, vocab))
 	g.SoftmaxCE(g.MatMul(g.Gather(emb, tokens), proj), labels)
 
-	// 2. Transform for the cluster (Fig. 3 lines 19-22).
+	// 2. Transform for the cluster (Fig. 3 lines 19-22). GetRunner starts
+	// the persistent runtime (worker goroutines + parameter servers);
+	// Close stops it.
 	runner, err := parallax.GetRunner(g, parallax.Uniform(2, 2), parallax.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer runner.Close()
 	fmt.Print(runner.Describe())
 
-	// 3. Shard the input stream and train (Fig. 3 lines 24-25).
-	shards := make([]parallax.Dataset, runner.Workers())
-	for w := range shards {
-		shards[w] = parallax.Shard(data.NewZipfText(vocab, batch, 1, 1.0, 9), w, runner.Workers())
+	// 3. Train (Fig. 3 lines 24-25): RunLoop shards the stream across the
+	// workers and drives the synchronous steps, reporting per-step
+	// metrics to the hook.
+	stats, err := runner.RunLoop(data.NewZipfText(vocab, batch, 1, 1.0, 9), 30,
+		func(s parallax.StepStats) {
+			if s.Step%10 == 0 {
+				fmt.Printf("step %2d  loss %.4f\n", s.Step, s.Loss)
+			}
+		})
+	if err != nil {
+		log.Fatal(err)
 	}
-	for step := 0; step < 30; step++ {
-		feeds := make([]parallax.Feed, runner.Workers())
-		for w := range feeds {
-			b := shards[w].Next()
-			feeds[w] = parallax.Feed{Ints: map[string][]int{"tokens": b.Tokens, "labels": b.Labels}}
-		}
-		loss, err := runner.Run(feeds)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if step%10 == 0 {
-			fmt.Printf("step %2d  loss %.4f\n", step, loss)
-		}
-	}
+	fmt.Println(stats)
 }

@@ -1,0 +1,3 @@
+module parallax
+
+go 1.24

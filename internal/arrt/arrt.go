@@ -7,7 +7,7 @@
 package arrt
 
 import (
-	"fmt"
+	"strconv"
 
 	"parallax/internal/collective"
 	"parallax/internal/optim"
@@ -58,4 +58,7 @@ func (r *Replica) SumScalar(name string, step int, v float64) float64 {
 	return collective.ReduceScalar(r.comm, tag(name, step), v)
 }
 
-func tag(name string, step int) string { return fmt.Sprintf("%s@%d", name, step) }
+// tag builds the per-variable per-step rendezvous tag. Plain concatenation
+// with strconv keeps this off the fmt reflection path; it runs once per
+// synchronized variable per worker per step.
+func tag(name string, step int) string { return name + "@" + strconv.Itoa(step) }

@@ -23,10 +23,42 @@ type message struct {
 }
 
 // World is the shared transport for a fixed group of ranks: a buffered FIFO
-// channel per directed pair.
+// channel per directed pair, plus a shared recycle pool for the float
+// chunk buffers the ring algorithms ship around (a persistent training
+// loop reuses the same handful of buffers every step instead of
+// allocating fresh ones).
 type World struct {
 	size  int
 	pipes [][]chan message // pipes[src][dst]
+
+	bufMu sync.Mutex
+	bufs  map[int][][]float32 // capacity -> idle buffers
+}
+
+// getBuf returns a length-n float buffer, reusing a pooled one when
+// available. Contents are unspecified.
+func (w *World) getBuf(n int) []float32 {
+	w.bufMu.Lock()
+	if l := w.bufs[n]; len(l) > 0 {
+		b := l[len(l)-1]
+		l[len(l)-1] = nil
+		w.bufs[n] = l[:len(l)-1]
+		w.bufMu.Unlock()
+		return b
+	}
+	w.bufMu.Unlock()
+	return make([]float32, n)
+}
+
+// putBuf recycles a buffer obtained from getBuf (or received from a peer
+// that got it there). The caller must not use it afterwards.
+func (w *World) putBuf(b []float32) {
+	if len(b) == 0 {
+		return
+	}
+	w.bufMu.Lock()
+	w.bufs[len(b)] = append(w.bufs[len(b)], b)
+	w.bufMu.Unlock()
 }
 
 // NewWorld creates a transport for size ranks. Channel buffers are sized so
@@ -35,7 +67,7 @@ func NewWorld(size int) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("collective: world size %d", size))
 	}
-	w := &World{size: size, pipes: make([][]chan message, size)}
+	w := &World{size: size, pipes: make([][]chan message, size), bufs: make(map[int][][]float32)}
 	for s := range w.pipes {
 		w.pipes[s] = make([]chan message, size)
 		for d := range w.pipes[s] {

@@ -42,6 +42,14 @@ func RingAllReduce(c *Comm, tag string, t *tensor.Dense) {
 	right := (c.rank + 1) % n
 	left := (c.rank - 1 + n) % n
 
+	// One tag per phase is enough: each directed pair's channel is FIFO
+	// and both ranks advance rounds in lockstep, so per-round tags would
+	// only re-verify ordering the transport already guarantees. Chunk
+	// buffers come from the world pool; the receiver recycles each buffer
+	// once consumed.
+	rsTag := tag + "/rs"
+	agTag := tag + "/ag"
+
 	// Reduce-scatter: after step s, rank r holds the partial sum of chunk
 	// (r - s) mod n over s+1 ranks; after n-1 steps, rank r holds the full
 	// sum of chunk (r+1) mod n.
@@ -49,10 +57,10 @@ func RingAllReduce(c *Comm, tag string, t *tensor.Dense) {
 		sendChunk := (c.rank - s + n) % n
 		recvChunk := (c.rank - s - 1 + n) % n
 		ss, se := chunkBounds(len(data), n, sendChunk)
-		out := make([]float32, se-ss)
+		out := c.world.getBuf(se - ss)
 		copy(out, data[ss:se])
-		c.Send(right, fmt.Sprintf("%s/rs%d", tag, s), out)
-		in := c.Recv(left, fmt.Sprintf("%s/rs%d", tag, s)).([]float32)
+		c.Send(right, rsTag, out)
+		in := c.Recv(left, rsTag).([]float32)
 		rs, re := chunkBounds(len(data), n, recvChunk)
 		if len(in) != re-rs {
 			panic(fmt.Sprintf("collective: allreduce chunk size mismatch %d vs %d", len(in), re-rs))
@@ -60,21 +68,23 @@ func RingAllReduce(c *Comm, tag string, t *tensor.Dense) {
 		for i, v := range in {
 			data[rs+i] += v
 		}
+		c.world.putBuf(in)
 	}
 	// All-gather: circulate the fully reduced chunks.
 	for s := 0; s < n-1; s++ {
 		sendChunk := (c.rank + 1 - s + n) % n
 		recvChunk := (c.rank - s + n) % n
 		ss, se := chunkBounds(len(data), n, sendChunk)
-		out := make([]float32, se-ss)
+		out := c.world.getBuf(se - ss)
 		copy(out, data[ss:se])
-		c.Send(right, fmt.Sprintf("%s/ag%d", tag, s), out)
-		in := c.Recv(left, fmt.Sprintf("%s/ag%d", tag, s)).([]float32)
+		c.Send(right, agTag, out)
+		in := c.Recv(left, agTag).([]float32)
 		rs, re := chunkBounds(len(data), n, recvChunk)
 		if len(in) != re-rs {
 			panic(fmt.Sprintf("collective: allgather chunk size mismatch %d vs %d", len(in), re-rs))
 		}
 		copy(data[rs:re], in)
+		c.world.putBuf(in)
 	}
 }
 
@@ -93,9 +103,10 @@ func AllGatherv(c *Comm, tag string, s *tensor.Sparse) *tensor.Sparse {
 	blocks := make([]*tensor.Sparse, n)
 	blocks[c.rank] = s
 	cur := s
+	agvTag := tag + "/agv"
 	for step := 0; step < n-1; step++ {
-		c.Send(right, fmt.Sprintf("%s/agv%d", tag, step), cur)
-		cur = c.Recv(left, fmt.Sprintf("%s/agv%d", tag, step)).(*tensor.Sparse)
+		c.Send(right, agvTag, cur)
+		cur = c.Recv(left, agvTag).(*tensor.Sparse)
 		origin := (c.rank - step - 1 + n) % n
 		blocks[origin] = cur
 	}
@@ -142,9 +153,10 @@ func ReduceScalar(c *Comm, tag string, v float64) float64 {
 	right := (c.rank + 1) % n
 	left := (c.rank - 1 + n) % n
 	cur := v
+	redTag := tag + "/red"
 	for s := 0; s < n-1; s++ {
-		c.Send(right, fmt.Sprintf("%s/red%d", tag, s), cur)
-		cur = c.Recv(left, fmt.Sprintf("%s/red%d", tag, s)).(float64)
+		c.Send(right, redTag, cur)
+		cur = c.Recv(left, redTag).(float64)
 		total += cur
 	}
 	return total

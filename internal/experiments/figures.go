@@ -131,6 +131,7 @@ func trainDistributedToTarget(g *graph.Graph, feeds func(step, workers int) []gr
 	if err != nil {
 		panic(err)
 	}
+	defer tr.Close()
 	first := -1.0
 	target := -1.0
 	for it := 0; it < maxIters; it++ {

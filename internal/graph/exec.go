@@ -28,10 +28,19 @@ func NewGradSet() *GradSet {
 
 // Exec evaluates a graph with real tensors: it owns the variable storage
 // and runs forward+backward steps. One Exec corresponds to one model
-// replica (one "GPU" in the paper's terms).
+// replica (one "GPU" in the paper's terms). An Exec is a persistent
+// runtime object: it keeps its per-step scratch tables between steps, so
+// it must only be driven by one goroutine at a time.
 type Exec struct {
 	g      *Graph
 	values map[string]*tensor.Dense // variable storage by name
+
+	// Per-step scratch, reused across Step calls.
+	floats    []*tensor.Dense
+	ints      [][]int
+	denseGrad []*tensor.Dense
+	varSparse map[string][]*tensor.Sparse
+	grads     *GradSet
 }
 
 // NewExec creates an executor with variables initialized from their Init
@@ -79,9 +88,23 @@ func (e *Exec) SetVarValue(name string, t *tensor.Dense) {
 
 // Step runs one forward+backward pass with the given feed and returns the
 // loss and per-variable gradients.
+//
+// The returned GradSet is owned by the executor and reused: it is valid
+// only until the next Step call. The gradient tensors inside it are
+// freshly built each step, so callers may hand them off (e.g. transfer
+// sparse gradients to a parameter server) — only the container is
+// recycled.
 func (e *Exec) Step(feed Feed) (float64, *GradSet, error) {
-	floats := make([]*tensor.Dense, len(e.g.nodes))
-	ints := make([][]int, len(e.g.nodes))
+	if e.floats == nil {
+		e.floats = make([]*tensor.Dense, len(e.g.nodes))
+		e.ints = make([][]int, len(e.g.nodes))
+		e.denseGrad = make([]*tensor.Dense, len(e.g.nodes))
+		e.varSparse = make(map[string][]*tensor.Sparse)
+		e.grads = NewGradSet()
+	}
+	floats, ints := e.floats, e.ints
+	clear(floats)
+	clear(ints)
 
 	// Forward pass in construction (topological) order.
 	var loss float64
@@ -143,8 +166,12 @@ func (e *Exec) Step(feed Feed) (float64, *GradSet, error) {
 
 	// Backward pass in reverse order. denseGrad[id] accumulates dense
 	// output-gradients; sparse contributions flow straight into varSparse.
-	denseGrad := make([]*tensor.Dense, len(e.g.nodes))
-	varSparse := make(map[string][]*tensor.Sparse)
+	denseGrad, varSparse := e.denseGrad, e.varSparse
+	clear(denseGrad)
+	for k, l := range varSparse {
+		clear(l)
+		varSparse[k] = l[:0]
+	}
 	addDense := func(n *Node, g *tensor.Dense) {
 		if denseGrad[n.ID] == nil {
 			denseGrad[n.ID] = g.Clone()
@@ -208,7 +235,9 @@ func (e *Exec) Step(feed Feed) (float64, *GradSet, error) {
 	// Assemble per-variable gradients, honoring the static GradKind: a
 	// variable with any dense contribution gets a dense gradient (sparse
 	// parts densified), otherwise the concatenated sparse gradient.
-	gs := NewGradSet()
+	gs := e.grads
+	clear(gs.Dense)
+	clear(gs.Sparse)
 	for _, v := range e.g.vars {
 		d := denseGrad[v.node.ID]
 		sps := varSparse[v.Name]

@@ -191,6 +191,17 @@ func TestGradientsMatchFiniteDifference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The GradSet is only valid until the next Step call, and the
+	// finite-difference probes below re-run Step many times: snapshot the
+	// analytic gradients densely first.
+	analyticGrads := map[string]*tensor.Dense{}
+	for _, v := range e.Graph().Variables() {
+		if d, ok := gs.Dense[v.Name]; ok {
+			analyticGrads[v.Name] = d.Clone()
+		} else {
+			analyticGrads[v.Name] = gs.Sparse[v.Name].ToDense()
+		}
+	}
 	const eps = 1e-2
 	lossAt := func() float64 {
 		l, _, err := e.Step(feed)
@@ -201,13 +212,8 @@ func TestGradientsMatchFiniteDifference(t *testing.T) {
 	}
 	for _, v := range e.Graph().Variables() {
 		val := e.VarValue(v.Name)
-		var analytic func(i int) float64
-		if d, ok := gs.Dense[v.Name]; ok {
-			analytic = func(i int) float64 { return float64(d.Data()[i]) }
-		} else {
-			dd := gs.Sparse[v.Name].ToDense()
-			analytic = func(i int) float64 { return float64(dd.Data()[i]) }
-		}
+		dd := analyticGrads[v.Name]
+		analytic := func(i int) float64 { return float64(dd.Data()[i]) }
 		// Probe a handful of coordinates.
 		probe := []int{0, 1, v.Init.NumElements() / 2, v.Init.NumElements() - 1}
 		for _, i := range probe {

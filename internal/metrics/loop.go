@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// StepStats is one training step's measurements, emitted by the persistent
+// runtime's RunLoop for every iteration: the quantities the paper's
+// evaluation tracks per step (loss curves in Fig. 7, step time behind the
+// throughput tables, network transfer in Table 3).
+type StepStats struct {
+	// Step is the zero-based iteration number.
+	Step int
+	// Loss is the mean loss across workers.
+	Loss float64
+	// StepTime is the wall-clock duration of the synchronous step.
+	StepTime time.Duration
+	// BytesPushed counts the gradient payload bytes all workers handed to
+	// the synchronization layer (ring collectives + parameter servers)
+	// during the step.
+	BytesPushed int64
+}
+
+// LoopStats aggregates StepStats over a training loop.
+type LoopStats struct {
+	// Steps is the number of observed steps.
+	Steps int
+	// FirstLoss and LastLoss bracket the loss trajectory; MeanLoss
+	// averages it.
+	FirstLoss, LastLoss, MeanLoss float64
+	// TotalTime is the summed step wall-clock time.
+	TotalTime time.Duration
+	// TotalBytesPushed sums the per-step gradient traffic.
+	TotalBytesPushed int64
+
+	lossSum float64
+}
+
+// Observe folds one step's stats into the aggregate.
+func (l *LoopStats) Observe(s StepStats) {
+	if l.Steps == 0 {
+		l.FirstLoss = s.Loss
+	}
+	l.Steps++
+	l.LastLoss = s.Loss
+	l.lossSum += s.Loss
+	l.MeanLoss = l.lossSum / float64(l.Steps)
+	l.TotalTime += s.StepTime
+	l.TotalBytesPushed += s.BytesPushed
+}
+
+// StepsPerSec returns the observed step throughput.
+func (l LoopStats) StepsPerSec() float64 {
+	if l.TotalTime <= 0 {
+		return 0
+	}
+	return float64(l.Steps) / l.TotalTime.Seconds()
+}
+
+// String renders a one-line summary.
+func (l LoopStats) String() string {
+	return fmt.Sprintf("%d steps in %v (%s steps/s), loss %.4f -> %.4f, pushed %s",
+		l.Steps, l.TotalTime.Round(time.Millisecond), Humanize(l.StepsPerSec()),
+		l.FirstLoss, l.LastLoss, HumanBytes(float64(l.TotalBytesPushed)))
+}

@@ -10,6 +10,24 @@
 // accumulator mechanism of §5 ("we first place accumulators on servers
 // ... each accumulator handles gradients of a single sparse variable") —
 // and pulls for the next iteration block until the update lands.
+//
+// # Buffer ownership
+//
+// The runtime is allocation-disciplined so a persistent training loop does
+// not churn the heap:
+//
+//   - PushDense borrows grad only for the duration of the call and never
+//     mutates it. Callers may pass zero-copy views (tensor.SliceRows) of
+//     live gradient buffers and reuse them immediately after the call
+//     returns. Each partition keeps a preallocated accumulator that the
+//     borrowed gradient is summed into.
+//   - PushSparse takes ownership of grad: the server may retain and mutate
+//     it until the partition's update has been applied. Callers must hand
+//     over freshly built tensors (SplitSparse output qualifies) and not
+//     touch them afterwards.
+//   - Pull allocates a copy; PullInto copies into a caller-owned buffer
+//     (typically a SliceRows view of replica storage) and is the
+//     allocation-free path the persistent runtime uses.
 package psrt
 
 import (
@@ -76,6 +94,9 @@ type servedVar struct {
 	width  int
 	dim0   int
 	parts  []*part
+	// keys[pi] is the optimizer state key for partition pi, precomputed so
+	// the per-push apply path never formats strings.
+	keys []string
 }
 
 type part struct {
@@ -84,8 +105,14 @@ type part struct {
 
 	value *tensor.Dense // [range.Len(), width]
 
+	// accDense is the partition's persistent dense gradient buffer: the
+	// sync-mode accumulator, the async-mode scratch copy, and (between
+	// aggregation and apply) the aggregated gradient. It is allocated once
+	// in AddVar for dense variables and reused every step — the blocking
+	// pull protocol guarantees step i+1's first push cannot arrive before
+	// step i's update applied.
 	accDense  *tensor.Dense
-	accSparse []*tensor.Sparse
+	accSparse []*tensor.Sparse // retained pushed gradients (ownership transferred)
 	pushes    int
 
 	aggregated bool // Sync+DeferUpdates: gradients aggregated, not applied
@@ -132,6 +159,7 @@ func (s *Server) AddVar(name string, init *tensor.Dense, ranges []tensor.RowRang
 		width:  width,
 		dim0:   init.Dim(0),
 		parts:  make([]*part, len(ranges)),
+		keys:   make([]string, len(ranges)),
 	}
 	for _, pi := range owned {
 		if pi < 0 || pi >= len(ranges) {
@@ -141,8 +169,12 @@ func (s *Server) AddVar(name string, init *tensor.Dense, ranges []tensor.RowRang
 		val := tensor.NewDense(rr.Len(), width)
 		copy(val.Data(), init.Data()[rr.Start*width:rr.End*width])
 		p := &part{value: val}
+		if !sparse {
+			p.accDense = tensor.NewDense(rr.Len(), width)
+		}
 		p.cond = sync.NewCond(&p.mu)
 		v.parts[pi] = p
+		v.keys[pi] = fmt.Sprintf("%s/part%d", name, pi)
 	}
 	s.vars[name] = v
 	return nil
@@ -163,7 +195,10 @@ func (s *Server) lookup(name string, pi int) (*servedVar, *part, error) {
 
 // PushDense delivers one source's dense gradient for a partition. The
 // gradient must already be in partition-local coordinates (the full
-// tensor for unpartitioned variables).
+// tensor for unpartitioned variables). grad is borrowed for the duration
+// of the call only and is never mutated: zero-copy views of live buffers
+// are fine, and the caller may reuse the buffer as soon as PushDense
+// returns.
 func (s *Server) PushDense(name string, pi int, grad *tensor.Dense) error {
 	v, p, err := s.lookup(name, pi)
 	if err != nil {
@@ -172,30 +207,42 @@ func (s *Server) PushDense(name string, pi int, grad *tensor.Dense) error {
 	if v.sparse {
 		return fmt.Errorf("psrt: dense push to sparse variable %q", name)
 	}
+	if grad.NumElements() != v.ranges[pi].Len()*v.width {
+		return fmt.Errorf("psrt: dense push to %s/%d has %d elements, partition wants %d",
+			name, pi, grad.NumElements(), v.ranges[pi].Len()*v.width)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if s.cfg.Mode == Async {
-		g := grad.Clone()
-		optim.FinalizeDense(g, s.cfg.meanDiv(), s.cfg.DenseAgg)
-		s.cfg.Optimizer.ApplyDense(partKey(name, pi), p.value, g)
+		copy(p.accDense.Data(), grad.Data())
+		optim.FinalizeDense(p.accDense, s.cfg.meanDiv(), s.cfg.DenseAgg)
+		s.cfg.Optimizer.ApplyDense(v.keys[pi], p.value, p.accDense)
 		p.version++
 		p.cond.Broadcast()
 		return nil
 	}
-	if p.accDense == nil {
-		p.accDense = grad.Clone()
+	if p.pushes == 0 {
+		copy(p.accDense.Data(), grad.Data())
 	} else {
-		p.accDense.AddInto(grad)
+		// Accumulate by element: the gradient may arrive with a different
+		// rank than the [rows, width] accumulator (a rank-1 bias pushed as
+		// a whole), and both layouts are row-major.
+		acc := p.accDense.Data()
+		for i, g := range grad.Data() {
+			acc[i] += g
+		}
 	}
 	p.pushes++
 	if p.pushes == s.cfg.Sources {
-		s.completeLocked(name, pi, v, p)
+		s.completeLocked(pi, v, p)
 	}
 	return nil
 }
 
 // PushSparse delivers one source's sparse gradient for a partition, rows in
-// partition-local coordinates.
+// partition-local coordinates. Ownership of grad transfers to the server:
+// it may be retained and mutated until the partition's update applies, so
+// the caller must not touch it after the call.
 func (s *Server) PushSparse(name string, pi int, grad *tensor.Sparse) error {
 	v, p, err := s.lookup(name, pi)
 	if err != nil {
@@ -207,66 +254,69 @@ func (s *Server) PushSparse(name string, pi int, grad *tensor.Sparse) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if s.cfg.Mode == Async {
-		g := grad.Clone()
-		optim.FinalizeSparse(g, s.cfg.meanDiv(), s.cfg.SparseAgg)
-		s.cfg.Optimizer.ApplySparse(partKey(name, pi), p.value, g)
+		optim.FinalizeSparse(grad, s.cfg.meanDiv(), s.cfg.SparseAgg)
+		s.cfg.Optimizer.ApplySparse(v.keys[pi], p.value, grad)
 		p.version++
 		p.cond.Broadcast()
 		return nil
 	}
-	p.accSparse = append(p.accSparse, grad.Clone())
+	p.accSparse = append(p.accSparse, grad)
 	p.pushes++
 	if p.pushes == s.cfg.Sources {
-		s.completeLocked(name, pi, v, p)
+		s.completeLocked(pi, v, p)
 	}
 	return nil
 }
 
 // completeLocked aggregates the accumulator; with DeferUpdates it parks the
 // aggregated gradient for the chief, otherwise applies immediately.
-func (s *Server) completeLocked(name string, pi int, v *servedVar, p *part) {
+func (s *Server) completeLocked(pi int, v *servedVar, p *part) {
 	if v.sparse {
 		agg := tensor.SumSparse(p.accSparse)
 		optim.FinalizeSparse(agg, s.cfg.meanDiv(), s.cfg.SparseAgg)
 		p.aggSparse = agg
+		clear(p.accSparse)
+		p.accSparse = p.accSparse[:0]
 	} else {
-		agg := p.accDense
-		optim.FinalizeDense(agg, s.cfg.meanDiv(), s.cfg.DenseAgg)
-		p.aggDense = agg
+		optim.FinalizeDense(p.accDense, s.cfg.meanDiv(), s.cfg.DenseAgg)
+		p.aggDense = p.accDense
 	}
-	p.accSparse = nil
-	p.accDense = nil
 	p.pushes = 0
 	p.aggregated = true
 	p.aggSeq++
-	if v.sparse {
-		p.aggNorm2 = p.aggSparse.L2NormSquared()
-	} else {
-		p.aggNorm2 = p.aggDense.L2NormSquared()
+	if s.cfg.DeferUpdates {
+		// The aggregated norm is only read through
+		// WaitAggregatedNormSquared, which the chief-clipping path uses;
+		// skip the O(elements) computation on the plain sync path.
+		if v.sparse {
+			p.aggNorm2 = p.aggSparse.L2NormSquared()
+		} else {
+			p.aggNorm2 = p.aggDense.L2NormSquared()
+		}
 	}
 	if !s.cfg.DeferUpdates {
-		s.applyLocked(name, pi, v, p, 1)
+		s.applyLocked(pi, v, p, 1)
 		return
 	}
 	p.cond.Broadcast() // wake WaitAggregated
 }
 
-func (s *Server) applyLocked(name string, pi int, v *servedVar, p *part, scale float32) {
+func (s *Server) applyLocked(pi int, v *servedVar, p *part, scale float32) {
 	if v.sparse {
 		g := p.aggSparse
 		if scale != 1 {
 			g.Scale(scale)
 		}
-		s.cfg.Optimizer.ApplySparse(partKey(name, pi), p.value, g)
+		s.cfg.Optimizer.ApplySparse(v.keys[pi], p.value, g)
 	} else {
 		g := p.aggDense
 		if scale != 1 {
 			g.Scale(scale)
 		}
-		s.cfg.Optimizer.ApplyDense(partKey(name, pi), p.value, g)
+		s.cfg.Optimizer.ApplyDense(v.keys[pi], p.value, g)
 	}
 	p.aggSparse = nil
-	p.aggDense = nil
+	p.aggDense = nil // the persistent accDense buffer itself is kept
 	p.aggregated = false
 	p.version++
 	p.cond.Broadcast()
@@ -303,7 +353,7 @@ func (s *Server) ApplyUpdate(name string, pi int, scale float32) error {
 	if !p.aggregated {
 		return fmt.Errorf("psrt: ApplyUpdate before aggregation of %s/%d", name, pi)
 	}
-	s.applyLocked(name, pi, v, p, scale)
+	s.applyLocked(pi, v, p, scale)
 	return nil
 }
 
@@ -323,6 +373,28 @@ func (s *Server) Pull(name string, pi int, minVersion int64) (*tensor.Dense, err
 	return p.value.Clone(), nil
 }
 
+// PullInto copies the partition's value into dst — typically a SliceRows
+// view of the caller's replica storage — once its version is at least
+// minVersion. It is the allocation-free pull used by the persistent
+// runtime. dst must have the partition's element count.
+func (s *Server) PullInto(name string, pi int, minVersion int64, dst *tensor.Dense) error {
+	_, p, err := s.lookup(name, pi)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.version < minVersion {
+		p.cond.Wait()
+	}
+	if dst.NumElements() != p.value.NumElements() {
+		return fmt.Errorf("psrt: PullInto %s/%d: dst has %d elements, partition has %d",
+			name, pi, dst.NumElements(), p.value.NumElements())
+	}
+	copy(dst.Data(), p.value.Data())
+	return nil
+}
+
 // Version returns the partition's applied-update count.
 func (s *Server) Version(name string, pi int) (int64, error) {
 	_, p, err := s.lookup(name, pi)
@@ -333,5 +405,3 @@ func (s *Server) Version(name string, pi int) (int64, error) {
 	defer p.mu.Unlock()
 	return p.version, nil
 }
-
-func partKey(name string, pi int) string { return fmt.Sprintf("%s/part%d", name, pi) }

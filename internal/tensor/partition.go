@@ -58,30 +58,52 @@ func PartitionOfRow(ranges []RowRange, row int) int {
 // zero-row sparse tensor. This is the "dividing incoming values and indices
 // into disjoint sets" step that makes partitioned aggregation parallel
 // (§3.2).
+//
+// Storage is batch-allocated: all partitions share one rows array, one
+// values array, and one block of tensor headers, so splitting into P
+// partitions costs O(1) allocations instead of O(P). If s is coalesced,
+// every partition is too (splitting a sorted unique sequence by contiguous
+// ranges preserves both properties... after a stable partition pass, rows
+// within one partition keep their relative order).
 func SplitSparse(s *Sparse, ranges []RowRange) []*Sparse {
+	np := len(ranges)
 	w := s.RowWidth()
-	counts := make([]int, len(ranges))
+	counts := make([]int, np)
 	assign := make([]int, len(s.Rows))
 	for i, r := range s.Rows {
 		p := PartitionOfRow(ranges, r)
 		assign[i] = p
 		counts[p]++
 	}
-	out := make([]*Sparse, len(ranges))
-	fill := make([]int, len(ranges))
+	// Shared backing storage for every partition.
+	rowsAll := make([]int, len(s.Rows))
+	valsAll := NewDense(len(s.Rows), w)
+	sparses := make([]Sparse, np)
+	denses := make([]Dense, np)
+	shapes := make([]int, 2*np)
+	out := make([]*Sparse, np)
+	fill := make([]int, np) // next absolute write index per partition
+	start := 0
 	for p := range out {
-		out[p] = &Sparse{
-			Rows:   make([]int, counts[p]),
-			Values: NewDense(counts[p], w),
-			Dim0:   ranges[p].Len(),
+		shape := shapes[2*p : 2*p+2]
+		shape[0], shape[1] = counts[p], w
+		denses[p] = Dense{shape: shape, data: valsAll.data[start*w : (start+counts[p])*w : (start+counts[p])*w]}
+		sparses[p] = Sparse{
+			Rows:      rowsAll[start : start+counts[p] : start+counts[p]],
+			Values:    &denses[p],
+			Dim0:      ranges[p].Len(),
+			coalesced: s.coalesced,
 		}
+		out[p] = &sparses[p]
+		fill[p] = start
+		start += counts[p]
 	}
 	for i, r := range s.Rows {
 		p := assign[i]
 		j := fill[p]
 		fill[p]++
-		out[p].Rows[j] = r - ranges[p].Start
-		copy(out[p].Values.data[j*w:(j+1)*w], s.Values.data[i*w:(i+1)*w])
+		rowsAll[j] = r - ranges[p].Start
+		copy(valsAll.data[j*w:(j+1)*w], s.Values.data[i*w:(i+1)*w])
 	}
 	return out
 }

@@ -1,0 +1,57 @@
+package tensor
+
+import "sync"
+
+// Pool recycles Dense scratch tensors so hot training loops do not allocate
+// a fresh buffer every step. Buffers are keyed by element count; a Get for
+// shape [4, 8] happily reuses a buffer released as [32] or [8, 4].
+//
+// The contents of a tensor returned by Get are unspecified (call Zero if a
+// cleared buffer is needed); callers own the tensor until they Put it back.
+// A Pool is safe for concurrent use by multiple goroutines.
+type Pool struct {
+	mu   sync.Mutex
+	free map[int][]*Dense // element count -> idle buffers
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{free: make(map[int][]*Dense)} }
+
+// Get returns a dense tensor with the given shape, reusing a pooled buffer
+// of the same element count when one is available. Contents are
+// unspecified.
+func (p *Pool) Get(shape ...int) *Dense {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	p.mu.Lock()
+	if l := p.free[n]; len(l) > 0 {
+		t := l[len(l)-1]
+		l[len(l)-1] = nil
+		p.free[n] = l[:len(l)-1]
+		p.mu.Unlock()
+		t.shape = append(t.shape[:0], shape...)
+		return t
+	}
+	p.mu.Unlock()
+	return NewDense(shape...)
+}
+
+// GetZeroed returns a zero-filled tensor with the given shape.
+func (p *Pool) GetZeroed(shape ...int) *Dense {
+	t := p.Get(shape...)
+	t.Zero()
+	return t
+}
+
+// Put releases t back to the pool. The caller must not use t (or any view
+// of its storage) afterwards. Put tolerates nil and empty tensors.
+func (p *Pool) Put(t *Dense) {
+	if t == nil || len(t.data) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.free[len(t.data)] = append(p.free[len(t.data)], t)
+	p.mu.Unlock()
+}

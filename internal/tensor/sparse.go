@@ -22,6 +22,11 @@ type Sparse struct {
 	// Dim0 is the first-dimension size of the full variable this gradient
 	// applies to.
 	Dim0 int
+
+	// coalesced records that Rows is sorted and duplicate-free, letting
+	// norm computations skip re-coalescing. Constructors that cannot prove
+	// it leave it false, which is always safe.
+	coalesced bool
 }
 
 // NewSparse builds a sparse tensor from rows and a matching values tensor.
@@ -50,14 +55,26 @@ func (s *Sparse) Bytes() int64 { return s.Values.Bytes() }
 
 // Clone returns a deep copy.
 func (s *Sparse) Clone() *Sparse {
-	return &Sparse{Rows: append([]int(nil), s.Rows...), Values: s.Values.Clone(), Dim0: s.Dim0}
+	return &Sparse{Rows: append([]int(nil), s.Rows...), Values: s.Values.Clone(), Dim0: s.Dim0, coalesced: s.coalesced}
 }
 
 // ToDense scatters the slices into a full dense tensor of shape
 // [Dim0, rowWidth], summing duplicate rows.
 func (s *Sparse) ToDense() *Dense {
+	out := NewDense(s.Dim0, s.RowWidth())
+	s.ToDenseInto(out)
+	return out
+}
+
+// ToDenseInto scatter-adds the slices into out, an already-zeroed dense
+// tensor with Dim0 rows of RowWidth elements (e.g. a pooled buffer),
+// summing duplicate rows.
+func (s *Sparse) ToDenseInto(out *Dense) {
 	w := s.RowWidth()
-	out := NewDense(s.Dim0, w)
+	if out.Dim(0) != s.Dim0 || out.RowWidth() != w {
+		panic(fmt.Sprintf("tensor: ToDenseInto into %v for sparse dim0=%d width=%d",
+			out.Shape(), s.Dim0, w))
+	}
 	for i, r := range s.Rows {
 		dst := out.data[r*w : (r+1)*w]
 		src := s.Values.data[i*w : (i+1)*w]
@@ -65,13 +82,15 @@ func (s *Sparse) ToDense() *Dense {
 			dst[j] += v
 		}
 	}
-	return out
 }
 
 // Coalesce returns an equivalent sparse tensor with unique, sorted rows and
 // duplicate slices summed. This is the "aggregation of gradients for sparse
 // variables" operation whose cost partitioning parallelizes (§3.2).
 func (s *Sparse) Coalesce() *Sparse {
+	if s.coalesced {
+		return s
+	}
 	w := s.RowWidth()
 	uniq := make([]int, 0, len(s.Rows))
 	seen := make(map[int]int, len(s.Rows)) // row -> position in uniq
@@ -93,7 +112,7 @@ func (s *Sparse) Coalesce() *Sparse {
 			dst[j] += v
 		}
 	}
-	return &Sparse{Rows: uniq, Values: vals, Dim0: s.Dim0}
+	return &Sparse{Rows: uniq, Values: vals, Dim0: s.Dim0, coalesced: true}
 }
 
 // Scale multiplies all stored values by a.
@@ -134,9 +153,50 @@ func ConcatSparse(parts []*Sparse) *Sparse {
 
 // SumSparse aggregates sparse gradients from multiple workers by summing
 // slices with equal row indices — the PS-server aggregation semantics.
-// The result is coalesced.
+// The result is coalesced. It runs in a single pass over the inputs (no
+// intermediate concatenated tensor), since it sits on the per-partition
+// accumulator hot path of the parameter servers.
 func SumSparse(parts []*Sparse) *Sparse {
-	return ConcatSparse(parts).Coalesce()
+	if len(parts) == 0 {
+		panic("tensor: SumSparse of no parts")
+	}
+	if len(parts) == 1 {
+		return parts[0].Coalesce()
+	}
+	w := parts[0].RowWidth()
+	dim0 := parts[0].Dim0
+	total := 0
+	for _, p := range parts {
+		if p.RowWidth() != w || p.Dim0 != dim0 {
+			panic("tensor: SumSparse shape mismatch")
+		}
+		total += len(p.Rows)
+	}
+	uniq := make([]int, 0, total)
+	seen := make(map[int]int, total) // row -> position in uniq
+	for _, p := range parts {
+		for _, r := range p.Rows {
+			if _, ok := seen[r]; !ok {
+				seen[r] = 0
+				uniq = append(uniq, r)
+			}
+		}
+	}
+	sort.Ints(uniq)
+	for i, r := range uniq {
+		seen[r] = i
+	}
+	vals := NewDense(len(uniq), w)
+	for _, p := range parts {
+		for i, r := range p.Rows {
+			dst := vals.data[seen[r]*w : (seen[r]+1)*w]
+			src := p.Values.data[i*w : (i+1)*w]
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+	return &Sparse{Rows: uniq, Values: vals, Dim0: dim0, coalesced: true}
 }
 
 // Gather extracts rows of a [dim0, w] dense tensor into a new sparse tensor

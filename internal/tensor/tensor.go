@@ -90,6 +90,27 @@ func (t *Dense) Clone() *Dense {
 	return c
 }
 
+// SliceRows returns a zero-copy view of rows [start, end) along the first
+// dimension: the returned tensor shares storage with t, so writes through
+// either alias are visible in both. The view's capacity is clipped so that
+// appends through it cannot spill into t's later rows. This is the
+// mechanism the runtimes use to push dense variable partitions without
+// heap-copying them (the paper partitions variables by contiguous row
+// ranges, §3.2).
+func (t *Dense) SliceRows(start, end int) *Dense {
+	if len(t.shape) == 0 {
+		panic("tensor: SliceRows on rank-0 tensor")
+	}
+	if start < 0 || end < start || end > t.shape[0] {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range [0,%d]", start, end, t.shape[0]))
+	}
+	w := t.RowWidth()
+	shape := make([]int, len(t.shape))
+	shape[0] = end - start
+	copy(shape[1:], t.shape[1:])
+	return &Dense{shape: shape, data: t.data[start*w : end*w : end*w]}
+}
+
 // At returns the element at the given row-major indices.
 func (t *Dense) At(idx ...int) float32 { return t.data[t.offset(idx)] }
 

@@ -13,12 +13,21 @@
 // *performance* of the same topology is modelled by internal/engine; this
 // package is the functional data plane used for correctness tests and
 // convergence experiments.
+//
+// The trainer is a persistent runtime: New launches one long-lived worker
+// goroutine per GPU plus one parameter server per machine, resolves every
+// variable's aggregation slot to integer indices, and preallocates the
+// gradient and partition buffers the hot loop needs. Step only dispatches
+// work over channels — it spawns no goroutines, builds no maps, and pushes
+// dense partitions as zero-copy views (see DESIGN.md §3 for the buffer
+// ownership rules shared with internal/psrt).
 package transform
 
 import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"parallax/internal/arrt"
 	"parallax/internal/cluster"
@@ -57,12 +66,40 @@ type varRoute struct {
 	ranges []tensor.RowRange
 }
 
-// Trainer executes synchronized data-parallel steps over in-process
-// workers.
+// stepTask is one worker's share of a dispatched iteration.
+type stepTask struct {
+	step int
+	feed graph.Feed
+}
+
+// stepResult is one worker's completion report.
+type stepResult struct {
+	loss float64
+	err  error
+}
+
+// aggSlot collects one machine's worker gradients for one variable in one
+// step; the last worker to arrive acts as the machine's local chief and
+// pushes the merged gradient (§5: "a worker in the machine becomes a local
+// chief worker to collect gradients within a machine and send them to
+// servers"). Slots are resolved to (route, machine) integer indices at
+// build time and reset in place between steps, so the hot loop never
+// touches a map or formats a key.
+type aggSlot struct {
+	mu       sync.Mutex
+	got      int
+	sparse   []*tensor.Sparse // reused backing array, truncated each step
+	dense    *tensor.Dense    // preallocated merge buffer (dense variables)
+	denseSet bool             // dense holds this step's first gradient
+}
+
+// Trainer executes synchronized data-parallel steps over persistent
+// in-process workers.
 type Trainer struct {
-	g       *graph.Graph
-	opt     Options
-	workers int
+	g        *graph.Graph
+	opt      Options
+	workers  int
+	machines int
 
 	execs    []*graph.Exec
 	replicas []*arrt.Replica
@@ -71,27 +108,34 @@ type Trainer struct {
 	servers []*psrt.Server // one per machine; nil when no PS variables
 	routes  []varRoute
 
-	// local aggregation state, per machine per variable, recreated each
-	// step.
-	aggs map[string]*machineAgg
+	// slots[ri][m] is the local-aggregation slot for route ri on machine
+	// m; non-nil only for PS routes when LocalAggregation is on.
+	slots [][]aggSlot
+	// slotViews[ri][m][pi] is a zero-copy partition view into
+	// slots[ri][m].dense, precomputed for dense variables.
+	slotViews [][][]*tensor.Dense
+	// pullViews[w][ri][pi] is a zero-copy partition view into worker w's
+	// replica storage for PS route ri, the destination of PullInto.
+	pullViews [][][]*tensor.Dense
+	// arSparse[w][ri] holds worker w's AllGatherv-aggregated gradient for
+	// route ri within a step (indexed, not keyed, to avoid per-step maps).
+	arSparse [][]*tensor.Sparse
+
+	inputs []*graph.Node // the graph's input nodes, for feed validation
+
+	pool        *tensor.Pool
+	bytesPushed atomic.Int64
+
+	tasks     []chan stepTask // one per persistent worker
+	done      chan stepResult
+	closeOnce sync.Once
 
 	step int
-	mu   sync.Mutex
 }
 
-// machineAgg collects one machine's worker gradients for one variable in
-// one step; the last worker to arrive acts as the machine's local chief
-// and pushes the merged gradient (§5: "a worker in the machine becomes a
-// local chief worker to collect gradients within a machine and send them
-// to servers").
-type machineAgg struct {
-	mu     sync.Mutex
-	got    int
-	sparse []*tensor.Sparse
-	dense  *tensor.Dense
-}
-
-// New builds a trainer for graph g under the given plan and resources.
+// New builds a trainer for graph g under the given plan and resources and
+// starts its persistent runtime: one worker goroutine per GPU. Call Close
+// to stop the workers when the trainer is no longer needed.
 func New(g *graph.Graph, opts Options) (*Trainer, error) {
 	if opts.Plan == nil {
 		return nil, fmt.Errorf("transform: nil plan")
@@ -113,7 +157,10 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 
 	workers := opts.Resource.TotalGPUs()
 	machines := opts.Resource.NumMachines()
-	t := &Trainer{g: g, opt: opts, workers: workers, aggs: map[string]*machineAgg{}}
+	t := &Trainer{
+		g: g, opt: opts, workers: workers, machines: machines,
+		pool: tensor.NewPool(),
+	}
 
 	// Replicate the graph: one executor per GPU (§4.3: "main computation
 	// operations ... are replicated as many as the number of GPUs").
@@ -187,60 +234,193 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 			}
 		}
 	}
+
+	t.buildSlots()
+	t.buildPullViews()
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.OpInput {
+			t.inputs = append(t.inputs, n)
+		}
+	}
+
+	// Per-worker indexed scratch for AllGatherv aggregates.
+	t.arSparse = make([][]*tensor.Sparse, workers)
+	for w := range t.arSparse {
+		t.arSparse[w] = make([]*tensor.Sparse, len(t.routes))
+	}
+
+	// Start the persistent workers.
+	t.tasks = make([]chan stepTask, workers)
+	t.done = make(chan stepResult, workers)
+	for w := 0; w < workers; w++ {
+		t.tasks[w] = make(chan stepTask)
+		go t.workerLoop(w)
+	}
 	return t, nil
+}
+
+// buildSlots preallocates the per-(route, machine) local-aggregation slots
+// and, for dense variables, their merge buffers and partition views.
+func (t *Trainer) buildSlots() {
+	t.slots = make([][]aggSlot, len(t.routes))
+	t.slotViews = make([][][]*tensor.Dense, len(t.routes))
+	if !t.opt.LocalAggregation {
+		return
+	}
+	for ri, r := range t.routes {
+		if r.assign.Method != core.MethodPS {
+			continue
+		}
+		t.slots[ri] = make([]aggSlot, t.machines)
+		if r.assign.Sparse {
+			continue
+		}
+		t.slotViews[ri] = make([][]*tensor.Dense, t.machines)
+		for m := 0; m < t.machines; m++ {
+			buf := tensor.NewDense(r.v.Shape...)
+			t.slots[ri][m].dense = buf
+			views := make([]*tensor.Dense, len(r.ranges))
+			for pi, rr := range r.ranges {
+				views[pi] = buf.SliceRows(rr.Start, rr.End)
+			}
+			t.slotViews[ri][m] = views
+		}
+	}
+}
+
+// buildPullViews precomputes, per worker and PS route, the zero-copy
+// destination views inside the worker's replica storage that server pulls
+// copy into.
+func (t *Trainer) buildPullViews() {
+	t.pullViews = make([][][]*tensor.Dense, t.workers)
+	for w := 0; w < t.workers; w++ {
+		t.pullViews[w] = make([][]*tensor.Dense, len(t.routes))
+		for ri, r := range t.routes {
+			if r.assign.Method != core.MethodPS {
+				continue
+			}
+			val := t.execs[w].VarValue(r.v.Name)
+			views := make([]*tensor.Dense, len(r.ranges))
+			for pi, rr := range r.ranges {
+				if rr.Len() == 0 {
+					continue
+				}
+				views[pi] = val.SliceRows(rr.Start, rr.End)
+			}
+			t.pullViews[w][ri] = views
+		}
+	}
 }
 
 // Workers returns the number of model replicas (GPUs).
 func (t *Trainer) Workers() int { return t.workers }
 
+// BytesPushedLastStep returns how many gradient payload bytes the workers
+// handed to the synchronization layer (ring collectives and parameter
+// servers) during the most recent Step. Valid after Step returns.
+func (t *Trainer) BytesPushedLastStep() int64 { return t.bytesPushed.Load() }
+
+// Close stops the persistent worker goroutines. The trainer must not be
+// stepped afterwards; Close is idempotent.
+func (t *Trainer) Close() {
+	t.closeOnce.Do(func() {
+		for _, ch := range t.tasks {
+			close(ch)
+		}
+	})
+}
+
+// workerLoop is one persistent worker: it serves step tasks until Close.
+func (t *Trainer) workerLoop(w int) {
+	for task := range t.tasks[w] {
+		loss, err := t.workerStep(w, task.step, task.feed)
+		t.done <- stepResult{loss: loss, err: err}
+	}
+}
+
 // Step runs one synchronous data-parallel iteration: feeds[w] is worker w's
-// shard batch. It returns the mean loss across workers.
+// shard batch. It returns the mean loss across workers. Step dispatches to
+// the persistent workers started by New; it must not be called
+// concurrently with itself or after Close.
 func (t *Trainer) Step(feeds []graph.Feed) (float64, error) {
 	if len(feeds) != t.workers {
 		return 0, fmt.Errorf("transform: %d feeds for %d workers", len(feeds), t.workers)
 	}
-	step := t.step
-	t.step++
-	t.resetAggs()
-
-	losses := make([]float64, t.workers)
-	errs := make([]error, t.workers)
-	var wg sync.WaitGroup
-	for w := 0; w < t.workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			losses[w], errs[w] = t.workerStep(w, step, feeds[w])
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	// Validate every worker's feed up front: a worker failing mid-step
+	// would leave its peers blocked inside collectives with no rank to
+	// rendezvous with, so bad feeds — the realistic runtime error — must
+	// be rejected before any work is dispatched.
+	for w := range feeds {
+		if err := t.checkFeed(w, feeds[w]); err != nil {
 			return 0, err
 		}
 	}
+	step := t.step
+	t.step++
+	t.resetSlots()
+	t.bytesPushed.Store(0)
+
+	for w := range feeds {
+		t.tasks[w] <- stepTask{step: step, feed: feeds[w]}
+	}
 	var mean float64
-	for _, l := range losses {
-		mean += l
+	var firstErr error
+	for i := 0; i < t.workers; i++ {
+		res := <-t.done
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+		mean += res.loss
+	}
+	if firstErr != nil {
+		return 0, firstErr
 	}
 	return mean / float64(t.workers), nil
 }
 
-func (t *Trainer) resetAggs() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.aggs = map[string]*machineAgg{}
+// checkFeed verifies worker w's feed covers every graph input with the
+// right size before the step is dispatched.
+func (t *Trainer) checkFeed(w int, feed graph.Feed) error {
+	for _, n := range t.inputs {
+		if n.DType == graph.Int {
+			v, ok := feed.Ints[n.Name]
+			if !ok {
+				return fmt.Errorf("transform: worker %d feed missing int input %q", w, n.Name)
+			}
+			if len(v) != n.Shape[0] {
+				return fmt.Errorf("transform: worker %d feed %q has %d entries, want %d", w, n.Name, len(v), n.Shape[0])
+			}
+			continue
+		}
+		v, ok := feed.Floats[n.Name]
+		if !ok {
+			return fmt.Errorf("transform: worker %d feed missing float input %q", w, n.Name)
+		}
+		shape := v.Shape()
+		badShape := len(shape) != len(n.Shape)
+		for i := 0; !badShape && i < len(shape); i++ {
+			badShape = shape[i] != n.Shape[i]
+		}
+		if badShape {
+			return fmt.Errorf("transform: worker %d feed %q has shape %v, want %v", w, n.Name, shape, n.Shape)
+		}
+	}
+	return nil
 }
 
-func (t *Trainer) agg(key string) *machineAgg {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	a, ok := t.aggs[key]
-	if !ok {
-		a = &machineAgg{}
-		t.aggs[key] = a
+// resetSlots rewinds the local-aggregation slots for the next step. It
+// runs between steps, when every worker is parked on its task channel, so
+// the channel handshake orders these writes against the workers' accesses.
+func (t *Trainer) resetSlots() {
+	for ri := range t.slots {
+		for m := range t.slots[ri] {
+			s := &t.slots[ri][m]
+			s.got = 0
+			s.denseSet = false
+			clear(s.sparse)
+			s.sparse = s.sparse[:0]
+		}
 	}
-	return a
 }
 
 // workerStep is one worker's side of an iteration.
@@ -248,26 +428,25 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 	exec := t.execs[w]
 
 	// Pull phase: fetch fresh PS values for this iteration (Fig 2(a)(b)'s
-	// pull arrows). Version step means "after step updates have applied".
+	// pull arrows), copying straight into the replica's variable storage
+	// through the precomputed views. Version step means "after step
+	// updates have applied".
 	minVersion := int64(step)
 	if t.opt.Async {
 		minVersion = 0
 	}
-	for _, r := range t.routes {
+	for ri, r := range t.routes {
 		if r.assign.Method != core.MethodPS {
 			continue
 		}
-		val := exec.VarValue(r.v.Name)
-		width := val.RowWidth()
 		for pi, rr := range r.ranges {
 			if rr.Len() == 0 {
 				continue
 			}
-			pv, err := t.servers[r.assign.Servers[pi]].Pull(r.v.Name, pi, minVersion)
-			if err != nil {
+			srv := t.servers[r.assign.Servers[pi]]
+			if err := srv.PullInto(r.v.Name, pi, minVersion, t.pullViews[w][ri][pi]); err != nil {
 				return 0, err
 			}
-			copy(val.Data()[rr.Start*width:rr.End*width], pv.Data())
 		}
 	}
 
@@ -278,27 +457,26 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 	}
 
 	// Push/aggregate phase.
-	var arDense []string  // AR-managed dense grads, aggregated in place
-	var arSparse []string // AllGatherv-managed names
-	arSparseAgg := map[string]*tensor.Sparse{}
-	for _, r := range t.routes {
+	for ri, r := range t.routes {
 		switch r.assign.Method {
 		case core.MethodAllReduce:
 			g := grads.Dense[r.v.Name]
 			if g == nil {
 				// A sparse variable promoted to dense treatment (α
-				// threshold): densify its sparse gradient first.
-				g = grads.Sparse[r.v.Name].ToDense()
+				// threshold): densify its sparse gradient first, into a
+				// pooled buffer released after the local apply.
+				sp := grads.Sparse[r.v.Name]
+				g = t.pool.GetZeroed(r.v.Shape...)
+				sp.ToDenseInto(g)
 			}
+			t.bytesPushed.Add(g.Bytes())
 			t.replicas[w].SyncDense(r.v.Name, step, g)
 			grads.Dense[r.v.Name] = g
-			arDense = append(arDense, r.v.Name)
 		case core.MethodAllGatherv:
-			agg := t.replicas[w].SyncSparse(r.v.Name, step, grads.Sparse[r.v.Name])
-			arSparseAgg[r.v.Name] = agg
-			arSparse = append(arSparse, r.v.Name)
+			t.bytesPushed.Add(grads.Sparse[r.v.Name].Bytes())
+			t.arSparse[w][ri] = t.replicas[w].SyncSparse(r.v.Name, step, grads.Sparse[r.v.Name])
 		case core.MethodPS:
-			if err := t.pushPS(w, r, grads); err != nil {
+			if err := t.pushPS(w, ri, grads); err != nil {
 				return 0, err
 			}
 		}
@@ -311,22 +489,25 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 	scale := float32(1)
 	if t.opt.ClipNorm > 0 && !t.opt.Async {
 		var norm2 float64
-		for _, name := range arDense {
-			norm2 += grads.Dense[name].L2NormSquared()
-		}
-		for _, name := range arSparse {
-			norm2 += arSparseAgg[name].L2NormSquared()
-		}
-		for _, r := range t.routes {
-			if r.assign.Method != core.MethodPS {
-				continue
-			}
-			for pi := range r.ranges {
-				n2, err := t.servers[r.assign.Servers[pi]].WaitAggregatedNormSquared(r.v.Name, pi, int64(step+1))
-				if err != nil {
-					return 0, err
+		for ri, r := range t.routes {
+			switch r.assign.Method {
+			case core.MethodAllReduce:
+				norm2 += grads.Dense[r.v.Name].L2NormSquared()
+			case core.MethodAllGatherv:
+				// Coalesce once and keep the result: the norm needs the
+				// deduplicated tensor, and the apply below would otherwise
+				// re-coalesce the concatenated gradient.
+				g := t.arSparse[w][ri].Coalesce()
+				t.arSparse[w][ri] = g
+				norm2 += g.Values.L2NormSquared()
+			case core.MethodPS:
+				for pi := range r.ranges {
+					n2, err := t.servers[r.assign.Servers[pi]].WaitAggregatedNormSquared(r.v.Name, pi, int64(step+1))
+					if err != nil {
+						return 0, err
+					}
+					norm2 += n2
 				}
-				norm2 += n2
 			}
 		}
 		if norm := math.Sqrt(norm2); norm > t.opt.ClipNorm {
@@ -347,50 +528,66 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 	}
 
 	// Apply AR updates locally; every replica performs the identical
-	// update, keeping replicas synchronized.
-	for _, r := range t.routes {
+	// update, keeping replicas synchronized. The aggregated gradients are
+	// worker-local, so clip scaling happens in place.
+	for ri, r := range t.routes {
 		switch r.assign.Method {
 		case core.MethodAllReduce:
 			g := grads.Dense[r.v.Name]
 			if scale != 1 {
-				g = g.Clone()
 				g.Scale(scale)
 			}
-			t.arOpts[w].ApplyDense(r.v.Name, t.execs[w].VarValue(r.v.Name), g)
+			t.arOpts[w].ApplyDense(r.v.Name, exec.VarValue(r.v.Name), g)
+			if grads.Sparse[r.v.Name] != nil {
+				// The dense gradient was densified from a promoted sparse
+				// one into a pooled buffer; release it.
+				t.pool.Put(g)
+			}
 		case core.MethodAllGatherv:
-			g := arSparseAgg[r.v.Name]
+			g := t.arSparse[w][ri]
 			if scale != 1 {
-				g = g.Clone()
 				g.Scale(scale)
 			}
-			t.arOpts[w].ApplySparse(r.v.Name, t.execs[w].VarValue(r.v.Name), g)
+			t.arOpts[w].ApplySparse(r.v.Name, exec.VarValue(r.v.Name), g)
+			t.arSparse[w][ri] = nil
 		}
 	}
 	return loss, nil
 }
 
-// pushPS routes worker w's gradient for one PS variable: split by
-// partition, optionally merge within the machine, push to the owning
-// servers.
-func (t *Trainer) pushPS(w int, r varRoute, grads *graph.GradSet) error {
-	machine := t.opt.Resource.MachineOfWorker(w)
+// pushPS routes worker w's gradient for PS route ri: split by partition,
+// optionally merge within the machine, push to the owning servers. Dense
+// partitions travel as zero-copy views (psrt borrows them only for the
+// call); sparse partitions are freshly split and ownership transfers to
+// the server.
+func (t *Trainer) pushPS(w, ri int, grads *graph.GradSet) error {
+	r := &t.routes[ri]
 	name := r.v.Name
 
-	pushParts := func(sparseParts []*tensor.Sparse, dense *tensor.Dense) error {
+	pushSparseParts := func(parts []*tensor.Sparse) error {
+		for pi := range r.ranges {
+			t.bytesPushed.Add(parts[pi].Bytes())
+			if err := t.servers[r.assign.Servers[pi]].PushSparse(name, pi, parts[pi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pushDenseParts := func(dense *tensor.Dense, views []*tensor.Dense) error {
 		for pi, rr := range r.ranges {
-			srv := t.servers[r.assign.Servers[pi]]
-			if r.assign.Sparse {
-				if err := srv.PushSparse(name, pi, sparseParts[pi]); err != nil {
-					return err
-				}
-			} else {
-				width := dense.RowWidth()
-				part := tensor.FromSlice(
-					append([]float32(nil), dense.Data()[rr.Start*width:rr.End*width]...),
-					rr.Len(), width)
-				if err := srv.PushDense(name, pi, part); err != nil {
-					return err
-				}
+			part := dense
+			if views != nil {
+				part = views[pi]
+			} else if rr.Start != 0 || rr.End != dense.Dim(0) {
+				// Without local aggregation the gradient is a fresh
+				// exec-owned tensor each step, so partition views cannot be
+				// precomputed; the per-push SliceRows header is the
+				// remaining (cheap) allocation on this non-default path.
+				part = dense.SliceRows(rr.Start, rr.End)
+			}
+			t.bytesPushed.Add(part.Bytes())
+			if err := t.servers[r.assign.Servers[pi]].PushDense(name, pi, part); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -398,42 +595,39 @@ func (t *Trainer) pushPS(w int, r varRoute, grads *graph.GradSet) error {
 
 	if !t.opt.LocalAggregation {
 		if r.assign.Sparse {
-			return pushParts(tensor.SplitSparse(grads.Sparse[name], r.ranges), nil)
+			return pushSparseParts(tensor.SplitSparse(grads.Sparse[name], r.ranges))
 		}
-		return pushParts(nil, grads.Dense[name])
+		return pushDenseParts(grads.Dense[name], nil)
 	}
 
 	// Local aggregation: the machine's last-arriving worker merges and
 	// pushes.
-	g := t.opt.Resource.GPUsPerMachine(machine)
-	a := t.agg(fmt.Sprintf("%s/m%d", name, machine))
-	a.mu.Lock()
+	machine := t.opt.Resource.MachineOfWorker(w)
+	gpus := t.opt.Resource.GPUsPerMachine(machine)
+	slot := &t.slots[ri][machine]
+	slot.mu.Lock()
 	if r.assign.Sparse {
-		a.sparse = append(a.sparse, grads.Sparse[name])
-	} else if a.dense == nil {
-		a.dense = grads.Dense[name].Clone()
+		slot.sparse = append(slot.sparse, grads.Sparse[name])
+	} else if !slot.denseSet {
+		copy(slot.dense.Data(), grads.Dense[name].Data())
+		slot.denseSet = true
 	} else {
-		a.dense.AddInto(grads.Dense[name])
+		slot.dense.AddInto(grads.Dense[name])
 	}
-	a.got++
-	doPush := a.got == g
+	slot.got++
+	doPush := slot.got == gpus
 	var sparseMerged *tensor.Sparse
-	var denseMerged *tensor.Dense
-	if doPush {
-		if r.assign.Sparse {
-			sparseMerged = tensor.SumSparse(a.sparse)
-		} else {
-			denseMerged = a.dense
-		}
+	if doPush && r.assign.Sparse {
+		sparseMerged = tensor.SumSparse(slot.sparse)
 	}
-	a.mu.Unlock()
+	slot.mu.Unlock()
 	if !doPush {
 		return nil
 	}
 	if r.assign.Sparse {
-		return pushParts(tensor.SplitSparse(sparseMerged, r.ranges), nil)
+		return pushSparseParts(tensor.SplitSparse(sparseMerged, r.ranges))
 	}
-	return pushParts(nil, denseMerged)
+	return pushDenseParts(slot.dense, t.slotViews[ri][machine])
 }
 
 // VarValue reconstructs the current full value of a variable: from the
@@ -447,7 +641,6 @@ func (t *Trainer) VarValue(name string) (*tensor.Dense, error) {
 			return t.execs[0].VarValue(name).Clone(), nil
 		}
 		out := tensor.NewDense(r.v.Shape...)
-		width := out.RowWidth()
 		minVersion := int64(t.step)
 		if t.opt.Async {
 			minVersion = 0
@@ -456,11 +649,10 @@ func (t *Trainer) VarValue(name string) (*tensor.Dense, error) {
 			if rr.Len() == 0 {
 				continue
 			}
-			pv, err := t.servers[r.assign.Servers[pi]].Pull(name, pi, minVersion)
-			if err != nil {
+			dst := out.SliceRows(rr.Start, rr.End)
+			if err := t.servers[r.assign.Servers[pi]].PullInto(name, pi, minVersion, dst); err != nil {
 				return nil, err
 			}
-			copy(out.Data()[rr.Start*width:rr.End*width], pv.Data())
 		}
 		return out, nil
 	}

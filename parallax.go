@@ -20,14 +20,30 @@
 //	g.SoftmaxCE(logits, labels)
 //
 //	runner, err := parallax.GetRunner(g, resources, parallax.Config{})
-//	shard := parallax.Shard(dataset, workerID, runner.Workers())
-//	loss, err := runner.Run(feeds)                 // one synchronous step
+//	defer runner.Close()
+//	stats, err := runner.RunLoop(dataset, 100)     // full training loop
+//	loss, err := runner.Run(feeds)                 // or one explicit step
 //
 // The runner analyzes the graph, classifies every variable by its gradient
 // type, builds the hybrid plan (AllReduce for dense variables, partitioned
 // parameter servers for sparse ones), optionally searches for the optimal
 // number of sparse-variable partitions, and executes synchronous
 // data-parallel steps across in-process workers.
+//
+// # Persistent runtime
+//
+// GetRunner starts a persistent runtime: one long-lived worker goroutine
+// per GPU and one parameter server per machine, with every variable's
+// aggregation slot resolved to preallocated, index-addressed buffers. A
+// step dispatches work over channels and pushes dense partitions as
+// zero-copy views, so the hot loop allocates no per-step bookkeeping (see
+// DESIGN.md §3). Call Close to stop the workers when training is done.
+//
+// RunLoop is the loop driver on top of Run: it shards a Dataset across
+// workers, executes the requested number of synchronous steps, reports
+// per-step metrics (loss, step latency, gradient bytes pushed) to
+// optional StepHook callbacks, and returns the aggregated LoopStats.
+// RunLoopFeeds is the same loop for graphs that need custom feeds.
 package parallax
 
 import (

@@ -29,6 +29,7 @@ func TestGetRunnerDefaultsAndTraining(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer runner.Close()
 	if runner.Workers() != 4 {
 		t.Fatalf("workers = %d", runner.Workers())
 	}
@@ -65,6 +66,7 @@ func TestDescribeShowsHybridSplit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer runner.Close()
 	d := runner.Describe()
 	if !strings.Contains(d, "embedding") || !strings.Contains(d, "ps") {
 		t.Errorf("Describe missing PS route:\n%s", d)
@@ -82,6 +84,7 @@ func TestAutomaticPartitionSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer runner.Close()
 	p := runner.SparsePartitions()
 	if p < 1 || p > 2000 {
 		t.Fatalf("searched partitions = %d out of range", p)
@@ -110,6 +113,7 @@ func TestDenseOnlyGraphSkipsSearchAndServers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer runner.Close()
 	if runner.SparsePartitions() != 1 {
 		t.Fatalf("dense model searched partitions: %d", runner.SparsePartitions())
 	}
@@ -134,6 +138,85 @@ func TestGetRunnerValidations(t *testing.T) {
 	g2 := buildAPIModel(2, 10)
 	if _, err := GetRunner(g2, ResourceInfo{}, Config{}); err == nil {
 		t.Fatal("empty resources must fail")
+	}
+}
+
+func TestRunLoopPublicAPI(t *testing.T) {
+	g := buildAPIModel(8, 150)
+	runner, err := GetRunner(g, Uniform(2, 2), Config{SparsePartitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+
+	var hookSteps int
+	var lastStats StepStats
+	stats, err := runner.RunLoop(data.NewZipfText(150, 8, 1, 1.0, 21), 25, func(s StepStats) {
+		if s.Step != hookSteps {
+			t.Errorf("hook saw step %d, want %d", s.Step, hookSteps)
+		}
+		hookSteps++
+		lastStats = s
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hookSteps != 25 || stats.Steps != 25 {
+		t.Fatalf("ran %d hook steps, stats counted %d, want 25", hookSteps, stats.Steps)
+	}
+	if !(stats.LastLoss < stats.FirstLoss) {
+		t.Fatalf("RunLoop loss did not decrease: %v -> %v", stats.FirstLoss, stats.LastLoss)
+	}
+	if lastStats.BytesPushed <= 0 || stats.TotalBytesPushed <= 0 {
+		t.Fatalf("push-byte metrics missing: step %d total %d", lastStats.BytesPushed, stats.TotalBytesPushed)
+	}
+	if lastStats.StepTime <= 0 || stats.TotalTime <= 0 {
+		t.Fatalf("timing metrics missing: step %v total %v", lastStats.StepTime, stats.TotalTime)
+	}
+}
+
+func TestRunLoopFeedsCustomInputs(t *testing.T) {
+	// A dense-only graph without tokens/labels inputs: RunLoop must refuse
+	// it with a helpful error, RunLoopFeeds must drive it.
+	rng := NewRNG(8)
+	g := NewGraph()
+	x := g.Input("x", Float, 4, 6)
+	labels := g.Input("y", Int, 4)
+	w := g.Variable("w", rng.RandN(0.2, 6, 3))
+	g.SoftmaxCE(g.MatMul(x, w), labels)
+	runner, err := GetRunner(g, Uniform(2, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+
+	if _, err := runner.RunLoop(data.NewZipfText(10, 4, 1, 1.0, 3), 1); err == nil {
+		t.Fatal("RunLoop on a graph without tokens/labels inputs must fail")
+	}
+
+	stats, err := runner.RunLoopFeeds(func(step, worker int) (Feed, error) {
+		return Feed{
+			Floats: map[string]*Dense{"x": rng.RandN(1, 4, 6)},
+			Ints:   map[string][]int{"y": {0, 1, 2, 0}},
+		}, nil
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps != 5 {
+		t.Fatalf("ran %d steps, want 5", stats.Steps)
+	}
+
+	// A transposed float feed has the right element count but the wrong
+	// shape; it must be rejected before dispatch, not crash a worker.
+	_, err = runner.RunLoopFeeds(func(step, worker int) (Feed, error) {
+		return Feed{
+			Floats: map[string]*Dense{"x": rng.RandN(1, 6, 4)},
+			Ints:   map[string][]int{"y": {0, 1, 2, 0}},
+		}, nil
+	}, 1)
+	if err == nil {
+		t.Fatal("transposed float feed must fail")
 	}
 }
 
@@ -168,5 +251,6 @@ func TestConfigVariants(t *testing.T) {
 		if _, err := runner.Run(feeds); err != nil {
 			t.Fatalf("config %+v: step: %v", cfg, err)
 		}
+		runner.Close()
 	}
 }

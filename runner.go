@@ -2,11 +2,13 @@ package parallax
 
 import (
 	"fmt"
+	"time"
 
 	"parallax/internal/cluster"
 	"parallax/internal/core"
 	"parallax/internal/engine"
 	"parallax/internal/graph"
+	"parallax/internal/metrics"
 	"parallax/internal/models"
 	"parallax/internal/partition"
 	"parallax/internal/transform"
@@ -14,7 +16,10 @@ import (
 
 // Runner executes synchronous data-parallel training steps for a
 // transformed graph, the object parallax.get_runner returns in Fig. 3.
+// Its trainer is a persistent runtime — worker goroutines and parameter
+// servers live as long as the Runner — so call Close when done with it.
 type Runner struct {
+	g       *Graph
 	trainer *transform.Trainer
 	plan    *core.Plan
 	workers int
@@ -66,7 +71,7 @@ func GetRunner(g *Graph, resource ResourceInfo, cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{trainer: tr, plan: plan, workers: resource.TotalGPUs(), parts: parts}, nil
+	return &Runner{g: g, trainer: tr, plan: plan, workers: resource.TotalGPUs(), parts: parts}, nil
 }
 
 // planVars converts graph variables to planner inputs using the α hints.
@@ -160,6 +165,86 @@ func maxGPUs(r ResourceInfo) int {
 func (r *Runner) Run(feeds []Feed) (float64, error) {
 	return r.trainer.Step(feeds)
 }
+
+// StepStats is one training step's measurements (loss, wall-clock step
+// time, gradient bytes pushed to the synchronization layer).
+type StepStats = metrics.StepStats
+
+// LoopStats aggregates StepStats over a whole RunLoop.
+type LoopStats = metrics.LoopStats
+
+// StepHook observes each step of RunLoop (logging, early-stop bookkeeping,
+// metric export). Hooks run synchronously on the loop goroutine.
+type StepHook func(StepStats)
+
+// RunLoop drives steps against the persistent runtime for a token-model
+// graph: each step it draws one batch from ds per worker (successive
+// batches go to successive workers, so one endless stream is consumed as
+// disjoint shards, the effect of parallax.shard in Fig. 3) and feeds them
+// to the graph's "tokens" and "labels" inputs. Per-step metrics flow to
+// the hooks and into the returned aggregate.
+//
+// Graphs with differently named inputs (or float inputs) should use
+// RunLoopFeeds, which accepts an arbitrary feed source.
+func (r *Runner) RunLoop(ds Dataset, steps int, hooks ...StepHook) (LoopStats, error) {
+	for _, name := range []string{"tokens", "labels"} {
+		if !hasIntInput(r.g, name) {
+			return LoopStats{}, fmt.Errorf(
+				"parallax: RunLoop needs an int input named %q (use RunLoopFeeds for custom feeds)", name)
+		}
+	}
+	return r.RunLoopFeeds(func(step, worker int) (Feed, error) {
+		b := ds.Next()
+		return Feed{Ints: map[string][]int{"tokens": b.Tokens, "labels": b.Labels}}, nil
+	}, steps, hooks...)
+}
+
+// RunLoopFeeds is RunLoop's generic core: next(step, worker) supplies
+// worker w's feed for each step. It runs the loop, timing every step and
+// collecting the trainer's per-step push-byte counter, and stops on the
+// first error.
+func (r *Runner) RunLoopFeeds(next func(step, worker int) (Feed, error), steps int, hooks ...StepHook) (LoopStats, error) {
+	var stats LoopStats
+	feeds := make([]Feed, r.workers)
+	for s := 0; s < steps; s++ {
+		for w := 0; w < r.workers; w++ {
+			f, err := next(s, w)
+			if err != nil {
+				return stats, err
+			}
+			feeds[w] = f
+		}
+		start := time.Now()
+		loss, err := r.trainer.Step(feeds)
+		if err != nil {
+			return stats, err
+		}
+		st := StepStats{
+			Step:        s,
+			Loss:        loss,
+			StepTime:    time.Since(start),
+			BytesPushed: r.trainer.BytesPushedLastStep(),
+		}
+		stats.Observe(st)
+		for _, h := range hooks {
+			h(st)
+		}
+	}
+	return stats, nil
+}
+
+func hasIntInput(g *Graph, name string) bool {
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.OpInput && n.DType == graph.Int && n.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Close stops the runner's persistent worker goroutines. The runner must
+// not be used afterwards; Close is idempotent.
+func (r *Runner) Close() { r.trainer.Close() }
 
 // Workers returns the number of model replicas (total GPUs).
 func (r *Runner) Workers() int { return r.workers }
