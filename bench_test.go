@@ -8,8 +8,10 @@ package parallax
 // code paths via cmd/parallax-bench).
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"parallax/internal/core"
 	"parallax/internal/data"
@@ -197,17 +199,20 @@ func BenchmarkRealTrainingStep(b *testing.B) {
 // BenchmarkTrainerStep measures one synchronous step of the functional
 // data plane on a hybrid LM-style workload: a partitioned sparse embedding
 // synchronized through parameter servers with local aggregation, plus
-// dense hidden/softmax layers synchronized through ring AllReduce, on a
-// 2-machine × 2-GPU cluster. ns/op and allocs/op here are the
+// dense hidden/softmax layers synchronized through fused ring AllReduce,
+// on a 2-machine × 2-GPU cluster. ns/op and allocs/op here are the
 // persistent-runtime regression guard (see CHANGES.md for the
-// before/after record).
+// before/after record); BenchmarkTrainerStepUnfused is the same workload
+// with per-variable collectives.
 func BenchmarkTrainerStep(b *testing.B) {
-	b.ReportAllocs()
-	const (
-		vocab = 1000
-		batch = 32
-		dim   = 32
-	)
+	benchTrainerSteps(b, buildLMBenchGraph(1000, 32, 32),
+		Config{SparsePartitions: 8}, 1000, 32)
+}
+
+// buildLMBenchGraph is the hybrid LM-style workload of
+// BenchmarkTrainerStep: a partitioned sparse embedding (PS route) plus
+// dense hidden/softmax layers (fused AllReduce routes).
+func buildLMBenchGraph(vocab, batch, dim int) *Graph {
 	rng := NewRNG(11)
 	g := NewGraph()
 	tokens := g.Input("tokens", Int, batch)
@@ -221,8 +226,13 @@ func BenchmarkTrainerStep(b *testing.B) {
 	w2 := g.Variable("softmax/kernel", rng.RandN(0.1, 64, vocab))
 	h := g.Tanh(g.AddBias(g.MatMul(g.Gather(emb, tokens), w1), b1))
 	g.SoftmaxCE(g.MatMul(h, w2), labels)
+	return g
+}
 
-	runner, err := GetRunner(g, Uniform(2, 2), Config{SparsePartitions: 8})
+func benchTrainerSteps(b *testing.B, g *Graph, cfg Config, vocab, batch int) {
+	b.Helper()
+	b.ReportAllocs()
+	runner, err := GetRunner(g, Uniform(2, 2), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -233,12 +243,66 @@ func BenchmarkTrainerStep(b *testing.B) {
 		bt := ds.Next()
 		feeds[w] = Feed{Ints: map[string][]int{"tokens": bt.Tokens, "labels": bt.Labels}}
 	}
+	var comm, wait time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := runner.Run(feeds); err != nil {
 			b.Fatal(err)
 		}
+		ph := runner.PhaseStatsLastStep()
+		comm += ph.Comm
+		wait += ph.SyncWait
 	}
+	b.StopTimer()
+	// comm_ns/op is the synchronization busy time per step — the
+	// "collective invocations' worth of latency" fusion removes;
+	// syncwait_ns/op is the part of it not hidden under backward compute.
+	b.ReportMetric(float64(comm.Nanoseconds())/float64(b.N), "comm_ns/op")
+	b.ReportMetric(float64(wait.Nanoseconds())/float64(b.N), "syncwait_ns/op")
+}
+
+// BenchmarkTrainerStepUnfused is BenchmarkTrainerStep with fusion
+// disabled (one collective per dense variable): the before/after pair for
+// the fused synchronization schedule on the LM hybrid workload.
+func BenchmarkTrainerStepUnfused(b *testing.B) {
+	benchTrainerSteps(b, buildLMBenchGraph(1000, 32, 32),
+		Config{SparsePartitions: 8, FusionBytes: -1}, 1000, 32)
+}
+
+// BenchmarkTrainerStepFusedManySmallDense measures the schedule where
+// fusion matters most: a deep MLP with dozens of small dense variables,
+// where the per-variable schedule pays one full collective latency per
+// tensor and the fused schedule runs a single bucket. The "unfused"
+// sub-benchmark is the per-variable baseline.
+func BenchmarkTrainerStepFusedManySmallDense(b *testing.B) {
+	const (
+		vocab  = 32
+		batch  = 4
+		dim    = 8
+		layers = 64
+	)
+	build := func() *Graph {
+		rng := NewRNG(7)
+		g := NewGraph()
+		tokens := g.Input("tokens", Int, batch)
+		labels := g.Input("labels", Int, batch)
+		emb := g.Variable("embedding", rng.RandN(0.1, vocab, dim))
+		h := g.Gather(emb, tokens)
+		for l := 0; l < layers; l++ {
+			w := g.Variable(fmt.Sprintf("layer%02d/kernel", l), rng.RandN(0.1, dim, dim))
+			bias := g.Variable(fmt.Sprintf("layer%02d/bias", l), NewDense(dim))
+			h = g.Tanh(g.AddBias(g.MatMul(h, w), bias))
+		}
+		out := g.Variable("softmax/kernel", rng.RandN(0.1, dim, vocab))
+		g.SoftmaxCE(g.MatMul(h, out), labels)
+		return g
+	}
+	b.Run("fused", func(b *testing.B) {
+		benchTrainerSteps(b, build(), Config{Arch: AllReduceOnly}, vocab, batch)
+	})
+	b.Run("unfused", func(b *testing.B) {
+		benchTrainerSteps(b, build(), Config{Arch: AllReduceOnly, FusionBytes: -1}, vocab, batch)
+	})
 }
 
 func BenchmarkExtension_PrunedDenseModel(b *testing.B) {

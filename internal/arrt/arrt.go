@@ -39,7 +39,22 @@ func (r *Replica) BroadcastInit(name string, value *tensor.Dense, root int) {
 // via ring AllReduce, then the configured finalization). After it returns,
 // every worker holds the identical aggregated gradient.
 func (r *Replica) SyncDense(name string, step int, grad *tensor.Dense) {
-	collective.RingAllReduce(r.comm, tag(name, step), grad)
+	r.SyncDenseTagged(collective.TagsFor(tag(name, step)), grad)
+}
+
+// DenseTags precomputes the collective rendezvous tags for a dense route.
+// The persistent trainer resolves them once at build time so the hot loop
+// never concatenates tag strings; step numbers are unnecessary because the
+// per-pair FIFO transport and the lockstep schedule already order steps.
+func DenseTags(name string) collective.Tags {
+	return collective.TagsFor("ar/" + name)
+}
+
+// SyncDenseTagged is SyncDense with caller-prepared tags — the hot path of
+// the fused synchronization schedule (the "grad" may be a whole fusion
+// bucket rather than a single variable's gradient).
+func (r *Replica) SyncDenseTagged(tags collective.Tags, grad *tensor.Dense) {
+	collective.AllReduceTagged(r.comm, tags, grad)
 	optim.FinalizeDense(grad, r.comm.Size(), r.denseAgg)
 }
 
@@ -47,7 +62,16 @@ func (r *Replica) SyncDense(name string, step int, grad *tensor.Dense) {
 // AllGatherv (concatenation in rank order) and returns the aggregated
 // gradient, identical on every worker.
 func (r *Replica) SyncSparse(name string, step int, grad *tensor.Sparse) *tensor.Sparse {
-	out := collective.AllGatherv(r.comm, tag(name, step), grad)
+	return r.SyncSparseTagged(tag(name, step)+"/agv", grad)
+}
+
+// SparseTag precomputes the AllGatherv rendezvous tag for a sparse route
+// (build-time counterpart of DenseTags).
+func SparseTag(name string) string { return "agv/" + name }
+
+// SyncSparseTagged is SyncSparse with a caller-prepared tag.
+func (r *Replica) SyncSparseTagged(tag string, grad *tensor.Sparse) *tensor.Sparse {
+	out := collective.AllGathervTagged(r.comm, tag, grad)
 	optim.FinalizeSparse(out, r.comm.Size(), r.sparseAgg)
 	return out
 }

@@ -25,60 +25,103 @@ func min(a, b int) int {
 	return b
 }
 
+// Tags holds the per-phase rendezvous tags of one AllReduce route,
+// precomputed at build time so the hot loop never concatenates strings.
+// One tag per phase is enough even across steps: each directed pair's
+// channel is FIFO and all ranks advance through an identical deterministic
+// schedule, so per-step or per-round tags would only re-verify ordering
+// the transport already guarantees (a schedule divergence still panics on
+// the tag check).
+type Tags struct {
+	RS string // reduce-scatter phase
+	AG string // all-gather phase
+}
+
+// TagsFor derives the phase tags from a route's base tag.
+func TagsFor(base string) Tags { return Tags{RS: base + "/rs", AG: base + "/ag"} }
+
 // RingAllReduce sums t element-wise across all ranks, leaving every rank
-// with the identical total, using the bandwidth-optimal ring algorithm
-// (Patarasuk & Yuan [31], the algorithm NCCL uses): a reduce-scatter phase
-// of N−1 steps followed by an all-gather phase of N−1 steps, each step
-// moving 1/N of the tensor to the right-hand neighbour.
-//
-// This is the aggregation path for *dense* gradients in the AR and hybrid
-// architectures. t is modified in place.
+// with the identical total. It builds the phase tags on the fly; hot loops
+// precompute them with TagsFor and call AllReduceTagged directly.
 func RingAllReduce(c *Comm, tag string, t *tensor.Dense) {
+	AllReduceTagged(c, TagsFor(tag), t)
+}
+
+// AllReduceTagged is the dense aggregation path for the AR and hybrid
+// architectures: a rank-ordered reduce-scatter followed by the
+// bandwidth-optimal ring all-gather (Patarasuk & Yuan [31]); each phase
+// moves (N−1)/N of the tensor per rank, the same volume as the classic
+// ring. t is modified in place.
+//
+// The reduce-scatter deviates from the pipelined ring deliberately: rank i
+// owns chunk i, every rank sends its slice of chunk c directly to c's
+// owner, and the owner folds the contributions in rank order 0..N−1. A
+// pipelined ring folds chunk c starting at rank c, so an element's
+// float32 accumulation order depends on which chunk it lands in — and
+// therefore on the tensor's position inside a fused buffer. The
+// rank-ordered fold makes every element's sum independent of chunk
+// layout, which is what lets transform's fusion buckets produce
+// bit-identical results to per-variable collectives (and is the property
+// the fusion equivalence tests pin down).
+func AllReduceTagged(c *Comm, tags Tags, t *tensor.Dense) {
 	n := c.Size()
 	if n == 1 {
 		return
 	}
 	data := t.Data()
+
+	// Reduce-scatter: direct exchange, one message per directed pair.
+	// Chunk buffers come from the world pool; the receiver recycles each
+	// buffer once consumed.
+	for dst := 0; dst < n; dst++ {
+		if dst == c.rank {
+			continue
+		}
+		ss, se := chunkBounds(len(data), n, dst)
+		if se == ss {
+			continue // empty chunk: owner skips the fold symmetrically
+		}
+		out := c.world.getBuf(se - ss)
+		copy(out, data[ss:se])
+		c.Send(dst, tags.RS, out)
+	}
+	os, oe := chunkBounds(len(data), n, c.rank)
+	if oe > os {
+		own := data[os:oe]
+		tmp := c.world.getBuf(oe - os)
+		copy(tmp, own)
+		for r := 0; r < n; r++ {
+			src := tmp
+			if r != c.rank {
+				in := c.Recv(r, tags.RS).([]float32)
+				if len(in) != oe-os {
+					panic(fmt.Sprintf("collective: allreduce chunk size mismatch %d vs %d", len(in), oe-os))
+				}
+				src = in
+			}
+			if r == 0 {
+				copy(own, src)
+			} else {
+				tensor.AddTo(src, own)
+			}
+			if r != c.rank {
+				c.world.putBuf(src)
+			}
+		}
+		c.world.putBuf(tmp)
+	}
+
+	// All-gather: circulate the fully reduced chunks around the ring.
 	right := (c.rank + 1) % n
 	left := (c.rank - 1 + n) % n
-
-	// One tag per phase is enough: each directed pair's channel is FIFO
-	// and both ranks advance rounds in lockstep, so per-round tags would
-	// only re-verify ordering the transport already guarantees. Chunk
-	// buffers come from the world pool; the receiver recycles each buffer
-	// once consumed.
-	rsTag := tag + "/rs"
-	agTag := tag + "/ag"
-
-	// Reduce-scatter: after step s, rank r holds the partial sum of chunk
-	// (r - s) mod n over s+1 ranks; after n-1 steps, rank r holds the full
-	// sum of chunk (r+1) mod n.
 	for s := 0; s < n-1; s++ {
 		sendChunk := (c.rank - s + n) % n
 		recvChunk := (c.rank - s - 1 + n) % n
 		ss, se := chunkBounds(len(data), n, sendChunk)
 		out := c.world.getBuf(se - ss)
 		copy(out, data[ss:se])
-		c.Send(right, rsTag, out)
-		in := c.Recv(left, rsTag).([]float32)
-		rs, re := chunkBounds(len(data), n, recvChunk)
-		if len(in) != re-rs {
-			panic(fmt.Sprintf("collective: allreduce chunk size mismatch %d vs %d", len(in), re-rs))
-		}
-		for i, v := range in {
-			data[rs+i] += v
-		}
-		c.world.putBuf(in)
-	}
-	// All-gather: circulate the fully reduced chunks.
-	for s := 0; s < n-1; s++ {
-		sendChunk := (c.rank + 1 - s + n) % n
-		recvChunk := (c.rank - s + n) % n
-		ss, se := chunkBounds(len(data), n, sendChunk)
-		out := c.world.getBuf(se - ss)
-		copy(out, data[ss:se])
-		c.Send(right, agTag, out)
-		in := c.Recv(left, agTag).([]float32)
+		c.Send(right, tags.AG, out)
+		in := c.Recv(left, tags.AG).([]float32)
 		rs, re := chunkBounds(len(data), n, recvChunk)
 		if len(in) != re-rs {
 			panic(fmt.Sprintf("collective: allgather chunk size mismatch %d vs %d", len(in), re-rs))
@@ -89,11 +132,17 @@ func RingAllReduce(c *Comm, tag string, t *tensor.Dense) {
 }
 
 // AllGatherv concatenates every rank's sparse gradient in rank order and
-// returns the result on all ranks — the aggregation path for *sparse*
-// gradients in the pure-AR architecture (§2.1: AllGatherv "aggregates
-// gradients by concatenating"). It uses a ring: each of the N−1 steps
-// forwards the block received in the previous step.
+// returns the result on all ranks. It builds the phase tag on the fly; hot
+// loops precompute it and call AllGathervTagged.
 func AllGatherv(c *Comm, tag string, s *tensor.Sparse) *tensor.Sparse {
+	return AllGathervTagged(c, tag+"/agv", s)
+}
+
+// AllGathervTagged is the aggregation path for *sparse* gradients in the
+// pure-AR architecture (§2.1: AllGatherv "aggregates gradients by
+// concatenating"), under a caller-prepared tag. It uses a ring: each of
+// the N−1 steps forwards the block received in the previous step.
+func AllGathervTagged(c *Comm, tag string, s *tensor.Sparse) *tensor.Sparse {
 	n := c.Size()
 	if n == 1 {
 		return s.Clone()
@@ -103,10 +152,9 @@ func AllGatherv(c *Comm, tag string, s *tensor.Sparse) *tensor.Sparse {
 	blocks := make([]*tensor.Sparse, n)
 	blocks[c.rank] = s
 	cur := s
-	agvTag := tag + "/agv"
 	for step := 0; step < n-1; step++ {
-		c.Send(right, agvTag, cur)
-		cur = c.Recv(left, agvTag).(*tensor.Sparse)
+		c.Send(right, tag, cur)
+		cur = c.Recv(left, tag).(*tensor.Sparse)
 		origin := (c.rank - step - 1 + n) % n
 		blocks[origin] = cur
 	}
@@ -115,7 +163,8 @@ func AllGatherv(c *Comm, tag string, s *tensor.Sparse) *tensor.Sparse {
 
 // Broadcast copies root's tensor to every rank (in place on non-roots)
 // using a binomial tree, log₂(N) rounds. Used to synchronize initial
-// variable values across AR replicas so all workers start identical.
+// variable values across AR replicas so all workers start identical. Peer
+// sends travel in pooled world buffers, like the ring phases.
 func Broadcast(c *Comm, tag string, t *tensor.Dense, root int) {
 	n := c.Size()
 	if n == 1 {
@@ -128,7 +177,7 @@ func Broadcast(c *Comm, tag string, t *tensor.Dense, root int) {
 			peer := vr + dist
 			if peer < n {
 				dst := (peer + root) % n
-				out := make([]float32, t.NumElements())
+				out := c.world.getBuf(t.NumElements())
 				copy(out, t.Data())
 				c.Send(dst, tag, out)
 			}
@@ -139,6 +188,7 @@ func Broadcast(c *Comm, tag string, t *tensor.Dense, root int) {
 				panic(fmt.Sprintf("collective: broadcast size mismatch %d vs %d", len(in), t.NumElements()))
 			}
 			copy(t.Data(), in)
+			c.world.putBuf(in)
 		}
 	}
 }

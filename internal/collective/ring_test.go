@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -168,6 +169,56 @@ func TestRecvTagMismatchPanics(t *testing.T) {
 	}()
 	if !<-done {
 		t.Fatal("expected panic on tag mismatch")
+	}
+}
+
+// The property transform's tensor fusion relies on: all-reducing one
+// fused flat buffer is BIT-identical to all-reducing each variable's
+// region separately, for any world size and any split. The rank-ordered
+// reduce-scatter guarantees every element folds in rank order 0..n-1
+// regardless of which chunk it lands in, so the fused layout cannot
+// change float32 results.
+func TestAllReduceFusedBitIdenticalToSplit(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		for _, sizes := range [][]int{
+			{1, 1, 1},
+			{5, 3},
+			{7, 1, 12, 2},
+			{23},
+			{2, 2, 2, 2, 2, 2, 2, 2},
+		} {
+			total := 0
+			for _, s := range sizes {
+				total += s
+			}
+			rngInput := func(rank int) *tensor.Dense {
+				return tensor.NewRNG(int64(rank*1000+total)).RandN(1, total)
+			}
+			fused := make([]*tensor.Dense, n)
+			split := make([]*tensor.Dense, n)
+			RunWorld(n, func(c *Comm) {
+				d := rngInput(c.Rank())
+				AllReduceTagged(c, TagsFor("fused"), d)
+				fused[c.Rank()] = d
+			})
+			RunWorld(n, func(c *Comm) {
+				d := rngInput(c.Rank())
+				off := 0
+				for vi, s := range sizes {
+					AllReduceTagged(c, TagsFor(fmt.Sprintf("v%d", vi)), d.SliceRows(off, off+s))
+					off += s
+				}
+				split[c.Rank()] = d
+			})
+			for r := 0; r < n; r++ {
+				for i := 0; i < total; i++ {
+					if fused[r].Data()[i] != split[r].Data()[i] {
+						t.Fatalf("n=%d sizes=%v rank %d elem %d: fused %v != split %v",
+							n, sizes, r, i, fused[r].Data()[i], split[r].Data()[i])
+					}
+				}
+			}
+		}
 	}
 }
 

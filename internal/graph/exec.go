@@ -41,6 +41,7 @@ type Exec struct {
 	denseGrad []*tensor.Dense
 	varSparse map[string][]*tensor.Sparse
 	grads     *GradSet
+	varAt     []*Variable // node ID -> variable, nil for non-variable nodes
 }
 
 // NewExec creates an executor with variables initialized from their Init
@@ -86,6 +87,12 @@ func (e *Exec) SetVarValue(name string, t *tensor.Dense) {
 	e.values[name] = t
 }
 
+// GradReady observes one variable's gradient the moment the backward
+// sweep finishes it: exactly one of dense/sparse is non-nil, and the
+// tensors are the same ones placed in the step's GradSet. See StepStream
+// for the ordering contract.
+type GradReady func(name string, dense *tensor.Dense, sparse *tensor.Sparse)
+
 // Step runs one forward+backward pass with the given feed and returns the
 // loss and per-variable gradients.
 //
@@ -95,12 +102,36 @@ func (e *Exec) SetVarValue(name string, t *tensor.Dense) {
 // sparse gradients to a parameter server) — only the container is
 // recycled.
 func (e *Exec) Step(feed Feed) (float64, *GradSet, error) {
+	return e.StepStream(feed, nil)
+}
+
+// StepStream is Step with a gradient-ready callback: onReady (when
+// non-nil) fires for every variable as soon as its gradient is final,
+// while the backward sweep over earlier layers is still running. This is
+// the hook the distributed trainer uses to overlap gradient
+// synchronization with the remaining backward compute (the paper's §4.3
+// transformation made pipeline-aware).
+//
+// Contract: the sweep visits nodes in reverse construction order, and a
+// variable's gradient receives contributions only from consumer nodes,
+// which the builder guarantees come later in construction order — so when
+// the sweep reaches the variable's own node, its gradient is complete.
+// onReady therefore fires exactly once per variable, in reverse
+// declaration order, synchronously on the calling goroutine. The same
+// deterministic order holds on every replica of the graph, which is what
+// lets every worker dispatch collectives in ready order without a
+// schedule rendezvous.
+func (e *Exec) StepStream(feed Feed, onReady GradReady) (float64, *GradSet, error) {
 	if e.floats == nil {
 		e.floats = make([]*tensor.Dense, len(e.g.nodes))
 		e.ints = make([][]int, len(e.g.nodes))
 		e.denseGrad = make([]*tensor.Dense, len(e.g.nodes))
 		e.varSparse = make(map[string][]*tensor.Sparse)
 		e.grads = NewGradSet()
+		e.varAt = make([]*Variable, len(e.g.nodes))
+		for _, v := range e.g.vars {
+			e.varAt[v.node.ID] = v
+		}
 	}
 	floats, ints := e.floats, e.ints
 	clear(floats)
@@ -180,10 +211,21 @@ func (e *Exec) Step(feed Feed) (float64, *GradSet, error) {
 		}
 	}
 
+	// Per-variable gradients are assembled inline, the moment the sweep
+	// passes the variable's node (all its consumers are behind the sweep
+	// by then), so onReady can stream them out mid-backprop.
+	gs := e.grads
+	clear(gs.Dense)
+	clear(gs.Sparse)
+
 	for i := len(e.g.nodes) - 1; i >= 0; i-- {
 		n := e.g.nodes[i]
 		if n.Kind == OpSoftmaxCE {
 			addDense(n.Inputs[0], lossGrad)
+			continue
+		}
+		if v := e.varAt[n.ID]; v != nil {
+			e.assembleVarGrad(v, onReady)
 			continue
 		}
 		dy := denseGrad[n.ID]
@@ -191,8 +233,8 @@ func (e *Exec) Step(feed Feed) (float64, *GradSet, error) {
 			continue // node does not influence the loss
 		}
 		switch n.Kind {
-		case OpInput, OpVariable:
-			// leaves
+		case OpInput:
+			// leaf
 		case OpGather:
 			table, idx := n.Inputs[0], ints[n.Inputs[1].ID]
 			sp := tensor.NewSparse(idx, dy.Clone(), table.Shape[0])
@@ -232,32 +274,35 @@ func (e *Exec) Step(feed Feed) (float64, *GradSet, error) {
 		}
 	}
 
-	// Assemble per-variable gradients, honoring the static GradKind: a
-	// variable with any dense contribution gets a dense gradient (sparse
-	// parts densified), otherwise the concatenated sparse gradient.
-	gs := e.grads
-	clear(gs.Dense)
-	clear(gs.Sparse)
-	for _, v := range e.g.vars {
-		d := denseGrad[v.node.ID]
-		sps := varSparse[v.Name]
-		switch {
-		case d == nil && len(sps) == 0:
-			// Variable did not influence this step's loss: contribute an
-			// explicit zero so synchronization stays uniform.
-			if e.g.GradKind(v) == GradSparse {
-				gs.Sparse[v.Name] = tensor.NewSparse(nil, tensor.NewDense(0, v.Shape[1]), v.Shape[0])
-			} else {
-				gs.Dense[v.Name] = tensor.NewDense(v.Shape...)
-			}
-		case d == nil:
-			gs.Sparse[v.Name] = tensor.ConcatSparse(sps)
-		default:
-			for _, sp := range sps {
-				d.AddInto(sp.ToDense())
-			}
-			gs.Dense[v.Name] = d
-		}
-	}
 	return loss, gs, nil
+}
+
+// assembleVarGrad finalizes one variable's gradient, honoring the static
+// GradKind — a variable with any dense contribution gets a dense gradient
+// (sparse parts densified), otherwise the concatenated sparse gradient —
+// records it in the step's GradSet, and notifies onReady.
+func (e *Exec) assembleVarGrad(v *Variable, onReady GradReady) {
+	gs := e.grads
+	d := e.denseGrad[v.node.ID]
+	sps := e.varSparse[v.Name]
+	switch {
+	case d == nil && len(sps) == 0:
+		// Variable did not influence this step's loss: contribute an
+		// explicit zero so synchronization stays uniform.
+		if e.g.GradKind(v) == GradSparse {
+			gs.Sparse[v.Name] = tensor.NewSparse(nil, tensor.NewDense(0, v.Shape[1]), v.Shape[0])
+		} else {
+			gs.Dense[v.Name] = tensor.NewDense(v.Shape...)
+		}
+	case d == nil:
+		gs.Sparse[v.Name] = tensor.ConcatSparse(sps)
+	default:
+		for _, sp := range sps {
+			d.AddInto(sp.ToDense())
+		}
+		gs.Dense[v.Name] = d
+	}
+	if onReady != nil {
+		onReady(v.Name, gs.Dense[v.Name], gs.Sparse[v.Name])
+	}
 }

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"testing"
+
+	"parallax/internal/tensor"
+)
+
+// StepStream must fire the gradient-ready callback exactly once per
+// variable, in reverse declaration order, with the same tensors the
+// returned GradSet holds — the contract the overlapped trainer builds its
+// collective schedule on.
+func TestStepStreamCallbackContract(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	g := New()
+	tokens := g.Input("tokens", Int, 4)
+	labels := g.Input("labels", Int, 4)
+	emb := g.Variable("emb", rng.RandN(0.1, 20, 6))
+	w1 := g.Variable("w1", rng.RandN(0.1, 6, 8))
+	b1 := g.Variable("b1", tensor.NewDense(8))
+	w2 := g.Variable("w2", rng.RandN(0.1, 8, 20))
+	h := g.Tanh(g.AddBias(g.MatMul(g.Gather(emb, tokens), w1), b1))
+	g.SoftmaxCE(g.MatMul(h, w2), labels)
+
+	e, err := NewExec(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := Feed{Ints: map[string][]int{"tokens": {1, 5, 5, 9}, "labels": {0, 3, 7, 19}}}
+
+	var order []string
+	seenDense := map[string]*tensor.Dense{}
+	seenSparse := map[string]*tensor.Sparse{}
+	_, grads, err := e.StepStream(feed, func(name string, d *tensor.Dense, sp *tensor.Sparse) {
+		order = append(order, name)
+		if (d == nil) == (sp == nil) {
+			t.Errorf("variable %s: exactly one of dense/sparse must be set (dense=%v sparse=%v)", name, d, sp)
+		}
+		seenDense[name] = d
+		seenSparse[name] = sp
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reverse declaration order: w2 (closest to the loss) first, emb last.
+	want := []string{"w2", "b1", "w1", "emb"}
+	if len(order) != len(want) {
+		t.Fatalf("callback fired for %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("callback order %v, want %v", order, want)
+		}
+	}
+
+	// The callback tensors are the GradSet tensors, not copies.
+	for name, d := range grads.Dense {
+		if seenDense[name] != d {
+			t.Errorf("dense gradient for %s differs between callback and GradSet", name)
+		}
+	}
+	for name, sp := range grads.Sparse {
+		if seenSparse[name] != sp {
+			t.Errorf("sparse gradient for %s differs between callback and GradSet", name)
+		}
+	}
+	if grads.Sparse["emb"] == nil {
+		t.Fatal("emb must receive a sparse gradient")
+	}
+}
+
+// A streamed step must produce the same gradients as a plain Step.
+func TestStepStreamMatchesStep(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	g := New()
+	x := g.Input("x", Float, 3, 5)
+	labels := g.Input("labels", Int, 3)
+	w := g.Variable("w", rng.RandN(0.3, 5, 7))
+	b := g.Variable("b", tensor.NewDense(7))
+	g.SoftmaxCE(g.AddBias(g.MatMul(x, w), b), labels)
+
+	feed := Feed{
+		Floats: map[string]*tensor.Dense{"x": rng.RandN(1, 3, 5)},
+		Ints:   map[string][]int{"labels": {0, 2, 6}},
+	}
+	e1, _ := NewExec(g)
+	_, g1, err := e1.Step(feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := g1.Dense["w"].Clone()
+	b1 := g1.Dense["b"].Clone()
+
+	e2, _ := NewExec(g)
+	_, g2, err := e2.StepStream(feed, func(string, *tensor.Dense, *tensor.Sparse) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Dense["w"].MaxAbsDiff(w1) != 0 || g2.Dense["b"].MaxAbsDiff(b1) != 0 {
+		t.Fatal("StepStream gradients differ from Step")
+	}
+}

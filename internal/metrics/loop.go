@@ -20,6 +20,35 @@ type StepStats struct {
 	// the synchronization layer (ring collectives + parameter servers)
 	// during the step.
 	BytesPushed int64
+
+	// Per-phase breakdown (slowest worker per phase): ComputeTime is the
+	// forward+backward wall clock, CommTime is synchronization busy time,
+	// and SyncWait is the part of CommTime that was NOT hidden under
+	// compute — the drain the worker paid after its backward pass
+	// finished. CommTime−SyncWait is the overlap the fused schedule won.
+	ComputeTime time.Duration
+	CommTime    time.Duration
+	SyncWait    time.Duration
+}
+
+// OverlapFraction is the share of synchronization time hidden under
+// backward compute, in [0,1]; 0 when the step did no synchronization.
+func (s StepStats) OverlapFraction() float64 {
+	return overlapFraction(s.CommTime, s.SyncWait)
+}
+
+func overlapFraction(comm, wait time.Duration) float64 {
+	if comm <= 0 {
+		return 0
+	}
+	f := 1 - float64(wait)/float64(comm)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
 }
 
 // LoopStats aggregates StepStats over a training loop.
@@ -33,8 +62,19 @@ type LoopStats struct {
 	TotalTime time.Duration
 	// TotalBytesPushed sums the per-step gradient traffic.
 	TotalBytesPushed int64
+	// TotalCompute/TotalComm/TotalSyncWait sum the per-step phase
+	// breakdowns.
+	TotalCompute  time.Duration
+	TotalComm     time.Duration
+	TotalSyncWait time.Duration
 
 	lossSum float64
+}
+
+// OverlapFraction is the loop-wide share of synchronization time hidden
+// under backward compute.
+func (l LoopStats) OverlapFraction() float64 {
+	return overlapFraction(l.TotalComm, l.TotalSyncWait)
 }
 
 // Observe folds one step's stats into the aggregate.
@@ -48,6 +88,9 @@ func (l *LoopStats) Observe(s StepStats) {
 	l.MeanLoss = l.lossSum / float64(l.Steps)
 	l.TotalTime += s.StepTime
 	l.TotalBytesPushed += s.BytesPushed
+	l.TotalCompute += s.ComputeTime
+	l.TotalComm += s.CommTime
+	l.TotalSyncWait += s.SyncWait
 }
 
 // StepsPerSec returns the observed step throughput.
@@ -60,7 +103,8 @@ func (l LoopStats) StepsPerSec() float64 {
 
 // String renders a one-line summary.
 func (l LoopStats) String() string {
-	return fmt.Sprintf("%d steps in %v (%s steps/s), loss %.4f -> %.4f, pushed %s",
+	return fmt.Sprintf("%d steps in %v (%s steps/s), loss %.4f -> %.4f, pushed %s, %.0f%% comm overlapped",
 		l.Steps, l.TotalTime.Round(time.Millisecond), Humanize(l.StepsPerSec()),
-		l.FirstLoss, l.LastLoss, HumanBytes(float64(l.TotalBytesPushed)))
+		l.FirstLoss, l.LastLoss, HumanBytes(float64(l.TotalBytesPushed)),
+		100*l.OverlapFraction())
 }

@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOverlapFraction(t *testing.T) {
+	cases := []struct {
+		comm, wait time.Duration
+		want       float64
+	}{
+		{0, 0, 0},                      // no comm at all
+		{100 * time.Millisecond, 0, 1}, // fully hidden
+		{100 * time.Millisecond, 100 * time.Millisecond, 0}, // fully exposed
+		{100 * time.Millisecond, 25 * time.Millisecond, 0.75},
+		{100 * time.Millisecond, 150 * time.Millisecond, 0}, // wait > comm clamps
+	}
+	for _, c := range cases {
+		s := StepStats{CommTime: c.comm, SyncWait: c.wait}
+		if got := s.OverlapFraction(); got != c.want {
+			t.Errorf("OverlapFraction(comm=%v wait=%v) = %v, want %v", c.comm, c.wait, got, c.want)
+		}
+	}
+}
+
+func TestLoopStatsAggregatesPhases(t *testing.T) {
+	var l LoopStats
+	l.Observe(StepStats{Loss: 1, ComputeTime: 10 * time.Millisecond, CommTime: 4 * time.Millisecond, SyncWait: 1 * time.Millisecond})
+	l.Observe(StepStats{Loss: 2, ComputeTime: 20 * time.Millisecond, CommTime: 6 * time.Millisecond, SyncWait: 4 * time.Millisecond})
+	if l.TotalCompute != 30*time.Millisecond || l.TotalComm != 10*time.Millisecond || l.TotalSyncWait != 5*time.Millisecond {
+		t.Fatalf("totals = %v/%v/%v", l.TotalCompute, l.TotalComm, l.TotalSyncWait)
+	}
+	if got := l.OverlapFraction(); got != 0.5 {
+		t.Fatalf("loop OverlapFraction = %v, want 0.5", got)
+	}
+}

@@ -180,17 +180,32 @@ func (s *Server) AddVar(name string, init *tensor.Dense, ranges []tensor.RowRang
 	return nil
 }
 
-func (s *Server) lookup(name string, pi int) (*servedVar, *part, error) {
+func (s *Server) lookupVar(name string) (*servedVar, error) {
 	s.mu.Lock()
 	v, ok := s.vars[name]
 	s.mu.Unlock()
 	if !ok {
-		return nil, nil, fmt.Errorf("psrt: unknown variable %q", name)
+		return nil, fmt.Errorf("psrt: unknown variable %q", name)
+	}
+	return v, nil
+}
+
+func (s *Server) lookup(name string, pi int) (*servedVar, *part, error) {
+	v, err := s.lookupVar(name)
+	if err != nil {
+		return nil, nil, err
 	}
 	if pi < 0 || pi >= len(v.parts) || v.parts[pi] == nil {
 		return nil, nil, fmt.Errorf("psrt: variable %q partition %d not hosted here", name, pi)
 	}
 	return v, v.parts[pi], nil
+}
+
+func (v *servedVar) partAt(pi int) (*part, error) {
+	if pi < 0 || pi >= len(v.parts) || v.parts[pi] == nil {
+		return nil, fmt.Errorf("psrt: variable %q partition %d not hosted here", v.name, pi)
+	}
+	return v.parts[pi], nil
 }
 
 // PushDense delivers one source's dense gradient for a partition. The
@@ -200,16 +215,24 @@ func (s *Server) lookup(name string, pi int) (*servedVar, *part, error) {
 // are fine, and the caller may reuse the buffer as soon as PushDense
 // returns.
 func (s *Server) PushDense(name string, pi int, grad *tensor.Dense) error {
-	v, p, err := s.lookup(name, pi)
+	v, err := s.lookupVar(name)
+	if err != nil {
+		return err
+	}
+	return s.pushDensePart(v, pi, grad)
+}
+
+func (s *Server) pushDensePart(v *servedVar, pi int, grad *tensor.Dense) error {
+	p, err := v.partAt(pi)
 	if err != nil {
 		return err
 	}
 	if v.sparse {
-		return fmt.Errorf("psrt: dense push to sparse variable %q", name)
+		return fmt.Errorf("psrt: dense push to sparse variable %q", v.name)
 	}
 	if grad.NumElements() != v.ranges[pi].Len()*v.width {
 		return fmt.Errorf("psrt: dense push to %s/%d has %d elements, partition wants %d",
-			name, pi, grad.NumElements(), v.ranges[pi].Len()*v.width)
+			v.name, pi, grad.NumElements(), v.ranges[pi].Len()*v.width)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -224,13 +247,10 @@ func (s *Server) PushDense(name string, pi int, grad *tensor.Dense) error {
 	if p.pushes == 0 {
 		copy(p.accDense.Data(), grad.Data())
 	} else {
-		// Accumulate by element: the gradient may arrive with a different
-		// rank than the [rows, width] accumulator (a rank-1 bias pushed as
-		// a whole), and both layouts are row-major.
-		acc := p.accDense.Data()
-		for i, g := range grad.Data() {
-			acc[i] += g
-		}
+		// Accumulate flat: the gradient may arrive with a different rank
+		// than the [rows, width] accumulator (a rank-1 bias pushed as a
+		// whole), and both layouts are row-major.
+		tensor.AddTo(grad.Data(), p.accDense.Data())
 	}
 	p.pushes++
 	if p.pushes == s.cfg.Sources {
@@ -244,12 +264,20 @@ func (s *Server) PushDense(name string, pi int, grad *tensor.Dense) error {
 // it may be retained and mutated until the partition's update applies, so
 // the caller must not touch it after the call.
 func (s *Server) PushSparse(name string, pi int, grad *tensor.Sparse) error {
-	v, p, err := s.lookup(name, pi)
+	v, err := s.lookupVar(name)
+	if err != nil {
+		return err
+	}
+	return s.pushSparsePart(v, pi, grad)
+}
+
+func (s *Server) pushSparsePart(v *servedVar, pi int, grad *tensor.Sparse) error {
+	p, err := v.partAt(pi)
 	if err != nil {
 		return err
 	}
 	if !v.sparse {
-		return fmt.Errorf("psrt: sparse push to dense variable %q", name)
+		return fmt.Errorf("psrt: sparse push to dense variable %q", v.name)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -378,7 +406,15 @@ func (s *Server) Pull(name string, pi int, minVersion int64) (*tensor.Dense, err
 // minVersion. It is the allocation-free pull used by the persistent
 // runtime. dst must have the partition's element count.
 func (s *Server) PullInto(name string, pi int, minVersion int64, dst *tensor.Dense) error {
-	_, p, err := s.lookup(name, pi)
+	v, err := s.lookupVar(name)
+	if err != nil {
+		return err
+	}
+	return pullIntoPart(v, pi, minVersion, dst)
+}
+
+func pullIntoPart(v *servedVar, pi int, minVersion int64, dst *tensor.Dense) error {
+	p, err := v.partAt(pi)
 	if err != nil {
 		return err
 	}
@@ -389,9 +425,94 @@ func (s *Server) PullInto(name string, pi int, minVersion int64, dst *tensor.Den
 	}
 	if dst.NumElements() != p.value.NumElements() {
 		return fmt.Errorf("psrt: PullInto %s/%d: dst has %d elements, partition has %d",
-			name, pi, dst.NumElements(), p.value.NumElements())
+			v.name, pi, dst.NumElements(), p.value.NumElements())
 	}
 	copy(dst.Data(), p.value.Data())
+	return nil
+}
+
+// PullReq is one partition read of a batched PullManyInto: copy partition
+// Part of variable Name into the caller-owned view Dst.
+type PullReq struct {
+	Name string
+	Part int
+	Dst  *tensor.Dense
+}
+
+// DensePush is one partition write of a batched PushDenseMany. Grad
+// follows the PushDense borrowing contract.
+type DensePush struct {
+	Name string
+	Part int
+	Grad *tensor.Dense
+}
+
+// SparsePush is one partition write of a batched PushSparseMany. Grad
+// follows the PushSparse ownership-transfer contract.
+type SparsePush struct {
+	Name string
+	Part int
+	Grad *tensor.Sparse
+}
+
+// PullManyInto performs a batch of versioned partition reads with one
+// call — the per-server pull a worker issues at the top of a step instead
+// of one call per partition. Requests for the same variable should be
+// adjacent: the variable lookup is amortized across consecutive requests.
+// Each read blocks until that partition's version reaches minVersion.
+func (s *Server) PullManyInto(minVersion int64, reqs []PullReq) error {
+	var v *servedVar
+	for i := range reqs {
+		r := &reqs[i]
+		if v == nil || v.name != r.Name {
+			var err error
+			if v, err = s.lookupVar(r.Name); err != nil {
+				return err
+			}
+		}
+		if err := pullIntoPart(v, r.Part, minVersion, r.Dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PushDenseMany delivers a batch of dense partition gradients with one
+// call (one call per server per route instead of one per partition).
+// Requests for the same variable should be adjacent.
+func (s *Server) PushDenseMany(reqs []DensePush) error {
+	var v *servedVar
+	for i := range reqs {
+		r := &reqs[i]
+		if v == nil || v.name != r.Name {
+			var err error
+			if v, err = s.lookupVar(r.Name); err != nil {
+				return err
+			}
+		}
+		if err := s.pushDensePart(v, r.Part, r.Grad); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PushSparseMany is PushDenseMany for sparse partitions; each gradient's
+// ownership transfers to the server.
+func (s *Server) PushSparseMany(reqs []SparsePush) error {
+	var v *servedVar
+	for i := range reqs {
+		r := &reqs[i]
+		if v == nil || v.name != r.Name {
+			var err error
+			if v, err = s.lookupVar(r.Name); err != nil {
+				return err
+			}
+		}
+		if err := s.pushSparsePart(v, r.Part, r.Grad); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

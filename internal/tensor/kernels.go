@@ -1,0 +1,68 @@
+package tensor
+
+// Flat-slice compute kernels for the hot loops of the data plane: the
+// matmul inner loops, the collective reduce-scatter accumulate, and the
+// optimizer apply paths all bottom out here. Each kernel is 4-wide
+// unrolled so the compiler can keep four independent FMA chains in
+// flight instead of serializing on one accumulator / one bounds check
+// per element. They operate on raw []float32 so packages that move
+// gradients as flat buffers (internal/collective) can use them without
+// wrapping tensors.
+
+// Axpy computes dst[i] += a*src[i]. len(src) must not exceed len(dst).
+// Element order is preserved, so results are bit-identical to the naive
+// loop.
+func Axpy(a float32, src, dst []float32) {
+	n := len(src)
+	dst = dst[:n] // hoist the bounds check out of the loop
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += a * src[i]
+		dst[i+1] += a * src[i+1]
+		dst[i+2] += a * src[i+2]
+		dst[i+3] += a * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += a * src[i]
+	}
+}
+
+// AddTo computes dst[i] += src[i]. len(src) must not exceed len(dst).
+// Element order is preserved, so results are bit-identical to the naive
+// loop.
+func AddTo(src, dst []float32) {
+	n := len(src)
+	dst = dst[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += src[i]
+		dst[i+1] += src[i+1]
+		dst[i+2] += src[i+2]
+		dst[i+3] += src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += src[i]
+	}
+}
+
+// Dot returns Σ a[i]*b[i] over four independent partial sums (combined
+// low-to-high at the end). The grouping differs from a strict sequential
+// fold, which is why the matmul tests compare against a float64
+// reference rather than the naive float32 loop.
+func Dot(a, b []float32) float32 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}

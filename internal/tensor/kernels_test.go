@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// The unrolled kernels must agree with the naive loops on every length,
+// including the 1–3 element tails the unroll leaves over.
+func TestKernelsMatchNaive(t *testing.T) {
+	rng := NewRNG(42)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100} {
+		src := make([]float32, n)
+		dst := make([]float32, n)
+		for i := range src {
+			src[i] = float32(rng.Float64()*2 - 1)
+			dst[i] = float32(rng.Float64()*2 - 1)
+		}
+
+		wantAdd := append([]float32(nil), dst...)
+		for i := range wantAdd {
+			wantAdd[i] += src[i]
+		}
+		gotAdd := append([]float32(nil), dst...)
+		AddTo(src, gotAdd)
+		for i := range wantAdd {
+			if gotAdd[i] != wantAdd[i] {
+				t.Fatalf("AddTo n=%d elem %d: %v != %v", n, i, gotAdd[i], wantAdd[i])
+			}
+		}
+
+		const a = float32(0.37)
+		wantAxpy := append([]float32(nil), dst...)
+		for i := range wantAxpy {
+			wantAxpy[i] += a * src[i]
+		}
+		gotAxpy := append([]float32(nil), dst...)
+		Axpy(a, src, gotAxpy)
+		for i := range wantAxpy {
+			if gotAxpy[i] != wantAxpy[i] {
+				t.Fatalf("Axpy n=%d elem %d: %v != %v", n, i, gotAxpy[i], wantAxpy[i])
+			}
+		}
+
+		// Dot reassociates into four partial sums, so compare against a
+		// float64 reference with a proportional tolerance.
+		var ref float64
+		for i := range src {
+			ref += float64(src[i]) * float64(dst[i])
+		}
+		if got := Dot(src, dst); math.Abs(float64(got)-ref) > 1e-4*(1+math.Abs(ref)) {
+			t.Fatalf("Dot n=%d: %v, want ~%v", n, got, ref)
+		}
+	}
+}
+
+// Axpy into a longer destination must only touch the first len(src)
+// elements (the matmul kernels rely on this when rows alias larger
+// buffers).
+func TestAxpyShortSource(t *testing.T) {
+	dst := []float32{1, 1, 1, 1, 1, 1}
+	Axpy(2, []float32{10, 10}, dst)
+	want := []float32{21, 21, 1, 1, 1, 1}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}

@@ -18,12 +18,11 @@ func MatMul(a, b *Dense) *Dense {
 		for p := 0; p < k; p++ {
 			av := arow[p]
 			if av == 0 {
+				// Forward activations are frequently exactly zero (ReLU,
+				// padded rows); skipping saves a whole row of b.
 				continue
 			}
-			brow := b.data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
+			Axpy(av, b.data[p*n:(p+1)*n], orow)
 		}
 	}
 	return out
@@ -40,15 +39,11 @@ func MatMulT1(a, b *Dense) *Dense {
 	for p := 0; p < k; p++ {
 		arow := a.data[p*m : (p+1)*m]
 		brow := b.data[p*n : (p+1)*n]
+		// No zero-skip here: a holds pre-activation inputs (tanh outputs,
+		// embeddings), which are almost never exactly zero, and the branch
+		// defeats pipelining of the unrolled axpy on dense inputs.
 		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			orow := out.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
+			Axpy(arow[i], brow, out.data[i*n:(i+1)*n])
 		}
 	}
 	return out
@@ -66,12 +61,7 @@ func MatMulT2(a, b *Dense) *Dense {
 		arow := a.data[i*k : (i+1)*k]
 		orow := out.data[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			var s float32
-			for p := 0; p < k; p++ {
-				s += arow[p] * brow[p]
-			}
-			orow[j] = s
+			orow[j] = Dot(arow, b.data[j*k:(j+1)*k])
 		}
 	}
 	return out
@@ -85,10 +75,7 @@ func AddBiasRows(t, bias *Dense) {
 	}
 	n := t.Dim(1)
 	for i := 0; i < t.Dim(0); i++ {
-		row := t.data[i*n : (i+1)*n]
-		for j := range row {
-			row[j] += bias.data[j]
-		}
+		AddTo(bias.data, t.data[i*n:(i+1)*n])
 	}
 }
 
@@ -101,10 +88,7 @@ func SumRows(t *Dense) *Dense {
 	n := t.Dim(1)
 	out := NewDense(n)
 	for i := 0; i < t.Dim(0); i++ {
-		row := t.data[i*n : (i+1)*n]
-		for j := range row {
-			out.data[j] += row[j]
-		}
+		AddTo(t.data[i*n:(i+1)*n], out.data)
 	}
 	return out
 }

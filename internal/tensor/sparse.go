@@ -76,11 +76,7 @@ func (s *Sparse) ToDenseInto(out *Dense) {
 			out.Shape(), s.Dim0, w))
 	}
 	for i, r := range s.Rows {
-		dst := out.data[r*w : (r+1)*w]
-		src := s.Values.data[i*w : (i+1)*w]
-		for j, v := range src {
-			dst[j] += v
-		}
+		AddTo(s.Values.data[i*w:(i+1)*w], out.data[r*w:(r+1)*w])
 	}
 }
 
@@ -106,11 +102,7 @@ func (s *Sparse) Coalesce() *Sparse {
 	}
 	vals := NewDense(len(uniq), w)
 	for i, r := range s.Rows {
-		dst := vals.data[seen[r]*w : (seen[r]+1)*w]
-		src := s.Values.data[i*w : (i+1)*w]
-		for j, v := range src {
-			dst[j] += v
-		}
+		AddTo(s.Values.data[i*w:(i+1)*w], vals.data[seen[r]*w:(seen[r]+1)*w])
 	}
 	return &Sparse{Rows: uniq, Values: vals, Dim0: s.Dim0, coalesced: true}
 }
@@ -189,11 +181,7 @@ func SumSparse(parts []*Sparse) *Sparse {
 	vals := NewDense(len(uniq), w)
 	for _, p := range parts {
 		for i, r := range p.Rows {
-			dst := vals.data[seen[r]*w : (seen[r]+1)*w]
-			src := p.Values.data[i*w : (i+1)*w]
-			for j, v := range src {
-				dst[j] += v
-			}
+			AddTo(p.Values.data[i*w:(i+1)*w], vals.data[seen[r]*w:(seen[r]+1)*w])
 		}
 	}
 	return &Sparse{Rows: uniq, Values: vals, Dim0: dim0, coalesced: true}
@@ -224,11 +212,7 @@ func ScatterAddSparse(t *Dense, a float32, s *Sparse) {
 	}
 	w := s.RowWidth()
 	for i, r := range s.Rows {
-		dst := t.data[r*w : (r+1)*w]
-		src := s.Values.data[i*w : (i+1)*w]
-		for j, v := range src {
-			dst[j] += a * v
-		}
+		Axpy(a, s.Values.data[i*w:(i+1)*w], t.data[r*w:(r+1)*w])
 	}
 }
 

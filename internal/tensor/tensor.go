@@ -159,9 +159,7 @@ func (t *Dense) AddInto(o *Dense) {
 	if !t.SameShape(o) {
 		panic(fmt.Sprintf("tensor: AddInto shape mismatch %v vs %v", t.shape, o.shape))
 	}
-	for i, v := range o.data {
-		t.data[i] += v
-	}
+	AddTo(o.data, t.data)
 }
 
 // Sub subtracts o from t element-wise. Shapes must match.
@@ -186,9 +184,7 @@ func (t *Dense) AXPY(a float32, o *Dense) {
 	if !t.SameShape(o) {
 		panic(fmt.Sprintf("tensor: AXPY shape mismatch %v vs %v", t.shape, o.shape))
 	}
-	for i, v := range o.data {
-		t.data[i] += a * v
-	}
+	Axpy(a, o.data, t.data)
 }
 
 // L2NormSquared returns the sum of squared elements in float64 for

@@ -14,20 +14,37 @@
 // package is the functional data plane used for correctness tests and
 // convergence experiments.
 //
-// The trainer is a persistent runtime: New launches one long-lived worker
-// goroutine per GPU plus one parameter server per machine, resolves every
-// variable's aggregation slot to integer indices, and preallocates the
-// gradient and partition buffers the hot loop needs. Step only dispatches
-// work over channels — it spawns no goroutines, builds no maps, and pushes
-// dense partitions as zero-copy views (see DESIGN.md §3 for the buffer
-// ownership rules shared with internal/psrt).
+// The trainer is a persistent runtime with a fused, overlapped
+// synchronization schedule (DESIGN.md §3):
+//
+//   - New launches one long-lived compute goroutine per GPU, one comm
+//     goroutine per GPU, one puller goroutine per (GPU, server) pair, and
+//     one parameter server per machine.
+//   - All dense AllReduce variables are packed at build time into a few
+//     size-capped fusion buckets; each step runs ONE collective per bucket
+//     over a contiguous buffer instead of one per variable, and the
+//     apply/clip paths read the aggregated gradients through precomputed
+//     zero-copy views into the buckets.
+//   - Gradients stream out of the backward pass in reverse-topological
+//     order (graph.Exec's gradient-ready callback); the worker hands each
+//     completed bucket, sparse gradient, and PS route to its comm goroutine
+//     immediately, overlapping synchronization with the remaining backward
+//     compute.
+//   - PS traffic is batched per server (psrt.PullManyInto / PushDenseMany /
+//     PushSparseMany) and the pull phase runs concurrently across servers.
+//
+// Step spawns no goroutines, builds no maps, and formats no strings; all
+// collective tags, fusion views, and pull-request lists are resolved at
+// build time.
 package transform
 
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parallax/internal/arrt"
 	"parallax/internal/cluster"
@@ -38,6 +55,12 @@ import (
 	"parallax/internal/psrt"
 	"parallax/internal/tensor"
 )
+
+// defaultFusionBytes caps one fusion bucket at 4 MiB, big enough to fuse
+// every dense variable of the test-scale models into a single collective
+// while keeping paper-scale buckets small enough that the first bucket's
+// all-reduce can still overlap the tail of the backward pass.
+const defaultFusionBytes = 4 << 20
 
 // Options configures a distributed trainer.
 type Options struct {
@@ -58,6 +81,14 @@ type Options struct {
 	// Async switches PS variables to asynchronous updates (§2.1). AR
 	// variables are inherently synchronous.
 	Async bool
+	// FusionBytes caps the size of one dense-AllReduce fusion bucket.
+	// 0 selects the default (4 MiB); a negative value disables fusion
+	// entirely — one bucket per variable — which is the reference
+	// schedule the fusion equivalence tests compare against. Either way
+	// the synchronization results are bit-identical: the collective's
+	// rank-ordered reduction makes float32 sums independent of bucket
+	// layout.
+	FusionBytes int64
 }
 
 type varRoute struct {
@@ -74,8 +105,59 @@ type stepTask struct {
 
 // stepResult is one worker's completion report.
 type stepResult struct {
-	loss float64
-	err  error
+	worker int
+	loss   float64
+	err    error
+}
+
+// fuseBucket is one fused dense-AllReduce collective: a set of routes
+// whose gradients live contiguously in a per-worker fusion buffer.
+type fuseBucket struct {
+	tags   collective.Tags
+	routes []int // route indices, in declaration order
+	elems  int
+}
+
+// commKind discriminates comm-goroutine tasks.
+type commKind int
+
+const (
+	commBucket commKind = iota // all-reduce fusion bucket idx
+	commSparse                 // AllGatherv route idx
+	commPS                     // parameter-server push for route idx
+	commFlush                  // report first error, reset, ack
+)
+
+// commTask is one unit of synchronization work handed to a worker's comm
+// goroutine. Tasks carry their gradient pointers so the comm goroutine
+// never reads the executor's GradSet maps, which the compute goroutine
+// keeps mutating during the backward sweep.
+type commTask struct {
+	kind   commKind
+	idx    int
+	dense  *tensor.Dense
+	sparse *tensor.Sparse
+}
+
+// phaseTimes is one worker's per-step phase breakdown. compute and wait
+// are written by the worker goroutine, comm by its comm goroutine; the
+// flush ack orders comm's writes before the worker's read.
+type phaseTimes struct {
+	compute time.Duration // forward+backward wall clock
+	comm    time.Duration // comm goroutine busy time
+	wait    time.Duration // drain time after compute ended (exposed comm)
+}
+
+// PhaseStats is the per-step phase breakdown of the slowest worker:
+// Compute is graph execution, Comm is synchronization busy time, and
+// SyncWait is the part of Comm that was NOT hidden under compute — the
+// time the worker sat waiting for its comm goroutine to drain after the
+// backward pass finished. Comm−SyncWait is therefore the overlap won by
+// dispatching synchronization mid-backprop.
+type PhaseStats struct {
+	Compute  time.Duration
+	Comm     time.Duration
+	SyncWait time.Duration
 }
 
 // aggSlot collects one machine's worker gradients for one variable in one
@@ -107,6 +189,19 @@ type Trainer struct {
 
 	servers []*psrt.Server // one per machine; nil when no PS variables
 	routes  []varRoute
+	// routeIdx resolves a variable name to its route index; read-only
+	// after New, so the gradient-ready callback can use it concurrently.
+	routeIdx map[string]int
+
+	// Fusion schedule (dense AllReduce routes only).
+	buckets  []fuseBucket
+	bucketOf []int             // [ri] -> bucket index, -1 for non-fused routes
+	fuseBufs [][]*tensor.Dense // [w][b]: flat per-worker fusion buffers
+	// fuseViews[w][ri] is a zero-copy view shaped like route ri's variable
+	// into worker w's fusion buffer; the apply/clip paths read aggregated
+	// gradients through it.
+	fuseViews [][]*tensor.Dense
+	agvTags   []string // [ri]: precomputed AllGatherv tag, "" for others
 
 	// slots[ri][m] is the local-aggregation slot for route ri on machine
 	// m; non-nil only for PS routes when LocalAggregation is on.
@@ -114,28 +209,47 @@ type Trainer struct {
 	// slotViews[ri][m][pi] is a zero-copy partition view into
 	// slots[ri][m].dense, precomputed for dense variables.
 	slotViews [][][]*tensor.Dense
-	// pullViews[w][ri][pi] is a zero-copy partition view into worker w's
-	// replica storage for PS route ri, the destination of PullInto.
-	pullViews [][][]*tensor.Dense
+	// pullReqs[w][m] is the batched pull request list worker w issues to
+	// server m at the top of each step; destinations are zero-copy views
+	// into the worker's replica storage.
+	pullReqs [][][]psrt.PullReq
+	// psServers[ri] lists the servers hosting route ri's partitions (in
+	// first-appearance order); psParts[ri][k] are the partition indices
+	// owned by psServers[ri][k].
+	psServers [][]int
+	psParts   [][][]int
 	// arSparse[w][ri] holds worker w's AllGatherv-aggregated gradient for
 	// route ri within a step (indexed, not keyed, to avoid per-step maps).
 	arSparse [][]*tensor.Sparse
 
 	inputs []*graph.Node // the graph's input nodes, for feed validation
 
-	pool        *tensor.Pool
 	bytesPushed atomic.Int64
 
-	tasks     []chan stepTask // one per persistent worker
-	done      chan stepResult
-	closeOnce sync.Once
+	tasks   []chan stepTask // one per persistent worker
+	done    chan stepResult
+	lossBuf []float64 // per-worker losses, summed in worker order
 
-	step int
+	// Overlap runtime: one comm goroutine per worker (ordered collectives
+	// and PS pushes) plus one puller per (worker, server).
+	comm          []chan commTask
+	commAck       []chan error
+	pullCh        [][]chan int64      // [w][m]: minVersion for this step's pull
+	pullDone      []chan error        // [w], buffered to machines
+	bucketPending [][]int             // [w][b]: routes not yet copied this step
+	psDenseReqs   [][]psrt.DensePush  // [w] scratch, reused across pushes
+	psSparseReqs  [][]psrt.SparsePush // [w] scratch
+
+	phases    []phaseTimes // [w], reset by the worker each step
+	lastPhase PhaseStats
+
+	closeOnce sync.Once
+	step      int
 }
 
 // New builds a trainer for graph g under the given plan and resources and
-// starts its persistent runtime: one worker goroutine per GPU. Call Close
-// to stop the workers when the trainer is no longer needed.
+// starts its persistent runtime. Call Close to stop the goroutines when
+// the trainer is no longer needed.
 func New(g *graph.Graph, opts Options) (*Trainer, error) {
 	if opts.Plan == nil {
 		return nil, fmt.Errorf("transform: nil plan")
@@ -159,7 +273,6 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 	machines := opts.Resource.NumMachines()
 	t := &Trainer{
 		g: g, opt: opts, workers: workers, machines: machines,
-		pool: tensor.NewPool(),
 	}
 
 	// Replicate the graph: one executor per GPU (§4.3: "main computation
@@ -179,6 +292,7 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 
 	// Route variables.
 	anyPS := false
+	t.routeIdx = make(map[string]int, len(vars))
 	for i, v := range vars {
 		a := opts.Plan.Assignments[i]
 		if a.Name != v.Name {
@@ -189,6 +303,7 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 			anyPS = true
 			r.ranges = tensor.PartitionRows(v.Shape[0], a.Partitions)
 		}
+		t.routeIdx[v.Name] = len(t.routes)
 		t.routes = append(t.routes, r)
 	}
 
@@ -235,28 +350,137 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 		}
 	}
 
+	t.buildFusion()
+	t.buildPSRouting()
 	t.buildSlots()
-	t.buildPullViews()
+	t.buildPullReqs()
 	for _, n := range g.Nodes() {
 		if n.Kind == graph.OpInput {
 			t.inputs = append(t.inputs, n)
 		}
 	}
 
-	// Per-worker indexed scratch for AllGatherv aggregates.
+	// Per-worker indexed scratch for AllGatherv aggregates and tags.
 	t.arSparse = make([][]*tensor.Sparse, workers)
 	for w := range t.arSparse {
 		t.arSparse[w] = make([]*tensor.Sparse, len(t.routes))
 	}
+	t.agvTags = make([]string, len(t.routes))
+	for ri, r := range t.routes {
+		if r.assign.Method == core.MethodAllGatherv {
+			t.agvTags[ri] = arrt.SparseTag(r.v.Name)
+		}
+	}
 
-	// Start the persistent workers.
+	// Start the persistent runtime: compute workers, comm goroutines, and
+	// per-(worker, server) pullers.
 	t.tasks = make([]chan stepTask, workers)
 	t.done = make(chan stepResult, workers)
+	t.comm = make([]chan commTask, workers)
+	t.commAck = make([]chan error, workers)
+	t.pullCh = make([][]chan int64, workers)
+	t.pullDone = make([]chan error, workers)
+	t.psDenseReqs = make([][]psrt.DensePush, workers)
+	t.psSparseReqs = make([][]psrt.SparsePush, workers)
+	t.phases = make([]phaseTimes, workers)
 	for w := 0; w < workers; w++ {
 		t.tasks[w] = make(chan stepTask)
+		t.comm[w] = make(chan commTask, 4+len(t.buckets)+len(t.routes))
+		t.commAck[w] = make(chan error)
+		t.pullCh[w] = make([]chan int64, len(t.servers))
+		t.pullDone[w] = make(chan error, len(t.servers))
+		for m := range t.servers {
+			t.pullCh[w][m] = make(chan int64)
+			go t.pullLoop(w, m)
+		}
+		go t.commLoop(w)
 		go t.workerLoop(w)
 	}
 	return t, nil
+}
+
+// buildFusion packs the dense AllReduce routes into size-capped fusion
+// buckets and preallocates, per worker, one contiguous buffer per bucket
+// plus a shaped view per route. Routes pack in declaration order; since
+// gradients become ready in *reverse* declaration order, a bucket's
+// completion is triggered by its first route, and buckets complete
+// back-to-front — last layers first, exactly the order that maximizes
+// overlap with the remaining backward compute.
+func (t *Trainer) buildFusion() {
+	capBytes := t.opt.FusionBytes
+	if capBytes == 0 {
+		capBytes = defaultFusionBytes
+	}
+	t.bucketOf = make([]int, len(t.routes))
+	for i := range t.bucketOf {
+		t.bucketOf[i] = -1
+	}
+	bi := -1
+	var curBytes int64
+	for ri, r := range t.routes {
+		if r.assign.Method != core.MethodAllReduce {
+			continue
+		}
+		vb := r.v.Bytes()
+		if bi < 0 || capBytes < 0 || (curBytes > 0 && curBytes+vb > capBytes) {
+			t.buckets = append(t.buckets, fuseBucket{})
+			bi = len(t.buckets) - 1
+			curBytes = 0
+		}
+		b := &t.buckets[bi]
+		b.routes = append(b.routes, ri)
+		b.elems += int(r.v.Elements())
+		t.bucketOf[ri] = bi
+		curBytes += vb
+	}
+	for i := range t.buckets {
+		t.buckets[i].tags = collective.TagsFor("fuse/" + strconv.Itoa(i))
+	}
+	t.fuseBufs = make([][]*tensor.Dense, t.workers)
+	t.fuseViews = make([][]*tensor.Dense, t.workers)
+	t.bucketPending = make([][]int, t.workers)
+	for w := 0; w < t.workers; w++ {
+		t.fuseBufs[w] = make([]*tensor.Dense, len(t.buckets))
+		t.fuseViews[w] = make([]*tensor.Dense, len(t.routes))
+		t.bucketPending[w] = make([]int, len(t.buckets))
+		for i := range t.buckets {
+			b := &t.buckets[i]
+			buf := tensor.NewDense(b.elems)
+			t.fuseBufs[w][i] = buf
+			off := 0
+			for _, ri := range b.routes {
+				n := int(t.routes[ri].v.Elements())
+				t.fuseViews[w][ri] = tensor.FromSlice(
+					buf.Data()[off:off+n:off+n], t.routes[ri].v.Shape...)
+				off += n
+			}
+		}
+	}
+}
+
+// buildPSRouting groups each PS route's partitions by owning server, so
+// the push path issues one batched call per server instead of one per
+// partition.
+func (t *Trainer) buildPSRouting() {
+	t.psServers = make([][]int, len(t.routes))
+	t.psParts = make([][][]int, len(t.routes))
+	for ri, r := range t.routes {
+		if r.assign.Method != core.MethodPS {
+			continue
+		}
+		pos := make(map[int]int) // server -> index in psServers[ri]
+		for pi := range r.ranges {
+			srv := r.assign.Servers[pi]
+			k, ok := pos[srv]
+			if !ok {
+				k = len(t.psServers[ri])
+				pos[srv] = k
+				t.psServers[ri] = append(t.psServers[ri], srv)
+				t.psParts[ri] = append(t.psParts[ri], nil)
+			}
+			t.psParts[ri][k] = append(t.psParts[ri][k], pi)
+		}
+	}
 }
 
 // buildSlots preallocates the per-(route, machine) local-aggregation slots
@@ -288,26 +512,28 @@ func (t *Trainer) buildSlots() {
 	}
 }
 
-// buildPullViews precomputes, per worker and PS route, the zero-copy
-// destination views inside the worker's replica storage that server pulls
-// copy into.
-func (t *Trainer) buildPullViews() {
-	t.pullViews = make([][][]*tensor.Dense, t.workers)
+// buildPullReqs precomputes, per worker and server, the batched pull
+// request list whose destinations are zero-copy views into the worker's
+// replica storage. Requests for one variable stay adjacent so the server
+// amortizes its lookup.
+func (t *Trainer) buildPullReqs() {
+	t.pullReqs = make([][][]psrt.PullReq, t.workers)
 	for w := 0; w < t.workers; w++ {
-		t.pullViews[w] = make([][]*tensor.Dense, len(t.routes))
-		for ri, r := range t.routes {
+		t.pullReqs[w] = make([][]psrt.PullReq, len(t.servers))
+		for _, r := range t.routes {
 			if r.assign.Method != core.MethodPS {
 				continue
 			}
 			val := t.execs[w].VarValue(r.v.Name)
-			views := make([]*tensor.Dense, len(r.ranges))
 			for pi, rr := range r.ranges {
 				if rr.Len() == 0 {
 					continue
 				}
-				views[pi] = val.SliceRows(rr.Start, rr.End)
+				m := r.assign.Servers[pi]
+				t.pullReqs[w][m] = append(t.pullReqs[w][m], psrt.PullReq{
+					Name: r.v.Name, Part: pi, Dst: val.SliceRows(rr.Start, rr.End),
+				})
 			}
-			t.pullViews[w][ri] = views
 		}
 	}
 }
@@ -320,12 +546,28 @@ func (t *Trainer) Workers() int { return t.workers }
 // servers) during the most recent Step. Valid after Step returns.
 func (t *Trainer) BytesPushedLastStep() int64 { return t.bytesPushed.Load() }
 
-// Close stops the persistent worker goroutines. The trainer must not be
-// stepped afterwards; Close is idempotent.
+// PhaseStatsLastStep returns the previous step's phase breakdown, taken
+// from the slowest worker per phase. Valid after Step returns.
+func (t *Trainer) PhaseStatsLastStep() PhaseStats { return t.lastPhase }
+
+// Buckets returns the number of fused dense-AllReduce collectives the
+// schedule runs per step (0 when the plan has no AllReduce variables).
+func (t *Trainer) Buckets() int { return len(t.buckets) }
+
+// Close stops the persistent goroutines (workers, comm, pullers). The
+// trainer must not be stepped afterwards; Close is idempotent.
 func (t *Trainer) Close() {
 	t.closeOnce.Do(func() {
 		for _, ch := range t.tasks {
 			close(ch)
+		}
+		for _, ch := range t.comm {
+			close(ch)
+		}
+		for _, per := range t.pullCh {
+			for _, ch := range per {
+				close(ch)
+			}
 		}
 	})
 }
@@ -334,7 +576,44 @@ func (t *Trainer) Close() {
 func (t *Trainer) workerLoop(w int) {
 	for task := range t.tasks[w] {
 		loss, err := t.workerStep(w, task.step, task.feed)
-		t.done <- stepResult{loss: loss, err: err}
+		t.done <- stepResult{worker: w, loss: loss, err: err}
+	}
+}
+
+// commLoop drains worker w's synchronization tasks. Collectives must be
+// issued in the same order on every worker; that holds because tasks are
+// enqueued in gradient-ready order, which is the same deterministic
+// reverse-declaration order on every replica of the graph. PS pushes
+// never block (server accumulation is lock-brief), so they cannot stall a
+// peer's collective.
+func (t *Trainer) commLoop(w int) {
+	var firstErr error
+	for task := range t.comm[w] {
+		if task.kind == commFlush {
+			t.commAck[w] <- firstErr
+			firstErr = nil
+			continue
+		}
+		start := time.Now()
+		switch task.kind {
+		case commBucket:
+			t.replicas[w].SyncDenseTagged(t.buckets[task.idx].tags, t.fuseBufs[w][task.idx])
+		case commSparse:
+			t.arSparse[w][task.idx] = t.replicas[w].SyncSparseTagged(t.agvTags[task.idx], task.sparse)
+		case commPS:
+			if err := t.pushPS(w, task.idx, task.dense, task.sparse); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		t.phases[w].comm += time.Since(start)
+	}
+}
+
+// pullLoop serves worker w's batched pulls from server m, so the pull
+// phase runs concurrently across servers.
+func (t *Trainer) pullLoop(w, m int) {
+	for minVersion := range t.pullCh[w][m] {
+		t.pullDone[w] <- t.servers[m].PullManyInto(minVersion, t.pullReqs[w][m])
 	}
 }
 
@@ -363,18 +642,38 @@ func (t *Trainer) Step(feeds []graph.Feed) (float64, error) {
 	for w := range feeds {
 		t.tasks[w] <- stepTask{step: step, feed: feeds[w]}
 	}
-	var mean float64
+	// Collect results indexed by worker and sum in worker order: workers
+	// finish in nondeterministic order, and a float64 sum in arrival
+	// order would make the reported mean loss wobble in the last ulp
+	// between otherwise identical runs.
+	if t.lossBuf == nil {
+		t.lossBuf = make([]float64, t.workers)
+	}
 	var firstErr error
 	for i := 0; i < t.workers; i++ {
 		res := <-t.done
 		if res.err != nil && firstErr == nil {
 			firstErr = res.err
 		}
-		mean += res.loss
+		t.lossBuf[res.worker] = res.loss
 	}
 	if firstErr != nil {
 		return 0, firstErr
 	}
+	var mean float64
+	for _, l := range t.lossBuf {
+		mean += l
+	}
+	// Aggregate the per-worker phase breakdown: the slowest worker per
+	// phase is the step's critical path. The done handshake above orders
+	// every worker's (and comm goroutine's) writes before these reads.
+	var ph PhaseStats
+	for w := range t.phases {
+		ph.Compute = max(ph.Compute, t.phases[w].compute)
+		ph.Comm = max(ph.Comm, t.phases[w].comm)
+		ph.SyncWait = max(ph.SyncWait, t.phases[w].wait)
+	}
+	t.lastPhase = ph
 	return mean / float64(t.workers), nil
 }
 
@@ -426,73 +725,96 @@ func (t *Trainer) resetSlots() {
 // workerStep is one worker's side of an iteration.
 func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 	exec := t.execs[w]
+	ph := &t.phases[w]
+	*ph = phaseTimes{}
 
 	// Pull phase: fetch fresh PS values for this iteration (Fig 2(a)(b)'s
-	// pull arrows), copying straight into the replica's variable storage
-	// through the precomputed views. Version step means "after step
-	// updates have applied".
+	// pull arrows), one batched call per server, all servers in parallel,
+	// copying straight into the replica's variable storage through the
+	// precomputed views. Version step means "after step updates have
+	// applied".
 	minVersion := int64(step)
 	if t.opt.Async {
 		minVersion = 0
 	}
-	for ri, r := range t.routes {
-		if r.assign.Method != core.MethodPS {
-			continue
-		}
-		for pi, rr := range r.ranges {
-			if rr.Len() == 0 {
-				continue
-			}
-			srv := t.servers[r.assign.Servers[pi]]
-			if err := srv.PullInto(r.v.Name, pi, minVersion, t.pullViews[w][ri][pi]); err != nil {
-				return 0, err
-			}
+	pulls := 0
+	for m := range t.servers {
+		if len(t.pullReqs[w][m]) > 0 {
+			t.pullCh[w][m] <- minVersion
+			pulls++
 		}
 	}
+	var pullErr error
+	for i := 0; i < pulls; i++ {
+		if err := <-t.pullDone[w]; err != nil && pullErr == nil {
+			pullErr = err
+		}
+	}
+	if pullErr != nil {
+		return 0, pullErr
+	}
 
-	// Compute.
-	loss, grads, err := exec.Step(feed)
+	// Compute, streaming synchronization out of the backward pass: each
+	// dense gradient is copied into its fusion view the moment it is
+	// final, the bucket's collective is dispatched when its last view
+	// fills, and sparse/PS gradients are handed off immediately — all
+	// while the sweep continues toward the input layers.
+	pending := t.bucketPending[w]
+	for b := range pending {
+		pending[b] = len(t.buckets[b].routes)
+	}
+	computeStart := time.Now()
+	loss, _, err := exec.StepStream(feed, func(name string, d *tensor.Dense, sp *tensor.Sparse) {
+		ri := t.routeIdx[name]
+		switch t.routes[ri].assign.Method {
+		case core.MethodAllReduce:
+			view := t.fuseViews[w][ri]
+			if d != nil {
+				copy(view.Data(), d.Data())
+			} else {
+				// A sparse variable promoted to dense treatment (α
+				// threshold): densify straight into the fusion view.
+				view.Zero()
+				sp.ToDenseInto(view)
+			}
+			t.bytesPushed.Add(view.Bytes())
+			b := t.bucketOf[ri]
+			if pending[b]--; pending[b] == 0 {
+				t.comm[w] <- commTask{kind: commBucket, idx: b}
+			}
+		case core.MethodAllGatherv:
+			t.bytesPushed.Add(sp.Bytes())
+			t.comm[w] <- commTask{kind: commSparse, idx: ri, sparse: sp}
+		case core.MethodPS:
+			t.comm[w] <- commTask{kind: commPS, idx: ri, dense: d, sparse: sp}
+		}
+	})
+	computeEnd := time.Now()
+	ph.compute = computeEnd.Sub(computeStart)
+
+	// Drain: wait for this worker's synchronization to finish. Whatever
+	// comm time is left here was not hidden under compute.
+	t.comm[w] <- commTask{kind: commFlush}
+	commErr := <-t.commAck[w]
+	ph.wait = time.Since(computeEnd)
 	if err != nil {
 		return 0, err
 	}
-
-	// Push/aggregate phase.
-	for ri, r := range t.routes {
-		switch r.assign.Method {
-		case core.MethodAllReduce:
-			g := grads.Dense[r.v.Name]
-			if g == nil {
-				// A sparse variable promoted to dense treatment (α
-				// threshold): densify its sparse gradient first, into a
-				// pooled buffer released after the local apply.
-				sp := grads.Sparse[r.v.Name]
-				g = t.pool.GetZeroed(r.v.Shape...)
-				sp.ToDenseInto(g)
-			}
-			t.bytesPushed.Add(g.Bytes())
-			t.replicas[w].SyncDense(r.v.Name, step, g)
-			grads.Dense[r.v.Name] = g
-		case core.MethodAllGatherv:
-			t.bytesPushed.Add(grads.Sparse[r.v.Name].Bytes())
-			t.arSparse[w][ri] = t.replicas[w].SyncSparse(r.v.Name, step, grads.Sparse[r.v.Name])
-		case core.MethodPS:
-			if err := t.pushPS(w, ri, grads); err != nil {
-				return 0, err
-			}
-		}
+	if commErr != nil {
+		return 0, commErr
 	}
 
 	// Clipping: compute the global norm over *aggregated* gradients — AR
-	// parts are replicated on every worker, PS parts are read back from
-	// the servers (§5) — then scale AR updates locally and have the chief
-	// apply scaled PS updates.
+	// parts are replicated on every worker (read through the fusion
+	// views), PS parts are read back from the servers (§5) — then scale
+	// AR updates locally and have the chief apply scaled PS updates.
 	scale := float32(1)
 	if t.opt.ClipNorm > 0 && !t.opt.Async {
 		var norm2 float64
 		for ri, r := range t.routes {
 			switch r.assign.Method {
 			case core.MethodAllReduce:
-				norm2 += grads.Dense[r.v.Name].L2NormSquared()
+				norm2 += t.fuseViews[w][ri].L2NormSquared()
 			case core.MethodAllGatherv:
 				// Coalesce once and keep the result: the norm needs the
 				// deduplicated tensor, and the apply below would otherwise
@@ -528,21 +850,17 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 	}
 
 	// Apply AR updates locally; every replica performs the identical
-	// update, keeping replicas synchronized. The aggregated gradients are
-	// worker-local, so clip scaling happens in place.
+	// update, keeping replicas synchronized. The aggregated gradients
+	// live in the worker-local fusion buffers, so clip scaling happens in
+	// place.
 	for ri, r := range t.routes {
 		switch r.assign.Method {
 		case core.MethodAllReduce:
-			g := grads.Dense[r.v.Name]
+			g := t.fuseViews[w][ri]
 			if scale != 1 {
 				g.Scale(scale)
 			}
 			t.arOpts[w].ApplyDense(r.v.Name, exec.VarValue(r.v.Name), g)
-			if grads.Sparse[r.v.Name] != nil {
-				// The dense gradient was densified from a promoted sparse
-				// one into a pooled buffer; release it.
-				t.pool.Put(g)
-			}
 		case core.MethodAllGatherv:
 			g := t.arSparse[w][ri]
 			if scale != 1 {
@@ -556,37 +874,49 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 }
 
 // pushPS routes worker w's gradient for PS route ri: split by partition,
-// optionally merge within the machine, push to the owning servers. Dense
-// partitions travel as zero-copy views (psrt borrows them only for the
-// call); sparse partitions are freshly split and ownership transfers to
-// the server.
-func (t *Trainer) pushPS(w, ri int, grads *graph.GradSet) error {
+// optionally merge within the machine, push to the owning servers with
+// one batched call per server. Dense partitions travel as zero-copy views
+// (psrt borrows them only for the call); sparse partitions are freshly
+// split and ownership transfers to the server. Runs on the worker's comm
+// goroutine.
+func (t *Trainer) pushPS(w, ri int, dense *tensor.Dense, sp *tensor.Sparse) error {
 	r := &t.routes[ri]
 	name := r.v.Name
 
 	pushSparseParts := func(parts []*tensor.Sparse) error {
-		for pi := range r.ranges {
-			t.bytesPushed.Add(parts[pi].Bytes())
-			if err := t.servers[r.assign.Servers[pi]].PushSparse(name, pi, parts[pi]); err != nil {
+		for k, srv := range t.psServers[ri] {
+			reqs := t.psSparseReqs[w][:0]
+			for _, pi := range t.psParts[ri][k] {
+				t.bytesPushed.Add(parts[pi].Bytes())
+				reqs = append(reqs, psrt.SparsePush{Name: name, Part: pi, Grad: parts[pi]})
+			}
+			t.psSparseReqs[w] = reqs[:0]
+			if err := t.servers[srv].PushSparseMany(reqs); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	pushDenseParts := func(dense *tensor.Dense, views []*tensor.Dense) error {
-		for pi, rr := range r.ranges {
-			part := dense
-			if views != nil {
-				part = views[pi]
-			} else if rr.Start != 0 || rr.End != dense.Dim(0) {
-				// Without local aggregation the gradient is a fresh
-				// exec-owned tensor each step, so partition views cannot be
-				// precomputed; the per-push SliceRows header is the
-				// remaining (cheap) allocation on this non-default path.
-				part = dense.SliceRows(rr.Start, rr.End)
+		for k, srv := range t.psServers[ri] {
+			reqs := t.psDenseReqs[w][:0]
+			for _, pi := range t.psParts[ri][k] {
+				rr := r.ranges[pi]
+				part := dense
+				if views != nil {
+					part = views[pi]
+				} else if rr.Start != 0 || rr.End != dense.Dim(0) {
+					// Without local aggregation the gradient is a fresh
+					// exec-owned tensor each step, so partition views cannot
+					// be precomputed; the per-push SliceRows header is the
+					// remaining (cheap) allocation on this non-default path.
+					part = dense.SliceRows(rr.Start, rr.End)
+				}
+				t.bytesPushed.Add(part.Bytes())
+				reqs = append(reqs, psrt.DensePush{Name: name, Part: pi, Grad: part})
 			}
-			t.bytesPushed.Add(part.Bytes())
-			if err := t.servers[r.assign.Servers[pi]].PushDense(name, pi, part); err != nil {
+			t.psDenseReqs[w] = reqs[:0]
+			if err := t.servers[srv].PushDenseMany(reqs); err != nil {
 				return err
 			}
 		}
@@ -595,9 +925,9 @@ func (t *Trainer) pushPS(w, ri int, grads *graph.GradSet) error {
 
 	if !t.opt.LocalAggregation {
 		if r.assign.Sparse {
-			return pushSparseParts(tensor.SplitSparse(grads.Sparse[name], r.ranges))
+			return pushSparseParts(tensor.SplitSparse(sp, r.ranges))
 		}
-		return pushDenseParts(grads.Dense[name], nil)
+		return pushDenseParts(dense, nil)
 	}
 
 	// Local aggregation: the machine's last-arriving worker merges and
@@ -607,12 +937,12 @@ func (t *Trainer) pushPS(w, ri int, grads *graph.GradSet) error {
 	slot := &t.slots[ri][machine]
 	slot.mu.Lock()
 	if r.assign.Sparse {
-		slot.sparse = append(slot.sparse, grads.Sparse[name])
+		slot.sparse = append(slot.sparse, sp)
 	} else if !slot.denseSet {
-		copy(slot.dense.Data(), grads.Dense[name].Data())
+		copy(slot.dense.Data(), dense.Data())
 		slot.denseSet = true
 	} else {
-		slot.dense.AddInto(grads.Dense[name])
+		slot.dense.AddInto(dense)
 	}
 	slot.got++
 	doPush := slot.got == gpus

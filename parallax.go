@@ -187,6 +187,14 @@ type Config struct {
 	// ClipNorm > 0 enables global-norm gradient clipping via the
 	// chief-worker aggregated-gradient read-back (§5).
 	ClipNorm float64
+	// FusionBytes caps one dense-AllReduce fusion bucket (the trainer
+	// packs all dense AR variables into contiguous fusion buffers and
+	// runs one collective per bucket per step). 0 selects the 4 MiB
+	// default; negative disables fusion, running one collective per
+	// variable. Results are bit-identical either way; the knob trades
+	// per-collective latency against how early the first bucket can
+	// overlap the backward pass.
+	FusionBytes int64
 	// Async switches PS variables to asynchronous updates (§2.1 —
 	// supported, though the paper's evaluation uses synchronous training).
 	Async bool

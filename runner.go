@@ -67,6 +67,7 @@ func GetRunner(g *Graph, resource ResourceInfo, cfg Config) (*Runner, error) {
 		LocalAggregation: localAgg,
 		ClipNorm:         cfg.ClipNorm,
 		Async:            cfg.Async,
+		FusionBytes:      cfg.FusionBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -219,11 +220,15 @@ func (r *Runner) RunLoopFeeds(next func(step, worker int) (Feed, error), steps i
 		if err != nil {
 			return stats, err
 		}
+		ph := r.trainer.PhaseStatsLastStep()
 		st := StepStats{
 			Step:        s,
 			Loss:        loss,
 			StepTime:    time.Since(start),
 			BytesPushed: r.trainer.BytesPushedLastStep(),
+			ComputeTime: ph.Compute,
+			CommTime:    ph.Comm,
+			SyncWait:    ph.SyncWait,
 		}
 		stats.Observe(st)
 		for _, h := range hooks {
@@ -241,6 +246,15 @@ func hasIntInput(g *Graph, name string) bool {
 	}
 	return false
 }
+
+// PhaseStats is the per-step phase breakdown of the slowest worker
+// (compute, synchronization busy time, and the exposed non-overlapped
+// part of it).
+type PhaseStats = transform.PhaseStats
+
+// PhaseStatsLastStep returns the previous step's phase breakdown. Valid
+// after Run (RunLoop reports the same numbers through StepStats).
+func (r *Runner) PhaseStatsLastStep() PhaseStats { return r.trainer.PhaseStatsLastStep() }
 
 // Close stops the runner's persistent worker goroutines. The runner must
 // not be used afterwards; Close is idempotent.
