@@ -1,0 +1,119 @@
+// Command parallax-agent hosts one machine's share of a distributed
+// training run — its GPUs' worker replicas and its parameter server —
+// wired to peer agents over transport.TCP. Launching one agent per
+// machine on a shared address list runs the same hybrid LM workload
+// parallax-train runs in-process, now spanning OS processes: every agent
+// builds the identical graph from the same seed, the plan is recomputed
+// identically everywhere, and the per-step losses (exchanged over the
+// wire in rank order) are bit-identical to the single-process run.
+//
+// Usage:
+//
+//	# in-process reference (no wire):
+//	parallax-agent -machines 2 -gpus 2 -steps 50
+//
+//	# the same cluster as two agent processes on loopback:
+//	parallax-agent -machine 0 -addrs 127.0.0.1:7701,127.0.0.1:7702 -gpus 2 -steps 50 &
+//	parallax-agent -machine 1 -addrs 127.0.0.1:7701,127.0.0.1:7702 -gpus 2 -steps 50
+//
+// Both print "final loss bits=..." lines that must match bit for bit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+	"time"
+
+	"parallax"
+	"parallax/internal/data"
+)
+
+func main() {
+	machine := flag.Int("machine", -1, "machine index this agent hosts (-1 = run the whole cluster in-process)")
+	addrs := flag.String("addrs", "", "comma-separated agent addresses, one per machine (required with -machine >= 0)")
+	machines := flag.Int("machines", 2, "machine count for the in-process reference mode (ignored when -addrs is set)")
+	gpus := flag.Int("gpus", 2, "GPUs per machine")
+	vocab := flag.Int("vocab", 2000, "vocabulary size")
+	batch := flag.Int("batch", 32, "batch size per GPU")
+	steps := flag.Int("steps", 100, "training steps")
+	archFlag := flag.String("arch", "hybrid", "architecture: hybrid|ar|ps|optps")
+	clip := flag.Float64("clip", 0, "global-norm clip (0 = off)")
+	lr := flag.Float64("lr", 0.5, "learning rate")
+	partitions := flag.Int("partitions", 8, "sparse partitions (fixed so every agent plans identically)")
+	dialTimeout := flag.Duration("dial-timeout", 15*time.Second, "peer rendezvous timeout")
+	flag.Parse()
+
+	arch, ok := map[string]parallax.Arch{
+		"hybrid": parallax.Hybrid, "ar": parallax.AllReduceOnly,
+		"ps": parallax.PSOnly, "optps": parallax.OptimizedPS,
+	}[*archFlag]
+	if !ok {
+		log.Fatalf("unknown architecture %q", *archFlag)
+	}
+
+	var dist *parallax.DistConfig
+	n := *machines
+	if *addrs != "" {
+		list := strings.Split(*addrs, ",")
+		n = len(list)
+		if *machine < 0 || *machine >= n {
+			log.Fatalf("-machine %d out of range for %d addresses", *machine, n)
+		}
+		dist = &parallax.DistConfig{Machine: *machine, Addrs: list, DialTimeout: *dialTimeout}
+	} else if *machine >= 0 {
+		log.Fatal("-machine requires -addrs")
+	}
+
+	// Every agent must build the identical graph: fixed seed, fixed
+	// shapes (see parallax.DistConfig).
+	rng := parallax.NewRNG(42)
+	g := parallax.NewGraph()
+	tokens := g.Input("tokens", parallax.Int, *batch)
+	labels := g.Input("labels", parallax.Int, *batch)
+	var emb *parallax.Node
+	g.InPartitioner(func() {
+		emb = g.Variable("embedding", rng.RandN(0.1, *vocab, 32))
+	})
+	w1 := g.Variable("hidden/kernel", rng.RandN(0.1, 32, 64))
+	b1 := g.Variable("hidden/bias", parallax.NewDense(64))
+	w2 := g.Variable("softmax/kernel", rng.RandN(0.1, 64, *vocab))
+	h := g.Tanh(g.AddBias(g.MatMul(g.Gather(emb, tokens), w1), b1))
+	g.SoftmaxCE(g.MatMul(h, w2), labels)
+
+	resources := parallax.Uniform(n, *gpus)
+	runner, err := parallax.GetRunner(g, resources, parallax.Config{
+		Arch:             arch,
+		NewOptimizer:     func() parallax.Optimizer { return parallax.NewSGD(float32(*lr)) },
+		SparsePartitions: *partitions,
+		ClipNorm:         *clip,
+		Dist:             dist,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer runner.Close()
+	fmt.Print(runner.Describe())
+	fmt.Printf("local workers: %v of %d\n\n", runner.LocalWorkers(), runner.Workers())
+
+	// One identically seeded stream per agent: RunLoop draws every
+	// worker's shard from it (skipping the shards remote agents consume),
+	// so batches align across processes with zero data traffic.
+	ds := data.NewZipfText(*vocab, *batch, 1, 1.0, 7)
+	stats, err := runner.RunLoop(ds, *steps, func(s parallax.StepStats) {
+		if s.Step%10 == 0 || s.Step == *steps-1 {
+			fmt.Printf("step %4d  loss %.6f  (%v, wire tx %d KB rx %d KB)\n",
+				s.Step, s.Loss, s.StepTime.Round(10*time.Microsecond),
+				s.WireSentBytes/1024, s.WireRecvBytes/1024)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", stats)
+	// The bit pattern is the cross-process equivalence check: a TCP run's
+	// final loss must equal the in-process reference exactly.
+	fmt.Printf("final loss bits=%016x loss=%.17g\n", math.Float64bits(stats.LastLoss), stats.LastLoss)
+}

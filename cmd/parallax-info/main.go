@@ -69,20 +69,40 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		// Transport assignment: each route's traffic runs over the wire
+		// fabric exactly when it crosses a machine boundary — collective
+		// rings span all workers, PS pushes/pulls reach every machine's
+		// server — so on a multi-machine cluster every route is a tcp
+		// route (worker pairs and servers colocated in one agent still
+		// short-circuit over the in-process channel fabric).
 		n := float64(*machines)
-		fmt.Printf("%-24s %-7s %-10s %-12s %-22s\n", "variable", "kind", "alpha", "method", "Table-3 bytes/machine")
-		fmt.Println(strings.Repeat("-", 80))
+		if *machines > 1 {
+			fmt.Printf("transport: tcp across %d agents (inproc within an agent)\n", *machines)
+		} else {
+			fmt.Println("transport: inproc (single process)")
+		}
+		fmt.Printf("%-24s %-7s %-10s %-12s %-14s %-22s\n", "variable", "kind", "alpha", "method", "transport", "Table-3 bytes/machine")
+		fmt.Println(strings.Repeat("-", 95))
 		for i, v := range spec.Vars {
 			a := plan.Assignments[i]
 			w := float64(v.Bytes())
 			var formula float64
+			var wire string
 			switch a.Method {
 			case core.MethodAllReduce:
 				formula = 4 * w * (n - 1) / n
+				wire = "collective"
 			case core.MethodAllGatherv:
 				formula = 2 * v.Alpha * w * (n - 1)
+				wire = "collective"
 			case core.MethodPS:
 				formula = 4 * v.Alpha * w * (n - 1) / n
+				wire = "ps"
+			}
+			if *machines > 1 {
+				wire += "/tcp"
+			} else {
+				wire += "/inproc"
 			}
 			kind := "dense"
 			if v.Sparse {
@@ -92,8 +112,8 @@ func main() {
 			if a.Partitions > 1 {
 				method = fmt.Sprintf("%s x%d", method, a.Partitions)
 			}
-			fmt.Printf("%-24s %-7s %-10.4f %-12s %-22s\n",
-				v.Name, kind, v.Alpha, method, metrics.HumanBytes(formula))
+			fmt.Printf("%-24s %-7s %-10.4f %-12s %-14s %-22s\n",
+				v.Name, kind, v.Alpha, method, wire, metrics.HumanBytes(formula))
 		}
 
 		res, err := engine.RunArch(spec, core.ArchHybrid, *machines, *gpus, p, hw)

@@ -76,6 +76,15 @@ func (r *Replica) SyncSparseTagged(tag string, grad *tensor.Sparse) *tensor.Spar
 	return out
 }
 
+// GatherScalars gathers every worker's v into out in rank order (out[r]
+// holds rank r's value; len(out) must equal the worker count). The
+// distributed trainer uses it to combine per-worker losses with a fixed
+// summation order, keeping the reported mean bitwise identical to the
+// single-process run.
+func (r *Replica) GatherScalars(tag string, v float64, out []float64) {
+	collective.AllGatherScalarsInto(r.comm, tag, v, out)
+}
+
 // SumScalar returns the sum of v across workers (loss averaging, norm
 // exchange).
 func (r *Replica) SumScalar(name string, step int, v float64) float64 {

@@ -135,6 +135,18 @@ func (r ResourceInfo) WorkerID(machine, localGPU int) int {
 	return id + localGPU
 }
 
+// WorkerMachines returns the machine index of every global worker rank,
+// the worker→machine map the transport topology is built from.
+func (r ResourceInfo) WorkerMachines() []int {
+	out := make([]int, 0, r.TotalGPUs())
+	for m, machine := range r.Machines {
+		for range machine.GPUs {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
 // MachineOfWorker returns the machine index hosting global worker rank w.
 func (r ResourceInfo) MachineOfWorker(w int) int {
 	for i, m := range r.Machines {

@@ -1,10 +1,14 @@
 // Package collective implements the communication primitives the paper's
 // AllReduce architecture relies on — ring AllReduce, ring AllGatherv, and
-// Broadcast — as real message-passing algorithms over an in-memory
-// transport, executed by one goroutine per worker.
+// Broadcast — as real message-passing algorithms over a pluggable wire
+// transport (internal/transport), executed by one goroutine per worker.
 //
 // These are functional implementations moving real tensor data, used by the
-// real-mode training engine and the correctness test suite. The virtual-time
+// real-mode training engine and the correctness test suite. The algorithms
+// are transport-agnostic: the same schedule runs over the in-process
+// channel fabric (transport.Inproc, the single-process fast path with
+// pooled chunk buffers and zero serialization) or over persistent TCP
+// connections between agent processes (transport.TCP). The virtual-time
 // *cost* of the same communication patterns is modelled separately in
 // internal/engine on top of internal/simnet; keeping data plane and cost
 // plane separate lets us run paper-scale byte volumes without allocating
@@ -14,119 +18,93 @@ package collective
 import (
 	"fmt"
 	"sync"
+
+	"parallax/internal/transport"
 )
 
-// message is one transport datagram.
-type message struct {
-	tag     string
-	payload interface{}
-}
-
-// World is the shared transport for a fixed group of ranks: a buffered FIFO
-// channel per directed pair, plus a shared recycle pool for the float
-// chunk buffers the ring algorithms ship around (a persistent training
-// loop reuses the same handful of buffers every step instead of
-// allocating fresh ones).
-type World struct {
-	size  int
-	pipes [][]chan message // pipes[src][dst]
-
-	bufMu sync.Mutex
-	bufs  map[int][][]float32 // capacity -> idle buffers
-}
-
-// getBuf returns a length-n float buffer, reusing a pooled one when
-// available. Contents are unspecified.
-func (w *World) getBuf(n int) []float32 {
-	w.bufMu.Lock()
-	if l := w.bufs[n]; len(l) > 0 {
-		b := l[len(l)-1]
-		l[len(l)-1] = nil
-		w.bufs[n] = l[:len(l)-1]
-		w.bufMu.Unlock()
-		return b
-	}
-	w.bufMu.Unlock()
-	return make([]float32, n)
-}
-
-// putBuf recycles a buffer obtained from getBuf (or received from a peer
-// that got it there). The caller must not use it afterwards.
-func (w *World) putBuf(b []float32) {
-	if len(b) == 0 {
-		return
-	}
-	w.bufMu.Lock()
-	w.bufs[len(b)] = append(w.bufs[len(b)], b)
-	w.bufMu.Unlock()
-}
-
-// NewWorld creates a transport for size ranks. Channel buffers are sized so
-// that the ring algorithms' send-then-receive step pattern cannot deadlock.
-func NewWorld(size int) *World {
-	if size <= 0 {
-		panic(fmt.Sprintf("collective: world size %d", size))
-	}
-	w := &World{size: size, pipes: make([][]chan message, size), bufs: make(map[int][][]float32)}
-	for s := range w.pipes {
-		w.pipes[s] = make([]chan message, size)
-		for d := range w.pipes[s] {
-			w.pipes[s][d] = make(chan message, 8)
-		}
-	}
-	return w
-}
-
-// Size returns the number of ranks.
-func (w *World) Size() int { return w.size }
-
-// Comm is one rank's endpoint in a World.
+// Comm is one worker rank's endpoint in a collective group: a transport
+// conduit plus the group size. The group is the first size endpoints of
+// the conduit's topology (worker ranks come first, parameter-server
+// endpoints after), so collectives never address a server endpoint.
 type Comm struct {
-	world *World
-	rank  int
+	t    transport.Conduit
+	rank int
+	n    int
 }
 
-// Comm returns the endpoint for the given rank.
-func (w *World) Comm(rank int) *Comm {
-	if rank < 0 || rank >= w.size {
-		panic(fmt.Sprintf("collective: rank %d out of range [0,%d)", rank, w.size))
+// NewComm wraps a transport conduit into a collective endpoint for a
+// group of size worker ranks. The conduit's rank must lie inside the
+// group.
+func NewComm(t transport.Conduit, size int) *Comm {
+	if r := t.Rank(); r < 0 || r >= size {
+		panic(fmt.Sprintf("collective: conduit rank %d outside group [0,%d)", r, size))
 	}
-	return &Comm{world: w, rank: rank}
+	return &Comm{t: t, rank: t.Rank(), n: size}
 }
 
 // Rank returns this endpoint's rank.
 func (c *Comm) Rank() int { return c.rank }
 
-// Size returns the world size.
-func (c *Comm) Size() int { return c.world.size }
+// Size returns the group size.
+func (c *Comm) Size() int { return c.n }
 
-// Send delivers payload to dst under tag. It blocks only if the pair's
-// buffer is full.
-func (c *Comm) Send(dst int, tag string, payload interface{}) {
-	c.world.pipes[c.rank][dst] <- message{tag: tag, payload: payload}
-}
+// SendScalar ships one float64 to dst under tag (loss exchange,
+// barriers).
+func (c *Comm) SendScalar(dst int, tag string, v float64) { c.t.SendScalar(dst, tag, v) }
 
-// Recv blocks until a message from src arrives and returns its payload.
-// A tag mismatch means the two ranks' protocols diverged; that is a bug,
-// so it panics rather than silently reordering.
-func (c *Comm) Recv(src int, tag string) interface{} {
-	m := <-c.world.pipes[src][c.rank]
-	if m.tag != tag {
-		panic(fmt.Sprintf("collective: rank %d expected tag %q from %d, got %q", c.rank, tag, src, m.tag))
-	}
-	return m.payload
-}
+// RecvScalar blocks for a float64 from src under tag. A tag mismatch
+// means the two ranks' protocols diverged; that is a bug, so the
+// transport panics rather than silently reordering.
+func (c *Comm) RecvScalar(src int, tag string) float64 { return c.t.RecvScalar(src, tag) }
 
 // Barrier blocks until all ranks have entered it. Implemented as a
 // dissemination barrier (log₂ rounds).
 func (c *Comm) Barrier(tag string) {
-	n := c.Size()
+	n := c.n
 	for dist := 1; dist < n; dist *= 2 {
 		dst := (c.rank + dist) % n
 		src := (c.rank - dist + n) % n
-		c.Send(dst, tag, nil)
-		c.Recv(src, tag)
+		c.t.SendScalar(dst, tag, 0)
+		c.t.RecvScalar(src, tag)
 	}
+}
+
+// CloseBarrier is Barrier for shutdown paths: it rendezvouses all ranks
+// but treats the fabric closing mid-barrier as completion. The
+// dissemination barrier has the property that any rank completing it
+// proves every rank has ENTERED it — and ranks enter only after their
+// last step's traffic is fully acknowledged — so once a peer finishes
+// and tears its fabric down (which fail-stops connected fabrics), the
+// only messages lost are barrier scalars and the drain guarantee the
+// barrier exists for already holds. Sends on a closed fabric drop
+// silently; a recv on one panics, which this absorbs.
+func (c *Comm) CloseBarrier(tag string) {
+	defer func() { _ = recover() }()
+	c.Barrier(tag)
+}
+
+// World is the in-process convenience fabric for a fixed group of worker
+// ranks — the harness tests and the single-process trainer path build
+// on. It wraps a transport.Inproc channel fabric.
+type World struct {
+	fab  *transport.Inproc
+	size int
+}
+
+// NewWorld creates an in-process transport for size worker ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("collective: world size %d", size))
+	}
+	return &World{fab: transport.NewInproc(transport.WorkersOnly(size)), size: size}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the endpoint for the given rank.
+func (w *World) Comm(rank int) *Comm {
+	return NewComm(w.fab.Conduit(rank), w.size)
 }
 
 // RunWorld spawns fn for every rank on its own goroutine and waits for all

@@ -28,7 +28,7 @@ func min(a, b int) int {
 // Tags holds the per-phase rendezvous tags of one AllReduce route,
 // precomputed at build time so the hot loop never concatenates strings.
 // One tag per phase is enough even across steps: each directed pair's
-// channel is FIFO and all ranks advance through an identical deterministic
+// stream is FIFO and all ranks advance through an identical deterministic
 // schedule, so per-step or per-round tags would only re-verify ordering
 // the transport already guarantees (a schedule divergence still panics on
 // the tag check).
@@ -63,6 +63,11 @@ func RingAllReduce(c *Comm, tag string, t *tensor.Dense) {
 // layout, which is what lets transform's fusion buckets produce
 // bit-identical results to per-variable collectives (and is the property
 // the fusion equivalence tests pin down).
+//
+// Chunks are sent straight from the tensor's storage (SendF32 borrows the
+// slice: the inproc fabric copies it into a pooled buffer, the TCP fabric
+// serializes it to the wire before returning); received chunks arrive in
+// pooled buffers the receiver recycles once folded.
 func AllReduceTagged(c *Comm, tags Tags, t *tensor.Dense) {
 	n := c.Size()
 	if n == 1 {
@@ -71,8 +76,6 @@ func AllReduceTagged(c *Comm, tags Tags, t *tensor.Dense) {
 	data := t.Data()
 
 	// Reduce-scatter: direct exchange, one message per directed pair.
-	// Chunk buffers come from the world pool; the receiver recycles each
-	// buffer once consumed.
 	for dst := 0; dst < n; dst++ {
 		if dst == c.rank {
 			continue
@@ -81,19 +84,17 @@ func AllReduceTagged(c *Comm, tags Tags, t *tensor.Dense) {
 		if se == ss {
 			continue // empty chunk: owner skips the fold symmetrically
 		}
-		out := c.world.getBuf(se - ss)
-		copy(out, data[ss:se])
-		c.Send(dst, tags.RS, out)
+		c.t.SendF32(dst, tags.RS, data[ss:se])
 	}
 	os, oe := chunkBounds(len(data), n, c.rank)
 	if oe > os {
 		own := data[os:oe]
-		tmp := c.world.getBuf(oe - os)
+		tmp := c.t.GetBuf(oe - os)
 		copy(tmp, own)
 		for r := 0; r < n; r++ {
 			src := tmp
 			if r != c.rank {
-				in := c.Recv(r, tags.RS).([]float32)
+				in := c.t.RecvF32(r, tags.RS)
 				if len(in) != oe-os {
 					panic(fmt.Sprintf("collective: allreduce chunk size mismatch %d vs %d", len(in), oe-os))
 				}
@@ -105,10 +106,10 @@ func AllReduceTagged(c *Comm, tags Tags, t *tensor.Dense) {
 				tensor.AddTo(src, own)
 			}
 			if r != c.rank {
-				c.world.putBuf(src)
+				c.t.PutBuf(src)
 			}
 		}
-		c.world.putBuf(tmp)
+		c.t.PutBuf(tmp)
 	}
 
 	// All-gather: circulate the fully reduced chunks around the ring.
@@ -118,16 +119,14 @@ func AllReduceTagged(c *Comm, tags Tags, t *tensor.Dense) {
 		sendChunk := (c.rank - s + n) % n
 		recvChunk := (c.rank - s - 1 + n) % n
 		ss, se := chunkBounds(len(data), n, sendChunk)
-		out := c.world.getBuf(se - ss)
-		copy(out, data[ss:se])
-		c.Send(right, tags.AG, out)
-		in := c.Recv(left, tags.AG).([]float32)
+		c.t.SendF32(right, tags.AG, data[ss:se])
+		in := c.t.RecvF32(left, tags.AG)
 		rs, re := chunkBounds(len(data), n, recvChunk)
 		if len(in) != re-rs {
 			panic(fmt.Sprintf("collective: allgather chunk size mismatch %d vs %d", len(in), re-rs))
 		}
 		copy(data[rs:re], in)
-		c.world.putBuf(in)
+		c.t.PutBuf(in)
 	}
 }
 
@@ -141,7 +140,10 @@ func AllGatherv(c *Comm, tag string, s *tensor.Sparse) *tensor.Sparse {
 // AllGathervTagged is the aggregation path for *sparse* gradients in the
 // pure-AR architecture (§2.1: AllGatherv "aggregates gradients by
 // concatenating"), under a caller-prepared tag. It uses a ring: each of
-// the N−1 steps forwards the block received in the previous step.
+// the N−1 steps forwards the block received in the previous step. Blocks
+// travel read-only (the inproc fabric shares pointers; the TCP fabric
+// delivers fresh decoded tensors), and ConcatSparse copies them out, so
+// no received block is retained past the call.
 func AllGathervTagged(c *Comm, tag string, s *tensor.Sparse) *tensor.Sparse {
 	n := c.Size()
 	if n == 1 {
@@ -153,8 +155,8 @@ func AllGathervTagged(c *Comm, tag string, s *tensor.Sparse) *tensor.Sparse {
 	blocks[c.rank] = s
 	cur := s
 	for step := 0; step < n-1; step++ {
-		c.Send(right, tag, cur)
-		cur = c.Recv(left, tag).(*tensor.Sparse)
+		c.t.SendSparse(right, tag, cur)
+		cur = c.t.RecvSparse(left, tag)
 		origin := (c.rank - step - 1 + n) % n
 		blocks[origin] = cur
 	}
@@ -163,8 +165,7 @@ func AllGathervTagged(c *Comm, tag string, s *tensor.Sparse) *tensor.Sparse {
 
 // Broadcast copies root's tensor to every rank (in place on non-roots)
 // using a binomial tree, log₂(N) rounds. Used to synchronize initial
-// variable values across AR replicas so all workers start identical. Peer
-// sends travel in pooled world buffers, like the ring phases.
+// variable values across AR replicas so all workers start identical.
 func Broadcast(c *Comm, tag string, t *tensor.Dense, root int) {
 	n := c.Size()
 	if n == 1 {
@@ -177,18 +178,16 @@ func Broadcast(c *Comm, tag string, t *tensor.Dense, root int) {
 			peer := vr + dist
 			if peer < n {
 				dst := (peer + root) % n
-				out := c.world.getBuf(t.NumElements())
-				copy(out, t.Data())
-				c.Send(dst, tag, out)
+				c.t.SendF32(dst, tag, t.Data())
 			}
 		} else if vr < dist*2 {
 			src := ((vr - dist) + root) % n
-			in := c.Recv(src, tag).([]float32)
+			in := c.t.RecvF32(src, tag)
 			if len(in) != t.NumElements() {
 				panic(fmt.Sprintf("collective: broadcast size mismatch %d vs %d", len(in), t.NumElements()))
 			}
 			copy(t.Data(), in)
-			c.world.putBuf(in)
+			c.t.PutBuf(in)
 		}
 	}
 }
@@ -205,9 +204,32 @@ func ReduceScalar(c *Comm, tag string, v float64) float64 {
 	cur := v
 	redTag := tag + "/red"
 	for s := 0; s < n-1; s++ {
-		c.Send(right, redTag, cur)
-		cur = c.Recv(left, redTag).(float64)
+		c.t.SendScalar(right, redTag, cur)
+		cur = c.t.RecvScalar(left, redTag)
 		total += cur
 	}
 	return total
+}
+
+// AllGatherScalarsInto gathers every rank's v into out (out[r] holds rank
+// r's value on every rank; len(out) must be the group size). It is a
+// direct exchange — one scalar per directed pair — used by the
+// distributed trainer to combine per-worker losses in a fixed rank order,
+// so the reported mean is bitwise identical to the single-process sum.
+func AllGatherScalarsInto(c *Comm, tag string, v float64, out []float64) {
+	n := c.Size()
+	if len(out) != n {
+		panic(fmt.Sprintf("collective: gather into %d slots for %d ranks", len(out), n))
+	}
+	out[c.rank] = v
+	for p := 0; p < n; p++ {
+		if p != c.rank {
+			c.t.SendScalar(p, tag, v)
+		}
+	}
+	for p := 0; p < n; p++ {
+		if p != c.rank {
+			out[p] = c.t.RecvScalar(p, tag)
+		}
+	}
 }

@@ -164,8 +164,8 @@ func TestRecvTagMismatchPanics(t *testing.T) {
 	done := make(chan bool)
 	go func() {
 		defer func() { done <- recover() != nil }()
-		w.Comm(0).Send(1, "a", nil)
-		w.Comm(1).Recv(0, "b")
+		w.Comm(0).SendScalar(1, "a", 0)
+		w.Comm(1).RecvScalar(0, "b")
 	}()
 	if !<-done {
 		t.Fatal("expected panic on tag mismatch")

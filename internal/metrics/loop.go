@@ -21,6 +21,14 @@ type StepStats struct {
 	// during the step.
 	BytesPushed int64
 
+	// WireSentBytes / WireRecvBytes count the framed bytes this process
+	// actually moved over the wire transport during the step (zero for
+	// single-process runs over the in-memory fabric; socket bytes for
+	// multi-agent runs over transport.TCP, including serving traffic for
+	// remote workers).
+	WireSentBytes int64
+	WireRecvBytes int64
+
 	// Per-phase breakdown (slowest worker per phase): ComputeTime is the
 	// forward+backward wall clock, CommTime is synchronization busy time,
 	// and SyncWait is the part of CommTime that was NOT hidden under
@@ -62,6 +70,10 @@ type LoopStats struct {
 	TotalTime time.Duration
 	// TotalBytesPushed sums the per-step gradient traffic.
 	TotalBytesPushed int64
+	// TotalWireSent/TotalWireRecv sum the per-step wire bytes this
+	// process exchanged with peer agents (zero for single-process runs).
+	TotalWireSent int64
+	TotalWireRecv int64
 	// TotalCompute/TotalComm/TotalSyncWait sum the per-step phase
 	// breakdowns.
 	TotalCompute  time.Duration
@@ -88,6 +100,8 @@ func (l *LoopStats) Observe(s StepStats) {
 	l.MeanLoss = l.lossSum / float64(l.Steps)
 	l.TotalTime += s.StepTime
 	l.TotalBytesPushed += s.BytesPushed
+	l.TotalWireSent += s.WireSentBytes
+	l.TotalWireRecv += s.WireRecvBytes
 	l.TotalCompute += s.ComputeTime
 	l.TotalComm += s.CommTime
 	l.TotalSyncWait += s.SyncWait
@@ -101,10 +115,16 @@ func (l LoopStats) StepsPerSec() float64 {
 	return float64(l.Steps) / l.TotalTime.Seconds()
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary; wire traffic appears only when the
+// run actually crossed a wire.
 func (l LoopStats) String() string {
-	return fmt.Sprintf("%d steps in %v (%s steps/s), loss %.4f -> %.4f, pushed %s, %.0f%% comm overlapped",
+	s := fmt.Sprintf("%d steps in %v (%s steps/s), loss %.4f -> %.4f, pushed %s, %.0f%% comm overlapped",
 		l.Steps, l.TotalTime.Round(time.Millisecond), Humanize(l.StepsPerSec()),
 		l.FirstLoss, l.LastLoss, HumanBytes(float64(l.TotalBytesPushed)),
 		100*l.OverlapFraction())
+	if l.TotalWireSent > 0 || l.TotalWireRecv > 0 {
+		s += fmt.Sprintf(", wire tx %s rx %s",
+			HumanBytes(float64(l.TotalWireSent)), HumanBytes(float64(l.TotalWireRecv)))
+	}
+	return s
 }

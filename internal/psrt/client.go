@@ -1,0 +1,239 @@
+package psrt
+
+import (
+	"errors"
+	"fmt"
+
+	"parallax/internal/tensor"
+	"parallax/internal/transport"
+)
+
+// Endpoint is the parameter-server surface the trainer drives: the
+// batched pull/push calls of the hot loop plus the chief-clipping
+// read-back path. *Server implements it with direct calls (the
+// single-process path and an agent's own colocated server); *Client
+// implements it over a transport conduit for servers hosted by other
+// agent processes.
+type Endpoint interface {
+	PullManyInto(minVersion int64, reqs []PullReq) error
+	PushDenseMany(reqs []DensePush) error
+	PushSparseMany(reqs []SparsePush) error
+	WaitAggregatedNormSquared(name string, pi int, seq int64) (float64, error)
+	ApplyUpdate(name string, pi int, scale float32) error
+	PullInto(name string, pi int, minVersion int64, dst *tensor.Dense) error
+}
+
+var (
+	_ Endpoint = (*Server)(nil)
+	_ Endpoint = (*Client)(nil)
+)
+
+// Tag is the rendezvous tag of all parameter-server wire traffic. One
+// tag suffices: each (worker, server) endpoint pair carries exactly one
+// request/reply stream, serialized by the trainer's step phases (pulls,
+// then pushes, then clipping reads).
+const Tag = "ps"
+
+// Client is one worker endpoint's stub for a remote server. Every method
+// is one request/reply round trip: the client encodes the batched
+// request, the serving loop on the remote agent replays it against the
+// real Server and answers. Because the client blocks for the reply
+// before returning, borrowed dense views inside push requests follow the
+// same borrowing contract as direct PushDenseMany calls.
+//
+// A Client must not be used concurrently with itself; the trainer's
+// phase structure (one puller, one comm goroutine, the worker's clip
+// path, strictly ordered within a step) guarantees that.
+type Client struct {
+	t      transport.Conduit
+	server int // server endpoint rank
+}
+
+// NewClient returns a stub for the server at endpoint rank server,
+// speaking over the worker's conduit t.
+func NewClient(t transport.Conduit, server int) *Client {
+	return &Client{t: t, server: server}
+}
+
+// errClosed is returned when the fabric shut down mid-call.
+var errClosed = errors.New("psrt: transport closed")
+
+func (c *Client) call(req *transport.PSMsg) (*transport.PSMsg, error) {
+	c.t.SendPS(c.server, Tag, req)
+	rep := c.t.RecvPS(c.server, Tag)
+	if rep == nil {
+		return nil, errClosed
+	}
+	if rep.Err != "" {
+		return nil, errors.New(rep.Err)
+	}
+	return rep, nil
+}
+
+// PullManyInto performs the batched versioned read over the wire and
+// copies the returned partition values into the request destinations.
+func (c *Client) PullManyInto(minVersion int64, reqs []PullReq) error {
+	m := &transport.PSMsg{Op: transport.PSPullMany, Version: minVersion}
+	for i := range reqs {
+		m.Names = append(m.Names, reqs[i].Name)
+		m.Parts = append(m.Parts, reqs[i].Part)
+	}
+	rep, err := c.call(m)
+	if err != nil {
+		return err
+	}
+	if len(rep.Dense) != len(reqs) {
+		return fmt.Errorf("psrt: pull reply has %d tensors for %d requests", len(rep.Dense), len(reqs))
+	}
+	for i := range reqs {
+		src, dst := rep.Dense[i], reqs[i].Dst
+		if src.NumElements() != dst.NumElements() {
+			return fmt.Errorf("psrt: pull reply %s/%d has %d elements, want %d",
+				reqs[i].Name, reqs[i].Part, src.NumElements(), dst.NumElements())
+		}
+		copy(dst.Data(), src.Data())
+	}
+	return nil
+}
+
+// PushDenseMany ships a batch of dense partition gradients. The gradient
+// views are borrowed only until the call returns (the request is
+// serialized before the reply unblocks us).
+func (c *Client) PushDenseMany(reqs []DensePush) error {
+	m := &transport.PSMsg{Op: transport.PSPushDenseMany}
+	for i := range reqs {
+		m.Names = append(m.Names, reqs[i].Name)
+		m.Parts = append(m.Parts, reqs[i].Part)
+		m.Dense = append(m.Dense, reqs[i].Grad)
+	}
+	_, err := c.call(m)
+	return err
+}
+
+// PushSparseMany ships a batch of sparse partition gradients; ownership
+// of the tensors transfers (to the wire here, to the remote server
+// there), matching PushSparse's contract.
+func (c *Client) PushSparseMany(reqs []SparsePush) error {
+	m := &transport.PSMsg{Op: transport.PSPushSparseMany}
+	for i := range reqs {
+		m.Names = append(m.Names, reqs[i].Name)
+		m.Parts = append(m.Parts, reqs[i].Part)
+		m.Sparse = append(m.Sparse, reqs[i].Grad)
+	}
+	_, err := c.call(m)
+	return err
+}
+
+// WaitAggregatedNormSquared is the chief-clipping read-back over the
+// wire; it blocks (on the serving loop's side) until the partition's
+// seq-th aggregation completes.
+func (c *Client) WaitAggregatedNormSquared(name string, pi int, seq int64) (float64, error) {
+	rep, err := c.call(&transport.PSMsg{
+		Op: transport.PSNormSquared, Version: seq,
+		Names: []string{name}, Parts: []int{pi},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Scalar, nil
+}
+
+// ApplyUpdate triggers the deferred scaled update (chief worker only).
+func (c *Client) ApplyUpdate(name string, pi int, scale float32) error {
+	_, err := c.call(&transport.PSMsg{
+		Op: transport.PSApplyUpdate, Scale: scale,
+		Names: []string{name}, Parts: []int{pi},
+	})
+	return err
+}
+
+// PullInto reads one partition into dst (cold path: VarValue assembly).
+func (c *Client) PullInto(name string, pi int, minVersion int64, dst *tensor.Dense) error {
+	return c.PullManyInto(minVersion, []PullReq{{Name: name, Part: pi, Dst: dst}})
+}
+
+// ServeConduit answers one remote client's parameter-server requests
+// against s until the fabric closes: the serving half of the wire
+// protocol. The trainer runs one ServeConduit goroutine per (local
+// server, remote worker) pair; requests from one client are strictly
+// sequential (the client blocks for each reply), while different
+// clients' loops run concurrently against the server's per-partition
+// locks — the same concurrency profile as direct calls from in-process
+// workers.
+func ServeConduit(s *Server, t transport.Conduit, client int) {
+	for {
+		req := t.RecvPS(client, Tag)
+		if req == nil {
+			return // fabric closed
+		}
+		t.SendPS(client, Tag, handle(s, req))
+	}
+}
+
+// handle replays one decoded request against the server and builds the
+// reply. Errors travel as strings in the reply rather than tearing the
+// connection down, mirroring the error returns of direct calls.
+func handle(s *Server, req *transport.PSMsg) *transport.PSMsg {
+	rep := &transport.PSMsg{Op: transport.PSReply}
+	fail := func(err error) *transport.PSMsg {
+		rep.Err = err.Error()
+		return rep
+	}
+	if len(req.Parts) != len(req.Names) {
+		return fail(fmt.Errorf("psrt: request has %d parts for %d names", len(req.Parts), len(req.Names)))
+	}
+	switch req.Op {
+	case transport.PSPullMany:
+		// Pull copies each partition into a fresh tensor under the
+		// partition lock, so the serving loop never holds locks during
+		// serialization.
+		for i, name := range req.Names {
+			val, err := s.Pull(name, req.Parts[i], req.Version)
+			if err != nil {
+				return fail(err)
+			}
+			rep.Dense = append(rep.Dense, val)
+		}
+	case transport.PSPushDenseMany:
+		if len(req.Dense) != len(req.Names) {
+			return fail(fmt.Errorf("psrt: dense push has %d tensors for %d names", len(req.Dense), len(req.Names)))
+		}
+		reqs := make([]DensePush, len(req.Names))
+		for i := range req.Names {
+			reqs[i] = DensePush{Name: req.Names[i], Part: req.Parts[i], Grad: req.Dense[i]}
+		}
+		if err := s.PushDenseMany(reqs); err != nil {
+			return fail(err)
+		}
+	case transport.PSPushSparseMany:
+		if len(req.Sparse) != len(req.Names) {
+			return fail(fmt.Errorf("psrt: sparse push has %d tensors for %d names", len(req.Sparse), len(req.Names)))
+		}
+		reqs := make([]SparsePush, len(req.Names))
+		for i := range req.Names {
+			reqs[i] = SparsePush{Name: req.Names[i], Part: req.Parts[i], Grad: req.Sparse[i]}
+		}
+		if err := s.PushSparseMany(reqs); err != nil {
+			return fail(err)
+		}
+	case transport.PSNormSquared:
+		if len(req.Names) != 1 {
+			return fail(fmt.Errorf("psrt: norm request has %d items", len(req.Names)))
+		}
+		n2, err := s.WaitAggregatedNormSquared(req.Names[0], req.Parts[0], req.Version)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Scalar = n2
+	case transport.PSApplyUpdate:
+		if len(req.Names) != 1 {
+			return fail(fmt.Errorf("psrt: apply request has %d items", len(req.Names)))
+		}
+		if err := s.ApplyUpdate(req.Names[0], req.Parts[0], req.Scale); err != nil {
+			return fail(err)
+		}
+	default:
+		return fail(fmt.Errorf("psrt: unknown wire op %d", req.Op))
+	}
+	return rep
+}

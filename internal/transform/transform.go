@@ -8,18 +8,24 @@
 // chief-worker path that reads aggregated gradients back for global-norm
 // clipping (§5).
 //
-// Everything runs in-process: workers are goroutines, the AR data plane is
-// internal/collective, the PS data plane is internal/psrt. The virtual-time
-// *performance* of the same topology is modelled by internal/engine; this
-// package is the functional data plane used for correctness tests and
-// convergence experiments.
+// The data plane rides on a pluggable wire transport (internal/transport,
+// DESIGN.md §8): by default everything runs in one process over the
+// channel fabric (workers are goroutines, the AR data plane is
+// internal/collective, the PS data plane is internal/psrt), and with
+// Options.Fabric a trainer hosts just one machine's share of the cluster
+// — its GPUs' workers and its parameter server — exchanging gradients
+// with peer agent processes over TCP. The virtual-time *performance* of
+// the same topology is modelled by internal/engine; this package is the
+// functional data plane used for correctness tests and convergence
+// experiments.
 //
 // The trainer is a persistent runtime with a fused, overlapped
 // synchronization schedule (DESIGN.md §3):
 //
-//   - New launches one long-lived compute goroutine per GPU, one comm
-//     goroutine per GPU, one puller goroutine per (GPU, server) pair, and
-//     one parameter server per machine.
+//   - New launches one long-lived compute goroutine per local GPU, one
+//     comm goroutine per GPU, one puller goroutine per (GPU, server)
+//     pair, one parameter server per local machine, and one serving
+//     goroutine per (local server, remote worker).
 //   - All dense AllReduce variables are packed at build time into a few
 //     size-capped fusion buckets; each step runs ONE collective per bucket
 //     over a contiguous buffer instead of one per variable, and the
@@ -32,6 +38,8 @@
 //     compute.
 //   - PS traffic is batched per server (psrt.PullManyInto / PushDenseMany /
 //     PushSparseMany) and the pull phase runs concurrently across servers.
+//     Remote servers are reached through psrt.Client stubs speaking the
+//     same batched shapes over the conduit.
 //
 // Step spawns no goroutines, builds no maps, and formats no strings; all
 // collective tags, fusion views, and pull-request lists are resolved at
@@ -54,6 +62,7 @@ import (
 	"parallax/internal/optim"
 	"parallax/internal/psrt"
 	"parallax/internal/tensor"
+	"parallax/internal/transport"
 )
 
 // defaultFusionBytes caps one fusion bucket at 4 MiB, big enough to fuse
@@ -61,6 +70,11 @@ import (
 // while keeping paper-scale buckets small enough that the first bucket's
 // all-reduce can still overlap the tail of the backward pass.
 const defaultFusionBytes = 4 << 20
+
+// closeBarrierTimeout bounds the cross-agent drain barrier Close runs in
+// distributed mode; if peers are gone (crashed mid-run) we proceed to
+// tear the fabric down anyway.
+const closeBarrierTimeout = 30 * time.Second
 
 // Options configures a distributed trainer.
 type Options struct {
@@ -89,6 +103,18 @@ type Options struct {
 	// rank-ordered reduction makes float32 sums independent of bucket
 	// layout.
 	FusionBytes int64
+	// Fabric supplies the wire transport when the cluster spans agent
+	// processes: the trainer hosts exactly the fabric's local endpoints
+	// (one machine's workers and server) and reaches the rest over the
+	// wire. nil builds a process-local channel fabric hosting everything
+	// — the classic single-process mode. The trainer takes ownership of
+	// the fabric and closes it (also on a failed New).
+	//
+	// Every agent must construct the identical graph and plan
+	// (deterministic initializers with the same seed); AR-managed
+	// variables are additionally broadcast from worker 0 at build time so
+	// replicas start bit-identical.
+	Fabric transport.Fabric
 }
 
 type varRoute struct {
@@ -167,28 +193,63 @@ type PhaseStats struct {
 // servers"). Slots are resolved to (route, machine) integer indices at
 // build time and reset in place between steps, so the hot loop never
 // touches a map or formats a key.
+//
+// Gradients park in per-local-GPU entries and the chief merges them in
+// GPU-rank order, NOT arrival order: float32 addition is commutative but
+// not associative, so an arrival-order fold would make the merged
+// gradient depend on goroutine scheduling — and wire jitter would make a
+// TCP run drift from the in-process run in the last ulp. Rank-ordered
+// merging keeps the loss trajectory bitwise identical across runs and
+// deployment modes. Parking the pointers is safe: they stay valid until
+// the owning worker's next backward pass, which cannot start before the
+// current synchronous step completes.
 type aggSlot struct {
-	mu       sync.Mutex
-	got      int
-	sparse   []*tensor.Sparse // reused backing array, truncated each step
-	dense    *tensor.Dense    // preallocated merge buffer (dense variables)
-	denseSet bool             // dense holds this step's first gradient
+	mu        sync.Mutex
+	got       int
+	sparse    []*tensor.Sparse // [localGPU] this step's sparse gradients
+	denseSrcs []*tensor.Dense  // [localGPU] this step's dense gradients
+	dense     *tensor.Dense    // preallocated merge buffer (dense variables)
 }
 
 // Trainer executes synchronized data-parallel steps over persistent
-// in-process workers.
+// workers — all of them in single-process mode, one machine's share in
+// distributed mode.
 type Trainer struct {
 	g        *graph.Graph
 	opt      Options
 	workers  int
 	machines int
 
+	// Transport layout: the fabric, which worker ranks and machines this
+	// process hosts, and whether any endpoint is remote.
+	fab          transport.Fabric
+	topo         transport.Topology
+	dist         bool
+	localWorkers []int  // ascending global ranks hosted here
+	isLocalW     []bool // [w]
+	localMachine []bool // [m]
+	// Worker geometry resolved at build time so the push hot path never
+	// scans the resource layout: worker w runs on machine
+	// workerMachine[w] as its localGPU[w]-th GPU; machineGPUs[m] is
+	// machine m's GPU count.
+	workerMachine []int
+	localGPU      []int
+	machineGPUs   []int
+
+	// Per-worker state; slices are indexed by global worker rank with nil
+	// entries for workers hosted by other agents.
 	execs    []*graph.Exec
 	replicas []*arrt.Replica
+	comms    []*collective.Comm
 	arOpts   []optim.Optimizer
 
-	servers []*psrt.Server // one per machine; nil when no PS variables
-	routes  []varRoute
+	servers []*psrt.Server // one per LOCAL machine; nil elsewhere or when no PS variables
+	// ps[w][m] is worker w's endpoint for machine m's server: the server
+	// itself when colocated, a psrt.Client stub over the conduit when
+	// remote. Non-nil only for local workers (and only when PS routes
+	// exist).
+	ps     [][]psrt.Endpoint
+	routes []varRoute
 	// routeIdx resolves a variable name to its route index; read-only
 	// after New, so the gradient-ready callback can use it concurrently.
 	routeIdx map[string]int
@@ -204,7 +265,7 @@ type Trainer struct {
 	agvTags   []string // [ri]: precomputed AllGatherv tag, "" for others
 
 	// slots[ri][m] is the local-aggregation slot for route ri on machine
-	// m; non-nil only for PS routes when LocalAggregation is on.
+	// m; merge buffers exist only for machines hosted here.
 	slots [][]aggSlot
 	// slotViews[ri][m][pi] is a zero-copy partition view into
 	// slots[ri][m].dense, precomputed for dense variables.
@@ -225,10 +286,15 @@ type Trainer struct {
 	inputs []*graph.Node // the graph's input nodes, for feed validation
 
 	bytesPushed atomic.Int64
+	wireBase    transport.Stats // fabric counters at the top of the step
+	lastWire    transport.Stats // wire bytes moved during the last step
 
 	tasks   []chan stepTask // one per persistent worker
 	done    chan stepResult
 	lossBuf []float64 // per-worker losses, summed in worker order
+	// lossGather[w] is worker w's scratch for the distributed loss
+	// exchange (one slot per global worker, filled in rank order).
+	lossGather [][]float64
 
 	// Overlap runtime: one comm goroutine per worker (ordered collectives
 	// and PS pushes) plus one puller per (worker, server).
@@ -239,6 +305,8 @@ type Trainer struct {
 	bucketPending [][]int             // [w][b]: routes not yet copied this step
 	psDenseReqs   [][]psrt.DensePush  // [w] scratch, reused across pushes
 	psSparseReqs  [][]psrt.SparsePush // [w] scratch
+
+	serveWG sync.WaitGroup // psrt.ServeConduit loops for remote workers
 
 	phases    []phaseTimes // [w], reset by the worker each step
 	lastPhase PhaseStats
@@ -271,23 +339,78 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 
 	workers := opts.Resource.TotalGPUs()
 	machines := opts.Resource.NumMachines()
-	t := &Trainer{
-		g: g, opt: opts, workers: workers, machines: machines,
+	topo := transport.Topology{
+		Workers:         workers,
+		Machines:        machines,
+		MachineOfWorker: opts.Resource.WorkerMachines(),
+	}
+	fab := opts.Fabric
+	if fab == nil {
+		fab = transport.NewInproc(topo)
+	}
+	// From here on the trainer owns the fabric: tear it down on any
+	// build error so a failed New leaks neither sockets nor goroutines.
+	fail := func(err error) (*Trainer, error) {
+		fab.Close()
+		return nil, err
+	}
+	if ft := fab.Topology(); ft.Workers != workers || ft.Machines != machines {
+		return fail(fmt.Errorf("transform: fabric topology %d workers / %d machines, cluster has %d / %d",
+			ft.Workers, ft.Machines, workers, machines))
+	} else if ft.MachineOfWorker != nil {
+		// The worker→machine layout must agree too: slots, pull routing,
+		// and serving loops all assume fabric locality matches the
+		// resource layout.
+		for w, m := range topo.MachineOfWorker {
+			if ft.MachineOfWorker[w] != m {
+				return fail(fmt.Errorf("transform: fabric places worker %d on machine %d, cluster on %d",
+					w, ft.MachineOfWorker[w], m))
+			}
+		}
 	}
 
-	// Replicate the graph: one executor per GPU (§4.3: "main computation
-	// operations ... are replicated as many as the number of GPUs").
+	t := &Trainer{
+		g: g, opt: opts, workers: workers, machines: machines,
+		fab: fab, topo: topo, dist: fab.Distributed(),
+	}
+	t.isLocalW = make([]bool, workers)
 	for w := 0; w < workers; w++ {
+		if fab.Local(w) {
+			t.isLocalW[w] = true
+			t.localWorkers = append(t.localWorkers, w)
+		}
+	}
+	t.localMachine = make([]bool, machines)
+	for m := 0; m < machines; m++ {
+		t.localMachine[m] = fab.Local(topo.ServerEndpoint(m))
+	}
+	t.workerMachine = topo.MachineOfWorker
+	t.localGPU = make([]int, workers)
+	t.machineGPUs = make([]int, machines)
+	for w, m := range t.workerMachine {
+		t.localGPU[w] = t.machineGPUs[m]
+		t.machineGPUs[m]++
+	}
+	if len(t.localWorkers) == 0 {
+		return fail(fmt.Errorf("transform: fabric hosts no worker of this cluster"))
+	}
+
+	// Replicate the graph: one executor per local GPU (§4.3: "main
+	// computation operations ... are replicated as many as the number of
+	// GPUs"; remote GPUs are replicated by their own agents).
+	t.execs = make([]*graph.Exec, workers)
+	t.arOpts = make([]optim.Optimizer, workers)
+	t.replicas = make([]*arrt.Replica, workers)
+	t.comms = make([]*collective.Comm, workers)
+	for _, w := range t.localWorkers {
 		e, err := graph.NewExec(g)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
-		t.execs = append(t.execs, e)
-		t.arOpts = append(t.arOpts, opts.NewOptimizer())
-	}
-	world := collective.NewWorld(workers)
-	for w := 0; w < workers; w++ {
-		t.replicas = append(t.replicas, arrt.New(world.Comm(w), opts.DenseAgg, opts.SparseAgg))
+		t.execs[w] = e
+		t.arOpts[w] = opts.NewOptimizer()
+		t.comms[w] = collective.NewComm(fab.Conduit(w), workers)
+		t.replicas[w] = arrt.New(t.comms[w], opts.DenseAgg, opts.SparseAgg)
 	}
 
 	// Route variables.
@@ -296,7 +419,7 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 	for i, v := range vars {
 		a := opts.Plan.Assignments[i]
 		if a.Name != v.Name {
-			return nil, fmt.Errorf("transform: plan assignment %d is %q, variable is %q", i, a.Name, v.Name)
+			return fail(fmt.Errorf("transform: plan assignment %d is %q, variable is %q", i, a.Name, v.Name))
 		}
 		r := varRoute{v: v, assign: a}
 		if a.Method == core.MethodPS {
@@ -307,9 +430,10 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 		t.routes = append(t.routes, r)
 	}
 
-	// Launch one server per machine if needed (§4.2: "if sparse variables
-	// are included in the graph, Parallax launches a server process for
-	// each machine").
+	// Launch one server per local machine if needed (§4.2: "if sparse
+	// variables are included in the graph, Parallax launches a server
+	// process for each machine"), and one endpoint row per local worker:
+	// direct calls to colocated servers, wire stubs for remote ones.
 	if anyPS {
 		sources := workers
 		if opts.LocalAggregation {
@@ -319,7 +443,11 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 		if opts.Async {
 			mode = psrt.Async
 		}
+		t.servers = make([]*psrt.Server, machines)
 		for m := 0; m < machines; m++ {
+			if !t.localMachine[m] {
+				continue
+			}
 			srv, err := psrt.NewServer(psrt.Config{
 				Sources:      sources,
 				Optimizer:    opts.NewOptimizer(),
@@ -330,9 +458,9 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 				MeanDivisor:  workers,
 			})
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
-			t.servers = append(t.servers, srv)
+			t.servers[m] = srv
 		}
 		for _, r := range t.routes {
 			if r.assign.Method != core.MethodPS {
@@ -343,10 +471,25 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 				owned[srv] = append(owned[srv], pi)
 			}
 			for m, parts := range owned {
+				if t.servers[m] == nil {
+					continue // hosted by another agent
+				}
 				if err := t.servers[m].AddVar(r.v.Name, r.v.Init, r.ranges, parts, r.assign.Sparse); err != nil {
-					return nil, err
+					return fail(err)
 				}
 			}
+		}
+		t.ps = make([][]psrt.Endpoint, workers)
+		for _, w := range t.localWorkers {
+			row := make([]psrt.Endpoint, machines)
+			for m := 0; m < machines; m++ {
+				if t.servers[m] != nil {
+					row[m] = t.servers[m]
+				} else {
+					row[m] = psrt.NewClient(fab.Conduit(w), topo.ServerEndpoint(m))
+				}
+			}
+			t.ps[w] = row
 		}
 	}
 
@@ -362,7 +505,7 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 
 	// Per-worker indexed scratch for AllGatherv aggregates and tags.
 	t.arSparse = make([][]*tensor.Sparse, workers)
-	for w := range t.arSparse {
+	for _, w := range t.localWorkers {
 		t.arSparse[w] = make([]*tensor.Sparse, len(t.routes))
 	}
 	t.agvTags = make([]string, len(t.routes))
@@ -372,8 +515,30 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 		}
 	}
 
-	// Start the persistent runtime: compute workers, comm goroutines, and
-	// per-(worker, server) pullers.
+	// Distributed startup: broadcast worker 0's AR-managed variable
+	// values so replicas across agents start bit-identical even if an
+	// agent's initializer drifted, and to rendezvous all agents before
+	// the first step.
+	if t.dist {
+		var wg sync.WaitGroup
+		for _, w := range t.localWorkers {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for _, r := range t.routes {
+					if r.assign.Method == core.MethodPS {
+						continue
+					}
+					t.replicas[w].BroadcastInit(r.v.Name, t.execs[w].VarValue(r.v.Name), 0)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Start the persistent runtime: compute workers, comm goroutines,
+	// per-(worker, server) pullers, and serving loops answering remote
+	// workers' PS traffic against the local servers.
 	t.tasks = make([]chan stepTask, workers)
 	t.done = make(chan stepResult, workers)
 	t.comm = make([]chan commTask, workers)
@@ -383,26 +548,51 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 	t.psDenseReqs = make([][]psrt.DensePush, workers)
 	t.psSparseReqs = make([][]psrt.SparsePush, workers)
 	t.phases = make([]phaseTimes, workers)
-	for w := 0; w < workers; w++ {
+	t.lossGather = make([][]float64, workers)
+	for _, w := range t.localWorkers {
 		t.tasks[w] = make(chan stepTask)
 		t.comm[w] = make(chan commTask, 4+len(t.buckets)+len(t.routes))
 		t.commAck[w] = make(chan error)
-		t.pullCh[w] = make([]chan int64, len(t.servers))
-		t.pullDone[w] = make(chan error, len(t.servers))
-		for m := range t.servers {
+		t.pullCh[w] = make([]chan int64, machines)
+		t.pullDone[w] = make(chan error, machines)
+		if t.dist {
+			t.lossGather[w] = make([]float64, workers)
+		}
+		for m := 0; m < machines; m++ {
+			if t.ps == nil {
+				continue
+			}
 			t.pullCh[w][m] = make(chan int64)
 			go t.pullLoop(w, m)
 		}
 		go t.commLoop(w)
 		go t.workerLoop(w)
 	}
+	if anyPS && t.dist {
+		for m := 0; m < machines; m++ {
+			if t.servers[m] == nil {
+				continue
+			}
+			srvConduit := fab.Conduit(topo.ServerEndpoint(m))
+			for w := 0; w < workers; w++ {
+				if t.isLocalW[w] {
+					continue
+				}
+				t.serveWG.Add(1)
+				go func(srv *psrt.Server, w int) {
+					defer t.serveWG.Done()
+					psrt.ServeConduit(srv, srvConduit, w)
+				}(t.servers[m], w)
+			}
+		}
+	}
 	return t, nil
 }
 
 // buildFusion packs the dense AllReduce routes into size-capped fusion
-// buckets and preallocates, per worker, one contiguous buffer per bucket
-// plus a shaped view per route. Routes pack in declaration order; since
-// gradients become ready in *reverse* declaration order, a bucket's
+// buckets and preallocates, per local worker, one contiguous buffer per
+// bucket plus a shaped view per route. Routes pack in declaration order;
+// since gradients become ready in *reverse* declaration order, a bucket's
 // completion is triggered by its first route, and buckets complete
 // back-to-front — last layers first, exactly the order that maximizes
 // overlap with the remaining backward compute.
@@ -439,7 +629,7 @@ func (t *Trainer) buildFusion() {
 	t.fuseBufs = make([][]*tensor.Dense, t.workers)
 	t.fuseViews = make([][]*tensor.Dense, t.workers)
 	t.bucketPending = make([][]int, t.workers)
-	for w := 0; w < t.workers; w++ {
+	for _, w := range t.localWorkers {
 		t.fuseBufs[w] = make([]*tensor.Dense, len(t.buckets))
 		t.fuseViews[w] = make([]*tensor.Dense, len(t.routes))
 		t.bucketPending[w] = make([]int, len(t.buckets))
@@ -485,6 +675,7 @@ func (t *Trainer) buildPSRouting() {
 
 // buildSlots preallocates the per-(route, machine) local-aggregation slots
 // and, for dense variables, their merge buffers and partition views.
+// Merge buffers exist only for machines whose workers run here.
 func (t *Trainer) buildSlots() {
 	t.slots = make([][]aggSlot, len(t.routes))
 	t.slotViews = make([][][]*tensor.Dense, len(t.routes))
@@ -497,10 +688,19 @@ func (t *Trainer) buildSlots() {
 		}
 		t.slots[ri] = make([]aggSlot, t.machines)
 		if r.assign.Sparse {
+			for m := 0; m < t.machines; m++ {
+				if t.localMachine[m] {
+					t.slots[ri][m].sparse = make([]*tensor.Sparse, t.opt.Resource.GPUsPerMachine(m))
+				}
+			}
 			continue
 		}
 		t.slotViews[ri] = make([][]*tensor.Dense, t.machines)
 		for m := 0; m < t.machines; m++ {
+			if !t.localMachine[m] {
+				continue
+			}
+			t.slots[ri][m].denseSrcs = make([]*tensor.Dense, t.opt.Resource.GPUsPerMachine(m))
 			buf := tensor.NewDense(r.v.Shape...)
 			t.slots[ri][m].dense = buf
 			views := make([]*tensor.Dense, len(r.ranges))
@@ -512,14 +712,14 @@ func (t *Trainer) buildSlots() {
 	}
 }
 
-// buildPullReqs precomputes, per worker and server, the batched pull
-// request list whose destinations are zero-copy views into the worker's
-// replica storage. Requests for one variable stay adjacent so the server
-// amortizes its lookup.
+// buildPullReqs precomputes, per local worker and server, the batched
+// pull request list whose destinations are zero-copy views into the
+// worker's replica storage. Requests for one variable stay adjacent so
+// the server amortizes its lookup.
 func (t *Trainer) buildPullReqs() {
 	t.pullReqs = make([][][]psrt.PullReq, t.workers)
-	for w := 0; w < t.workers; w++ {
-		t.pullReqs[w] = make([][]psrt.PullReq, len(t.servers))
+	for _, w := range t.localWorkers {
+		t.pullReqs[w] = make([][]psrt.PullReq, t.machines)
 		for _, r := range t.routes {
 			if r.assign.Method != core.MethodPS {
 				continue
@@ -538,13 +738,30 @@ func (t *Trainer) buildPullReqs() {
 	}
 }
 
-// Workers returns the number of model replicas (GPUs).
+// Workers returns the number of model replicas (GPUs) across the whole
+// cluster.
 func (t *Trainer) Workers() int { return t.workers }
+
+// LocalWorkers returns the global ranks of the workers this trainer
+// hosts (all of them in single-process mode), in ascending order. The
+// returned slice must not be mutated.
+func (t *Trainer) LocalWorkers() []int { return t.localWorkers }
+
+// Distributed reports whether the trainer spans agent processes.
+func (t *Trainer) Distributed() bool { return t.dist }
 
 // BytesPushedLastStep returns how many gradient payload bytes the workers
 // handed to the synchronization layer (ring collectives and parameter
 // servers) during the most recent Step. Valid after Step returns.
 func (t *Trainer) BytesPushedLastStep() int64 { return t.bytesPushed.Load() }
+
+// WireStatsLastStep returns the wire bytes this process sent and
+// received during the most recent Step (zero on the in-process fabric,
+// framed socket bytes on TCP). Valid after Step returns; serving-loop
+// traffic for remote workers lands in the step it occurs in.
+func (t *Trainer) WireStatsLastStep() (sent, recv int64) {
+	return t.lastWire.SentBytes, t.lastWire.RecvBytes
+}
 
 // PhaseStatsLastStep returns the previous step's phase breakdown, taken
 // from the slowest worker per phase. Valid after Step returns.
@@ -554,20 +771,64 @@ func (t *Trainer) PhaseStatsLastStep() PhaseStats { return t.lastPhase }
 // schedule runs per step (0 when the plan has no AllReduce variables).
 func (t *Trainer) Buckets() int { return len(t.buckets) }
 
-// Close stops the persistent goroutines (workers, comm, pullers). The
-// trainer must not be stepped afterwards; Close is idempotent.
+// Close stops the persistent goroutines (workers, comm, pullers, serving
+// loops) and tears the fabric down. In distributed mode it first runs a
+// cross-agent barrier so no agent unplugs while a peer's final-step
+// traffic is still in flight. The trainer must not be stepped afterwards;
+// Close is idempotent.
 func (t *Trainer) Close() {
 	t.closeOnce.Do(func() {
+		if t.dist {
+			done := make(chan struct{})
+			go func() {
+				var wg sync.WaitGroup
+				for _, w := range t.localWorkers {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						t.comms[w].CloseBarrier("close")
+					}(w)
+				}
+				wg.Wait()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(closeBarrierTimeout):
+				// A peer died; proceed with teardown.
+			}
+		}
 		for _, ch := range t.tasks {
-			close(ch)
+			if ch != nil {
+				close(ch)
+			}
 		}
 		for _, ch := range t.comm {
-			close(ch)
+			if ch != nil {
+				close(ch)
+			}
 		}
 		for _, per := range t.pullCh {
 			for _, ch := range per {
-				close(ch)
+				if ch != nil {
+					close(ch)
+				}
 			}
+		}
+		t.fab.Close()
+		// Closing the fabric turns the serving loops' RecvPS into nil, so
+		// after an orderly barrier they exit immediately. If a peer died
+		// mid-protocol a loop can be parked inside a server cond.Wait
+		// (a pull waiting on an update that will never land), which the
+		// fabric cannot cancel — bound the wait so Close still returns.
+		done := make(chan struct{})
+		go func() {
+			t.serveWG.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
 		}
 	})
 }
@@ -584,8 +845,8 @@ func (t *Trainer) workerLoop(w int) {
 // issued in the same order on every worker; that holds because tasks are
 // enqueued in gradient-ready order, which is the same deterministic
 // reverse-declaration order on every replica of the graph. PS pushes
-// never block (server accumulation is lock-brief), so they cannot stall a
-// peer's collective.
+// never block a peer's collective: direct pushes are lock-brief, and a
+// wire push's round trip only waits on the remote serving loop.
 func (t *Trainer) commLoop(w int) {
 	var firstErr error
 	for task := range t.comm[w] {
@@ -613,33 +874,42 @@ func (t *Trainer) commLoop(w int) {
 // phase runs concurrently across servers.
 func (t *Trainer) pullLoop(w, m int) {
 	for minVersion := range t.pullCh[w][m] {
-		t.pullDone[w] <- t.servers[m].PullManyInto(minVersion, t.pullReqs[w][m])
+		t.pullDone[w] <- t.ps[w][m].PullManyInto(minVersion, t.pullReqs[w][m])
 	}
 }
 
 // Step runs one synchronous data-parallel iteration: feeds[w] is worker w's
-// shard batch. It returns the mean loss across workers. Step dispatches to
-// the persistent workers started by New; it must not be called
-// concurrently with itself or after Close.
+// shard batch (feeds for workers hosted by other agents are ignored here
+// — their agents feed them the identical shards). It returns the mean
+// loss across ALL workers: in distributed mode the workers exchange
+// per-worker losses over the conduit and every agent reports the same
+// bitwise-identical mean. Step dispatches to the persistent workers
+// started by New; it must not be called concurrently with itself or
+// after Close.
 func (t *Trainer) Step(feeds []graph.Feed) (float64, error) {
 	if len(feeds) != t.workers {
 		return 0, fmt.Errorf("transform: %d feeds for %d workers", len(feeds), t.workers)
 	}
-	// Validate every worker's feed up front: a worker failing mid-step
-	// would leave its peers blocked inside collectives with no rank to
-	// rendezvous with, so bad feeds — the realistic runtime error — must
-	// be rejected before any work is dispatched.
-	for w := range feeds {
+	// Validate every local worker's feed up front: a worker failing
+	// mid-step would leave its peers blocked inside collectives with no
+	// rank to rendezvous with, so bad feeds — the realistic runtime error
+	// — must be rejected before any work is dispatched. In distributed
+	// mode the validation only covers THIS agent's workers, so any step
+	// error additionally fails the fabric: peer agents' workers would
+	// otherwise block forever rendezvousing with ranks that never
+	// dispatched, and fail-stop turns that hang into a prompt teardown.
+	for _, w := range t.localWorkers {
 		if err := t.checkFeed(w, feeds[w]); err != nil {
-			return 0, err
+			return 0, t.failStep(err)
 		}
 	}
 	step := t.step
 	t.step++
 	t.resetSlots()
 	t.bytesPushed.Store(0)
+	t.wireBase = t.fab.Stats()
 
-	for w := range feeds {
+	for _, w := range t.localWorkers {
 		t.tasks[w] <- stepTask{step: step, feed: feeds[w]}
 	}
 	// Collect results indexed by worker and sum in worker order: workers
@@ -650,23 +920,25 @@ func (t *Trainer) Step(feeds []graph.Feed) (float64, error) {
 		t.lossBuf = make([]float64, t.workers)
 	}
 	var firstErr error
-	for i := 0; i < t.workers; i++ {
+	for range t.localWorkers {
 		res := <-t.done
 		if res.err != nil && firstErr == nil {
 			firstErr = res.err
 		}
 		t.lossBuf[res.worker] = res.loss
 	}
+	wire := t.fab.Stats()
+	t.lastWire = transport.Stats{
+		SentBytes: wire.SentBytes - t.wireBase.SentBytes,
+		RecvBytes: wire.RecvBytes - t.wireBase.RecvBytes,
+	}
 	if firstErr != nil {
-		return 0, firstErr
+		return 0, t.failStep(firstErr)
 	}
-	var mean float64
-	for _, l := range t.lossBuf {
-		mean += l
-	}
-	// Aggregate the per-worker phase breakdown: the slowest worker per
-	// phase is the step's critical path. The done handshake above orders
-	// every worker's (and comm goroutine's) writes before these reads.
+	// Aggregate the per-worker phase breakdown: the slowest local worker
+	// per phase is the step's critical path. The done handshake above
+	// orders every worker's (and comm goroutine's) writes before these
+	// reads.
 	var ph PhaseStats
 	for w := range t.phases {
 		ph.Compute = max(ph.Compute, t.phases[w].compute)
@@ -674,7 +946,28 @@ func (t *Trainer) Step(feeds []graph.Feed) (float64, error) {
 		ph.SyncWait = max(ph.SyncWait, t.phases[w].wait)
 	}
 	t.lastPhase = ph
+	if t.dist {
+		// Each worker already folded the rank-ordered global mean during
+		// its in-step loss exchange; all local results are identical.
+		return t.lossBuf[t.localWorkers[0]], nil
+	}
+	var mean float64
+	for _, l := range t.lossBuf {
+		mean += l
+	}
 	return mean / float64(t.workers), nil
+}
+
+// failStep handles a step error: in distributed mode the cluster cannot
+// recover (peers are blocked mid-protocol against this agent's ranks),
+// so the fabric is torn down fail-stop before the error is surfaced;
+// the trainer must not be stepped again. Single-process errors pass
+// through untouched — everything stays local and recoverable.
+func (t *Trainer) failStep(err error) error {
+	if t.dist {
+		t.fab.Close()
+	}
+	return err
 }
 
 // checkFeed verifies worker w's feed covers every graph input with the
@@ -715,9 +1008,8 @@ func (t *Trainer) resetSlots() {
 		for m := range t.slots[ri] {
 			s := &t.slots[ri][m]
 			s.got = 0
-			s.denseSet = false
 			clear(s.sparse)
-			s.sparse = s.sparse[:0]
+			clear(s.denseSrcs)
 		}
 	}
 }
@@ -738,7 +1030,7 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 		minVersion = 0
 	}
 	pulls := 0
-	for m := range t.servers {
+	for m := 0; m < t.machines && t.ps != nil; m++ {
 		if len(t.pullReqs[w][m]) > 0 {
 			t.pullCh[w][m] <- minVersion
 			pulls++
@@ -824,7 +1116,7 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 				norm2 += g.Values.L2NormSquared()
 			case core.MethodPS:
 				for pi := range r.ranges {
-					n2, err := t.servers[r.assign.Servers[pi]].WaitAggregatedNormSquared(r.v.Name, pi, int64(step+1))
+					n2, err := t.ps[w][r.assign.Servers[pi]].WaitAggregatedNormSquared(r.v.Name, pi, int64(step+1))
 					if err != nil {
 						return 0, err
 					}
@@ -835,13 +1127,13 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 		if norm := math.Sqrt(norm2); norm > t.opt.ClipNorm {
 			scale = float32(t.opt.ClipNorm / norm)
 		}
-		if w == 0 { // chief worker triggers the deferred PS updates
+		if w == 0 { // the global chief worker triggers the deferred PS updates
 			for _, r := range t.routes {
 				if r.assign.Method != core.MethodPS {
 					continue
 				}
 				for pi := range r.ranges {
-					if err := t.servers[r.assign.Servers[pi]].ApplyUpdate(r.v.Name, pi, scale); err != nil {
+					if err := t.ps[w][r.assign.Servers[pi]].ApplyUpdate(r.v.Name, pi, scale); err != nil {
 						return 0, err
 					}
 				}
@@ -870,15 +1162,29 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 			t.arSparse[w][ri] = nil
 		}
 	}
+
+	// Distributed loss exchange: gather every worker's loss in rank
+	// order and fold the global mean with the same summation order the
+	// single-process driver uses, so the reported trajectory is bitwise
+	// identical across deployment modes.
+	if t.dist {
+		gathered := t.lossGather[w]
+		t.replicas[w].GatherScalars("loss", loss, gathered)
+		var sum float64
+		for _, l := range gathered {
+			sum += l
+		}
+		loss = sum / float64(t.workers)
+	}
 	return loss, nil
 }
 
 // pushPS routes worker w's gradient for PS route ri: split by partition,
 // optionally merge within the machine, push to the owning servers with
 // one batched call per server. Dense partitions travel as zero-copy views
-// (psrt borrows them only for the call); sparse partitions are freshly
-// split and ownership transfers to the server. Runs on the worker's comm
-// goroutine.
+// (psrt borrows them only for the call — a wire push serializes them
+// before its reply unblocks us); sparse partitions are freshly split and
+// ownership transfers to the server. Runs on the worker's comm goroutine.
 func (t *Trainer) pushPS(w, ri int, dense *tensor.Dense, sp *tensor.Sparse) error {
 	r := &t.routes[ri]
 	name := r.v.Name
@@ -891,7 +1197,7 @@ func (t *Trainer) pushPS(w, ri int, dense *tensor.Dense, sp *tensor.Sparse) erro
 				reqs = append(reqs, psrt.SparsePush{Name: name, Part: pi, Grad: parts[pi]})
 			}
 			t.psSparseReqs[w] = reqs[:0]
-			if err := t.servers[srv].PushSparseMany(reqs); err != nil {
+			if err := t.ps[w][srv].PushSparseMany(reqs); err != nil {
 				return err
 			}
 		}
@@ -916,7 +1222,7 @@ func (t *Trainer) pushPS(w, ri int, dense *tensor.Dense, sp *tensor.Sparse) erro
 				reqs = append(reqs, psrt.DensePush{Name: name, Part: pi, Grad: part})
 			}
 			t.psDenseReqs[w] = reqs[:0]
-			if err := t.servers[srv].PushDenseMany(reqs); err != nil {
+			if err := t.ps[w][srv].PushDenseMany(reqs); err != nil {
 				return err
 			}
 		}
@@ -930,25 +1236,31 @@ func (t *Trainer) pushPS(w, ri int, dense *tensor.Dense, sp *tensor.Sparse) erro
 		return pushDenseParts(dense, nil)
 	}
 
-	// Local aggregation: the machine's last-arriving worker merges and
-	// pushes.
-	machine := t.opt.Resource.MachineOfWorker(w)
-	gpus := t.opt.Resource.GPUsPerMachine(machine)
+	// Local aggregation: gradients park in GPU-rank-indexed slot entries
+	// and the machine's last-arriving worker merges them in rank order
+	// (see aggSlot) and pushes.
+	machine := t.workerMachine[w]
+	gpus := t.machineGPUs[machine]
+	local := t.localGPU[w]
 	slot := &t.slots[ri][machine]
 	slot.mu.Lock()
 	if r.assign.Sparse {
-		slot.sparse = append(slot.sparse, sp)
-	} else if !slot.denseSet {
-		copy(slot.dense.Data(), dense.Data())
-		slot.denseSet = true
+		slot.sparse[local] = sp
 	} else {
-		slot.dense.AddInto(dense)
+		slot.denseSrcs[local] = dense
 	}
 	slot.got++
 	doPush := slot.got == gpus
 	var sparseMerged *tensor.Sparse
-	if doPush && r.assign.Sparse {
-		sparseMerged = tensor.SumSparse(slot.sparse)
+	if doPush {
+		if r.assign.Sparse {
+			sparseMerged = tensor.SumSparse(slot.sparse)
+		} else {
+			copy(slot.dense.Data(), slot.denseSrcs[0].Data())
+			for i := 1; i < gpus; i++ {
+				slot.dense.AddInto(slot.denseSrcs[i])
+			}
+		}
 	}
 	slot.mu.Unlock()
 	if !doPush {
@@ -961,14 +1273,16 @@ func (t *Trainer) pushPS(w, ri int, dense *tensor.Dense, sp *tensor.Sparse) erro
 }
 
 // VarValue reconstructs the current full value of a variable: from the
-// servers for PS variables, from replica 0 for AR variables.
+// servers for PS variables (local or over the wire), from the first
+// local replica for AR variables.
 func (t *Trainer) VarValue(name string) (*tensor.Dense, error) {
+	w0 := t.localWorkers[0]
 	for _, r := range t.routes {
 		if r.v.Name != name {
 			continue
 		}
 		if r.assign.Method != core.MethodPS {
-			return t.execs[0].VarValue(name).Clone(), nil
+			return t.execs[w0].VarValue(name).Clone(), nil
 		}
 		out := tensor.NewDense(r.v.Shape...)
 		minVersion := int64(t.step)
@@ -980,7 +1294,7 @@ func (t *Trainer) VarValue(name string) (*tensor.Dense, error) {
 				continue
 			}
 			dst := out.SliceRows(rr.Start, rr.End)
-			if err := t.servers[r.assign.Servers[pi]].PullInto(name, pi, minVersion, dst); err != nil {
+			if err := t.ps[w0][r.assign.Servers[pi]].PullInto(name, pi, minVersion, dst); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"testing"
+
+	"parallax/internal/tensor"
+)
+
+// BenchmarkCodecRoundTrip measures the wire codec on the three payload
+// shapes the trainer ships every step: a fusion-bucket-sized dense
+// chunk, an AllGatherv sparse block, and a batched PS push. Encode
+// appends into a reused scratch buffer and decode draws float buffers
+// from the pool, so steady state should allocate only the
+// receiver-owned sparse/PS structures.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	b.Run("dense64k", func(b *testing.B) {
+		b.ReportAllocs()
+		data := make([]float32, 64<<10)
+		for i := range data {
+			data[i] = float32(i)
+		}
+		m := message{tag: "fuse/0/rs", kind: kindF32, f32: data}
+		pool := newBufPool()
+		var buf []byte
+		b.SetBytes(int64(len(data) * 4))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = appendMessage(buf[:0], 0, 1, m)
+			_, _, got, err := decodeMessage(buf, pool)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool.put(got.f32)
+		}
+	})
+	b.Run("sparse1k", func(b *testing.B) {
+		b.ReportAllocs()
+		rows := make([]int, 1024)
+		for i := range rows {
+			rows[i] = i * 3
+		}
+		sp := tensor.NewSparse(rows, tensor.NewDense(1024, 64), 4096)
+		m := message{tag: "agv/embedding", kind: kindSparse, sparse: sp}
+		pool := newBufPool()
+		var buf []byte
+		b.SetBytes(sp.Bytes() + int64(8*len(rows)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = appendMessage(buf[:0], 0, 1, m)
+			if _, _, _, err := decodeMessage(buf, pool); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("psPush8", func(b *testing.B) {
+		b.ReportAllocs()
+		ps := &PSMsg{Op: PSPushDenseMany}
+		var bytes int64
+		for i := 0; i < 8; i++ {
+			d := tensor.NewDense(256, 32)
+			bytes += d.Bytes()
+			ps.Names = append(ps.Names, "embedding")
+			ps.Parts = append(ps.Parts, i)
+			ps.Dense = append(ps.Dense, d)
+		}
+		m := message{tag: "ps", kind: kindPS, ps: ps}
+		pool := newBufPool()
+		var buf []byte
+		b.SetBytes(bytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = appendMessage(buf[:0], 0, 1, m)
+			if _, _, _, err := decodeMessage(buf, pool); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,396 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+
+	"parallax/internal/tensor"
+)
+
+// Binary codec for the TCP fabric's frames. A frame on the wire is
+//
+//	u32 length | payload
+//
+// where length counts the payload bytes and the payload is
+//
+//	u16 src | u16 dst | u8 kind | u8 tagLen | tag | body
+//
+// All integers are little-endian; floats travel as IEEE-754 bit
+// patterns. Bodies:
+//
+//	kindF32:    u32 n | n × f32
+//	kindScalar: u64 float64 bits
+//	kindSparse: u32 dim0 | u32 width | u32 nrows | nrows × u32 | nrows*width × f32
+//	kindPS:     u8 op | u64 version | u32 scale bits | u64 scalar bits
+//	            | u16 errLen | err
+//	            | u16 nItems | nItems × (u8 nameLen | name | u32 part)
+//	            | u16 nDense | nDense × (u32 n | n × f32)
+//	            | u16 nSparse | nSparse × sparse body
+//
+// Encoders append to a caller-owned scratch buffer (the TCP fabric
+// reuses one per connection, so steady-state framing allocates nothing)
+// and copy tensor data straight from the caller's views — fusion-bucket
+// storage and SliceRows views serialize without intermediate tensors.
+// Decoders validate every declared length against the remaining bytes
+// and return errors (never panic) on truncated or oversized input.
+
+// maxFrameDefault caps one frame at 1 GiB; DialTCP can lower it.
+const maxFrameDefault = 1 << 30
+
+// encoding limits imposed by the field widths above.
+const (
+	maxTagLen  = 255
+	maxNameLen = 255
+	maxItems   = math.MaxUint16
+)
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// appendF32s bulk-encodes a float chunk: grow once, then write with
+// direct indexing — this is the multi-MB fusion-bucket path, so no
+// per-element append bookkeeping.
+func appendF32s(b []byte, data []float32) []byte {
+	off := len(b)
+	b = slices.Grow(b, 4*len(data))[:off+4*len(data)]
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(b[off+4*i:], math.Float32bits(v))
+	}
+	return b
+}
+
+// appendMessage encodes one datagram payload (without the frame-length
+// prefix). It panics on values that exceed the codec's field widths —
+// tags and variable names longer than 255 bytes — which are build-time
+// programming errors, not runtime conditions.
+func appendMessage(b []byte, src, dst int, m message) []byte {
+	if len(m.tag) > maxTagLen {
+		panic(fmt.Sprintf("transport: tag %q exceeds %d bytes", m.tag, maxTagLen))
+	}
+	b = appendU16(b, uint16(src))
+	b = appendU16(b, uint16(dst))
+	b = append(b, byte(m.kind), byte(len(m.tag)))
+	b = append(b, m.tag...)
+	switch m.kind {
+	case kindF32:
+		b = appendU32(b, uint32(len(m.f32)))
+		b = appendF32s(b, m.f32)
+	case kindScalar:
+		b = appendU64(b, math.Float64bits(m.scalar))
+	case kindSparse:
+		b = appendSparse(b, m.sparse)
+	case kindPS:
+		b = appendPS(b, m.ps)
+	default:
+		panic(fmt.Sprintf("transport: encode unknown kind %d", m.kind))
+	}
+	return b
+}
+
+func appendSparse(b []byte, s *tensor.Sparse) []byte {
+	w := s.RowWidth()
+	b = appendU32(b, uint32(s.Dim0))
+	b = appendU32(b, uint32(w))
+	b = appendU32(b, uint32(len(s.Rows)))
+	for _, r := range s.Rows {
+		b = appendU32(b, uint32(r))
+	}
+	return appendF32s(b, s.Values.Data())
+}
+
+func appendPS(b []byte, m *PSMsg) []byte {
+	if len(m.Names) > maxItems || len(m.Dense) > maxItems || len(m.Sparse) > maxItems {
+		panic(fmt.Sprintf("transport: PS batch of %d/%d/%d items exceeds %d",
+			len(m.Names), len(m.Dense), len(m.Sparse), maxItems))
+	}
+	b = append(b, byte(m.Op))
+	b = appendU64(b, uint64(m.Version))
+	b = appendU32(b, math.Float32bits(m.Scale))
+	b = appendU64(b, math.Float64bits(m.Scalar))
+	if len(m.Err) > math.MaxUint16 {
+		m.Err = m.Err[:math.MaxUint16]
+	}
+	b = appendU16(b, uint16(len(m.Err)))
+	b = append(b, m.Err...)
+	b = appendU16(b, uint16(len(m.Names)))
+	for i, name := range m.Names {
+		if len(name) > maxNameLen {
+			panic(fmt.Sprintf("transport: variable name %q exceeds %d bytes", name, maxNameLen))
+		}
+		b = append(b, byte(len(name)))
+		b = append(b, name...)
+		b = appendU32(b, uint32(m.Parts[i]))
+	}
+	b = appendU16(b, uint16(len(m.Dense)))
+	for _, d := range m.Dense {
+		b = appendU32(b, uint32(d.NumElements()))
+		b = appendF32s(b, d.Data())
+	}
+	b = appendU16(b, uint16(len(m.Sparse)))
+	for _, s := range m.Sparse {
+		b = appendSparse(b, s)
+	}
+	return b
+}
+
+// decoder walks a payload slice with bounds checking.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, fmt.Errorf("transport: frame truncated: want %d bytes, have %d", n, d.remaining())
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s, nil
+}
+
+func (d *decoder) u8() (byte, error) {
+	s, err := d.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return s[0], nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	s, err := d.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(s), nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	s, err := d.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(s), nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	s, err := d.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(s), nil
+}
+
+// count reads a u32 element count and rejects values that could not fit
+// in the remaining bytes at elemSize bytes each — the oversized-frame
+// guard that keeps a hostile length field from driving a huge
+// allocation.
+func (d *decoder) count(elemSize int) (int, error) {
+	n, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	if uint64(n)*uint64(elemSize) > uint64(d.remaining()) {
+		return 0, fmt.Errorf("transport: frame declares %d elements, only %d bytes remain", n, d.remaining())
+	}
+	return int(n), nil
+}
+
+func (d *decoder) f32s(n int, dst []float32) error {
+	s, err := d.bytes(n * 4)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(s[i*4:]))
+	}
+	return nil
+}
+
+// decodeMessage decodes one payload. Float chunk buffers come from pool
+// (the receiver recycles them); sparse tensors and PS messages are
+// freshly allocated and owned by the receiver. Trailing bytes after the
+// body are an error: frames are canonical.
+func decodeMessage(b []byte, pool *bufPool) (src, dst int, m message, err error) {
+	d := &decoder{b: b}
+	s16, err := d.u16()
+	if err != nil {
+		return 0, 0, m, err
+	}
+	d16, err := d.u16()
+	if err != nil {
+		return 0, 0, m, err
+	}
+	k, err := d.u8()
+	if err != nil {
+		return 0, 0, m, err
+	}
+	tagLen, err := d.u8()
+	if err != nil {
+		return 0, 0, m, err
+	}
+	tag, err := d.bytes(int(tagLen))
+	if err != nil {
+		return 0, 0, m, err
+	}
+	m.tag = string(tag)
+	m.kind = kind(k)
+	switch m.kind {
+	case kindF32:
+		n, err := d.count(4)
+		if err != nil {
+			return 0, 0, m, err
+		}
+		buf := pool.get(n)
+		if err := d.f32s(n, buf); err != nil {
+			pool.put(buf)
+			return 0, 0, m, err
+		}
+		m.f32 = buf
+	case kindScalar:
+		bits, err := d.u64()
+		if err != nil {
+			return 0, 0, m, err
+		}
+		m.scalar = math.Float64frombits(bits)
+	case kindSparse:
+		m.sparse, err = decodeSparse(d)
+		if err != nil {
+			return 0, 0, m, err
+		}
+	case kindPS:
+		m.ps, err = decodePS(d)
+		if err != nil {
+			return 0, 0, m, err
+		}
+	default:
+		return 0, 0, m, fmt.Errorf("transport: unknown frame kind %d", k)
+	}
+	if d.remaining() != 0 {
+		return 0, 0, m, fmt.Errorf("transport: %d trailing bytes after frame body", d.remaining())
+	}
+	return int(s16), int(d16), m, nil
+}
+
+func decodeSparse(d *decoder) (*tensor.Sparse, error) {
+	dim0, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	width, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	nrows, err := d.count(4)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]int, nrows)
+	for i := range rows {
+		r, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if r >= dim0 {
+			return nil, fmt.Errorf("transport: sparse row %d out of range [0,%d)", r, dim0)
+		}
+		rows[i] = int(r)
+	}
+	if uint64(nrows)*uint64(width)*4 > uint64(d.remaining()) {
+		return nil, fmt.Errorf("transport: sparse values %dx%d exceed remaining %d bytes",
+			nrows, width, d.remaining())
+	}
+	nvals := nrows * int(width)
+	vals := tensor.NewDense(nrows, int(width))
+	if err := d.f32s(nvals, vals.Data()); err != nil {
+		return nil, err
+	}
+	return &tensor.Sparse{Rows: rows, Values: vals, Dim0: int(dim0)}, nil
+}
+
+func decodePS(d *decoder) (*PSMsg, error) {
+	m := &PSMsg{}
+	op, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Op = PSOp(op)
+	if m.Op == 0 || m.Op > PSReply {
+		return nil, fmt.Errorf("transport: unknown PS op %d", op)
+	}
+	ver, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.Version = int64(ver)
+	scale, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	m.Scale = math.Float32frombits(scale)
+	scalar, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.Scalar = math.Float64frombits(scalar)
+	errLen, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	errBytes, err := d.bytes(int(errLen))
+	if err != nil {
+		return nil, err
+	}
+	m.Err = string(errBytes)
+	nItems, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nItems); i++ {
+		nameLen, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		name, err := d.bytes(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		part, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		m.Names = append(m.Names, string(name))
+		m.Parts = append(m.Parts, int(part))
+	}
+	nDense, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nDense); i++ {
+		n, err := d.count(4)
+		if err != nil {
+			return nil, err
+		}
+		t := tensor.NewDense(n)
+		if err := d.f32s(n, t.Data()); err != nil {
+			return nil, err
+		}
+		m.Dense = append(m.Dense, t)
+	}
+	nSparse, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nSparse); i++ {
+		s, err := decodeSparse(d)
+		if err != nil {
+			return nil, err
+		}
+		m.Sparse = append(m.Sparse, s)
+	}
+	return m, nil
+}

@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"parallax/internal/tensor"
+)
+
+// seedFrames returns one well-formed encoded payload per frame kind,
+// covering dense chunks, sparse IndexedSlices, scalars, and the batched
+// parameter-server request/reply shapes.
+func seedFrames() [][]byte {
+	sparse := tensor.NewSparse([]int{0, 2, 2}, tensor.FromSlice([]float32{1, -2, 3, 4, 0, 6}, 3, 2), 5)
+	frames := []message{
+		{tag: "fuse/0/rs", kind: kindF32, f32: []float32{0, 1.5, float32(math.Inf(1)), -3}},
+		{tag: "loss", kind: kindScalar, scalar: -123.456},
+		{tag: "agv/embedding", kind: kindSparse, sparse: sparse},
+		{tag: "ps", kind: kindPS, ps: &PSMsg{
+			Op: PSPullMany, Version: 7,
+			Names: []string{"embedding", "embedding"}, Parts: []int{0, 3},
+		}},
+		{tag: "ps", kind: kindPS, ps: &PSMsg{
+			Op: PSPushDenseMany, Names: []string{"w"}, Parts: []int{1},
+			Dense: []*tensor.Dense{tensor.FromSlice([]float32{9, 8, 7}, 3)},
+		}},
+		{tag: "ps", kind: kindPS, ps: &PSMsg{
+			Op: PSPushSparseMany, Names: []string{"emb"}, Parts: []int{2},
+			Sparse: []*tensor.Sparse{sparse},
+		}},
+		{tag: "ps", kind: kindPS, ps: &PSMsg{Op: PSReply, Err: "psrt: unknown variable", Scalar: 2.5}},
+	}
+	var out [][]byte
+	for _, m := range frames {
+		out = append(out, appendMessage(nil, 3, 5, m))
+	}
+	return out
+}
+
+// FuzzCodecRoundTrip feeds arbitrary bytes to the frame decoder: invalid
+// input must be rejected with an error (never a panic or a huge
+// allocation), and anything that decodes must re-encode and re-decode to
+// the same frame — the canonical round-trip property the TCP fabric
+// relies on.
+func FuzzCodecRoundTrip(f *testing.F) {
+	for _, b := range seedFrames() {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		pool := newBufPool()
+		src, dst, m, err := decodeMessage(b, pool)
+		if err != nil {
+			return // malformed input rejected; that is the contract
+		}
+		re := appendMessage(nil, src, dst, m)
+		src2, dst2, m2, err := decodeMessage(re, pool)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if src2 != src || dst2 != dst {
+			t.Fatalf("addressing changed: (%d,%d) -> (%d,%d)", src, dst, src2, dst2)
+		}
+		if !sameMessage(m, m2) {
+			t.Fatalf("round trip changed frame:\n%+v\nvs\n%+v", m, m2)
+		}
+		// Re-encoding the re-decoded frame must be byte-stable.
+		if !bytes.Equal(re, appendMessage(nil, src2, dst2, m2)) {
+			t.Fatal("encoding not canonical")
+		}
+	})
+}
+
+// sameMessage compares frames by bit pattern (NaNs compare equal to
+// themselves, as the wire preserves them).
+func sameMessage(a, b message) bool {
+	if a.tag != b.tag || a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case kindF32:
+		return sameF32s(a.f32, b.f32)
+	case kindScalar:
+		return math.Float64bits(a.scalar) == math.Float64bits(b.scalar)
+	case kindSparse:
+		return sameSparse(a.sparse, b.sparse)
+	case kindPS:
+		x, y := a.ps, b.ps
+		if x.Op != y.Op || x.Version != y.Version || x.Err != y.Err ||
+			math.Float32bits(x.Scale) != math.Float32bits(y.Scale) ||
+			math.Float64bits(x.Scalar) != math.Float64bits(y.Scalar) ||
+			len(x.Names) != len(y.Names) || len(x.Dense) != len(y.Dense) || len(x.Sparse) != len(y.Sparse) {
+			return false
+		}
+		for i := range x.Names {
+			if x.Names[i] != y.Names[i] || x.Parts[i] != y.Parts[i] {
+				return false
+			}
+		}
+		for i := range x.Dense {
+			if !sameF32s(x.Dense[i].Data(), y.Dense[i].Data()) {
+				return false
+			}
+		}
+		for i := range x.Sparse {
+			if !sameSparse(x.Sparse[i], y.Sparse[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func sameF32s(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSparse(a, b *tensor.Sparse) bool {
+	if a.Dim0 != b.Dim0 || len(a.Rows) != len(b.Rows) || a.RowWidth() != b.RowWidth() {
+		return false
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			return false
+		}
+	}
+	return sameF32s(a.Values.Data(), b.Values.Data())
+}
+
+// TestCodecRejectsTruncation slices every seed frame at every boundary:
+// all prefixes must decode with an error, not a panic.
+func TestCodecRejectsTruncation(t *testing.T) {
+	pool := newBufPool()
+	for _, b := range seedFrames() {
+		if _, _, _, err := decodeMessage(b, pool); err != nil {
+			t.Fatalf("seed frame did not decode: %v", err)
+		}
+		for cut := 0; cut < len(b); cut++ {
+			if _, _, _, err := decodeMessage(b[:cut], pool); err == nil {
+				t.Fatalf("truncated frame (%d of %d bytes) decoded", cut, len(b))
+			}
+		}
+		// Trailing garbage is rejected too: frames are canonical.
+		if _, _, _, err := decodeMessage(append(append([]byte(nil), b...), 0), pool); err == nil {
+			t.Fatal("frame with trailing byte decoded")
+		}
+	}
+}
+
+// TestCodecRejectsOversizedDeclarations forges a frame whose length
+// fields promise far more data than present.
+func TestCodecRejectsOversizedDeclarations(t *testing.T) {
+	pool := newBufPool()
+	// kindF32 header declaring 2^31 floats with an empty body.
+	b := []byte{0, 0, 1, 0, byte(kindF32), 1, 't', 0, 0, 0, 0x80}
+	if _, _, _, err := decodeMessage(b, pool); err == nil {
+		t.Fatal("oversized f32 declaration decoded")
+	}
+	// Sparse frame declaring 2^30 rows.
+	sp := []byte{0, 0, 1, 0, byte(kindSparse), 1, 't',
+		5, 0, 0, 0 /*dim0*/, 2, 0, 0, 0 /*width*/, 0, 0, 0, 0x40 /*nrows*/}
+	if _, _, _, err := decodeMessage(sp, pool); err == nil {
+		t.Fatal("oversized sparse declaration decoded")
+	}
+}

@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"parallax/internal/tensor"
+)
+
+// Inproc is the in-memory channel fabric: one buffered FIFO channel per
+// directed endpoint pair plus a shared recycle pool for float chunk
+// buffers. It is the single-process fast path — no serialization, no
+// extra copies beyond the one pooled-buffer copy the ring algorithms
+// always paid — and the transport every test harness defaults to.
+type Inproc struct {
+	topo  Topology
+	pipes [][]chan message // pipes[src][dst]
+	pool  *bufPool
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// pipeDepth sizes the per-pair channel buffers so the ring algorithms'
+// send-then-receive step pattern cannot deadlock (same constant the
+// collective world used).
+const pipeDepth = 8
+
+// NewInproc creates a channel fabric hosting every endpoint of the
+// topology in this process.
+func NewInproc(topo Topology) *Inproc {
+	if err := topo.Validate(); err != nil {
+		panic(err.Error())
+	}
+	n := topo.Endpoints()
+	f := &Inproc{topo: topo, pool: newBufPool(), closed: make(chan struct{})}
+	f.pipes = make([][]chan message, n)
+	for s := range f.pipes {
+		f.pipes[s] = make([]chan message, n)
+		for d := range f.pipes[s] {
+			f.pipes[s][d] = make(chan message, pipeDepth)
+		}
+	}
+	return f
+}
+
+// Topology returns the fabric's endpoint layout.
+func (f *Inproc) Topology() Topology { return f.topo }
+
+// Local reports true for every endpoint: the whole world lives here.
+func (f *Inproc) Local(rank int) bool { return rank >= 0 && rank < f.topo.Endpoints() }
+
+// Distributed reports false: nothing crosses a process boundary.
+func (f *Inproc) Distributed() bool { return false }
+
+// Stats reports zeros: no bytes ever touch a wire.
+func (f *Inproc) Stats() Stats { return Stats{} }
+
+// Conduit returns endpoint rank's handle.
+func (f *Inproc) Conduit(rank int) Conduit {
+	if rank < 0 || rank >= f.topo.Endpoints() {
+		panic(fmt.Sprintf("transport: endpoint %d out of range [0,%d)", rank, f.topo.Endpoints()))
+	}
+	return inprocConduit{f: f, rank: rank}
+}
+
+// Close releases blocked RecvPS calls. Idempotent.
+func (f *Inproc) Close() error {
+	f.closeOnce.Do(func() { close(f.closed) })
+	return nil
+}
+
+// inprocConduit is one endpoint's handle; it is a value (two words) so
+// handing conduits around allocates nothing.
+type inprocConduit struct {
+	f    *Inproc
+	rank int
+}
+
+func (c inprocConduit) Rank() int { return c.rank }
+
+func (c inprocConduit) send(dst int, m message) {
+	select {
+	case c.f.pipes[c.rank][dst] <- m:
+	case <-c.f.closed:
+		// Shutdown: the peer is gone; drop the message.
+	}
+}
+
+// recv blocks for the next message from src, asserting the rendezvous
+// tag: a mismatch means two endpoints' protocols diverged, which is a
+// bug, so it panics rather than silently reordering. ok is false once
+// the fabric is closed.
+func (c inprocConduit) recv(src int, tag string) (message, bool) {
+	pipe := c.f.pipes[src][c.rank]
+	var m message
+	select {
+	case m = <-pipe: // fast path: message already queued
+	default:
+		select {
+		case m = <-pipe:
+		case <-c.f.closed:
+			return message{}, false
+		}
+	}
+	if m.tag != tag {
+		panic(fmt.Sprintf("transport: endpoint %d expected tag %q from %d, got %q",
+			c.rank, tag, src, m.tag))
+	}
+	return m, true
+}
+
+// mustRecv is recv for the protocol paths that can never outlive the
+// fabric (collective phases); a closed fabric mid-collective is a bug.
+func (c inprocConduit) mustRecv(src int, tag string, k kind) message {
+	m, ok := c.recv(src, tag)
+	if !ok {
+		panic(fmt.Sprintf("transport: endpoint %d recv %q from %d on closed fabric", c.rank, tag, src))
+	}
+	if m.kind != k {
+		panic(fmt.Sprintf("transport: endpoint %d tag %q from %d: kind %d, want %d",
+			c.rank, tag, src, m.kind, k))
+	}
+	return m
+}
+
+func (c inprocConduit) SendF32(dst int, tag string, data []float32) {
+	buf := c.f.pool.get(len(data))
+	copy(buf, data)
+	c.send(dst, message{tag: tag, kind: kindF32, f32: buf})
+}
+
+func (c inprocConduit) RecvF32(src int, tag string) []float32 {
+	return c.mustRecv(src, tag, kindF32).f32
+}
+
+func (c inprocConduit) GetBuf(n int) []float32 { return c.f.pool.get(n) }
+func (c inprocConduit) PutBuf(b []float32)     { c.f.pool.put(b) }
+
+func (c inprocConduit) SendSparse(dst int, tag string, s *tensor.Sparse) {
+	c.send(dst, message{tag: tag, kind: kindSparse, sparse: s})
+}
+
+func (c inprocConduit) RecvSparse(src int, tag string) *tensor.Sparse {
+	return c.mustRecv(src, tag, kindSparse).sparse
+}
+
+func (c inprocConduit) SendScalar(dst int, tag string, v float64) {
+	c.send(dst, message{tag: tag, kind: kindScalar, scalar: v})
+}
+
+func (c inprocConduit) RecvScalar(src int, tag string) float64 {
+	return c.mustRecv(src, tag, kindScalar).scalar
+}
+
+func (c inprocConduit) SendPS(dst int, tag string, m *PSMsg) {
+	c.send(dst, message{tag: tag, kind: kindPS, ps: m})
+}
+
+func (c inprocConduit) RecvPS(src int, tag string) *PSMsg {
+	m, ok := c.recv(src, tag)
+	if !ok {
+		return nil
+	}
+	if m.kind != kindPS {
+		panic(fmt.Sprintf("transport: endpoint %d tag %q from %d: kind %d, want PS",
+			c.rank, tag, src, m.kind))
+	}
+	return m.ps
+}

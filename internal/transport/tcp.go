@@ -1,0 +1,543 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parallax/internal/tensor"
+)
+
+// TCPConfig configures a TCP fabric for one agent process.
+type TCPConfig struct {
+	// Topo is the cluster's endpoint layout; MachineOfWorker must be set
+	// when it spans more than one machine.
+	Topo Topology
+	// Process is the index of the machine this process hosts.
+	Process int
+	// Addrs[i] is process i's listen address ("host:port").
+	Addrs []string
+	// Listener optionally supplies a pre-bound listener for
+	// Addrs[Process] (tests bind ":0" and pass the resolved address to
+	// peers). The fabric takes ownership.
+	Listener net.Listener
+	// DialTimeout bounds the whole rendezvous — dialing lower-indexed
+	// peers and accepting higher-indexed ones. Default 10s.
+	DialTimeout time.Duration
+	// MaxFrame caps one wire frame's payload bytes. Default 1 GiB.
+	MaxFrame int
+}
+
+// handshakeMagic opens every peer connection, followed by the dialer's
+// process index as u16.
+var handshakeMagic = [4]byte{'P', 'X', 'A', '1'}
+
+// TCP is the wire fabric: persistent length-prefixed framed connections,
+// one dialer/listener pair per peer process, reused across steps.
+// Endpoint pairs colocated in this process exchange over the same
+// channel fabric Inproc uses; only cross-process pairs touch a socket.
+//
+// Rendezvous is static: process p dials every peer q < p and accepts
+// from every peer q > p, so each unordered process pair shares exactly
+// one connection. A dedicated reader goroutine per connection drains
+// frames into per-(source, destination, tag) queues, so a peer's send
+// never blocks on this side's consumption order — the property that
+// keeps concurrent large sends from deadlocking on kernel socket
+// buffers.
+//
+// Failure model is fail-stop: a broken connection closes the whole
+// fabric, sends drop, RecvPS returns nil, and collective receives panic
+// rather than hang.
+type TCP struct {
+	topo     Topology
+	proc     int
+	maxFrame int
+	pool     *bufPool
+
+	pipes [][]chan message // local-pair short circuit, nil elsewhere
+	conns []*wireConn      // per peer process, nil for self
+
+	inboxMu sync.Mutex
+	inbox   map[inboxKey]chan message
+
+	sent atomic.Int64
+	recv atomic.Int64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	readers   sync.WaitGroup
+}
+
+type inboxKey struct {
+	src, dst int
+	tag      string
+}
+
+// wireConn is one peer connection: writes are serialized under mu and
+// framed into a reusable scratch buffer, so steady-state sends allocate
+// nothing.
+type wireConn struct {
+	conn net.Conn
+	mu   sync.Mutex
+	buf  []byte
+}
+
+// DialTCP establishes the fabric: it listens for higher-indexed peers,
+// dials lower-indexed ones (retrying until DialTimeout, so agents may
+// start in any order), and returns once every peer connection is up. On
+// failure everything opened so far is torn down and an error returned.
+func DialTCP(cfg TCPConfig) (*TCP, error) {
+	topo := cfg.Topo
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	procs := topo.Processes()
+	if procs > 1 && topo.MachineOfWorker == nil {
+		return nil, fmt.Errorf("transport: TCP fabric over %d machines needs MachineOfWorker", procs)
+	}
+	if cfg.Process < 0 || cfg.Process >= procs {
+		return nil, fmt.Errorf("transport: process %d out of range [0,%d)", cfg.Process, procs)
+	}
+	if len(cfg.Addrs) != procs {
+		return nil, fmt.Errorf("transport: %d addresses for %d processes", len(cfg.Addrs), procs)
+	}
+	timeout := cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	maxFrame := cfg.MaxFrame
+	if maxFrame <= 0 {
+		maxFrame = maxFrameDefault
+	}
+	deadline := time.Now().Add(timeout)
+
+	f := &TCP{
+		topo:     topo,
+		proc:     cfg.Process,
+		maxFrame: maxFrame,
+		pool:     newBufPool(),
+		conns:    make([]*wireConn, procs),
+		inbox:    make(map[inboxKey]chan message),
+		closed:   make(chan struct{}),
+	}
+	n := topo.Endpoints()
+	f.pipes = make([][]chan message, n)
+	for s := 0; s < n; s++ {
+		if !f.Local(s) {
+			continue
+		}
+		f.pipes[s] = make([]chan message, n)
+		for d := 0; d < n; d++ {
+			if f.Local(d) {
+				f.pipes[s][d] = make(chan message, pipeDepth)
+			}
+		}
+	}
+
+	nAccept := procs - 1 - cfg.Process
+	var ln net.Listener
+	if nAccept > 0 {
+		ln = cfg.Listener
+		if ln == nil {
+			var err error
+			if ln, err = net.Listen("tcp", cfg.Addrs[cfg.Process]); err != nil {
+				return nil, err
+			}
+		}
+	} else if cfg.Listener != nil {
+		cfg.Listener.Close()
+	}
+	type acceptRes struct {
+		peer int
+		conn net.Conn
+	}
+	accCh := make(chan acceptRes, nAccept+4)
+	fail := func(err error) (*TCP, error) {
+		if ln != nil {
+			ln.Close() // ends the accept goroutine
+		}
+		for _, wc := range f.conns {
+			if wc != nil {
+				wc.conn.Close()
+			}
+		}
+		for { // close accepted-but-unclaimed connections
+			select {
+			case r := <-accCh:
+				r.conn.Close()
+			default:
+				return nil, err
+			}
+		}
+	}
+
+	if nAccept > 0 {
+		// Accept until the listener closes (success path closes it once
+		// all peers are connected; the fail path closes it on error), not
+		// until nAccept good handshakes: a duplicate connection from a
+		// restarted peer must not eat a genuine peer's slot.
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return // listener closed; a premature break surfaces as a timeout below
+				}
+				peer, err := readHandshake(conn)
+				if err != nil || peer <= cfg.Process || peer >= procs {
+					conn.Close() // junk or misrouted connection
+					continue
+				}
+				select {
+				case accCh <- acceptRes{peer: peer, conn: conn}:
+				default:
+					conn.Close() // rendezvous already over
+				}
+			}
+		}()
+	}
+
+	for q := 0; q < cfg.Process; q++ {
+		conn, err := dialRetry(cfg.Addrs[q], deadline)
+		if err != nil {
+			return fail(fmt.Errorf("transport: process %d dialing peer %d (%s): %w",
+				cfg.Process, q, cfg.Addrs[q], err))
+		}
+		hs := append(append([]byte(nil), handshakeMagic[:]...), 0, 0)
+		binary.LittleEndian.PutUint16(hs[4:], uint16(cfg.Process))
+		if _, err := conn.Write(hs); err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("transport: handshake to peer %d: %w", q, err))
+		}
+		f.conns[q] = &wireConn{conn: conn}
+	}
+	for got := 0; got < nAccept; {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return fail(fmt.Errorf("transport: process %d timed out waiting for %d peer(s)",
+				cfg.Process, nAccept-got))
+		}
+		select {
+		case r := <-accCh:
+			if f.conns[r.peer] != nil {
+				r.conn.Close() // duplicate from a retrying peer
+				continue
+			}
+			f.conns[r.peer] = &wireConn{conn: r.conn}
+			got++
+		case <-time.After(wait):
+			return fail(fmt.Errorf("transport: process %d timed out waiting for %d peer(s)",
+				cfg.Process, nAccept-got))
+		}
+	}
+	if ln != nil {
+		ln.Close() // all peers connected; membership is static
+	}
+	for peer, wc := range f.conns {
+		if wc == nil {
+			continue
+		}
+		f.readers.Add(1)
+		go f.reader(peer, wc.conn)
+	}
+	return f, nil
+}
+
+func readHandshake(conn net.Conn) (int, error) {
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	defer conn.SetReadDeadline(time.Time{})
+	var hs [6]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		return 0, err
+	}
+	if [4]byte(hs[:4]) != handshakeMagic {
+		return 0, fmt.Errorf("transport: bad handshake magic")
+	}
+	return int(binary.LittleEndian.Uint16(hs[4:])), nil
+}
+
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	for {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil, fmt.Errorf("dial timed out")
+		}
+		if wait > time.Second {
+			wait = time.Second
+		}
+		conn, err := net.DialTimeout("tcp", addr, wait)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Topology returns the fabric's endpoint layout.
+func (f *TCP) Topology() Topology { return f.topo }
+
+// Local reports whether an endpoint is hosted by this process.
+func (f *TCP) Local(rank int) bool {
+	return rank >= 0 && rank < f.topo.Endpoints() && f.topo.ProcessOf(rank) == f.proc
+}
+
+// Distributed reports whether the fabric spans processes.
+func (f *TCP) Distributed() bool { return f.topo.Processes() > 1 }
+
+// Stats returns the framed socket bytes moved so far.
+func (f *TCP) Stats() Stats {
+	return Stats{SentBytes: f.sent.Load(), RecvBytes: f.recv.Load()}
+}
+
+// Conduit returns the handle for a local endpoint.
+func (f *TCP) Conduit(rank int) Conduit {
+	if !f.Local(rank) {
+		panic(fmt.Sprintf("transport: endpoint %d is not hosted by process %d", rank, f.proc))
+	}
+	return tcpConduit{f: f, rank: rank}
+}
+
+// Close tears the fabric down and waits for its reader goroutines.
+// Idempotent; safe to call concurrently.
+func (f *TCP) Close() error {
+	f.shutdown()
+	f.readers.Wait()
+	return nil
+}
+
+// shutdown is Close minus the reader wait, so a reader detecting a
+// broken connection can trigger teardown without deadlocking on itself.
+func (f *TCP) shutdown() {
+	f.closeOnce.Do(func() {
+		close(f.closed)
+		for _, wc := range f.conns {
+			if wc != nil {
+				wc.conn.Close()
+			}
+		}
+	})
+}
+
+// reader drains one peer connection into the per-(src, dst, tag) inbox
+// queues. Any read or decode error is fail-stop: the whole fabric shuts
+// down so blocked receivers fail fast instead of hanging.
+func (f *TCP) reader(peer int, conn net.Conn) {
+	defer f.readers.Done()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var lenBuf [4]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			f.shutdown()
+			return
+		}
+		n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if n > f.maxFrame {
+			f.shutdown()
+			return
+		}
+		if cap(payload) < n {
+			payload = make([]byte, n)
+		}
+		if _, err := io.ReadFull(br, payload[:n]); err != nil {
+			f.shutdown()
+			return
+		}
+		src, dst, m, err := decodeMessage(payload[:n], f.pool)
+		if err != nil || !f.Local(dst) || f.topo.ProcessOf(src) != peer {
+			f.shutdown()
+			return
+		}
+		f.recv.Add(int64(4 + n))
+		select {
+		case f.queue(src, dst, m.tag) <- m:
+		case <-f.closed:
+			return
+		}
+	}
+}
+
+// queue returns the inbox channel for a (src, dst, tag) stream, creating
+// it on first use (either side — reader or receiver — may get there
+// first).
+func (f *TCP) queue(src, dst int, tag string) chan message {
+	key := inboxKey{src: src, dst: dst, tag: tag}
+	f.inboxMu.Lock()
+	q := f.inbox[key]
+	if q == nil {
+		q = make(chan message, 64)
+		f.inbox[key] = q
+	}
+	f.inboxMu.Unlock()
+	return q
+}
+
+// sendWire frames and writes one datagram to dst's process. The frame is
+// built in the connection's reusable scratch buffer and written with one
+// syscall; tensor data is copied exactly once, from the caller's view
+// into the frame.
+func (f *TCP) sendWire(src, dst int, m message) {
+	wc := f.conns[f.topo.ProcessOf(dst)]
+	wc.mu.Lock()
+	wc.buf = append(wc.buf[:0], 0, 0, 0, 0)
+	wc.buf = appendMessage(wc.buf, src, dst, m)
+	binary.LittleEndian.PutUint32(wc.buf[:4], uint32(len(wc.buf)-4))
+	n := len(wc.buf)
+	_, err := wc.conn.Write(wc.buf)
+	wc.mu.Unlock()
+	if err != nil {
+		select {
+		case <-f.closed:
+			return // orderly shutdown: drop
+		default:
+			f.shutdown()
+			panic(fmt.Sprintf("transport: endpoint %d send tag %q to %d: %v", src, m.tag, dst, err))
+		}
+	}
+	f.sent.Add(int64(n))
+}
+
+// tcpConduit is one endpoint's handle on a TCP fabric.
+type tcpConduit struct {
+	f    *TCP
+	rank int
+}
+
+func (c tcpConduit) Rank() int { return c.rank }
+
+func (c tcpConduit) sendLocal(dst int, m message) {
+	select {
+	case c.f.pipes[c.rank][dst] <- m:
+	case <-c.f.closed:
+	}
+}
+
+// recvLocal mirrors the inproc fabric's tag-asserting receive.
+func (c tcpConduit) recvLocal(src int, tag string) (message, bool) {
+	pipe := c.f.pipes[src][c.rank]
+	var m message
+	select {
+	case m = <-pipe:
+	default:
+		select {
+		case m = <-pipe:
+		case <-c.f.closed:
+			return message{}, false
+		}
+	}
+	if m.tag != tag {
+		panic(fmt.Sprintf("transport: endpoint %d expected tag %q from %d, got %q",
+			c.rank, tag, src, m.tag))
+	}
+	return m, true
+}
+
+func (c tcpConduit) recvWire(src int, tag string) (message, bool) {
+	q := c.f.queue(src, c.rank, tag)
+	var m message
+	select {
+	case m = <-q:
+	default:
+		select {
+		case m = <-q:
+		case <-c.f.closed:
+			return message{}, false
+		}
+	}
+	return m, true
+}
+
+func (c tcpConduit) recvKind(src int, tag string, k kind) message {
+	var m message
+	var ok bool
+	if c.f.Local(src) {
+		m, ok = c.recvLocal(src, tag)
+	} else {
+		m, ok = c.recvWire(src, tag)
+	}
+	if !ok {
+		panic(fmt.Sprintf("transport: endpoint %d recv %q from %d on closed fabric", c.rank, tag, src))
+	}
+	if m.kind != k {
+		panic(fmt.Sprintf("transport: endpoint %d tag %q from %d: kind %d, want %d",
+			c.rank, tag, src, m.kind, k))
+	}
+	return m
+}
+
+func (c tcpConduit) SendF32(dst int, tag string, data []float32) {
+	if c.f.Local(dst) {
+		buf := c.f.pool.get(len(data))
+		copy(buf, data)
+		c.sendLocal(dst, message{tag: tag, kind: kindF32, f32: buf})
+		return
+	}
+	// Cross-process: serialize straight from the caller's view.
+	c.f.sendWire(c.rank, dst, message{tag: tag, kind: kindF32, f32: data})
+}
+
+func (c tcpConduit) RecvF32(src int, tag string) []float32 {
+	return c.recvKind(src, tag, kindF32).f32
+}
+
+func (c tcpConduit) GetBuf(n int) []float32 { return c.f.pool.get(n) }
+func (c tcpConduit) PutBuf(b []float32)     { c.f.pool.put(b) }
+
+func (c tcpConduit) SendSparse(dst int, tag string, s *tensor.Sparse) {
+	if c.f.Local(dst) {
+		c.sendLocal(dst, message{tag: tag, kind: kindSparse, sparse: s})
+		return
+	}
+	c.f.sendWire(c.rank, dst, message{tag: tag, kind: kindSparse, sparse: s})
+}
+
+func (c tcpConduit) RecvSparse(src int, tag string) *tensor.Sparse {
+	return c.recvKind(src, tag, kindSparse).sparse
+}
+
+func (c tcpConduit) SendScalar(dst int, tag string, v float64) {
+	m := message{tag: tag, kind: kindScalar, scalar: v}
+	if c.f.Local(dst) {
+		c.sendLocal(dst, m)
+		return
+	}
+	c.f.sendWire(c.rank, dst, m)
+}
+
+func (c tcpConduit) RecvScalar(src int, tag string) float64 {
+	return c.recvKind(src, tag, kindScalar).scalar
+}
+
+func (c tcpConduit) SendPS(dst int, tag string, m *PSMsg) {
+	msg := message{tag: tag, kind: kindPS, ps: m}
+	if c.f.Local(dst) {
+		c.sendLocal(dst, msg)
+		return
+	}
+	c.f.sendWire(c.rank, dst, msg)
+}
+
+func (c tcpConduit) RecvPS(src int, tag string) *PSMsg {
+	var m message
+	var ok bool
+	if c.f.Local(src) {
+		m, ok = c.recvLocal(src, tag)
+	} else {
+		m, ok = c.recvWire(src, tag)
+	}
+	if !ok {
+		return nil
+	}
+	if m.kind != kindPS {
+		panic(fmt.Sprintf("transport: endpoint %d tag %q from %d: kind %d, want PS",
+			c.rank, tag, src, m.kind))
+	}
+	return m.ps
+}

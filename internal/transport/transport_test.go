@@ -1,0 +1,156 @@
+package transport
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"parallax/internal/tensor"
+)
+
+func TestTopology(t *testing.T) {
+	topo := Topology{Workers: 4, Machines: 2, MachineOfWorker: []int{0, 0, 1, 1}}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Endpoints() != 6 || topo.ServerEndpoint(1) != 5 || topo.Processes() != 2 {
+		t.Fatalf("layout: endpoints=%d server1=%d procs=%d", topo.Endpoints(), topo.ServerEndpoint(1), topo.Processes())
+	}
+	for rank, want := range []int{0, 0, 1, 1, 0, 1} {
+		if got := topo.ProcessOf(rank); got != want {
+			t.Errorf("ProcessOf(%d) = %d, want %d", rank, got, want)
+		}
+	}
+	if err := (Topology{Workers: 0}).Validate(); err == nil {
+		t.Error("zero workers validated")
+	}
+	if err := (Topology{Workers: 2, Machines: 2, MachineOfWorker: []int{0}}).Validate(); err == nil {
+		t.Error("short MachineOfWorker validated")
+	}
+	if err := (Topology{Workers: 2, Machines: 2, MachineOfWorker: []int{0, 5}}).Validate(); err == nil {
+		t.Error("out-of-range machine validated")
+	}
+}
+
+// exchangeAll drives every message kind across a pair of conduits and
+// verifies payloads; shared by the inproc and TCP fabric tests so both
+// implementations pin the same contract.
+func exchangeAll(t *testing.T, a, b Conduit) {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		data := []float32{1.5, -2.25, float32(math.Pi)}
+		a.SendF32(b.Rank(), "f32", data)
+		a.SendScalar(b.Rank(), "sc", 42.125)
+		sp := tensor.NewSparse([]int{3, 1, 3}, tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 3, 2), 7)
+		a.SendSparse(b.Rank(), "sp", sp)
+		a.SendPS(b.Rank(), "ps", &PSMsg{
+			Op: PSPushDenseMany, Version: 9, Scale: 0.5,
+			Names: []string{"v"}, Parts: []int{2},
+			Dense: []*tensor.Dense{tensor.FromSlice([]float32{7, 8}, 2)},
+		})
+		// Reply flows the other way on the same tag.
+		if rep := a.RecvPS(b.Rank(), "ps"); rep == nil || rep.Err != "boom" {
+			t.Errorf("reply = %+v", rep)
+		}
+	}()
+
+	f := b.RecvF32(a.Rank(), "f32")
+	if len(f) != 3 || f[0] != 1.5 || f[1] != -2.25 {
+		t.Fatalf("f32 payload %v", f)
+	}
+	b.PutBuf(f)
+	if v := b.RecvScalar(a.Rank(), "sc"); v != 42.125 {
+		t.Fatalf("scalar %v", v)
+	}
+	sp := b.RecvSparse(a.Rank(), "sp")
+	if sp.Dim0 != 7 || len(sp.Rows) != 3 || sp.Rows[2] != 3 || sp.Values.At(1, 1) != 4 {
+		t.Fatalf("sparse payload %+v", sp)
+	}
+	req := b.RecvPS(a.Rank(), "ps")
+	if req == nil || req.Op != PSPushDenseMany || req.Version != 9 || req.Scale != 0.5 {
+		t.Fatalf("ps req %+v", req)
+	}
+	if len(req.Dense) != 1 || req.Dense[0].Data()[1] != 8 || req.Names[0] != "v" || req.Parts[0] != 2 {
+		t.Fatalf("ps req payload %+v", req)
+	}
+	b.SendPS(a.Rank(), "ps", &PSMsg{Op: PSReply, Err: "boom"})
+	wg.Wait()
+}
+
+func TestInprocExchange(t *testing.T) {
+	f := NewInproc(WorkersOnly(2))
+	defer f.Close()
+	if f.Distributed() || !f.Local(1) {
+		t.Fatal("inproc locality")
+	}
+	exchangeAll(t, f.Conduit(0), f.Conduit(1))
+	if s := f.Stats(); s.SentBytes != 0 || s.RecvBytes != 0 {
+		t.Errorf("inproc wire stats %+v, want zeros", s)
+	}
+}
+
+func TestInprocSendBorrowsData(t *testing.T) {
+	f := NewInproc(WorkersOnly(2))
+	defer f.Close()
+	a, b := f.Conduit(0), f.Conduit(1)
+	data := []float32{1, 2, 3}
+	a.SendF32(1, "t", data)
+	data[0] = 99 // caller may reuse immediately; the fabric copied
+	got := b.RecvF32(0, "t")
+	if got[0] != 1 {
+		t.Fatalf("send aliased caller buffer: %v", got)
+	}
+	b.PutBuf(got)
+}
+
+func TestInprocTagMismatchPanics(t *testing.T) {
+	f := NewInproc(WorkersOnly(2))
+	defer f.Close()
+	f.Conduit(0).SendScalar(1, "a", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on tag mismatch")
+		}
+	}()
+	f.Conduit(1).RecvScalar(0, "b")
+}
+
+func TestInprocCloseReleasesRecvPS(t *testing.T) {
+	f := NewInproc(WorkersOnly(2))
+	done := make(chan *PSMsg, 1)
+	go func() { done <- f.Conduit(0).RecvPS(1, "ps") }()
+	time.Sleep(10 * time.Millisecond)
+	f.Close()
+	f.Close() // idempotent
+	select {
+	case m := <-done:
+		if m != nil {
+			t.Fatalf("closed RecvPS returned %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RecvPS did not unblock on Close")
+	}
+}
+
+// waitGoroutines polls until the goroutine count settles back to at most
+// base+slack, failing the test otherwise.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d before", n, base)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

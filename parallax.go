@@ -47,6 +47,8 @@
 package parallax
 
 import (
+	"time"
+
 	"parallax/internal/cluster"
 	"parallax/internal/core"
 	"parallax/internal/data"
@@ -198,6 +200,31 @@ type Config struct {
 	// Async switches PS variables to asynchronous updates (§2.1 —
 	// supported, though the paper's evaluation uses synchronous training).
 	Async bool
+	// Dist runs this process as one agent of a multi-process cluster over
+	// transport.TCP: it hosts one machine's workers and parameter server
+	// and exchanges gradients with peer agents over persistent framed
+	// connections. nil (the default) runs the whole cluster in-process
+	// over the channel fabric. See DistConfig for the contract.
+	Dist *DistConfig
+}
+
+// DistConfig places one agent process inside a multi-machine cluster.
+// Every agent must be built from the identical graph, resources, and
+// Config (deterministic initializers, same seeds): the plan is
+// recomputed per agent and must agree. AR-managed variables are
+// broadcast from worker 0 at startup, so replicas begin bit-identical;
+// each agent's RunLoop must also draw from identically seeded datasets,
+// which keeps shard alignment without any data traffic.
+type DistConfig struct {
+	// Machine is the index of the cluster machine this process hosts
+	// (its GPUs' workers and its parameter server).
+	Machine int
+	// Addrs[i] is machine i's agent address ("host:port"); must list one
+	// address per machine of the ResourceInfo.
+	Addrs []string
+	// DialTimeout bounds the whole peer rendezvous (agents may start in
+	// any order and retry dials until then). Default 10s.
+	DialTimeout time.Duration
 }
 
 // MeasureAlpha estimates the α a dataset induces on a vocabulary of the

@@ -74,6 +74,23 @@ func TestDescribeShowsHybridSplit(t *testing.T) {
 	if !strings.Contains(d, "proj") || !strings.Contains(d, "allreduce") {
 		t.Errorf("Describe missing AR route:\n%s", d)
 	}
+	if !strings.Contains(d, "transport: inproc") {
+		t.Errorf("Describe missing transport line:\n%s", d)
+	}
+}
+
+func TestRunnerCloseIdempotent(t *testing.T) {
+	g := buildAPIModel(8, 120)
+	runner, err := GetRunner(g, Uniform(2, 2), Config{SparsePartitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := data.NewZipfText(120, 8, 1, 1.0, 5)
+	if _, err := runner.RunLoop(ds, 2); err != nil {
+		t.Fatal(err)
+	}
+	runner.Close()
+	runner.Close() // second Close must be a no-op, not a panic
 }
 
 func TestAutomaticPartitionSearch(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"parallax/internal/models"
 	"parallax/internal/partition"
 	"parallax/internal/transform"
+	"parallax/internal/transport"
 )
 
 // Runner executes synchronous data-parallel training steps for a
@@ -24,6 +25,7 @@ type Runner struct {
 	plan    *core.Plan
 	workers int
 	parts   int
+	dist    *DistConfig
 }
 
 // GetRunner analyzes the single-GPU graph, builds the sparsity-aware plan
@@ -58,6 +60,22 @@ func GetRunner(g *Graph, resource ResourceInfo, cfg Config) (*Runner, error) {
 	}
 	localAgg := !cfg.DisableLocalAggregation &&
 		(arch == core.ArchHybrid || arch == core.ArchOptPS)
+	var fab transport.Fabric
+	if cfg.Dist != nil {
+		fab, err = transport.DialTCP(transport.TCPConfig{
+			Topo: transport.Topology{
+				Workers:         resource.TotalGPUs(),
+				Machines:        resource.NumMachines(),
+				MachineOfWorker: resource.WorkerMachines(),
+			},
+			Process:     cfg.Dist.Machine,
+			Addrs:       cfg.Dist.Addrs,
+			DialTimeout: cfg.Dist.DialTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	tr, err := transform.New(g, transform.Options{
 		Plan:             plan,
 		Resource:         resource,
@@ -68,11 +86,12 @@ func GetRunner(g *Graph, resource ResourceInfo, cfg Config) (*Runner, error) {
 		ClipNorm:         cfg.ClipNorm,
 		Async:            cfg.Async,
 		FusionBytes:      cfg.FusionBytes,
+		Fabric:           fab,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{g: g, trainer: tr, plan: plan, workers: resource.TotalGPUs(), parts: parts}, nil
+	return &Runner{g: g, trainer: tr, plan: plan, workers: resource.TotalGPUs(), parts: parts, dist: cfg.Dist}, nil
 }
 
 // planVars converts graph variables to planner inputs using the α hints.
@@ -221,14 +240,17 @@ func (r *Runner) RunLoopFeeds(next func(step, worker int) (Feed, error), steps i
 			return stats, err
 		}
 		ph := r.trainer.PhaseStatsLastStep()
+		wireSent, wireRecv := r.trainer.WireStatsLastStep()
 		st := StepStats{
-			Step:        s,
-			Loss:        loss,
-			StepTime:    time.Since(start),
-			BytesPushed: r.trainer.BytesPushedLastStep(),
-			ComputeTime: ph.Compute,
-			CommTime:    ph.Comm,
-			SyncWait:    ph.SyncWait,
+			Step:          s,
+			Loss:          loss,
+			StepTime:      time.Since(start),
+			BytesPushed:   r.trainer.BytesPushedLastStep(),
+			WireSentBytes: wireSent,
+			WireRecvBytes: wireRecv,
+			ComputeTime:   ph.Compute,
+			CommTime:      ph.Comm,
+			SyncWait:      ph.SyncWait,
 		}
 		stats.Observe(st)
 		for _, h := range hooks {
@@ -260,8 +282,14 @@ func (r *Runner) PhaseStatsLastStep() PhaseStats { return r.trainer.PhaseStatsLa
 // not be used afterwards; Close is idempotent.
 func (r *Runner) Close() { r.trainer.Close() }
 
-// Workers returns the number of model replicas (total GPUs).
+// Workers returns the number of model replicas (total GPUs) across the
+// whole cluster.
 func (r *Runner) Workers() int { return r.workers }
+
+// LocalWorkers returns the global ranks this process hosts — all workers
+// in single-process mode, one machine's share under Config.Dist. The
+// returned slice must not be mutated.
+func (r *Runner) LocalWorkers() []int { return r.trainer.LocalWorkers() }
 
 // SparsePartitions returns the partition count in effect (searched or
 // configured).
@@ -273,9 +301,16 @@ func (r *Runner) VarValue(name string) (*Dense, error) {
 	return r.trainer.VarValue(name)
 }
 
-// Describe summarizes the plan: how each variable is synchronized.
+// Describe summarizes the plan: how each variable is synchronized and
+// which transport the job runs over.
 func (r *Runner) Describe() string {
 	s := fmt.Sprintf("parallax: %d workers, %s architecture\n", r.workers, r.plan.Arch)
+	if r.dist != nil {
+		s += fmt.Sprintf("transport: tcp, agent for machine %d of %d (inproc within the agent)\n",
+			r.dist.Machine, len(r.dist.Addrs))
+	} else {
+		s += "transport: inproc (single process)\n"
+	}
 	for _, a := range r.plan.Assignments {
 		extra := ""
 		if a.Method == core.MethodPS && a.Partitions > 1 {
