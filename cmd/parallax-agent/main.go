@@ -43,6 +43,8 @@ func main() {
 	clip := flag.Float64("clip", 0, "global-norm clip (0 = off)")
 	lr := flag.Float64("lr", 0.5, "learning rate")
 	partitions := flag.Int("partitions", 8, "sparse partitions (fixed so every agent plans identically)")
+	autoPartition := flag.Bool("auto-partition", false,
+		"tune the partition count online during the first steps (overrides -partitions; agents agree on every measurement, so they reshard in lockstep)")
 	dialTimeout := flag.Duration("dial-timeout", 15*time.Second, "peer rendezvous timeout")
 	flag.Parse()
 
@@ -84,10 +86,15 @@ func main() {
 	g.SoftmaxCE(g.MatMul(h, w2), labels)
 
 	resources := parallax.Uniform(n, *gpus)
+	fixedParts := *partitions
+	if *autoPartition {
+		fixedParts = 0 // let the online search pick
+	}
 	runner, err := parallax.GetRunner(g, resources, parallax.Config{
 		Arch:             arch,
 		NewOptimizer:     func() parallax.Optimizer { return parallax.NewSGD(float32(*lr)) },
-		SparsePartitions: *partitions,
+		SparsePartitions: fixedParts,
+		AutoPartition:    *autoPartition,
 		ClipNorm:         *clip,
 		Dist:             dist,
 	})
@@ -113,7 +120,15 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n%s\n", stats)
+	if *autoPartition {
+		// The settled decision: which P the online search chose, from
+		// which sampled bracket, and where the rows now live.
+		fmt.Print(runner.PartitionDecision())
+		fmt.Print(runner.ShardMap())
+	}
 	// The bit pattern is the cross-process equivalence check: a TCP run's
-	// final loss must equal the in-process reference exactly.
+	// final loss must equal the in-process reference exactly — with
+	// -auto-partition too, because resharding is lossless: the trajectory
+	// does not depend on the partition counts the probes visited.
 	fmt.Printf("final loss bits=%016x loss=%.17g\n", math.Float64bits(stats.LastLoss), stats.LastLoss)
 }

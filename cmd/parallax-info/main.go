@@ -1,11 +1,16 @@
 // Command parallax-info inspects the paper models and the sparsity-aware
 // plan: per-variable sizes, α values, Table 3's network-transfer formulas
-// evaluated for the configured cluster, and the hybrid plan each model
-// gets.
+// evaluated for the configured cluster, the §3.2 partition decision
+// (searched or fixed, with the sampled points and the fitted cost-model
+// θ), and the per-route shard map of the hybrid plan each model gets.
 //
 // Usage:
 //
 //	parallax-info [-model all|resnet50|inception|lm|nmt] [-machines 8] [-gpus 6] [-partitions 128]
+//
+// With -partitions 0 (the default) the §3.2 sampling search runs over
+// the simulated cluster and the full decision is printed; a positive
+// -partitions fixes the count instead.
 package main
 
 import (
@@ -19,13 +24,14 @@ import (
 	"parallax/internal/engine"
 	"parallax/internal/metrics"
 	"parallax/internal/models"
+	"parallax/internal/partition"
 )
 
 func main() {
 	model := flag.String("model", "all", "model: all|resnet50|inception|lm|nmt")
 	machines := flag.Int("machines", 8, "machines")
 	gpus := flag.Int("gpus", 6, "GPUs per machine")
-	partitions := flag.Int("partitions", 0, "sparse partitions (0 = paper's best)")
+	partitions := flag.Int("partitions", 0, "sparse partitions (0 = run the §3.2 search on the simulated cluster)")
 	flag.Parse()
 
 	specs := map[string]*models.Spec{
@@ -45,23 +51,51 @@ func main() {
 	hw := cluster.DefaultHardware()
 	for _, name := range order {
 		spec := specs[name]
-		p := *partitions
-		if p <= 0 {
-			if spec.Name == "LM" {
-				p = 128
-			} else if spec.Name == "NMT" {
-				p = 64
-			} else {
-				p = 1
-			}
-		}
 		fmt.Printf("== %s ==\n", spec.Name)
 		fmt.Printf("dense %.1fM elements, sparse %.1fM elements, alpha_model %.3f\n",
 			float64(spec.DenseElements())/1e6, float64(spec.SparseElements())/1e6, spec.AlphaModel())
 		fmt.Printf("batch/GPU %d, step compute %.0f ms\n\n",
 			spec.BatchPerGPU, (spec.FwdTime+spec.BwdTime)*1000)
 
-		plan, err := core.BuildPlan(engine.PlanVars(spec), core.Options{
+		// Partition decision: fixed by flag, or the §3.2 sampling search
+		// with the discrete-event engine standing in for the real cluster
+		// (the live runtime's Config.AutoPartition runs the same search
+		// against measured steps).
+		planVars := engine.PlanVars(spec)
+		p := *partitions
+		var searched *partition.SearchResult
+		if p <= 0 {
+			maxRows, hasTarget := 1, false
+			for _, v := range planVars {
+				if v.PartitionTarget {
+					hasTarget = true
+					if int(v.Rows) > maxRows {
+						maxRows = int(v.Rows)
+					}
+				}
+			}
+			p = 1
+			if hasTarget {
+				res, err := partition.Search(func(cand int) float64 {
+					r, err := engine.RunArch(spec, core.ArchHybrid, *machines, *gpus, cand, hw)
+					if err != nil {
+						return 1e9
+					}
+					return r.StepTime
+				}, *machines, partition.Bound(maxRows))
+				if err == nil && res.BestP >= 1 {
+					p = res.BestP
+					searched = &res
+				}
+			}
+		}
+		if searched != nil {
+			fmt.Print(metrics.FormatPartitionDecision("simulated", p, searched))
+		} else {
+			fmt.Print(metrics.FormatPartitionDecision("fixed", p, nil))
+		}
+
+		plan, err := core.BuildPlan(planVars, core.Options{
 			Arch: core.ArchHybrid, NumMachines: *machines,
 			SparsePartitions: p, SmartPlacement: true,
 		})
@@ -115,6 +149,8 @@ func main() {
 			fmt.Printf("%-24s %-7s %-10.4f %-12s %-14s %-22s\n",
 				v.Name, kind, v.Alpha, method, wire, metrics.HumanBytes(formula))
 		}
+
+		fmt.Printf("\n%s", metrics.FormatShardMap(metrics.ShardRoutes(plan.Assignments)))
 
 		res, err := engine.RunArch(spec, core.ArchHybrid, *machines, *gpus, p, hw)
 		if err != nil {

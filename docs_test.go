@@ -1,0 +1,56 @@
+package parallax
+
+// Markdown link checker over the documentation suite: every relative
+// link in the tracked markdown files must resolve to a file or
+// directory in the repository, so README/DESIGN/docs refactors cannot
+// silently strand readers. External (scheme-prefixed) links and pure
+// intra-document anchors are skipped. CI runs this test explicitly as
+// the docs gate.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the markdown documents the suite guards. Listing them
+// explicitly (rather than globbing) keeps generated or scratch markdown
+// out of the gate and makes a missing document itself a failure.
+var docFiles = []string{
+	"README.md",
+	"DESIGN.md",
+	"docs/OPERATIONS.md",
+	"internal/README.md",
+	"ROADMAP.md",
+	"PAPER.md",
+}
+
+// mdLink matches inline markdown links [text](target); images and
+// reference-style definitions are out of scope for this suite.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestMarkdownLinks(t *testing.T) {
+	for _, doc := range docFiles {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("documentation file missing: %v", err)
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // intra-document anchor
+			}
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", doc, m[1], resolved)
+			}
+		}
+	}
+}

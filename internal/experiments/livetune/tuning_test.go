@@ -1,0 +1,39 @@
+package livetune
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOnlinePartitionTuning(t *testing.T) {
+	tc := DefaultTuningConfig()
+	tc.Vocab, tc.Steps, tc.WarmupSteps = 400, 26, 18 // keep the live runs quick
+	res, tbl, err := OnlinePartitionTuning(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaticP != tc.Machines {
+		t.Errorf("static run at P=%d, want the machine count %d", res.StaticP, tc.Machines)
+	}
+	if res.TunedP < 1 || res.Runs < 1 || res.Runs > 5 {
+		t.Errorf("tuned decision P=%d after %d runs, want P>=1 within the 5-run budget", res.TunedP, res.Runs)
+	}
+	if res.StaticTotal.Steps != tc.Steps || res.TunedTotal.Steps != tc.Steps {
+		t.Errorf("step accounting: static %d, tuned %d, want %d",
+			res.StaticTotal.Steps, res.TunedTotal.Steps, tc.Steps)
+	}
+	// Resharding is lossless: same workload, same step count, same final
+	// loss bits regardless of which partition counts the probes visited.
+	if res.FinalLossStatic != res.FinalLossTuned {
+		t.Errorf("final losses diverged: static %v, tuned %v", res.FinalLossStatic, res.FinalLossTuned)
+	}
+	if res.StaticStepsPerSec <= 0 || res.TunedStepsPerSec <= 0 {
+		t.Errorf("throughputs missing: static %v, tuned %v", res.StaticStepsPerSec, res.TunedStepsPerSec)
+	}
+	out := tbl.String()
+	for _, want := range []string{"online partition tuning", "auto-tuned", "static default"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

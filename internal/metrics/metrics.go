@@ -1,7 +1,11 @@
-// Package metrics provides measurement helpers and plain-text table
-// rendering for the experiment harness: humanized throughput numbers
-// (the paper reports "98.9k words/sec"), scaling efficiency (§1 footnote
-// 1), and aligned paper-vs-measured tables.
+// Package metrics provides the measurement and reporting layer shared
+// by the experiment harness and the live runtime: humanized throughput
+// numbers (the paper reports "98.9k words/sec"), scaling efficiency (§1
+// footnote 1), aligned paper-vs-measured tables, the per-step
+// StepStats / per-loop LoopStats the persistent runtime emits (loss,
+// step time, pushed and wire bytes, compute/comm/sync-wait phases,
+// overlap fraction), and the shard-map / partition-decision renderers
+// the runner and parallax-info print.
 package metrics
 
 import (

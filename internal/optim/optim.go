@@ -9,6 +9,7 @@ package optim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"parallax/internal/graph"
 	"parallax/internal/tensor"
@@ -23,6 +24,30 @@ type Optimizer interface {
 	// ApplySparse performs an in-place update of v with sparse gradient g,
 	// touching only the referenced rows.
 	ApplySparse(name string, v *tensor.Dense, g *tensor.Sparse)
+}
+
+// SlotState is implemented by optimizers that keep per-key slot state
+// (momentum velocity, Adam moments). The parameter-server runtime uses it
+// to migrate accumulated state when a variable's partitioning changes at
+// runtime (live resharding, DESIGN.md §9): the state of the old partition
+// keys is exported row-by-row, reassembled, and imported under the new
+// keys, so a resharded run continues bit-identically.
+//
+// Stateless optimizers (SGD) simply do not implement the interface; the
+// migration then moves variable values only.
+type SlotState interface {
+	// Slots names the per-key state slots in a fixed order ("velocity").
+	Slots() []string
+	// SlotValue returns the live state tensor for (slot, key), nil if the
+	// key has never been updated. The caller must not mutate or retain it
+	// across updates; snapshot paths clone it while the key is quiescent.
+	SlotValue(slot, key string) *tensor.Dense
+	// SetSlot installs state for (slot, key), replacing any existing
+	// tensor. The optimizer takes ownership of v.
+	SetSlot(slot, key string, v *tensor.Dense)
+	// DeleteKey drops all slot state of key (the old partition keys of a
+	// resharded variable).
+	DeleteKey(key string)
 }
 
 // SGD is stateless stochastic gradient descent: v -= lr * g.
@@ -48,7 +73,10 @@ func (s *SGD) ApplySparse(_ string, v *tensor.Dense, g *tensor.Sparse) {
 // touched rows' velocity, the behaviour of TF's sparse momentum apply.
 type Momentum struct {
 	LR, Mu float32
-	vel    map[string]*tensor.Dense
+	mu     sync.Mutex // guards the vel map (keys are updated under the
+	// caller's per-key locks — psrt partition locks — but different keys'
+	// applies run concurrently and must not race on the map itself)
+	vel map[string]*tensor.Dense
 }
 
 // NewMomentum returns a momentum optimizer.
@@ -57,12 +85,38 @@ func NewMomentum(lr, mu float32) *Momentum {
 }
 
 func (m *Momentum) velocity(name string, shape []int) *tensor.Dense {
+	m.mu.Lock()
 	v, ok := m.vel[name]
 	if !ok {
 		v = tensor.NewDense(shape...)
 		m.vel[name] = v
 	}
+	m.mu.Unlock()
 	return v
+}
+
+// Slots implements SlotState: momentum keeps one velocity slot per key.
+func (m *Momentum) Slots() []string { return []string{"velocity"} }
+
+// SlotValue implements SlotState.
+func (m *Momentum) SlotValue(slot, key string) *tensor.Dense {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.vel[key]
+}
+
+// SetSlot implements SlotState.
+func (m *Momentum) SetSlot(slot, key string, v *tensor.Dense) {
+	m.mu.Lock()
+	m.vel[key] = v
+	m.mu.Unlock()
+}
+
+// DeleteKey implements SlotState.
+func (m *Momentum) DeleteKey(key string) {
+	m.mu.Lock()
+	delete(m.vel, key)
+	m.mu.Unlock()
 }
 
 // ApplyDense implements Optimizer.

@@ -13,6 +13,11 @@
 // model's critical point. Because Eq. 1 is convex in P and the critical
 // point is bracketed by the sampled range, no extrapolation happens.
 //
+// The Measure callback decides what "run an iteration" means: the
+// offline search plugs in the discrete-event engine, and the live
+// runtime search (parallax.Config.AutoPartition) plugs in real training
+// steps with live resharding between probes, budget-capped by SearchN.
+//
 // The package also provides the paper's §6.5 baselines: Min (smallest
 // feasible P) and the brute-force search (increase P by 2 until throughput
 // drops >10% from the best seen).
@@ -23,6 +28,25 @@ import (
 	"math"
 	"sort"
 )
+
+// MaxSearchP caps the search's upper bracket regardless of how many
+// rows the largest partition-target variable has, so degenerate graphs
+// cannot explode the candidate space. Both the simulator-backed search
+// and the live runtime search clamp with Bound.
+const MaxSearchP = 2048
+
+// Bound returns the search's upper bracket for a variable of the given
+// row count: the rows themselves (a partition per row is the physical
+// maximum), clamped to MaxSearchP and to at least 1.
+func Bound(maxRows int) int {
+	if maxRows < 1 {
+		return 1
+	}
+	if maxRows > MaxSearchP {
+		return MaxSearchP
+	}
+	return maxRows
+}
 
 // Sample is one measured operating point.
 type Sample struct {
@@ -42,29 +66,37 @@ func (m CostModel) Predict(p float64) float64 {
 
 // CriticalP returns the unconstrained minimizer √(θ1/θ2); it returns
 // (0, false) when the fitted curve has no interior minimum (θ1 or θ2
-// non-positive).
+// not strictly positive — NaN thetas from a degenerate fit land here
+// too, since NaN fails every comparison).
 func (m CostModel) CriticalP() (float64, bool) {
-	if m.Theta1 <= 0 || m.Theta2 <= 0 {
+	if !(m.Theta1 > 0) || !(m.Theta2 > 0) {
 		return 0, false
 	}
 	return math.Sqrt(m.Theta1 / m.Theta2), true
 }
 
 // Fit computes the least-squares fit of Eq. 1 over the samples (mean
-// squared error on iteration time, as in the paper). It needs at least
-// three distinct partition counts.
+// squared error on iteration time, as in the paper). Samples with a
+// non-finite iteration time — failed or budget-skipped measurement runs
+// — are ignored; the fit needs at least three distinct partition counts
+// among the finite ones.
 func Fit(samples []Sample) (CostModel, error) {
 	distinct := map[int]bool{}
 	for _, s := range samples {
-		distinct[s.P] = true
+		if isFinite(s.IterTime) {
+			distinct[s.P] = true
+		}
 	}
 	if len(distinct) < 3 {
-		return CostModel{}, fmt.Errorf("partition: need >= 3 distinct P values, have %d", len(distinct))
+		return CostModel{}, fmt.Errorf("partition: need >= 3 distinct P values with finite times, have %d", len(distinct))
 	}
 	// Normal equations A·θ = b over basis x = (1, 1/P, P).
 	var a [3][3]float64
 	var b [3]float64
 	for _, s := range samples {
+		if !isFinite(s.IterTime) {
+			continue
+		}
 		if s.P <= 0 {
 			return CostModel{}, fmt.Errorf("partition: sample with P=%d", s.P)
 		}
@@ -82,6 +114,9 @@ func Fit(samples []Sample) (CostModel, error) {
 	}
 	return CostModel{Theta0: theta[0], Theta1: theta[1], Theta2: theta[2]}, nil
 }
+
+// isFinite reports whether a measured time is usable for fitting.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // solve3 solves a 3x3 linear system by Gaussian elimination with partial
 // pivoting.
@@ -139,6 +174,16 @@ type SearchResult struct {
 // sample point (the number of machines, §3.2); maxP bounds the search
 // (e.g. the variable's row count).
 func Search(measure Measure, start, maxP int) (SearchResult, error) {
+	return SearchN(measure, start, maxP, 0)
+}
+
+// SearchN is Search with a measurement-run budget: at most maxRuns
+// distinct partition counts are measured (0 means unlimited). The budget
+// is the paper's §6.5 efficiency claim — Parallax settles "within at most
+// 5 runs" — and the live runtime search passes 5, so tuning on the real
+// data plane consumes a bounded number of training steps even when the
+// doubling sweep has room to keep descending.
+func SearchN(measure Measure, start, maxP, maxRuns int) (SearchResult, error) {
 	if start < 1 {
 		start = 1
 	}
@@ -147,6 +192,12 @@ func Search(measure Measure, start, maxP int) (SearchResult, error) {
 	}
 	res := SearchResult{}
 	seen := map[int]float64{}
+	canProbe := func(p int) bool {
+		if _, ok := seen[p]; ok {
+			return true // a cached read, not a new run
+		}
+		return maxRuns <= 0 || res.Runs < maxRuns
+	}
 	probe := func(p int) float64 {
 		if t, ok := seen[p]; ok {
 			return t
@@ -161,7 +212,7 @@ func Search(measure Measure, start, maxP int) (SearchResult, error) {
 	// Double from the start point until iteration time increases.
 	cur := probe(start)
 	p := start
-	for p*2 <= maxP {
+	for p*2 <= maxP && canProbe(p*2) {
 		next := probe(p * 2)
 		p *= 2
 		if next > cur {
@@ -172,7 +223,7 @@ func Search(measure Measure, start, maxP int) (SearchResult, error) {
 	// Halve from the start point until iteration time increases.
 	cur = seen[start]
 	p = start
-	for p/2 >= 1 {
+	for p/2 >= 1 && canProbe(p/2) {
 		next := probe(p / 2)
 		p /= 2
 		if next > cur {
@@ -211,7 +262,7 @@ func Search(measure Measure, start, maxP int) (SearchResult, error) {
 		// whichever sampled point is actually fastest — the fitted curve
 		// can mispredict when the real curve has a knee (e.g. the CPU
 		// parallelism cap) rather than a smooth minimum.
-		if _, sampled := seen[predicted]; !sampled {
+		if canProbe(predicted) {
 			probe(predicted)
 		}
 		res.BestP = argminSample(res.Samples)

@@ -162,3 +162,91 @@ func seedRand(seed int64) func() float64 {
 		return float64(s%1_000_000) / 1_000_000
 	}
 }
+
+// TestSearchDegenerateBrackets covers the bracket edge cases the live
+// runtime search can hit: a maxP too small to double even once, a
+// monotone-increasing curve (the optimum sits below the start point),
+// and a perfectly flat curve (the fit degenerates and the search must
+// keep a sampled point rather than extrapolate).
+func TestSearchDegenerateBrackets(t *testing.T) {
+	t.Run("maxP below 2*start", func(t *testing.T) {
+		// start=4, maxP=6: no doubling possible; the search can only
+		// halve. It must terminate and pick a sampled point in [1, 6].
+		calls := 0
+		res, err := Search(func(p int) float64 {
+			calls++
+			return 1 + float64(p) // increasing: best is the smallest probed
+		}, 4, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BestP < 1 || res.BestP > 6 {
+			t.Fatalf("BestP %d outside [1,6]", res.BestP)
+		}
+		if res.Runs != calls {
+			t.Fatalf("Runs %d, measured %d times", res.Runs, calls)
+		}
+		for _, s := range res.Samples {
+			if s.P > 6 {
+				t.Fatalf("sampled P=%d beyond maxP", s.P)
+			}
+		}
+	})
+
+	t.Run("monotone increasing", func(t *testing.T) {
+		res, err := Search(func(p int) float64 { return float64(p) }, 2, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BestP != 1 {
+			t.Fatalf("BestP %d on a monotone-increasing curve, want 1", res.BestP)
+		}
+	})
+
+	t.Run("flat curve", func(t *testing.T) {
+		// Identical times everywhere: doubling never sees an increase, the
+		// least-squares system is solvable but θ1=θ2=0 (no interior
+		// minimum), and the result must still be a sampled point.
+		res, err := Search(func(p int) float64 { return 0.5 }, 2, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampled := map[int]bool{}
+		for _, s := range res.Samples {
+			sampled[s.P] = true
+		}
+		if !sampled[res.BestP] {
+			t.Fatalf("BestP %d was never sampled", res.BestP)
+		}
+	})
+}
+
+// TestSearchNRespectsBudget pins the ≤5-run contract of the live
+// runtime search: on a long decreasing curve the unbounded search would
+// keep doubling, the budgeted one must stop at maxRuns measurements and
+// still answer from what it saw.
+func TestSearchNRespectsBudget(t *testing.T) {
+	calls := 0
+	res, err := SearchN(func(p int) float64 {
+		calls++
+		return 100 / float64(p) // keeps improving all the way to maxP
+	}, 2, 1<<20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls > 5 || res.Runs > 5 {
+		t.Fatalf("budgeted search ran %d times (Runs=%d)", calls, res.Runs)
+	}
+	if res.BestP < 1 {
+		t.Fatalf("BestP %d", res.BestP)
+	}
+	best := res.Samples[0]
+	for _, s := range res.Samples[1:] {
+		if s.IterTime < best.IterTime {
+			best = s
+		}
+	}
+	if res.BestP != best.P {
+		t.Fatalf("BestP %d is not the best sampled point %d", res.BestP, best.P)
+	}
+}

@@ -9,11 +9,11 @@ import (
 )
 
 // Endpoint is the parameter-server surface the trainer drives: the
-// batched pull/push calls of the hot loop plus the chief-clipping
-// read-back path. *Server implements it with direct calls (the
-// single-process path and an agent's own colocated server); *Client
-// implements it over a transport conduit for servers hosted by other
-// agent processes.
+// batched pull/push calls of the hot loop, the chief-clipping read-back
+// path, and the resharding snapshot read. *Server implements it with
+// direct calls (the single-process path and an agent's own colocated
+// server); *Client implements it over a transport conduit for servers
+// hosted by other agent processes.
 type Endpoint interface {
 	PullManyInto(minVersion int64, reqs []PullReq) error
 	PushDenseMany(reqs []DensePush) error
@@ -21,6 +21,7 @@ type Endpoint interface {
 	WaitAggregatedNormSquared(name string, pi int, seq int64) (float64, error)
 	ApplyUpdate(name string, pi int, scale float32) error
 	PullInto(name string, pi int, minVersion int64, dst *tensor.Dense) error
+	SnapshotPart(name string, pi int, minVersion int64) (*tensor.Dense, []*tensor.Dense, error)
 }
 
 var (
@@ -152,6 +153,25 @@ func (c *Client) PullInto(name string, pi int, minVersion int64, dst *tensor.Den
 	return c.PullManyInto(minVersion, []PullReq{{Name: name, Part: pi, Dst: dst}})
 }
 
+// SnapshotPart reads one partition's value and optimizer slot state over
+// the wire (live resharding's gather phase); the remote serving loop
+// blocks inside Server.SnapshotPart until the partition's version
+// reaches minVersion. The returned tensors arrive flattened to rank 1;
+// the caller addresses them by element count.
+func (c *Client) SnapshotPart(name string, pi int, minVersion int64) (*tensor.Dense, []*tensor.Dense, error) {
+	rep, err := c.call(&transport.PSMsg{
+		Op: transport.PSSnapshot, Version: minVersion,
+		Names: []string{name}, Parts: []int{pi},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rep.Dense) < 1 {
+		return nil, nil, fmt.Errorf("psrt: snapshot reply for %s/%d carries no value", name, pi)
+	}
+	return rep.Dense[0], rep.Dense[1:], nil
+}
+
 // ServeConduit answers one remote client's parameter-server requests
 // against s until the fabric closes: the serving half of the wire
 // protocol. The trainer runs one ServeConduit goroutine per (local
@@ -232,6 +252,15 @@ func handle(s *Server, req *transport.PSMsg) *transport.PSMsg {
 		if err := s.ApplyUpdate(req.Names[0], req.Parts[0], req.Scale); err != nil {
 			return fail(err)
 		}
+	case transport.PSSnapshot:
+		if len(req.Names) != 1 {
+			return fail(fmt.Errorf("psrt: snapshot request has %d items", len(req.Names)))
+		}
+		val, slots, err := s.SnapshotPart(req.Names[0], req.Parts[0], req.Version)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Dense = append(append(rep.Dense, val), slots...)
 	default:
 		return fail(fmt.Errorf("psrt: unknown wire op %d", req.Op))
 	}

@@ -11,6 +11,12 @@
 // ... each accumulator handles gradients of a single sparse variable") —
 // and pulls for the next iteration block until the update lands.
 //
+// The partitioning is not fixed for the server's lifetime: SnapshotPart
+// exports a partition's value and optimizer slot state, and ReshardVar
+// replaces a variable's partitioning in place (live resharding,
+// DESIGN.md §9), seeding versions so the synchronous protocol continues
+// without a discontinuity.
+//
 // # Buffer ownership
 //
 // The runtime is allocation-disciplined so a persistent training loop does
@@ -148,8 +154,14 @@ func (s *Server) AddVar(name string, init *tensor.Dense, ranges []tensor.RowRang
 	if _, dup := s.vars[name]; dup {
 		return fmt.Errorf("psrt: variable %q already registered", name)
 	}
+	_, err := s.addVarLocked(name, init, ranges, owned, sparse)
+	return err
+}
+
+// addVarLocked builds and registers a servedVar; the caller holds s.mu.
+func (s *Server) addVarLocked(name string, init *tensor.Dense, ranges []tensor.RowRange, owned []int, sparse bool) (*servedVar, error) {
 	if init.Rank() < 1 {
-		return fmt.Errorf("psrt: variable %q has rank 0", name)
+		return nil, fmt.Errorf("psrt: variable %q has rank 0", name)
 	}
 	width := init.RowWidth()
 	v := &servedVar{
@@ -163,7 +175,7 @@ func (s *Server) AddVar(name string, init *tensor.Dense, ranges []tensor.RowRang
 	}
 	for _, pi := range owned {
 		if pi < 0 || pi >= len(ranges) {
-			return fmt.Errorf("psrt: partition %d out of range for %q", pi, name)
+			return nil, fmt.Errorf("psrt: partition %d out of range for %q", pi, name)
 		}
 		rr := ranges[pi]
 		val := tensor.NewDense(rr.Len(), width)
@@ -177,7 +189,7 @@ func (s *Server) AddVar(name string, init *tensor.Dense, ranges []tensor.RowRang
 		v.keys[pi] = fmt.Sprintf("%s/part%d", name, pi)
 	}
 	s.vars[name] = v
-	return nil
+	return v, nil
 }
 
 func (s *Server) lookupVar(name string) (*servedVar, error) {
@@ -525,4 +537,103 @@ func (s *Server) Version(name string, pi int) (int64, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.version, nil
+}
+
+// SnapshotPart returns copies of one partition's value and of its
+// optimizer slot state, once the partition's version reaches minVersion —
+// the gather phase of live resharding (DESIGN.md §9). The slot tensors
+// follow the optimizer's SlotState.Slots order; a slot the partition has
+// never updated is returned as zeros of the partition shape, which is
+// exactly the state a lazily created slot would have. Optimizers without
+// slot state yield an empty slots list.
+//
+// The version wait makes the snapshot self-synchronizing: a remote
+// agent's gather request blocks (on this server's serving loop) until
+// every source's final pushes have been applied, so no separate drain
+// protocol is needed before resharding.
+func (s *Server) SnapshotPart(name string, pi int, minVersion int64) (*tensor.Dense, []*tensor.Dense, error) {
+	v, err := s.lookupVar(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := v.partAt(pi)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.version < minVersion {
+		p.cond.Wait()
+	}
+	val := p.value.Clone()
+	var slots []*tensor.Dense
+	if ss, ok := s.cfg.Optimizer.(optim.SlotState); ok {
+		for _, slot := range ss.Slots() {
+			if sv := ss.SlotValue(slot, v.keys[pi]); sv != nil {
+				slots = append(slots, sv.Clone())
+			} else {
+				slots = append(slots, tensor.NewDense(v.ranges[pi].Len(), v.width))
+			}
+		}
+	}
+	return val, slots, nil
+}
+
+// ReshardVar replaces a variable's partitioning in place — the install
+// phase of live resharding. The old servedVar (if any) is dropped and its
+// partitions' optimizer slot state deleted; if owned is non-empty a new
+// servedVar is installed with values sliced from the assembled full value
+// init, optimizer slots sliced from the assembled full slot tensors
+// (SlotState.Slots order; pass nil for stateless optimizers), and every
+// owned partition's version and aggregation sequence seeded to version,
+// so the synchronous pull/clip protocol continues counting steps without
+// a discontinuity.
+//
+// ReshardVar must only run while the variable is quiescent: no pushes,
+// pulls, or snapshots in flight (the trainer guarantees this with its
+// cross-agent resharding barriers).
+func (s *Server) ReshardVar(name string, init *tensor.Dense, ranges []tensor.RowRange, owned []int, sparse bool, slots []*tensor.Dense, version int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss, stateful := s.cfg.Optimizer.(optim.SlotState)
+	if old, ok := s.vars[name]; ok {
+		if stateful {
+			for pi, p := range old.parts {
+				if p != nil {
+					ss.DeleteKey(old.keys[pi])
+				}
+			}
+		}
+		delete(s.vars, name)
+	}
+	if len(owned) == 0 {
+		return nil
+	}
+	if stateful && len(slots) != len(ss.Slots()) {
+		return fmt.Errorf("psrt: reshard of %q has %d slot tensors, optimizer keeps %d slots",
+			name, len(slots), len(ss.Slots()))
+	}
+	v, err := s.addVarLocked(name, init, ranges, owned, sparse)
+	if err != nil {
+		return err
+	}
+	for _, pi := range owned {
+		p := v.parts[pi]
+		p.version = version
+		p.aggSeq = version
+		if !stateful || ranges[pi].Len() == 0 {
+			continue
+		}
+		rr := ranges[pi]
+		for k, slot := range ss.Slots() {
+			if slots[k].NumElements() != v.dim0*v.width {
+				return fmt.Errorf("psrt: reshard slot %q of %q has %d elements, variable has %d",
+					slot, name, slots[k].NumElements(), v.dim0*v.width)
+			}
+			sv := tensor.NewDense(rr.Len(), v.width)
+			copy(sv.Data(), slots[k].Data()[rr.Start*v.width:rr.End*v.width])
+			ss.SetSlot(slot, v.keys[pi], sv)
+		}
+	}
+	return nil
 }

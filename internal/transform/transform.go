@@ -44,11 +44,19 @@
 // Step spawns no goroutines, builds no maps, and formats no strings; all
 // collective tags, fusion views, and pull-request lists are resolved at
 // build time.
+//
+// The PS routing is not frozen at build time: Repartition reshards the
+// partition-target sparse variables to a new partition count between
+// steps (DESIGN.md §9) — a gather/barrier/install protocol that
+// migrates server state losslessly over either fabric — which is what
+// lets the §3.2 partition search run against the live runtime
+// (parallax.Config.AutoPartition) instead of the simulator.
 package transform
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -831,6 +839,209 @@ func (t *Trainer) Close() {
 		case <-time.After(5 * time.Second):
 		}
 	})
+}
+
+// Repartition reshards the PS-managed partition-target variables to
+// newPlan's partitioning without restarting the runtime — the live side
+// of the §3.2 partition search (DESIGN.md §9). newPlan must describe the
+// same variables with the same methods; only Partitions/Servers may
+// differ. The protocol is a between-steps stop-the-world exchange:
+//
+//  1. Gather: every agent assembles, for each resharded variable, the
+//     full value and the full optimizer slot state by snapshot-reading
+//     every old partition from its owning endpoint — direct calls for
+//     colocated partitions, wire round trips (psrt.Client / PSSnapshot)
+//     for remote ones. The snapshot's version wait doubles as the drain
+//     barrier: it blocks until all of the previous step's pushes have
+//     been applied, wherever they came from.
+//  2. Barrier: no agent may install while a peer still reads the old
+//     partitions.
+//  3. Install: each agent reshards its LOCAL servers
+//     (psrt.Server.ReshardVar) — values and slot rows re-sliced to the
+//     new ranges, versions seeded to the step counter — and rebuilds its
+//     routing tables (partition ranges, per-server push groups,
+//     local-aggregation slots and views, batched pull requests).
+//  4. Barrier: no agent may step before every peer serves the new
+//     partitioning.
+//
+// Because every row's aggregation and update are per-row operations, the
+// migration is lossless and the training trajectory is unchanged: a run
+// that reshards from P to P′ mid-run continues bit-identically to a run
+// that used P′ from the start (pinned by the repartition tests). In
+// distributed mode every agent must call Repartition with the same plan
+// between the same steps — the runner's tuning phase derives its
+// decisions from collectively agreed measurements to guarantee exactly
+// that. Repartition must not run concurrently with Step; on error the
+// cluster fail-stops like a failed step.
+func (t *Trainer) Repartition(newPlan *core.Plan) error {
+	if newPlan == nil {
+		return fmt.Errorf("transform: repartition with nil plan")
+	}
+	if len(newPlan.Assignments) != len(t.routes) {
+		return fmt.Errorf("transform: repartition plan has %d assignments for %d routes",
+			len(newPlan.Assignments), len(t.routes))
+	}
+	changed := make([]bool, len(t.routes))
+	any := false
+	for ri := range t.routes {
+		r := &t.routes[ri]
+		na := &newPlan.Assignments[ri]
+		if na.Name != r.v.Name || na.Method != r.assign.Method || na.Sparse != r.assign.Sparse {
+			return fmt.Errorf("transform: repartition may only change partitioning, route %q differs in method or kind", r.v.Name)
+		}
+		if r.assign.Method != core.MethodPS {
+			continue
+		}
+		if na.Partitions < 1 || len(na.Servers) != na.Partitions {
+			return fmt.Errorf("transform: repartition plan for %q has %d servers for %d partitions",
+				na.Name, len(na.Servers), na.Partitions)
+		}
+		if na.Partitions != r.assign.Partitions || !slices.Equal(na.Servers, r.assign.Servers) {
+			changed[ri] = true
+			any = true
+		}
+	}
+	if !any {
+		t.opt.Plan = newPlan
+		return nil
+	}
+
+	minV := int64(t.step)
+	if t.opt.Async {
+		minV = 0
+	}
+	w0 := t.localWorkers[0]
+	type migrated struct {
+		value *tensor.Dense
+		slots []*tensor.Dense
+	}
+	full := make([]migrated, len(t.routes))
+	for ri := range t.routes {
+		if !changed[ri] {
+			continue
+		}
+		r := &t.routes[ri]
+		g := migrated{value: tensor.NewDense(r.v.Shape...)}
+		width := g.value.RowWidth()
+		first := true
+		for pi, rr := range r.ranges {
+			if rr.Len() == 0 {
+				continue
+			}
+			val, slots, err := t.ps[w0][r.assign.Servers[pi]].SnapshotPart(r.v.Name, pi, minV)
+			if err != nil {
+				return t.failStep(err)
+			}
+			if val.NumElements() != rr.Len()*width {
+				return t.failStep(fmt.Errorf("transform: snapshot of %s/%d has %d elements, partition has %d",
+					r.v.Name, pi, val.NumElements(), rr.Len()*width))
+			}
+			copy(g.value.Data()[rr.Start*width:rr.End*width], val.Data())
+			if first {
+				for range slots {
+					g.slots = append(g.slots, tensor.NewDense(r.v.Shape...))
+				}
+				first = false
+			}
+			if len(slots) != len(g.slots) {
+				return t.failStep(fmt.Errorf("transform: snapshot of %s/%d has %d slots, partition 0 had %d",
+					r.v.Name, pi, len(slots), len(g.slots)))
+			}
+			for k, sv := range slots {
+				if sv.NumElements() != rr.Len()*width {
+					return t.failStep(fmt.Errorf("transform: snapshot slot %d of %s/%d has %d elements, partition has %d",
+						k, r.v.Name, pi, sv.NumElements(), rr.Len()*width))
+				}
+				copy(g.slots[k].Data()[rr.Start*width:rr.End*width], sv.Data())
+			}
+		}
+		full[ri] = g
+	}
+	t.repartitionBarrier("repart/gather")
+
+	for ri := range t.routes {
+		if !changed[ri] {
+			continue
+		}
+		r := &t.routes[ri]
+		na := newPlan.Assignments[ri]
+		newRanges := tensor.PartitionRows(r.v.Shape[0], na.Partitions)
+		for m := 0; m < t.machines; m++ {
+			if t.servers[m] == nil {
+				continue
+			}
+			var owned []int
+			for pi, srv := range na.Servers {
+				if srv == m {
+					owned = append(owned, pi)
+				}
+			}
+			if err := t.servers[m].ReshardVar(r.v.Name, full[ri].value, newRanges,
+				owned, r.assign.Sparse, full[ri].slots, minV); err != nil {
+				return t.failStep(err)
+			}
+		}
+		r.assign = na
+		r.ranges = newRanges
+		full[ri] = migrated{}
+	}
+	t.opt.Plan = newPlan
+	t.buildPSRouting()
+	t.buildSlots()
+	t.buildPullReqs()
+	t.repartitionBarrier("repart/install")
+	return nil
+}
+
+// repartitionBarrier rendezvouses all workers of all agents between the
+// resharding phases. Single-process trainers need no barrier (the phases
+// run sequentially on one goroutine); distributed ones run the
+// dissemination barrier on every local worker's collective endpoint,
+// absorbing a fabric-closed panic the way the close barrier does — a
+// dead peer then surfaces as a step error instead of a crash.
+func (t *Trainer) repartitionBarrier(tag string) {
+	if !t.dist {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, w := range t.localWorkers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t.comms[w].CloseBarrier(tag)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// AgreeScalarMax folds a locally measured scalar (a sampled step time)
+// into the cluster-wide maximum, identical on every agent: each worker
+// all-gathers the value in rank order and the fold is a max, so all
+// agents see the same bits and derive the same tuning decisions — the
+// property that keeps adaptive repartitioning in lockstep across
+// processes. Single-process trainers return the value unchanged. Must
+// not run concurrently with Step.
+func (t *Trainer) AgreeScalarMax(v float64) float64 {
+	if !t.dist {
+		return v
+	}
+	var wg sync.WaitGroup
+	for _, w := range t.localWorkers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t.replicas[w].GatherScalars("tune", v, t.lossGather[w])
+		}(w)
+	}
+	wg.Wait()
+	out := t.lossGather[t.localWorkers[0]]
+	m := out[0]
+	for _, x := range out[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 // workerLoop is one persistent worker: it serves step tasks until Close.

@@ -194,13 +194,20 @@ type PSOp uint8
 
 // Parameter-server operations: requests carry the batched shapes of
 // psrt's PullManyInto / PushDenseMany / PushSparseMany plus the
-// chief-clipping calls; PSReply answers all of them.
+// chief-clipping calls and the resharding snapshot read; PSReply answers
+// all of them. PSReply must stay the highest value — the decoder rejects
+// ops above it.
 const (
 	PSPullMany PSOp = iota + 1
 	PSPushDenseMany
 	PSPushSparseMany
 	PSNormSquared
 	PSApplyUpdate
+	// PSSnapshot reads one partition's value plus its optimizer slot
+	// state (live resharding's gather phase): request Names[0]/Parts[0]
+	// with Version as the minimum applied-update count; the reply's
+	// Dense[0] is the value, Dense[1:] the slot tensors.
+	PSSnapshot
 	PSReply
 )
 

@@ -44,6 +44,14 @@
 // per-step metrics (loss, step latency, gradient bytes pushed) to
 // optional StepHook callbacks, and returns the aggregated LoopStats.
 // RunLoopFeeds is the same loop for graphs that need custom feeds.
+//
+// The sparse-variable partition count can be tuned against the live
+// runtime: Config.AutoPartition runs the §3.2 sampling search on real
+// measured steps during the first RunLoop, resharding the running job
+// between candidates (Runner.Repartition) without a restart — the
+// migration is lossless, so the loss trajectory is unchanged. The
+// decision and the resulting layout are observable through
+// Runner.PartitionDecision and Runner.ShardMap.
 package parallax
 
 import (
@@ -174,9 +182,24 @@ type Config struct {
 	// (enabled by default for PS-managed variables, §4.3).
 	DisableLocalAggregation bool
 	// SparsePartitions fixes the partition count for variables declared
-	// inside partitioner scopes. 0 means search automatically using the
-	// cost model of §3.2 over the simulated cluster.
+	// inside partitioner scopes. 0 means search automatically: over the
+	// simulated cluster by default, or online against real measured
+	// steps when AutoPartition is set.
 	SparsePartitions int
+	// AutoPartition switches the §3.2 partition search from the
+	// simulator to the live runtime: the runner starts at one partition
+	// per machine and, during the first RunLoop/RunLoopFeeds call,
+	// samples real per-step times at candidate counts (doubling/halving
+	// from the machine count, at most 5 measurement runs), fits the cost
+	// model, and reshards the running job to the optimum — training
+	// continues through the whole search (tune-while-training). The
+	// resharding is lossless, so the loss trajectory is the same as a
+	// run configured with the chosen count from the start (exception:
+	// ClipNorm > 0, whose global-norm summation groups by partition).
+	// In distributed mode the agents agree on every measurement through
+	// the collective layer, so all of them reshard in lockstep. Ignored
+	// when SparsePartitions > 0 or no partitioner scope exists.
+	AutoPartition bool
 	// AlphaHint estimates, per sparse variable, the fraction of rows one
 	// worker's batch touches; used only by the automatic partition search
 	// and the α-threshold rule. Unset entries default to 0.05. Measure

@@ -244,6 +244,177 @@ func TestMeasureAlphaPublicAPI(t *testing.T) {
 	}
 }
 
+// TestAutoPartitionOnlineSearch is the acceptance check of the online
+// §3.2 search: on the hybrid LM example the tuning phase must settle
+// within the paper's budget of 5 measurement runs, choose a P inside
+// the sampled bracket, reshard the live runtime to it, and keep the
+// training loop accounting intact (every step, tuning included, flows
+// through hooks and stats).
+func TestAutoPartitionOnlineSearch(t *testing.T) {
+	const vocab, batch, steps = 600, 8, 30
+	g := buildAPIModel(batch, vocab)
+	runner, err := GetRunner(g, Uniform(2, 2), Config{
+		AutoPartition: true,
+		AlphaHint:     map[string]float64{"embedding": 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+
+	d := runner.PartitionDecision()
+	if !d.Pending || d.Source != "online" {
+		t.Fatalf("pre-loop decision = %+v, want pending online", d)
+	}
+	if runner.SparsePartitions() != 2 {
+		t.Fatalf("initial P = %d, want the machine count", runner.SparsePartitions())
+	}
+
+	hookSteps := 0
+	stats, err := runner.RunLoop(data.NewZipfText(vocab, batch, 1, 1.0, 11), steps, func(s StepStats) {
+		if s.Step != hookSteps {
+			t.Errorf("hook saw step %d, want %d", s.Step, hookSteps)
+		}
+		hookSteps++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hookSteps != steps || stats.Steps != steps {
+		t.Fatalf("ran %d hook steps, stats counted %d, want %d", hookSteps, stats.Steps, steps)
+	}
+
+	d = runner.PartitionDecision()
+	if d.Pending || d.Source != "online" || d.Search == nil {
+		t.Fatalf("post-loop decision = %+v, want settled online search", d)
+	}
+	if d.Search.Runs > 5 {
+		t.Fatalf("online search used %d measurement runs, budget is 5", d.Search.Runs)
+	}
+	lo, hi := d.Search.Samples[0].P, d.Search.Samples[0].P
+	for _, s := range d.Search.Samples {
+		if s.P < lo {
+			lo = s.P
+		}
+		if s.P > hi {
+			hi = s.P
+		}
+	}
+	if d.P < lo || d.P > hi {
+		t.Fatalf("chosen P=%d outside the sampled bracket [%d,%d]", d.P, lo, hi)
+	}
+	if runner.SparsePartitions() != d.P {
+		t.Fatalf("runtime at P=%d, decision says %d", runner.SparsePartitions(), d.P)
+	}
+
+	// A second loop must not re-run the tuning phase.
+	if _, err := runner.RunLoop(data.NewZipfText(vocab, batch, 1, 1.0, 12), 2); err != nil {
+		t.Fatal(err)
+	}
+	if runner.PartitionDecision().P != d.P {
+		t.Fatal("second RunLoop re-tuned the partitioning")
+	}
+}
+
+// TestAutoPartitionTruncatedBudget: a RunLoop too short to finish the
+// tuning phase must still run exactly `steps` steps, settle on a
+// sampled point, and render a decision without NaN thetas (probes the
+// budget cannot afford are skipped before resharding and excluded from
+// the fit).
+func TestAutoPartitionTruncatedBudget(t *testing.T) {
+	const vocab, batch, steps = 400, 8, 8 // room for ~2 probes of 3 steps
+	g := buildAPIModel(batch, vocab)
+	runner, err := GetRunner(g, Uniform(2, 2), Config{AutoPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	stats, err := runner.RunLoop(data.NewZipfText(vocab, batch, 1, 1.0, 19), steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps != steps {
+		t.Fatalf("ran %d steps, want %d", stats.Steps, steps)
+	}
+	d := runner.PartitionDecision()
+	if d.Pending || d.Search == nil || d.P < 1 {
+		t.Fatalf("truncated tuning left decision %+v", d)
+	}
+	if out := d.String(); strings.Contains(out, "NaN") {
+		t.Fatalf("decision renders NaN thetas:\n%s", out)
+	}
+}
+
+// TestPublicRepartitionLossless drives Runner.Repartition directly: a
+// run that reshards mid-training must keep a loss trajectory
+// bit-identical to a runner configured with the target P from the
+// start (the transform-level tests pin the same property per-variable
+// and over TCP; this covers the public wiring).
+func TestPublicRepartitionLossless(t *testing.T) {
+	const vocab, batch, steps, switchAt = 300, 8, 6, 3
+	run := func(startP int, reshardTo int) []float64 {
+		g := buildAPIModel(batch, vocab)
+		runner, err := GetRunner(g, Uniform(2, 2), Config{SparsePartitions: startP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer runner.Close()
+		ds := data.NewZipfText(vocab, batch, 1, 1.0, 13)
+		var losses []float64
+		hook := func(s StepStats) { losses = append(losses, s.Loss) }
+		if _, err := runner.RunLoop(ds, switchAt, hook); err != nil {
+			t.Fatal(err)
+		}
+		if reshardTo > 0 {
+			if err := runner.Repartition(reshardTo); err != nil {
+				t.Fatal(err)
+			}
+			if runner.SparsePartitions() != reshardTo {
+				t.Fatalf("SparsePartitions() = %d after Repartition(%d)", runner.SparsePartitions(), reshardTo)
+			}
+		}
+		if _, err := runner.RunLoop(ds, steps-switchAt, hook); err != nil {
+			t.Fatal(err)
+		}
+		return losses
+	}
+	want := run(4, 0)
+	got := run(2, 4)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("step %d loss %v after reshard, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardMapAndDecisionReporting checks the live reporting surface:
+// the shard map names every route with its partition→machine
+// assignment, and Describe carries the partition decision.
+func TestShardMapAndDecisionReporting(t *testing.T) {
+	g := buildAPIModel(4, 50)
+	runner, err := GetRunner(g, Uniform(2, 1), Config{SparsePartitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	sm := runner.ShardMap()
+	for _, want := range []string{"embedding", "ps x3", "->m", "rows/server:", "proj", "replicated"} {
+		if !strings.Contains(sm, want) {
+			t.Errorf("shard map missing %q:\n%s", want, sm)
+		}
+	}
+	if d := runner.Describe(); !strings.Contains(d, "partitions: 3 (fixed)") {
+		t.Errorf("Describe missing partition decision:\n%s", d)
+	}
+	// After a live reshard the map must reflect the new partitioning.
+	if err := runner.Repartition(2); err != nil {
+		t.Fatal(err)
+	}
+	if sm := runner.ShardMap(); !strings.Contains(sm, "ps x2") {
+		t.Errorf("shard map not updated after reshard:\n%s", sm)
+	}
+}
+
 func TestConfigVariants(t *testing.T) {
 	g := buildAPIModel(4, 40)
 	for _, cfg := range []Config{

@@ -2,6 +2,7 @@ package parallax
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"parallax/internal/cluster"
@@ -20,12 +21,56 @@ import (
 // Its trainer is a persistent runtime — worker goroutines and parameter
 // servers live as long as the Runner — so call Close when done with it.
 type Runner struct {
-	g       *Graph
-	trainer *transform.Trainer
-	plan    *core.Plan
-	workers int
-	parts   int
-	dist    *DistConfig
+	g        *Graph
+	trainer  *transform.Trainer
+	plan     *core.Plan
+	resource ResourceInfo
+	cfg      Config
+	workers  int
+	parts    int
+	dist     *DistConfig
+
+	decision    PartitionDecision
+	tunePending bool
+}
+
+// PartitionSearch is the sampling search's outcome: the sampled
+// operating points, the fitted Eq. 1 cost model, the chosen P, and the
+// measurement-run budget consumed.
+type PartitionSearch = partition.SearchResult
+
+// PartitionSample is one measured (P, iteration time) operating point.
+type PartitionSample = partition.Sample
+
+// PartitionCostModel is the fitted iter_time(P) = θ0 + θ1/P + θ2·P.
+type PartitionCostModel = partition.CostModel
+
+// PartitionDecision reports how the sparse-variable partition count was
+// chosen (§3.2): fixed by Config.SparsePartitions, searched over the
+// simulated cluster, or tuned online against real measured steps.
+type PartitionDecision struct {
+	// P is the partition count in effect.
+	P int
+	// Source is "fixed", "simulated" (search over the discrete-event
+	// engine), or "online" (Config.AutoPartition's tune-while-training
+	// search on the live runtime).
+	Source string
+	// Pending marks an online search that has not run yet; it runs
+	// during the first RunLoop / RunLoopFeeds call.
+	Pending bool
+	// Search is the search outcome; nil for fixed decisions (and for
+	// online decisions still pending).
+	Search *PartitionSearch
+}
+
+// String renders the decision the way parallax-info does.
+func (d PartitionDecision) String() string {
+	src := d.Source
+	if d.Pending {
+		src += ", pending first RunLoop"
+		return metrics.FormatPartitionDecision(src, d.P, nil)
+	}
+	return metrics.FormatPartitionDecision(src, d.P, d.Search)
 }
 
 // GetRunner analyzes the single-GPU graph, builds the sparsity-aware plan
@@ -42,19 +87,28 @@ func GetRunner(g *Graph, resource ResourceInfo, cfg Config) (*Runner, error) {
 		cfg.NewOptimizer = func() Optimizer { return NewSGD(0.1) }
 	}
 
-	vars := planVars(g, cfg.AlphaHint)
 	parts := cfg.SparsePartitions
+	decision := PartitionDecision{Source: "fixed"}
+	tunePending := false
 	if parts <= 0 {
-		parts = searchPartitions(g, resource, cfg)
+		if cfg.AutoPartition && hasPartitionTarget(g) {
+			// Online tuning starts from the paper's initial sample point
+			// (the machine count); the search itself runs against real
+			// steps during the first RunLoop and reshards live.
+			parts = resource.NumMachines()
+			tunePending = true
+			decision = PartitionDecision{Source: "online", Pending: true}
+		} else {
+			var sr *partition.SearchResult
+			parts, sr = searchPartitions(g, resource, cfg)
+			if sr != nil {
+				decision = PartitionDecision{Source: "simulated", Search: sr}
+			}
+		}
 	}
+	decision.P = parts
 	arch := cfg.Arch.coreArch()
-	plan, err := core.BuildPlan(vars, core.Options{
-		Arch:                arch,
-		NumMachines:         resource.NumMachines(),
-		SparsePartitions:    parts,
-		AlphaDenseThreshold: cfg.AlphaDenseThreshold,
-		SmartPlacement:      arch == core.ArchHybrid || arch == core.ArchOptPS,
-	})
+	plan, err := buildPlan(g, resource, cfg, parts)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +145,49 @@ func GetRunner(g *Graph, resource ResourceInfo, cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{g: g, trainer: tr, plan: plan, workers: resource.TotalGPUs(), parts: parts, dist: cfg.Dist}, nil
+	return &Runner{
+		g: g, trainer: tr, plan: plan, resource: resource, cfg: cfg,
+		workers: resource.TotalGPUs(), parts: parts, dist: cfg.Dist,
+		decision: decision, tunePending: tunePending,
+	}, nil
+}
+
+// buildPlan derives the sparsity-aware plan for the given partition
+// count — shared between GetRunner and live repartitioning so both
+// produce identical placements for identical inputs.
+func buildPlan(g *Graph, resource ResourceInfo, cfg Config, parts int) (*core.Plan, error) {
+	arch := cfg.Arch.coreArch()
+	return core.BuildPlan(planVars(g, cfg.AlphaHint), core.Options{
+		Arch:                arch,
+		NumMachines:         resource.NumMachines(),
+		SparsePartitions:    parts,
+		AlphaDenseThreshold: cfg.AlphaDenseThreshold,
+		SmartPlacement:      arch == core.ArchHybrid || arch == core.ArchOptPS,
+	})
+}
+
+// hasPartitionTarget reports whether the graph declares any sparse
+// variable inside a partitioner scope — the variables the §3.2 search
+// (and live resharding) applies to.
+func hasPartitionTarget(g *Graph) bool {
+	for _, v := range g.Variables() {
+		if v.PartitionScope >= 0 && g.GradKind(v) == graph.GradSparse {
+			return true
+		}
+	}
+	return false
+}
+
+// maxPartitionBound is the search's upper bracket: the largest
+// partition-target variable's row count, clamped by partition.Bound.
+func maxPartitionBound(g *Graph) int {
+	maxRows := 1
+	for _, v := range g.Variables() {
+		if v.PartitionScope >= 0 && v.Shape[0] > maxRows {
+			maxRows = v.Shape[0]
+		}
+	}
+	return partition.Bound(maxRows)
 }
 
 // planVars converts graph variables to planner inputs using the α hints.
@@ -122,17 +218,12 @@ func planVars(g *Graph, alphaHint map[string]float64) []core.VarInfo {
 // cluster: a spec is derived from the user's graph, each candidate P is
 // "trained for a few iterations" on the discrete-event engine, and the
 // cost model picks the best count. (The real system samples on the
-// physical cluster; the simulator stands in for it here, see DESIGN.md.)
-func searchPartitions(g *Graph, resource ResourceInfo, cfg Config) int {
-	hasTarget := false
-	for _, v := range g.Variables() {
-		if v.PartitionScope >= 0 && g.GradKind(v) == graph.GradSparse {
-			hasTarget = true
-			break
-		}
-	}
-	if !hasTarget {
-		return 1
+// physical cluster; Config.AutoPartition does exactly that on the live
+// runtime, see DESIGN.md §9.) The returned search result is nil when the
+// graph has no partition-target variable.
+func searchPartitions(g *Graph, resource ResourceInfo, cfg Config) (int, *partition.SearchResult) {
+	if !hasPartitionTarget(g) {
+		return 1, nil
 	}
 	batch := firstBatchDim(g)
 	spec := models.SpecFromGraph(g, cfg.AlphaHint, batch)
@@ -145,20 +236,11 @@ func searchPartitions(g *Graph, resource ResourceInfo, cfg Config) int {
 		}
 		return res.StepTime
 	}
-	maxP := 1
-	for _, v := range g.Variables() {
-		if v.PartitionScope >= 0 && v.Shape[0] > maxP {
-			maxP = v.Shape[0]
-		}
-	}
-	if maxP > 2048 {
-		maxP = 2048
-	}
-	res, err := partition.Search(measure, resource.NumMachines(), maxP)
+	res, err := partition.Search(measure, resource.NumMachines(), maxPartitionBound(g))
 	if err != nil || res.BestP < 1 {
-		return resource.NumMachines()
+		return resource.NumMachines(), nil
 	}
-	return res.BestP
+	return res.BestP, &res
 }
 
 func firstBatchDim(g *Graph) int {
@@ -223,41 +305,160 @@ func (r *Runner) RunLoop(ds Dataset, steps int, hooks ...StepHook) (LoopStats, e
 // worker w's feed for each step. It runs the loop, timing every step and
 // collecting the trainer's per-step push-byte counter, and stops on the
 // first error.
+//
+// With Config.AutoPartition set, the first call additionally runs the
+// online §3.2 partition search: its leading steps are real training
+// steps (reported to hooks and stats like any other) during which the
+// runtime measures candidate partition counts and reshards live; the
+// remaining budget then runs at the tuned P. The total step count is
+// exactly steps either way.
 func (r *Runner) RunLoopFeeds(next func(step, worker int) (Feed, error), steps int, hooks ...StepHook) (LoopStats, error) {
 	var stats LoopStats
 	feeds := make([]Feed, r.workers)
-	for s := 0; s < steps; s++ {
-		for w := 0; w < r.workers; w++ {
-			f, err := next(s, w)
-			if err != nil {
-				return stats, err
-			}
-			feeds[w] = f
-		}
-		start := time.Now()
-		loss, err := r.trainer.Step(feeds)
-		if err != nil {
+	s := 0
+	if r.tunePending {
+		r.tunePending = false
+		if err := r.tunePartitions(next, feeds, steps, &s, &stats, hooks); err != nil {
 			return stats, err
 		}
-		ph := r.trainer.PhaseStatsLastStep()
-		wireSent, wireRecv := r.trainer.WireStatsLastStep()
-		st := StepStats{
-			Step:          s,
-			Loss:          loss,
-			StepTime:      time.Since(start),
-			BytesPushed:   r.trainer.BytesPushedLastStep(),
-			WireSentBytes: wireSent,
-			WireRecvBytes: wireRecv,
-			ComputeTime:   ph.Compute,
-			CommTime:      ph.Comm,
-			SyncWait:      ph.SyncWait,
-		}
-		stats.Observe(st)
-		for _, h := range hooks {
-			h(st)
+	}
+	for ; s < steps; s++ {
+		if _, err := r.oneStep(next, feeds, s, &stats, hooks); err != nil {
+			return stats, err
 		}
 	}
 	return stats, nil
+}
+
+// oneStep draws every worker's feed, runs one synchronous step, and
+// folds the measurements into stats and the hooks.
+func (r *Runner) oneStep(next func(step, worker int) (Feed, error), feeds []Feed, s int, stats *LoopStats, hooks []StepHook) (StepStats, error) {
+	for w := 0; w < r.workers; w++ {
+		f, err := next(s, w)
+		if err != nil {
+			return StepStats{}, err
+		}
+		feeds[w] = f
+	}
+	start := time.Now()
+	loss, err := r.trainer.Step(feeds)
+	if err != nil {
+		return StepStats{}, err
+	}
+	ph := r.trainer.PhaseStatsLastStep()
+	wireSent, wireRecv := r.trainer.WireStatsLastStep()
+	st := StepStats{
+		Step:          s,
+		Loss:          loss,
+		StepTime:      time.Since(start),
+		BytesPushed:   r.trainer.BytesPushedLastStep(),
+		WireSentBytes: wireSent,
+		WireRecvBytes: wireRecv,
+		ComputeTime:   ph.Compute,
+		CommTime:      ph.Comm,
+		SyncWait:      ph.SyncWait,
+	}
+	stats.Observe(st)
+	for _, h := range hooks {
+		h(st)
+	}
+	return st, nil
+}
+
+// Online tuning constants: each candidate partition count is measured
+// over tuneStepsPerProbe real training steps, and the whole search stays
+// within the paper's §6.5 budget of tuneMaxRuns measurement runs.
+const (
+	tuneStepsPerProbe = 3
+	tuneMaxRuns       = 5
+)
+
+// tunePartitions is the tune-while-training phase: it drives the §3.2
+// sampling search with real measured steps, resharding the live runtime
+// to each candidate P, and settles on the optimum. Measured times are
+// folded to a cluster-wide maximum through the collective layer, so in
+// distributed mode every agent derives the same probe sequence from the
+// same numbers and the repartition protocol stays in lockstep. Steps
+// consumed here advance *s; probes that would overrun the loop's step
+// budget are skipped identically on every agent.
+func (r *Runner) tunePartitions(next func(step, worker int) (Feed, error), feeds []Feed, steps int, s *int, stats *LoopStats, hooks []StepHook) error {
+	var runErr error
+	measure := func(p int) float64 {
+		if runErr != nil {
+			return math.Inf(1)
+		}
+		// Budget first, reshard second: an exhausted budget must not pay
+		// for a state migration it will never measure. The check depends
+		// only on *s and steps, which are identical on every agent, so
+		// the skip stays in lockstep.
+		if *s+tuneStepsPerProbe > steps {
+			return math.Inf(1)
+		}
+		if err := r.Repartition(p); err != nil {
+			runErr = err
+			return math.Inf(1)
+		}
+		var total time.Duration
+		for k := 0; k < tuneStepsPerProbe; k++ {
+			st, err := r.oneStep(next, feeds, *s, stats, hooks)
+			if err != nil {
+				runErr = err
+				return math.Inf(1)
+			}
+			*s++
+			total += st.StepTime
+		}
+		return r.trainer.AgreeScalarMax(total.Seconds() / tuneStepsPerProbe)
+	}
+	res, err := partition.SearchN(measure, r.resource.NumMachines(), maxPartitionBound(r.g), tuneMaxRuns)
+	if runErr != nil {
+		return runErr
+	}
+	if err != nil {
+		return err
+	}
+	if err := r.Repartition(res.BestP); err != nil {
+		return err
+	}
+	r.decision = PartitionDecision{P: res.BestP, Source: "online", Search: &res}
+	return nil
+}
+
+// Repartition reshards the partition-target sparse variables to p
+// partitions on the live runtime, without restarting it: parameter
+// servers migrate values and optimizer slot state to the new row ranges
+// and the routing tables are rebuilt between steps (DESIGN.md §9). The
+// migration is lossless — training continues bit-identically to a run
+// that used p from the start. It must not run concurrently with
+// Run/RunLoop; in distributed mode every agent must call it with the
+// same p between the same steps (Config.AutoPartition does this
+// automatically).
+func (r *Runner) Repartition(p int) error {
+	if p < 1 {
+		return fmt.Errorf("parallax: repartition to %d partitions", p)
+	}
+	plan, err := buildPlan(r.g, r.resource, r.cfg, p)
+	if err != nil {
+		return err
+	}
+	if err := r.trainer.Repartition(plan); err != nil {
+		return err
+	}
+	r.plan = plan
+	r.parts = p
+	r.decision.P = p
+	return nil
+}
+
+// PartitionDecision reports how the current partition count was chosen
+// and, for searched decisions, the sampled points and fitted cost model.
+func (r *Runner) PartitionDecision() PartitionDecision { return r.decision }
+
+// ShardMap renders the live per-route shard map: every variable's
+// synchronization method and, for PS variables, the partition→machine
+// assignment currently in effect (it reflects live repartitioning).
+func (r *Runner) ShardMap() string {
+	return metrics.FormatShardMap(metrics.ShardRoutes(r.plan.Assignments))
 }
 
 func hasIntInput(g *Graph, name string) bool {
@@ -301,8 +502,9 @@ func (r *Runner) VarValue(name string) (*Dense, error) {
 	return r.trainer.VarValue(name)
 }
 
-// Describe summarizes the plan: how each variable is synchronized and
-// which transport the job runs over.
+// Describe summarizes the plan: how each variable is synchronized,
+// which transport the job runs over, and how the partition count was
+// decided.
 func (r *Runner) Describe() string {
 	s := fmt.Sprintf("parallax: %d workers, %s architecture\n", r.workers, r.plan.Arch)
 	if r.dist != nil {
@@ -311,6 +513,7 @@ func (r *Runner) Describe() string {
 	} else {
 		s += "transport: inproc (single process)\n"
 	}
+	s += r.decision.String()
 	for _, a := range r.plan.Assignments {
 		extra := ""
 		if a.Method == core.MethodPS && a.Partitions > 1 {
