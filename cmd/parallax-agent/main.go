@@ -7,6 +7,12 @@
 // identically everywhere, and the per-step losses (exchanged over the
 // wire in rank order) are bit-identical to the single-process run.
 //
+// The agent is driven through the Session API: SIGINT/SIGTERM cancel
+// the step loop at the next cluster-agreed step boundary (all agents
+// stop at the same step), a final checkpoint is written when
+// -checkpoint is set, and the fabric tears down cleanly. Restarting
+// every agent with -resume continues the run bit-identically.
+//
 // Usage:
 //
 //	# in-process reference (no wire):
@@ -16,15 +22,25 @@
 //	parallax-agent -machine 0 -addrs 127.0.0.1:7701,127.0.0.1:7702 -gpus 2 -steps 50 &
 //	parallax-agent -machine 1 -addrs 127.0.0.1:7701,127.0.0.1:7702 -gpus 2 -steps 50
 //
-// Both print "final loss bits=..." lines that must match bit for bit.
+//	# stop at step 20 with a checkpoint, then resume to 50:
+//	parallax-agent ... -steps 20 -checkpoint /ckpt/run1
+//	parallax-agent ... -steps 50 -checkpoint /ckpt/run1 -resume
+//
+// Both print "final loss bits=..." lines that must match bit for bit —
+// including across a checkpoint/resume split.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"parallax"
@@ -38,7 +54,7 @@ func main() {
 	gpus := flag.Int("gpus", 2, "GPUs per machine")
 	vocab := flag.Int("vocab", 2000, "vocabulary size")
 	batch := flag.Int("batch", 32, "batch size per GPU")
-	steps := flag.Int("steps", 100, "training steps")
+	steps := flag.Int("steps", 100, "run until this many total steps have completed (checkpointed steps included)")
 	archFlag := flag.String("arch", "hybrid", "architecture: hybrid|ar|ps|optps")
 	clip := flag.Float64("clip", 0, "global-norm clip (0 = off)")
 	lr := flag.Float64("lr", 0.5, "learning rate")
@@ -46,6 +62,8 @@ func main() {
 	autoPartition := flag.Bool("auto-partition", false,
 		"tune the partition count online during the first steps (overrides -partitions; agents agree on every measurement, so they reshard in lockstep)")
 	dialTimeout := flag.Duration("dial-timeout", 15*time.Second, "peer rendezvous timeout")
+	ckpt := flag.String("checkpoint", "", "checkpoint directory: written on exit (normal completion or SIGINT/SIGTERM drain)")
+	resume := flag.Bool("resume", false, "resume from -checkpoint instead of initializing (run it on every agent)")
 	flag.Parse()
 
 	arch, ok := map[string]parallax.Arch{
@@ -55,8 +73,26 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown architecture %q", *archFlag)
 	}
+	if *resume && *ckpt == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
 
-	var dist *parallax.DistConfig
+	// SIGINT/SIGTERM cancel the context; the step loop drains the
+	// in-flight step, every agent stops at the same agreed boundary, and
+	// the deferred teardown (plus the final checkpoint) runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := []parallax.Option{
+		parallax.WithArch(arch),
+		parallax.WithOptimizer(func() parallax.Optimizer { return parallax.NewSGD(float32(*lr)) }),
+		parallax.WithClipNorm(*clip),
+	}
+	if *autoPartition {
+		opts = append(opts, parallax.WithAutoPartition())
+	} else {
+		opts = append(opts, parallax.WithSparsePartitions(*partitions))
+	}
 	n := *machines
 	if *addrs != "" {
 		list := strings.Split(*addrs, ",")
@@ -64,7 +100,9 @@ func main() {
 		if *machine < 0 || *machine >= n {
 			log.Fatalf("-machine %d out of range for %d addresses", *machine, n)
 		}
-		dist = &parallax.DistConfig{Machine: *machine, Addrs: list, DialTimeout: *dialTimeout}
+		opts = append(opts, parallax.WithDistConfig(parallax.DistConfig{
+			Machine: *machine, Addrs: list, DialTimeout: *dialTimeout,
+		}))
 	} else if *machine >= 0 {
 		log.Fatal("-machine requires -addrs")
 	}
@@ -86,49 +124,76 @@ func main() {
 	g.SoftmaxCE(g.MatMul(h, w2), labels)
 
 	resources := parallax.Uniform(n, *gpus)
-	fixedParts := *partitions
-	if *autoPartition {
-		fixedParts = 0 // let the online search pick
+	var sess *parallax.Session
+	var err error
+	if *resume {
+		sess, err = parallax.OpenFromCheckpoint(ctx, *ckpt, g, resources, opts...)
+	} else {
+		sess, err = parallax.Open(ctx, g, resources, opts...)
 	}
-	runner, err := parallax.GetRunner(g, resources, parallax.Config{
-		Arch:             arch,
-		NewOptimizer:     func() parallax.Optimizer { return parallax.NewSGD(float32(*lr)) },
-		SparsePartitions: fixedParts,
-		AutoPartition:    *autoPartition,
-		ClipNorm:         *clip,
-		Dist:             dist,
-	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer runner.Close()
-	fmt.Print(runner.Describe())
-	fmt.Printf("local workers: %v of %d\n\n", runner.LocalWorkers(), runner.Workers())
+	defer sess.Close()
+	fmt.Print(sess.Describe())
+	fmt.Printf("local workers: %v of %d\n", sess.LocalWorkers(), sess.Workers())
+	if *resume {
+		fmt.Printf("resumed from %s at step %d\n", *ckpt, sess.StepCount())
+	}
+	fmt.Println()
 
-	// One identically seeded stream per agent: RunLoop draws every
+	// One identically seeded stream per agent: the session draws every
 	// worker's shard from it (skipping the shards remote agents consume),
-	// so batches align across processes with zero data traffic.
+	// so batches align across processes with zero data traffic — and a
+	// resumed session fast-forwards it to the checkpointed cursor.
 	ds := data.NewZipfText(*vocab, *batch, 1, 1.0, 7)
-	stats, err := runner.RunLoop(ds, *steps, func(s parallax.StepStats) {
-		if s.Step%10 == 0 || s.Step == *steps-1 {
-			fmt.Printf("step %4d  loss %.6f  (%v, wire tx %d KB rx %d KB)\n",
-				s.Step, s.Loss, s.StepTime.Round(10*time.Microsecond),
-				s.WireSentBytes/1024, s.WireRecvBytes/1024)
+	if sess.StepCount() >= *steps {
+		// The checkpoint already covers the requested horizon: re-saving
+		// the untouched state is fine, training past it is not.
+		fmt.Printf("nothing to do: checkpoint at step %d >= -steps %d\n", sess.StepCount(), *steps)
+		return
+	}
+	var stats parallax.LoopStats
+	interrupted := false
+	for st, err := range sess.Steps(ctx, ds) {
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				interrupted = true
+				break
+			}
+			log.Fatal(err)
 		}
-	})
-	if err != nil {
-		log.Fatal(err)
+		stats.Observe(st)
+		if st.Step%10 == 0 || st.Step == *steps-1 {
+			fmt.Printf("step %4d  loss %.6f  (%v, wire tx %d KB rx %d KB)\n",
+				st.Step, st.Loss, st.StepTime.Round(10*time.Microsecond),
+				st.WireSentBytes/1024, st.WireRecvBytes/1024)
+		}
+		if st.Step >= *steps-1 {
+			break
+		}
+	}
+
+	if *ckpt != "" {
+		if err := sess.Save(*ckpt); err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		fmt.Printf("checkpoint saved to %s at step %d\n", *ckpt, sess.StepCount())
+	}
+	if interrupted {
+		fmt.Printf("interrupted: drained cleanly after step %d\n", sess.StepCount()-1)
+		return
 	}
 	fmt.Printf("\n%s\n", stats)
 	if *autoPartition {
 		// The settled decision: which P the online search chose, from
 		// which sampled bracket, and where the rows now live.
-		fmt.Print(runner.PartitionDecision())
-		fmt.Print(runner.ShardMap())
+		fmt.Print(sess.PartitionDecision())
+		fmt.Print(sess.ShardMap())
 	}
 	// The bit pattern is the cross-process equivalence check: a TCP run's
 	// final loss must equal the in-process reference exactly — with
-	// -auto-partition too, because resharding is lossless: the trajectory
-	// does not depend on the partition counts the probes visited.
+	// -auto-partition too (resharding is lossless), and across a
+	// checkpoint/resume split (restore is bit-identical).
 	fmt.Printf("final loss bits=%016x loss=%.17g\n", math.Float64bits(stats.LastLoss), stats.LastLoss)
 }

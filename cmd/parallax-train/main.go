@@ -1,18 +1,27 @@
 // Command parallax-train demonstrates real distributed training through
-// the public API: a small language model with a sparse embedding trains on
-// in-process workers under the hybrid architecture, printing the loss
-// curve and the per-variable synchronization plan.
+// the public Session API: a small language model with a sparse embedding
+// trains on in-process workers under the hybrid architecture, printing
+// the loss curve and the per-variable synchronization plan. Ctrl-C
+// drains the in-flight step and exits cleanly (writing a final
+// checkpoint when -checkpoint is set); -resume continues a checkpointed
+// run bit-identically.
 //
 // Usage:
 //
 //	parallax-train [-machines 2] [-gpus 2] [-vocab 2000] [-steps 100]
 //	               [-arch hybrid|ar|ps|optps] [-async] [-clip 5.0]
+//	               [-checkpoint dir [-resume]]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"parallax"
@@ -24,17 +33,25 @@ func main() {
 	gpus := flag.Int("gpus", 2, "GPUs per machine")
 	vocab := flag.Int("vocab", 2000, "vocabulary size")
 	batch := flag.Int("batch", 32, "batch size per GPU")
-	steps := flag.Int("steps", 100, "training steps")
+	steps := flag.Int("steps", 100, "run until this many total steps have completed (checkpointed steps included)")
 	archFlag := flag.String("arch", "hybrid", "architecture: hybrid|ar|ps|optps")
 	async := flag.Bool("async", false, "asynchronous PS updates")
 	clip := flag.Float64("clip", 0, "global-norm clip (0 = off)")
 	lr := flag.Float64("lr", 0.5, "learning rate")
+	ckpt := flag.String("checkpoint", "", "checkpoint directory: written on exit (normal completion or Ctrl-C drain)")
+	resume := flag.Bool("resume", false, "resume from -checkpoint instead of initializing")
 	flag.Parse()
 
 	arch := map[string]parallax.Arch{
 		"hybrid": parallax.Hybrid, "ar": parallax.AllReduceOnly,
 		"ps": parallax.PSOnly, "optps": parallax.OptimizedPS,
 	}[*archFlag]
+	if *resume && *ckpt == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	rng := parallax.NewRNG(42)
 	g := parallax.NewGraph()
@@ -54,31 +71,69 @@ func main() {
 	ds := data.NewZipfText(*vocab, *batch, 1, 1.0, 7)
 	alpha := parallax.MeasureAlpha(data.NewZipfText(*vocab, *batch, 1, 1.0, 7), *vocab, 5)
 
-	runner, err := parallax.GetRunner(g, resources, parallax.Config{
-		Arch:         arch,
-		NewOptimizer: func() parallax.Optimizer { return parallax.NewSGD(float32(*lr)) },
-		AlphaHint:    map[string]float64{"embedding": alpha},
-		Async:        *async,
-		ClipNorm:     *clip,
-	})
+	opts := []parallax.Option{
+		parallax.WithArch(arch),
+		parallax.WithOptimizer(func() parallax.Optimizer { return parallax.NewSGD(float32(*lr)) }),
+		parallax.WithAlphaHints(map[string]float64{"embedding": alpha}),
+		parallax.WithClipNorm(*clip),
+	}
+	if *async {
+		opts = append(opts, parallax.WithAsync())
+	}
+	var sess *parallax.Session
+	var err error
+	if *resume {
+		sess, err = parallax.OpenFromCheckpoint(ctx, *ckpt, g, resources, opts...)
+	} else {
+		sess, err = parallax.Open(ctx, g, resources, opts...)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer runner.Close()
-	fmt.Print(runner.Describe())
-	fmt.Printf("measured alpha(embedding) = %.4f, sparse partitions = %d\n\n",
-		alpha, runner.SparsePartitions())
+	defer sess.Close()
+	fmt.Print(sess.Describe())
+	fmt.Printf("measured alpha(embedding) = %.4f, sparse partitions = %d\n",
+		alpha, sess.SparsePartitions())
+	if *resume {
+		fmt.Printf("resumed from %s at step %d\n", *ckpt, sess.StepCount())
+	}
+	fmt.Println()
 
-	// The persistent runtime's loop driver: one endless stream, consumed
-	// as disjoint per-worker shards, with per-step metrics via the hook.
-	stats, err := runner.RunLoop(ds, *steps, func(s parallax.StepStats) {
-		if s.Step%10 == 0 || s.Step == *steps-1 {
-			fmt.Printf("step %4d  loss %.4f  (%v, %d KB pushed)\n",
-				s.Step, s.Loss, s.StepTime.Round(10*time.Microsecond), s.BytesPushed/1024)
+	if sess.StepCount() >= *steps {
+		fmt.Printf("nothing to do: checkpoint at step %d >= -steps %d\n", sess.StepCount(), *steps)
+		return
+	}
+
+	// The streaming step driver: one endless stream, consumed as disjoint
+	// per-worker shards, each iteration yielding the step's metrics.
+	var stats parallax.LoopStats
+	interrupted := false
+	for st, err := range sess.Steps(ctx, ds) {
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				interrupted = true
+				break
+			}
+			log.Fatal(err)
 		}
-	})
-	if err != nil {
-		log.Fatal(err)
+		stats.Observe(st)
+		if st.Step%10 == 0 || st.Step == *steps-1 {
+			fmt.Printf("step %4d  loss %.4f  (%v, %d KB pushed)\n",
+				st.Step, st.Loss, st.StepTime.Round(10*time.Microsecond), st.BytesPushed/1024)
+		}
+		if st.Step >= *steps-1 {
+			break
+		}
+	}
+	if *ckpt != "" {
+		if err := sess.Save(*ckpt); err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		fmt.Printf("checkpoint saved to %s at step %d\n", *ckpt, sess.StepCount())
+	}
+	if interrupted {
+		fmt.Printf("interrupted: drained cleanly after step %d\n", sess.StepCount()-1)
+		return
 	}
 	fmt.Printf("\n%s\n", stats)
 }

@@ -1,0 +1,28 @@
+package parallax
+
+import "parallax/internal/errs"
+
+// Sentinel errors of the public API. Every error the runtime returns
+// for one of these conditions wraps the corresponding sentinel, so
+// callers branch with errors.Is instead of matching message strings:
+//
+//	if errors.Is(err, parallax.ErrTopologyMismatch) { ... }
+var (
+	// ErrClosed marks an operation against a closed Session (or Runner):
+	// stepping, saving, or resharding after Close. It also surfaces when
+	// the wire transport shuts down underneath an in-flight
+	// parameter-server call.
+	ErrClosed = errs.ErrClosed
+
+	// ErrTopologyMismatch marks a disagreement between two descriptions
+	// of the cluster that must be identical: a transport fabric whose
+	// endpoint layout differs from the resource specification, or a
+	// checkpoint whose topology or plan fingerprint does not match the
+	// session being restored (different machine/GPU layout, different
+	// variables, different partitioning).
+	ErrTopologyMismatch = errs.ErrTopologyMismatch
+
+	// ErrCheckpointVersion marks a checkpoint file whose magic bytes or
+	// format version this build cannot read.
+	ErrCheckpointVersion = errs.ErrCheckpointVersion
+)

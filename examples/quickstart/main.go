@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,27 +36,34 @@ func main() {
 	proj := g.Variable("proj", rng.RandN(0.1, dim, vocab))
 	g.SoftmaxCE(g.MatMul(g.Gather(emb, tokens), proj), labels)
 
-	// 2. Transform for the cluster (Fig. 3 lines 19-22). GetRunner starts
+	// 2. Open a session for the cluster (Fig. 3 lines 19-22). Open starts
 	// the persistent runtime (worker goroutines + parameter servers);
-	// Close stops it.
-	runner, err := parallax.GetRunner(g, parallax.Uniform(2, 2), parallax.Config{})
+	// Close stops it. Options refine the default configuration.
+	ctx := context.Background()
+	sess, err := parallax.Open(ctx, g, parallax.Uniform(2, 2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer runner.Close()
-	fmt.Print(runner.Describe())
+	defer sess.Close()
+	fmt.Print(sess.Describe())
 
-	// 3. Train (Fig. 3 lines 24-25): RunLoop shards the stream across the
-	// workers and drives the synchronous steps, reporting per-step
-	// metrics to the hook.
-	stats, err := runner.RunLoop(data.NewZipfText(vocab, batch, 1, 1.0, 9), 30,
-		func(s parallax.StepStats) {
-			if s.Step%10 == 0 {
-				fmt.Printf("step %2d  loss %.4f\n", s.Step, s.Loss)
-			}
-		})
-	if err != nil {
-		log.Fatal(err)
+	// 3. Train (Fig. 3 lines 24-25): Steps shards the stream across the
+	// workers and streams one StepStats per synchronous step. The
+	// iterator is endless — break (or cancel ctx) when done. A
+	// sess.Save(dir) call here would checkpoint the job for a
+	// bit-identical resume via parallax.OpenFromCheckpoint.
+	var stats parallax.LoopStats
+	for st, err := range sess.Steps(ctx, data.NewZipfText(vocab, batch, 1, 1.0, 9)) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats.Observe(st)
+		if st.Step%10 == 0 {
+			fmt.Printf("step %2d  loss %.4f\n", st.Step, st.Loss)
+		}
+		if st.Step == 29 {
+			break
+		}
 	}
 	fmt.Println(stats)
 }

@@ -1,0 +1,443 @@
+// Package checkpoint is the versioned on-disk format behind the public
+// Session.Save / OpenFromCheckpoint API: a binary serialization of one
+// training job's full state — variable values, optimizer slot state,
+// the step counter, and the dataset cursor — sharded one file per
+// cluster machine, so every agent of a distributed run writes exactly
+// its own machine's state and a restore reassembles the job losslessly
+// (bit-identical resume, DESIGN.md §10).
+//
+// # On-disk layout
+//
+// A checkpoint is a directory holding one shard per machine,
+// machine-<m>.ckpt. Shard m carries the parameter-server partitions
+// machine m's server hosts; shard 0 additionally carries the
+// replica-managed (AllReduce / AllGatherv) variables, which are
+// bit-identical on every replica and therefore stored once. Every shard
+// repeats the job metadata (step, cursor, partition count, decision,
+// fingerprints), so each shard is self-validating.
+//
+// A shard file is little-endian binary, reusing the wire codec's
+// primitives (transport.AppendF32s / transport.Decoder — float payloads
+// are the same IEEE-754 bit patterns the TCP fabric frames, which is
+// what makes the save path serialize straight from snapshot tensors):
+//
+//	magic "PLXCKPT" | u8 version (=1)
+//	u32 machine | u32 machines | u64 step | u64 cursor | u32 parts
+//	u8 decision flags (bit0: search still pending) | str source
+//	str topoFP | str planFP
+//	u32 nrecords, each:
+//	  u8 kind (1 replica variable, 2 server partition)
+//	  str name | u32 part (kind 2; 0 otherwise)
+//	  u8 rank | rank × u32 dims
+//	  u32 n | n × f32            (value)
+//	  u32 nslots, each: str slot | u32 n | n × f32
+//
+// where str is u16 length + bytes. Decoding validates every declared
+// length against the remaining bytes before allocating, so truncated or
+// corrupt files yield errors, never panics (FuzzCheckpointDecode pins
+// this). An unrecognized magic or version fails with
+// errs.ErrCheckpointVersion; topology/plan fingerprint mismatches are
+// the caller's to check (errs.ErrTopologyMismatch).
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"parallax/internal/cluster"
+	"parallax/internal/core"
+	"parallax/internal/errs"
+	"parallax/internal/tensor"
+	"parallax/internal/transport"
+)
+
+// Version is the current checkpoint format version.
+const Version = 1
+
+// magic opens every shard file.
+var magic = [7]byte{'P', 'L', 'X', 'C', 'K', 'P', 'T'}
+
+// maxRank bounds a serialized tensor's rank (graphs here are rank ≤ 2;
+// the slack is format headroom, the bound is the decode-side guard).
+const maxRank = 8
+
+// RecordKind discriminates checkpoint records.
+type RecordKind uint8
+
+const (
+	// KindReplica is a replica-managed (AllReduce / AllGatherv) variable:
+	// the full value plus the replica optimizer's slot state, stored once
+	// in shard 0 because every replica holds identical bits.
+	KindReplica RecordKind = 1
+	// KindServerPart is one parameter-server partition hosted by this
+	// shard's machine: the partition value plus the server optimizer's
+	// slot state, both in partition-local row coordinates.
+	KindServerPart RecordKind = 2
+)
+
+// Meta is the job-level state every shard repeats.
+type Meta struct {
+	// Machine is this shard's machine index; Machines the cluster size.
+	Machine, Machines int
+	// Step is the number of completed training steps.
+	Step int64
+	// Cursor is the number of dataset batches the step driver has drawn
+	// (workers × steps for the built-in loop); restore fast-forwards an
+	// identically seeded dataset to it.
+	Cursor int64
+	// Parts is the sparse partition count in effect at save time —
+	// restore rebuilds the plan with exactly this count, even if the
+	// original run searched for it.
+	Parts int
+	// DecisionSource / DecisionPending record how Parts was chosen
+	// ("fixed", "simulated", "online") and whether an online search had
+	// not yet run at save time.
+	DecisionSource  string
+	DecisionPending bool
+	// TopoFP and PlanFP fingerprint the cluster layout and the
+	// synchronization plan; restore recomputes both and refuses a
+	// mismatch (errs.ErrTopologyMismatch).
+	TopoFP, PlanFP string
+}
+
+// Record is one variable's (or partition's) checkpoint payload.
+type Record struct {
+	Kind RecordKind
+	Name string
+	// Part is the partition index for KindServerPart records.
+	Part int
+	// Value is the stored tensor: the full variable for KindReplica, the
+	// partition rows for KindServerPart.
+	Value *tensor.Dense
+	// SlotNames/Slots carry the optimizer slot state in the optimizer's
+	// SlotState.Slots order; each slot tensor has Value's shape.
+	SlotNames []string
+	Slots     []*tensor.Dense
+}
+
+// TopoFingerprint renders the cluster layout (GPUs per machine, in
+// machine order) as a stable string.
+func TopoFingerprint(ri cluster.ResourceInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machines=%d gpus=", ri.NumMachines())
+	for m := 0; m < ri.NumMachines(); m++ {
+		if m > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", ri.GPUsPerMachine(m))
+	}
+	return b.String()
+}
+
+// PlanFingerprint hashes the synchronization plan — every variable's
+// name, method, kind, partition count, and partition→machine assignment
+// — so a restore into a session whose (deterministically rebuilt) plan
+// differs is rejected instead of silently mis-assembling state.
+func PlanFingerprint(p *core.Plan) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "arch=%v;", p.Arch)
+	for _, a := range p.Assignments {
+		fmt.Fprintf(h, "%s|%v|sparse=%t|dense=%t|parts=%d|servers=%v;",
+			a.Name, a.Method, a.Sparse, a.TreatAsDense, a.Partitions, a.Servers)
+	}
+	return fmt.Sprintf("fnv64a:%016x", h.Sum64())
+}
+
+func appendStr(b []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendTensor(b []byte, t *tensor.Dense) []byte {
+	shape := t.Shape()
+	b = append(b, byte(len(shape)))
+	for _, d := range shape {
+		b = binary.LittleEndian.AppendUint32(b, uint32(d))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(t.NumElements()))
+	return transport.AppendF32s(b, t.Data())
+}
+
+// Encode serializes one shard.
+func Encode(meta Meta, recs []Record) ([]byte, error) {
+	b := append([]byte(nil), magic[:]...)
+	b = append(b, Version)
+	b = binary.LittleEndian.AppendUint32(b, uint32(meta.Machine))
+	b = binary.LittleEndian.AppendUint32(b, uint32(meta.Machines))
+	b = binary.LittleEndian.AppendUint64(b, uint64(meta.Step))
+	b = binary.LittleEndian.AppendUint64(b, uint64(meta.Cursor))
+	b = binary.LittleEndian.AppendUint32(b, uint32(meta.Parts))
+	var flags byte
+	if meta.DecisionPending {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = appendStr(b, meta.DecisionSource)
+	b = appendStr(b, meta.TopoFP)
+	b = appendStr(b, meta.PlanFP)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(recs)))
+	for _, r := range recs {
+		if r.Kind != KindReplica && r.Kind != KindServerPart {
+			return nil, fmt.Errorf("checkpoint: record %q has unknown kind %d", r.Name, r.Kind)
+		}
+		if len(r.Value.Shape()) > maxRank {
+			return nil, fmt.Errorf("checkpoint: record %q has rank %d, format caps at %d",
+				r.Name, len(r.Value.Shape()), maxRank)
+		}
+		if len(r.Slots) != len(r.SlotNames) {
+			return nil, fmt.Errorf("checkpoint: record %q has %d slots for %d slot names",
+				r.Name, len(r.Slots), len(r.SlotNames))
+		}
+		b = append(b, byte(r.Kind))
+		b = appendStr(b, r.Name)
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.Part))
+		b = appendTensor(b, r.Value)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Slots)))
+		for k, s := range r.Slots {
+			if s.NumElements() != r.Value.NumElements() {
+				return nil, fmt.Errorf("checkpoint: record %q slot %q has %d elements, value has %d",
+					r.Name, r.SlotNames[k], s.NumElements(), r.Value.NumElements())
+			}
+			b = appendStr(b, r.SlotNames[k])
+			b = binary.LittleEndian.AppendUint32(b, uint32(s.NumElements()))
+			b = transport.AppendF32s(b, s.Data())
+		}
+	}
+	return b, nil
+}
+
+func decodeStr(d *transport.Decoder) (string, error) {
+	n, err := d.U16()
+	if err != nil {
+		return "", err
+	}
+	s, err := d.Bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(s), nil
+}
+
+func decodeTensor(d *transport.Decoder) (*tensor.Dense, error) {
+	rank, err := d.U8()
+	if err != nil {
+		return nil, err
+	}
+	if rank == 0 || rank > maxRank {
+		return nil, fmt.Errorf("checkpoint: tensor rank %d outside [1,%d]", rank, maxRank)
+	}
+	shape := make([]int, rank)
+	elems := uint64(1)
+	for i := range shape {
+		dim, err := d.U32()
+		if err != nil {
+			return nil, err
+		}
+		// Overflow-guard the product: a crafted shape like [2³²−1, 2³²−1, k]
+		// must not wrap to a small element count and slip past the
+		// cross-check below.
+		if dim != 0 && elems > math.MaxUint64/uint64(dim) {
+			return nil, fmt.Errorf("checkpoint: tensor shape %v overflows element count", shape[:i+1])
+		}
+		shape[i] = int(dim)
+		elems *= uint64(dim)
+	}
+	n, err := d.Count(4) // rejects counts that cannot fit the remaining bytes
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) != elems {
+		return nil, fmt.Errorf("checkpoint: tensor declares %d elements, shape %v has %d", n, shape, elems)
+	}
+	t := tensor.NewDense(shape...)
+	if err := d.F32s(n, t.Data()); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Decode parses one shard. Malformed input returns an error — wrapping
+// errs.ErrCheckpointVersion when the magic or format version is not
+// ours — and never panics.
+func Decode(b []byte) (Meta, []Record, error) {
+	var meta Meta
+	d := transport.NewDecoder(b)
+	head, err := d.Bytes(len(magic) + 1)
+	if err != nil {
+		return meta, nil, fmt.Errorf("checkpoint: %w: file too short for header", errs.ErrCheckpointVersion)
+	}
+	if [7]byte(head[:7]) != magic {
+		return meta, nil, fmt.Errorf("checkpoint: %w: bad magic", errs.ErrCheckpointVersion)
+	}
+	if head[7] != Version {
+		return meta, nil, fmt.Errorf("checkpoint: %w: file version %d, this build reads %d",
+			errs.ErrCheckpointVersion, head[7], Version)
+	}
+	machine, err := d.U32()
+	if err != nil {
+		return meta, nil, err
+	}
+	machines, err := d.U32()
+	if err != nil {
+		return meta, nil, err
+	}
+	step, err := d.U64()
+	if err != nil {
+		return meta, nil, err
+	}
+	cursor, err := d.U64()
+	if err != nil {
+		return meta, nil, err
+	}
+	parts, err := d.U32()
+	if err != nil {
+		return meta, nil, err
+	}
+	flags, err := d.U8()
+	if err != nil {
+		return meta, nil, err
+	}
+	meta.Machine, meta.Machines = int(machine), int(machines)
+	meta.Step, meta.Cursor = int64(step), int64(cursor)
+	meta.Parts = int(parts)
+	meta.DecisionPending = flags&1 != 0
+	if meta.DecisionSource, err = decodeStr(d); err != nil {
+		return meta, nil, err
+	}
+	if meta.TopoFP, err = decodeStr(d); err != nil {
+		return meta, nil, err
+	}
+	if meta.PlanFP, err = decodeStr(d); err != nil {
+		return meta, nil, err
+	}
+	nrecs, err := d.Count(1)
+	if err != nil {
+		return meta, nil, err
+	}
+	recs := make([]Record, 0, nrecs)
+	for i := 0; i < nrecs; i++ {
+		var r Record
+		kind, err := d.U8()
+		if err != nil {
+			return meta, nil, err
+		}
+		r.Kind = RecordKind(kind)
+		if r.Kind != KindReplica && r.Kind != KindServerPart {
+			return meta, nil, fmt.Errorf("checkpoint: record %d has unknown kind %d", i, kind)
+		}
+		if r.Name, err = decodeStr(d); err != nil {
+			return meta, nil, err
+		}
+		part, err := d.U32()
+		if err != nil {
+			return meta, nil, err
+		}
+		r.Part = int(part)
+		if r.Value, err = decodeTensor(d); err != nil {
+			return meta, nil, err
+		}
+		nslots, err := d.Count(1)
+		if err != nil {
+			return meta, nil, err
+		}
+		for k := 0; k < nslots; k++ {
+			name, err := decodeStr(d)
+			if err != nil {
+				return meta, nil, err
+			}
+			n, err := d.Count(4)
+			if err != nil {
+				return meta, nil, err
+			}
+			if n != r.Value.NumElements() {
+				return meta, nil, fmt.Errorf("checkpoint: record %q slot %q has %d elements, value has %d",
+					r.Name, name, n, r.Value.NumElements())
+			}
+			s := tensor.NewDense(r.Value.Shape()...)
+			if err := d.F32s(n, s.Data()); err != nil {
+				return meta, nil, err
+			}
+			r.SlotNames = append(r.SlotNames, name)
+			r.Slots = append(r.Slots, s)
+		}
+		recs = append(recs, r)
+	}
+	if d.Remaining() != 0 {
+		return meta, nil, fmt.Errorf("checkpoint: %d trailing bytes after last record", d.Remaining())
+	}
+	return meta, recs, nil
+}
+
+// ShardPath returns machine m's shard file inside a checkpoint
+// directory.
+func ShardPath(dir string, machine int) string {
+	return filepath.Join(dir, fmt.Sprintf("machine-%d.ckpt", machine))
+}
+
+// WriteShard atomically writes meta.Machine's shard under dir (created
+// if missing): the bytes land in a temp file first and are renamed into
+// place, so a crash mid-save never leaves a truncated shard behind.
+func WriteShard(dir string, meta Meta, recs []Record) error {
+	b, err := Encode(meta, recs)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := ShardPath(dir, meta.Machine)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	// Sync before the rename: without it the rename can become durable
+	// before the data blocks, and a crash would leave a truncated shard
+	// under the final name — the torn save the temp-file dance exists to
+	// prevent.
+	if _, err := tmp.Write(b); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Make the rename itself durable.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadShard reads and decodes machine m's shard from dir.
+func ReadShard(dir string, machine int) (Meta, []Record, error) {
+	b, err := os.ReadFile(ShardPath(dir, machine))
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	meta, recs, err := Decode(b)
+	if err != nil {
+		return meta, recs, fmt.Errorf("%s: %w", ShardPath(dir, machine), err)
+	}
+	if meta.Machine != machine {
+		return meta, recs, fmt.Errorf("checkpoint: %s claims machine %d", ShardPath(dir, machine), meta.Machine)
+	}
+	return meta, recs, nil
+}

@@ -1,0 +1,171 @@
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"os"
+	"testing"
+
+	"parallax/internal/cluster"
+	"parallax/internal/core"
+	"parallax/internal/errs"
+	"parallax/internal/tensor"
+)
+
+func sampleShard() (Meta, []Record) {
+	meta := Meta{
+		Machine: 1, Machines: 2, Step: 7, Cursor: 28, Parts: 3,
+		DecisionSource: "online",
+		TopoFP:         "machines=2 gpus=2,2",
+		PlanFP:         "fnv64a:0123456789abcdef",
+	}
+	val := tensor.NewDense(4, 3)
+	slot := tensor.NewDense(4, 3)
+	for i := range val.Data() {
+		val.Data()[i] = float32(i) * 0.5
+		slot.Data()[i] = -float32(i)
+	}
+	bias := tensor.NewDense(5)
+	for i := range bias.Data() {
+		bias.Data()[i] = float32(math.Pi) * float32(i)
+	}
+	return meta, []Record{
+		{Kind: KindServerPart, Name: "embedding", Part: 2, Value: val,
+			SlotNames: []string{"velocity"}, Slots: []*tensor.Dense{slot}},
+		{Kind: KindReplica, Name: "softmax/bias", Value: bias},
+	}
+}
+
+// TestEncodeDecodeRoundTrip: a shard survives the codec bit-for-bit —
+// metadata, shapes, values, and slot state.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	meta, recs := sampleShard()
+	b, err := Encode(meta, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, gotRecs, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta = %+v, want %+v", gotMeta, meta)
+	}
+	if len(gotRecs) != len(recs) {
+		t.Fatalf("%d records, want %d", len(gotRecs), len(recs))
+	}
+	for i, want := range recs {
+		got := gotRecs[i]
+		if got.Kind != want.Kind || got.Name != want.Name || got.Part != want.Part {
+			t.Fatalf("record %d header %+v, want %+v", i, got, want)
+		}
+		for j, v := range want.Value.Data() {
+			if math.Float32bits(got.Value.Data()[j]) != math.Float32bits(v) {
+				t.Fatalf("record %d value[%d] = %x, want %x", i, j,
+					math.Float32bits(got.Value.Data()[j]), math.Float32bits(v))
+			}
+		}
+		if len(got.Slots) != len(want.Slots) {
+			t.Fatalf("record %d has %d slots, want %d", i, len(got.Slots), len(want.Slots))
+		}
+		for k := range want.Slots {
+			if got.SlotNames[k] != want.SlotNames[k] {
+				t.Fatalf("record %d slot %d named %q, want %q", i, k, got.SlotNames[k], want.SlotNames[k])
+			}
+			for j, v := range want.Slots[k].Data() {
+				if math.Float32bits(got.Slots[k].Data()[j]) != math.Float32bits(v) {
+					t.Fatalf("record %d slot %d[%d] mismatch", i, k, j)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption: every truncation of a valid shard and the
+// classic corruptions (bad magic, future version, trailing garbage) are
+// errors, not panics; version problems match errs.ErrCheckpointVersion.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	meta, recs := sampleShard()
+	b, err := Encode(meta, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(b); n++ {
+		if _, _, err := Decode(b[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded successfully", n, len(b))
+		}
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] = 'X'
+	if _, _, err := Decode(bad); !errors.Is(err, errs.ErrCheckpointVersion) {
+		t.Fatalf("bad magic error = %v, want ErrCheckpointVersion", err)
+	}
+	bad = append([]byte(nil), b...)
+	bad[7] = Version + 1
+	if _, _, err := Decode(bad); !errors.Is(err, errs.ErrCheckpointVersion) {
+		t.Fatalf("future version error = %v, want ErrCheckpointVersion", err)
+	}
+	if _, _, err := Decode(append(append([]byte(nil), b...), 0xEE)); err == nil {
+		t.Fatal("trailing byte decoded successfully")
+	}
+}
+
+// TestWriteReadShard covers the file layer: atomic write, path scheme,
+// machine cross-check.
+func TestWriteReadShard(t *testing.T) {
+	dir := t.TempDir()
+	meta, recs := sampleShard()
+	if err := WriteShard(dir, meta, recs); err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, gotRecs, err := ReadShard(dir, meta.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta || len(gotRecs) != len(recs) {
+		t.Fatalf("read back %+v / %d records", gotMeta, len(gotRecs))
+	}
+	if _, _, err := ReadShard(dir, 0); !os.IsNotExist(errUnwrapAll(err)) {
+		t.Fatalf("missing shard error = %v", err)
+	}
+	// A shard renamed to the wrong machine slot is rejected.
+	if err := os.Rename(ShardPath(dir, meta.Machine), ShardPath(dir, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadShard(dir, 0); err == nil {
+		t.Fatal("mis-slotted shard read successfully")
+	}
+}
+
+func errUnwrapAll(err error) error {
+	for {
+		u := errors.Unwrap(err)
+		if u == nil {
+			return err
+		}
+		err = u
+	}
+}
+
+// TestFingerprintsDiscriminate: the fingerprints change exactly when the
+// topology or the plan changes.
+func TestFingerprintsDiscriminate(t *testing.T) {
+	if TopoFingerprint(cluster.Uniform(2, 2)) == TopoFingerprint(cluster.Uniform(2, 3)) {
+		t.Fatal("topology fingerprint ignores GPU count")
+	}
+	if TopoFingerprint(cluster.Uniform(2, 2)) != TopoFingerprint(cluster.Uniform(2, 2)) {
+		t.Fatal("topology fingerprint unstable")
+	}
+	mk := func(parts int) *core.Plan {
+		return &core.Plan{Arch: core.ArchHybrid, Assignments: []core.Assignment{
+			{VarInfo: core.VarInfo{Name: "emb", Sparse: true},
+				Method: core.MethodPS, Partitions: parts, Servers: make([]int, parts)},
+		}}
+	}
+	if PlanFingerprint(mk(2)) == PlanFingerprint(mk(3)) {
+		t.Fatal("plan fingerprint ignores partition count")
+	}
+	if PlanFingerprint(mk(2)) != PlanFingerprint(mk(2)) {
+		t.Fatal("plan fingerprint unstable")
+	}
+}

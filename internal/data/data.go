@@ -33,6 +33,36 @@ type Dataset interface {
 	BatchTokens() int
 }
 
+// Resumable is a Dataset whose read position can be captured and
+// restored — the dataset half of checkpoint/resume. The cursor is the
+// number of batches drawn so far; restoring a job fast-forwards an
+// identically constructed dataset to the saved cursor, after which the
+// stream continues bit-identically to the uninterrupted run. Datasets
+// without the interface are resumed by drawing and discarding batches,
+// which is equivalent but pays the allocation; Seek exists to skip the
+// batch assembly.
+type Resumable interface {
+	Dataset
+	// Cursor returns the number of batches drawn so far.
+	Cursor() int64
+	// Seek advances the stream to an absolute cursor. Rewinding is not
+	// supported (the generators are forward-only): seeking before the
+	// current cursor is an error.
+	SeekBatch(cursor int64) error
+}
+
+// FastForward advances ds to the given cursor: through Seek when the
+// dataset is Resumable, by drawing and discarding batches otherwise.
+func FastForward(ds Dataset, cursor int64) error {
+	if r, ok := ds.(Resumable); ok {
+		return r.SeekBatch(cursor)
+	}
+	for i := int64(0); i < cursor; i++ {
+		ds.Next()
+	}
+	return nil
+}
+
 // ZipfText generates token batches with Zipf-distributed ids over a fixed
 // vocabulary: rank-r word has probability ∝ 1/(r+q)^s.
 type ZipfText struct {
@@ -42,6 +72,7 @@ type ZipfText struct {
 	rng       *tensor.RNG
 	cum       []float64 // cumulative distribution over vocabulary ranks
 	perm      []int     // rank -> token id shuffle, so hot ids are spread out
+	drawn     int64     // batches drawn (the resume cursor)
 	labelSkew bool
 }
 
@@ -92,7 +123,28 @@ func (z *ZipfText) Next() Batch {
 		b.Tokens[i] = z.sample()
 		b.Labels[i] = z.sample()
 	}
+	z.drawn++
 	return b
+}
+
+// Cursor implements Resumable.
+func (z *ZipfText) Cursor() int64 { return z.drawn }
+
+// SeekBatch implements Resumable: the generator replays exactly the sample
+// draws the skipped batches would have made (without assembling them),
+// so the stream after Seek is bit-identical to one that actually drew
+// every batch.
+func (z *ZipfText) SeekBatch(cursor int64) error {
+	if cursor < z.drawn {
+		return fmt.Errorf("data: seek to batch %d behind cursor %d (forward-only stream)", cursor, z.drawn)
+	}
+	samples := 2 * z.batch * z.seqLen // tokens + labels per batch
+	for ; z.drawn < cursor; z.drawn++ {
+		for i := 0; i < samples; i++ {
+			z.sample()
+		}
+	}
+	return nil
 }
 
 // BatchTokens implements Dataset.
@@ -122,6 +174,7 @@ type Shard struct {
 	base    Dataset
 	worker  int
 	workers int
+	drawn   int64
 	started bool
 }
 
@@ -145,11 +198,30 @@ func (s *Shard) Next() Batch {
 			s.base.Next()
 		}
 	}
+	s.drawn++
 	return s.base.Next()
 }
 
 // BatchTokens implements Dataset.
 func (s *Shard) BatchTokens() int { return s.base.BatchTokens() }
+
+// Cursor implements Resumable: the number of shard batches this worker
+// has drawn (not the base stream's position).
+func (s *Shard) Cursor() int64 { return s.drawn }
+
+// SeekBatch implements Resumable by drawing and discarding shard batches,
+// which keeps the skip arithmetic (including the first-call offset) in
+// one place; the base dataset's own Seek cannot be used directly
+// because the shard interleaves skips with reads.
+func (s *Shard) SeekBatch(cursor int64) error {
+	if cursor < s.drawn {
+		return fmt.Errorf("data: seek to batch %d behind cursor %d (forward-only stream)", cursor, s.drawn)
+	}
+	for s.drawn < cursor {
+		s.Next()
+	}
+	return nil
+}
 
 // Images generates synthetic image-classification batches: feature tensors
 // plus labels, for the dense-model examples.

@@ -1,0 +1,27 @@
+// Package errs holds the sentinel errors shared across the runtime
+// layers and re-exported by the public parallax package. Internal
+// packages wrap them with fmt.Errorf("...: %w", errs.ErrX) so callers
+// match conditions with errors.Is instead of string comparison — the
+// contract the public Session API documents.
+package errs
+
+import "errors"
+
+var (
+	// ErrClosed marks an operation against a closed session, trainer, or
+	// transport fabric: stepping after Close, saving a checkpoint from a
+	// closed session, a parameter-server round trip whose fabric shut
+	// down mid-call.
+	ErrClosed = errors.New("closed")
+
+	// ErrTopologyMismatch marks a disagreement between two descriptions
+	// of the cluster that must be identical: a transport fabric whose
+	// endpoint layout differs from the resource specification, or a
+	// checkpoint whose topology/plan fingerprints do not match the
+	// session being restored.
+	ErrTopologyMismatch = errors.New("topology mismatch")
+
+	// ErrCheckpointVersion marks a checkpoint file whose magic or format
+	// version this build cannot read.
+	ErrCheckpointVersion = errors.New("unsupported checkpoint version")
+)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"parallax/internal/errs"
 	"parallax/internal/tensor"
 	"parallax/internal/transport"
 )
@@ -56,8 +57,9 @@ func NewClient(t transport.Conduit, server int) *Client {
 	return &Client{t: t, server: server}
 }
 
-// errClosed is returned when the fabric shut down mid-call.
-var errClosed = errors.New("psrt: transport closed")
+// errClosed is returned when the fabric shut down mid-call; it wraps
+// the shared sentinel so callers can match it with errors.Is.
+var errClosed = fmt.Errorf("psrt: transport %w", errs.ErrClosed)
 
 func (c *Client) call(req *transport.PSMsg) (*transport.PSMsg, error) {
 	c.t.SendPS(c.server, Tag, req)

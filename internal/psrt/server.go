@@ -539,6 +539,16 @@ func (s *Server) Version(name string, pi int) (int64, error) {
 	return p.version, nil
 }
 
+// SlotNames returns the server optimizer's slot names in SlotState
+// order (empty for stateless optimizers) — the labels SnapshotPart's
+// slot tensors carry in a checkpoint.
+func (s *Server) SlotNames() []string {
+	if ss, ok := s.cfg.Optimizer.(optim.SlotState); ok {
+		return ss.Slots()
+	}
+	return nil
+}
+
 // SnapshotPart returns copies of one partition's value and of its
 // optimizer slot state, once the partition's version reaches minVersion —
 // the gather phase of live resharding (DESIGN.md §9). The slot tensors

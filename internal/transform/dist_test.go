@@ -10,6 +10,8 @@ package transform
 // cmd/parallax-agent.
 
 import (
+	"context"
+	"errors"
 	"math"
 	"net"
 	"runtime"
@@ -20,6 +22,7 @@ import (
 
 	"parallax/internal/cluster"
 	"parallax/internal/core"
+	"parallax/internal/errs"
 	"parallax/internal/models"
 	"parallax/internal/optim"
 	"parallax/internal/transport"
@@ -45,7 +48,7 @@ func dialTestFabrics(t *testing.T, topo transport.Topology) [2]*transport.TCP {
 			if p == 0 {
 				cfg.Listener = ln0
 			}
-			fabs[p], errs[p] = transport.DialTCP(cfg)
+			fabs[p], errs[p] = transport.DialTCP(context.Background(), cfg)
 		}(p)
 	}
 	wg.Wait()
@@ -270,6 +273,14 @@ func TestCloseIdempotentNoLeaks(t *testing.T) {
 	}
 	tr.Close()
 	tr.Close()
+	// A step against the closed trainer fails fast with the typed
+	// sentinel instead of panicking on a closed channel.
+	if _, err := tr.Step(feeds); !errors.Is(err, errs.ErrClosed) {
+		t.Fatalf("step after Close: err = %v, want errs.ErrClosed", err)
+	}
+	if err := tr.Repartition(nil); !errors.Is(err, errs.ErrClosed) {
+		t.Fatalf("repartition after Close: err = %v, want errs.ErrClosed", err)
+	}
 	waitGoroutines(t, base)
 }
 
@@ -289,7 +300,7 @@ func TestNewFailsCleanlyOnConduitFailure(t *testing.T) {
 	}
 	dead := ln.Addr().String()
 	ln.Close()
-	_, err = transport.DialTCP(transport.TCPConfig{
+	_, err = transport.DialTCP(context.Background(), transport.TCPConfig{
 		Topo:        transport.Topology{Workers: 4, Machines: 2, MachineOfWorker: ri.WorkerMachines()},
 		Process:     1,
 		Addrs:       []string{dead, "127.0.0.1:0"},
@@ -308,8 +319,8 @@ func TestNewFailsCleanlyOnConduitFailure(t *testing.T) {
 		NewOptimizer: func() optim.Optimizer { return optim.NewSGD(0.2) },
 		Fabric:       fab,
 	})
-	if err == nil || !strings.Contains(err.Error(), "fabric topology") {
-		t.Fatalf("topology error = %v", err)
+	if !errors.Is(err, errs.ErrTopologyMismatch) {
+		t.Fatalf("topology error = %v, want errs.ErrTopologyMismatch", err)
 	}
 	waitGoroutines(t, base)
 }

@@ -66,6 +66,7 @@ import (
 	"parallax/internal/cluster"
 	"parallax/internal/collective"
 	"parallax/internal/core"
+	"parallax/internal/errs"
 	"parallax/internal/graph"
 	"parallax/internal/optim"
 	"parallax/internal/psrt"
@@ -320,6 +321,7 @@ type Trainer struct {
 	lastPhase PhaseStats
 
 	closeOnce sync.Once
+	closed    atomic.Bool
 	step      int
 }
 
@@ -327,22 +329,31 @@ type Trainer struct {
 // starts its persistent runtime. Call Close to stop the goroutines when
 // the trainer is no longer needed.
 func New(g *graph.Graph, opts Options) (*Trainer, error) {
-	if opts.Plan == nil {
-		return nil, fmt.Errorf("transform: nil plan")
-	}
-	if err := opts.Resource.Validate(); err != nil {
+	// The trainer owns opts.Fabric from the moment New is called —
+	// including these pre-build validations: a caller that dialed a TCP
+	// fabric must not be left holding live sockets after a failed New.
+	failEarly := func(err error) (*Trainer, error) {
+		if opts.Fabric != nil {
+			opts.Fabric.Close()
+		}
 		return nil, err
 	}
+	if opts.Plan == nil {
+		return failEarly(fmt.Errorf("transform: nil plan"))
+	}
+	if err := opts.Resource.Validate(); err != nil {
+		return failEarly(err)
+	}
 	if opts.NewOptimizer == nil {
-		return nil, fmt.Errorf("transform: NewOptimizer is required")
+		return failEarly(fmt.Errorf("transform: NewOptimizer is required"))
 	}
 	vars := g.Variables()
 	if len(opts.Plan.Assignments) != len(vars) {
-		return nil, fmt.Errorf("transform: plan has %d assignments for %d variables",
-			len(opts.Plan.Assignments), len(vars))
+		return failEarly(fmt.Errorf("transform: plan has %d assignments for %d variables",
+			len(opts.Plan.Assignments), len(vars)))
 	}
 	if opts.Plan.Arch == core.ArchAR && opts.Async {
-		return nil, fmt.Errorf("transform: async training requires PS-managed variables")
+		return failEarly(fmt.Errorf("transform: async training requires PS-managed variables"))
 	}
 
 	workers := opts.Resource.TotalGPUs()
@@ -363,16 +374,16 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 		return nil, err
 	}
 	if ft := fab.Topology(); ft.Workers != workers || ft.Machines != machines {
-		return fail(fmt.Errorf("transform: fabric topology %d workers / %d machines, cluster has %d / %d",
-			ft.Workers, ft.Machines, workers, machines))
+		return fail(fmt.Errorf("transform: %w: fabric topology %d workers / %d machines, cluster has %d / %d",
+			errs.ErrTopologyMismatch, ft.Workers, ft.Machines, workers, machines))
 	} else if ft.MachineOfWorker != nil {
 		// The worker→machine layout must agree too: slots, pull routing,
 		// and serving loops all assume fabric locality matches the
 		// resource layout.
 		for w, m := range topo.MachineOfWorker {
 			if ft.MachineOfWorker[w] != m {
-				return fail(fmt.Errorf("transform: fabric places worker %d on machine %d, cluster on %d",
-					w, ft.MachineOfWorker[w], m))
+				return fail(fmt.Errorf("transform: %w: fabric places worker %d on machine %d, cluster on %d",
+					errs.ErrTopologyMismatch, w, ft.MachineOfWorker[w], m))
 			}
 		}
 	}
@@ -786,6 +797,7 @@ func (t *Trainer) Buckets() int { return len(t.buckets) }
 // Close is idempotent.
 func (t *Trainer) Close() {
 	t.closeOnce.Do(func() {
+		t.closed.Store(true)
 		if t.dist {
 			done := make(chan struct{})
 			go func() {
@@ -874,6 +886,9 @@ func (t *Trainer) Close() {
 // that. Repartition must not run concurrently with Step; on error the
 // cluster fail-stops like a failed step.
 func (t *Trainer) Repartition(newPlan *core.Plan) error {
+	if t.closed.Load() {
+		return fmt.Errorf("transform: repartition on %w trainer", errs.ErrClosed)
+	}
 	if newPlan == nil {
 		return fmt.Errorf("transform: repartition with nil plan")
 	}
@@ -1022,6 +1037,32 @@ func (t *Trainer) repartitionBarrier(tag string) {
 // processes. Single-process trainers return the value unchanged. Must
 // not run concurrently with Step.
 func (t *Trainer) AgreeScalarMax(v float64) float64 {
+	return t.agreeMax("tune", v)
+}
+
+// AgreeStop folds a local stop request (a cancelled context) into a
+// cluster-wide decision: true as soon as ANY agent wants to stop, and
+// identical on every agent — the property that lets a graceful
+// cancellation end every agent's step loop at the same boundary instead
+// of leaving peers blocked mid-collective against ranks that will never
+// dispatch again. Single-process trainers return the local flag
+// unchanged. Every agent must call it at the same points (the session
+// driver calls it once per step when its context is cancellable); it
+// must not run concurrently with Step.
+func (t *Trainer) AgreeStop(stop bool) bool {
+	if !t.dist {
+		return stop
+	}
+	v := 0.0
+	if stop {
+		v = 1
+	}
+	return t.agreeMax("stop", v) >= 1
+}
+
+// agreeMax all-gathers one scalar per worker in rank order under tag
+// and folds the cluster-wide maximum, bitwise identical on every agent.
+func (t *Trainer) agreeMax(tag string, v float64) float64 {
 	if !t.dist {
 		return v
 	}
@@ -1030,7 +1071,7 @@ func (t *Trainer) AgreeScalarMax(v float64) float64 {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			t.replicas[w].GatherScalars("tune", v, t.lossGather[w])
+			t.replicas[w].GatherScalars(tag, v, t.lossGather[w])
 		}(w)
 	}
 	wg.Wait()
@@ -1098,6 +1139,9 @@ func (t *Trainer) pullLoop(w, m int) {
 // started by New; it must not be called concurrently with itself or
 // after Close.
 func (t *Trainer) Step(feeds []graph.Feed) (float64, error) {
+	if t.closed.Load() {
+		return 0, fmt.Errorf("transform: step on %w trainer", errs.ErrClosed)
+	}
 	if len(feeds) != t.workers {
 		return 0, fmt.Errorf("transform: %d feeds for %d workers", len(feeds), t.workers)
 	}

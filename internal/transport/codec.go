@@ -50,10 +50,11 @@ func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUin
 func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
 func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
 
-// appendF32s bulk-encodes a float chunk: grow once, then write with
-// direct indexing — this is the multi-MB fusion-bucket path, so no
-// per-element append bookkeeping.
-func appendF32s(b []byte, data []float32) []byte {
+// AppendF32s bulk-encodes a float chunk as IEEE-754 little-endian bit
+// patterns: grow once, then write with direct indexing — this is the
+// multi-MB fusion-bucket path, so no per-element append bookkeeping.
+// Exported for internal/checkpoint, which shares the wire encoding.
+func AppendF32s(b []byte, data []float32) []byte {
 	off := len(b)
 	b = slices.Grow(b, 4*len(data))[:off+4*len(data)]
 	for i, v := range data {
@@ -77,7 +78,7 @@ func appendMessage(b []byte, src, dst int, m message) []byte {
 	switch m.kind {
 	case kindF32:
 		b = appendU32(b, uint32(len(m.f32)))
-		b = appendF32s(b, m.f32)
+		b = AppendF32s(b, m.f32)
 	case kindScalar:
 		b = appendU64(b, math.Float64bits(m.scalar))
 	case kindSparse:
@@ -98,7 +99,7 @@ func appendSparse(b []byte, s *tensor.Sparse) []byte {
 	for _, r := range s.Rows {
 		b = appendU32(b, uint32(r))
 	}
-	return appendF32s(b, s.Values.Data())
+	return AppendF32s(b, s.Values.Data())
 }
 
 func appendPS(b []byte, m *PSMsg) []byte {
@@ -127,7 +128,7 @@ func appendPS(b []byte, m *PSMsg) []byte {
 	b = appendU16(b, uint16(len(m.Dense)))
 	for _, d := range m.Dense {
 		b = appendU32(b, uint32(d.NumElements()))
-		b = appendF32s(b, d.Data())
+		b = AppendF32s(b, d.Data())
 	}
 	b = appendU16(b, uint16(len(m.Sparse)))
 	for _, s := range m.Sparse {
@@ -136,72 +137,86 @@ func appendPS(b []byte, m *PSMsg) []byte {
 	return b
 }
 
-// decoder walks a payload slice with bounds checking.
-type decoder struct {
+// Decoder walks a binary payload slice with bounds checking: every
+// declared length is validated against the remaining bytes before any
+// allocation, so truncated or hostile input yields an error, never a
+// panic or an unbounded allocation. It decodes the wire frames here and
+// is reused by internal/checkpoint for the on-disk checkpoint format.
+type Decoder struct {
 	b   []byte
 	off int
 }
 
-func (d *decoder) remaining() int { return len(d.b) - d.off }
+// NewDecoder returns a Decoder positioned at the start of b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
 
-func (d *decoder) bytes(n int) ([]byte, error) {
-	if n < 0 || d.remaining() < n {
-		return nil, fmt.Errorf("transport: frame truncated: want %d bytes, have %d", n, d.remaining())
+// Remaining returns how many undecoded bytes are left.
+func (d *Decoder) Remaining() int { return len(d.b) - d.off }
+
+// Bytes consumes and returns the next n bytes (a view, not a copy).
+func (d *Decoder) Bytes(n int) ([]byte, error) {
+	if n < 0 || d.Remaining() < n {
+		return nil, fmt.Errorf("transport: frame truncated: want %d bytes, have %d", n, d.Remaining())
 	}
 	s := d.b[d.off : d.off+n]
 	d.off += n
 	return s, nil
 }
 
-func (d *decoder) u8() (byte, error) {
-	s, err := d.bytes(1)
+// U8 consumes one byte.
+func (d *Decoder) U8() (byte, error) {
+	s, err := d.Bytes(1)
 	if err != nil {
 		return 0, err
 	}
 	return s[0], nil
 }
 
-func (d *decoder) u16() (uint16, error) {
-	s, err := d.bytes(2)
+// U16 consumes a little-endian uint16.
+func (d *Decoder) U16() (uint16, error) {
+	s, err := d.Bytes(2)
 	if err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint16(s), nil
 }
 
-func (d *decoder) u32() (uint32, error) {
-	s, err := d.bytes(4)
+// U32 consumes a little-endian uint32.
+func (d *Decoder) U32() (uint32, error) {
+	s, err := d.Bytes(4)
 	if err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint32(s), nil
 }
 
-func (d *decoder) u64() (uint64, error) {
-	s, err := d.bytes(8)
+// U64 consumes a little-endian uint64.
+func (d *Decoder) U64() (uint64, error) {
+	s, err := d.Bytes(8)
 	if err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint64(s), nil
 }
 
-// count reads a u32 element count and rejects values that could not fit
+// Count reads a u32 element count and rejects values that could not fit
 // in the remaining bytes at elemSize bytes each — the oversized-frame
 // guard that keeps a hostile length field from driving a huge
 // allocation.
-func (d *decoder) count(elemSize int) (int, error) {
-	n, err := d.u32()
+func (d *Decoder) Count(elemSize int) (int, error) {
+	n, err := d.U32()
 	if err != nil {
 		return 0, err
 	}
-	if uint64(n)*uint64(elemSize) > uint64(d.remaining()) {
-		return 0, fmt.Errorf("transport: frame declares %d elements, only %d bytes remain", n, d.remaining())
+	if uint64(n)*uint64(elemSize) > uint64(d.Remaining()) {
+		return 0, fmt.Errorf("transport: frame declares %d elements, only %d bytes remain", n, d.Remaining())
 	}
 	return int(n), nil
 }
 
-func (d *decoder) f32s(n int, dst []float32) error {
-	s, err := d.bytes(n * 4)
+// F32s consumes n little-endian float32 values into dst.
+func (d *Decoder) F32s(n int, dst []float32) error {
+	s, err := d.Bytes(n * 4)
 	if err != nil {
 		return err
 	}
@@ -216,24 +231,24 @@ func (d *decoder) f32s(n int, dst []float32) error {
 // freshly allocated and owned by the receiver. Trailing bytes after the
 // body are an error: frames are canonical.
 func decodeMessage(b []byte, pool *bufPool) (src, dst int, m message, err error) {
-	d := &decoder{b: b}
-	s16, err := d.u16()
+	d := NewDecoder(b)
+	s16, err := d.U16()
 	if err != nil {
 		return 0, 0, m, err
 	}
-	d16, err := d.u16()
+	d16, err := d.U16()
 	if err != nil {
 		return 0, 0, m, err
 	}
-	k, err := d.u8()
+	k, err := d.U8()
 	if err != nil {
 		return 0, 0, m, err
 	}
-	tagLen, err := d.u8()
+	tagLen, err := d.U8()
 	if err != nil {
 		return 0, 0, m, err
 	}
-	tag, err := d.bytes(int(tagLen))
+	tag, err := d.Bytes(int(tagLen))
 	if err != nil {
 		return 0, 0, m, err
 	}
@@ -241,18 +256,18 @@ func decodeMessage(b []byte, pool *bufPool) (src, dst int, m message, err error)
 	m.kind = kind(k)
 	switch m.kind {
 	case kindF32:
-		n, err := d.count(4)
+		n, err := d.Count(4)
 		if err != nil {
 			return 0, 0, m, err
 		}
 		buf := pool.get(n)
-		if err := d.f32s(n, buf); err != nil {
+		if err := d.F32s(n, buf); err != nil {
 			pool.put(buf)
 			return 0, 0, m, err
 		}
 		m.f32 = buf
 	case kindScalar:
-		bits, err := d.u64()
+		bits, err := d.U64()
 		if err != nil {
 			return 0, 0, m, err
 		}
@@ -270,28 +285,28 @@ func decodeMessage(b []byte, pool *bufPool) (src, dst int, m message, err error)
 	default:
 		return 0, 0, m, fmt.Errorf("transport: unknown frame kind %d", k)
 	}
-	if d.remaining() != 0 {
-		return 0, 0, m, fmt.Errorf("transport: %d trailing bytes after frame body", d.remaining())
+	if d.Remaining() != 0 {
+		return 0, 0, m, fmt.Errorf("transport: %d trailing bytes after frame body", d.Remaining())
 	}
 	return int(s16), int(d16), m, nil
 }
 
-func decodeSparse(d *decoder) (*tensor.Sparse, error) {
-	dim0, err := d.u32()
+func decodeSparse(d *Decoder) (*tensor.Sparse, error) {
+	dim0, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	width, err := d.u32()
+	width, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
-	nrows, err := d.count(4)
+	nrows, err := d.Count(4)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]int, nrows)
 	for i := range rows {
-		r, err := d.u32()
+		r, err := d.U32()
 		if err != nil {
 			return nil, err
 		}
@@ -300,21 +315,21 @@ func decodeSparse(d *decoder) (*tensor.Sparse, error) {
 		}
 		rows[i] = int(r)
 	}
-	if uint64(nrows)*uint64(width)*4 > uint64(d.remaining()) {
+	if uint64(nrows)*uint64(width)*4 > uint64(d.Remaining()) {
 		return nil, fmt.Errorf("transport: sparse values %dx%d exceed remaining %d bytes",
-			nrows, width, d.remaining())
+			nrows, width, d.Remaining())
 	}
 	nvals := nrows * int(width)
 	vals := tensor.NewDense(nrows, int(width))
-	if err := d.f32s(nvals, vals.Data()); err != nil {
+	if err := d.F32s(nvals, vals.Data()); err != nil {
 		return nil, err
 	}
 	return &tensor.Sparse{Rows: rows, Values: vals, Dim0: int(dim0)}, nil
 }
 
-func decodePS(d *decoder) (*PSMsg, error) {
+func decodePS(d *Decoder) (*PSMsg, error) {
 	m := &PSMsg{}
-	op, err := d.u8()
+	op, err := d.U8()
 	if err != nil {
 		return nil, err
 	}
@@ -322,66 +337,66 @@ func decodePS(d *decoder) (*PSMsg, error) {
 	if m.Op == 0 || m.Op > PSReply {
 		return nil, fmt.Errorf("transport: unknown PS op %d", op)
 	}
-	ver, err := d.u64()
+	ver, err := d.U64()
 	if err != nil {
 		return nil, err
 	}
 	m.Version = int64(ver)
-	scale, err := d.u32()
+	scale, err := d.U32()
 	if err != nil {
 		return nil, err
 	}
 	m.Scale = math.Float32frombits(scale)
-	scalar, err := d.u64()
+	scalar, err := d.U64()
 	if err != nil {
 		return nil, err
 	}
 	m.Scalar = math.Float64frombits(scalar)
-	errLen, err := d.u16()
+	errLen, err := d.U16()
 	if err != nil {
 		return nil, err
 	}
-	errBytes, err := d.bytes(int(errLen))
+	errBytes, err := d.Bytes(int(errLen))
 	if err != nil {
 		return nil, err
 	}
 	m.Err = string(errBytes)
-	nItems, err := d.u16()
+	nItems, err := d.U16()
 	if err != nil {
 		return nil, err
 	}
 	for i := 0; i < int(nItems); i++ {
-		nameLen, err := d.u8()
+		nameLen, err := d.U8()
 		if err != nil {
 			return nil, err
 		}
-		name, err := d.bytes(int(nameLen))
+		name, err := d.Bytes(int(nameLen))
 		if err != nil {
 			return nil, err
 		}
-		part, err := d.u32()
+		part, err := d.U32()
 		if err != nil {
 			return nil, err
 		}
 		m.Names = append(m.Names, string(name))
 		m.Parts = append(m.Parts, int(part))
 	}
-	nDense, err := d.u16()
+	nDense, err := d.U16()
 	if err != nil {
 		return nil, err
 	}
 	for i := 0; i < int(nDense); i++ {
-		n, err := d.count(4)
+		n, err := d.Count(4)
 		if err != nil {
 			return nil, err
 		}
 		t := tensor.NewDense(n)
-		if err := d.f32s(n, t.Data()); err != nil {
+		if err := d.F32s(n, t.Data()); err != nil {
 			return nil, err
 		}
 		m.Dense = append(m.Dense, t)
 	}
-	nSparse, err := d.u16()
+	nSparse, err := d.U16()
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -27,7 +28,9 @@ type TCPConfig struct {
 	// peers). The fabric takes ownership.
 	Listener net.Listener
 	// DialTimeout bounds the whole rendezvous — dialing lower-indexed
-	// peers and accepting higher-indexed ones. Default 10s.
+	// peers and accepting higher-indexed ones. Default 10s. A deadline
+	// on DialTCP's context tightens this further; context cancellation
+	// aborts the rendezvous immediately.
 	DialTimeout time.Duration
 	// MaxFrame caps one wire frame's payload bytes. Default 1 GiB.
 	MaxFrame int
@@ -88,10 +91,13 @@ type wireConn struct {
 }
 
 // DialTCP establishes the fabric: it listens for higher-indexed peers,
-// dials lower-indexed ones (retrying until DialTimeout, so agents may
-// start in any order), and returns once every peer connection is up. On
+// dials lower-indexed ones (retrying, so agents may start in any
+// order), and returns once every peer connection is up. The rendezvous
+// deadline is the earlier of ctx's deadline and now+DialTimeout, and
+// cancelling ctx aborts the rendezvous immediately (the returned error
+// then wraps ctx's error, so callers can match it with errors.Is). On
 // failure everything opened so far is torn down and an error returned.
-func DialTCP(cfg TCPConfig) (*TCP, error) {
+func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 	topo := cfg.Topo
 	if err := topo.Validate(); err != nil {
 		return nil, err
@@ -115,6 +121,9 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 		maxFrame = maxFrameDefault
 	}
 	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 
 	f := &TCP{
 		topo:     topo,
@@ -202,7 +211,7 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 	}
 
 	for q := 0; q < cfg.Process; q++ {
-		conn, err := dialRetry(cfg.Addrs[q], deadline)
+		conn, err := dialRetry(ctx, cfg.Addrs[q], deadline)
 		if err != nil {
 			return fail(fmt.Errorf("transport: process %d dialing peer %d (%s): %w",
 				cfg.Process, q, cfg.Addrs[q], err))
@@ -229,6 +238,9 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 			}
 			f.conns[r.peer] = &wireConn{conn: r.conn}
 			got++
+		case <-ctx.Done():
+			return fail(fmt.Errorf("transport: process %d rendezvous aborted: %w",
+				cfg.Process, ctx.Err()))
 		case <-time.After(wait):
 			return fail(fmt.Errorf("transport: process %d timed out waiting for %d peer(s)",
 				cfg.Process, nAccept-got))
@@ -260,8 +272,11 @@ func readHandshake(conn net.Conn) (int, error) {
 	return int(binary.LittleEndian.Uint16(hs[4:])), nil
 }
 
-func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+func dialRetry(ctx context.Context, addr string, deadline time.Time) (net.Conn, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		wait := time.Until(deadline)
 		if wait <= 0 {
 			return nil, fmt.Errorf("dial timed out")
@@ -276,7 +291,11 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 		if time.Now().After(deadline) {
 			return nil, err
 		}
-		time.Sleep(50 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
 	}
 }
 

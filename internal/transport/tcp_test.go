@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"context"
+	"errors"
 	"net"
 	"runtime"
 	"strings"
@@ -30,7 +32,7 @@ func dialPair(t *testing.T, topo Topology) (*TCP, *TCP) {
 			if p == 0 {
 				cfg.Listener = ln0
 			}
-			fabs[p], errs[p] = DialTCP(cfg)
+			fabs[p], errs[p] = DialTCP(context.Background(), cfg)
 		}(p)
 	}
 	wg.Wait()
@@ -145,7 +147,7 @@ func TestTCPDialFailureReturnsErrorWithoutLeaks(t *testing.T) {
 	dead := ln.Addr().String()
 	ln.Close()
 	// Process 1 dials process 0; nobody is there.
-	_, err = DialTCP(TCPConfig{
+	_, err = DialTCP(context.Background(), TCPConfig{
 		Topo: twoMachineTopo(), Process: 1,
 		Addrs:       []string{dead, "127.0.0.1:0"},
 		DialTimeout: 300 * time.Millisecond,
@@ -159,7 +161,7 @@ func TestTCPDialFailureReturnsErrorWithoutLeaks(t *testing.T) {
 func TestTCPAcceptTimeoutReturnsErrorWithoutLeaks(t *testing.T) {
 	base := runtime.NumGoroutine()
 	// Process 0 waits for process 1, which never comes.
-	_, err := DialTCP(TCPConfig{
+	_, err := DialTCP(context.Background(), TCPConfig{
 		Topo: twoMachineTopo(), Process: 0,
 		Addrs:       []string{"127.0.0.1:0", "127.0.0.1:0"},
 		Listener:    mustListen(t),
@@ -167,6 +169,49 @@ func TestTCPAcceptTimeoutReturnsErrorWithoutLeaks(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "timed out") {
 		t.Fatalf("err = %v", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestTCPDialObservesContextCancel: cancelling the rendezvous context
+// aborts DialTCP well before DialTimeout, surfaces the context error
+// through errors.Is, and leaks nothing.
+func TestTCPDialObservesContextCancel(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = DialTCP(ctx, TCPConfig{
+		Topo: twoMachineTopo(), Process: 1,
+		Addrs:       []string{dead, "127.0.0.1:0"},
+		DialTimeout: 30 * time.Second,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if since := time.Since(start); since > 5*time.Second {
+		t.Fatalf("cancelled dial took %v", since)
+	}
+	// The accept side observes cancellation too.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	_, err = DialTCP(ctx2, TCPConfig{
+		Topo: twoMachineTopo(), Process: 0,
+		Addrs:       []string{"127.0.0.1:0", "127.0.0.1:0"},
+		Listener:    mustListen(t),
+		DialTimeout: 30 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("accept rendezvous ignored the context deadline")
 	}
 	waitGoroutines(t, base)
 }

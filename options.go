@@ -1,0 +1,90 @@
+package parallax
+
+// Functional options for Open / OpenFromCheckpoint. Each option sets
+// one facet of the job configuration; the zero configuration (no
+// options) is the paper's sensible default — hybrid architecture, SGD
+// with learning rate 0.1, mean aggregation, local aggregation on, and
+// the automatic partition search over the simulated cluster.
+//
+// The options compose left to right, so later options win; WithConfig
+// replaces the whole configuration at once, which is the migration path
+// for code that already builds a Config literal for GetRunner.
+
+// Option configures a Session being opened.
+type Option func(*Config)
+
+// WithConfig replaces the entire configuration with c — the bridge from
+// the legacy Config-literal style: Open(ctx, g, res, WithConfig(cfg))
+// behaves exactly like GetRunner(g, res, cfg). Options after it refine
+// c further.
+func WithConfig(c Config) Option { return func(dst *Config) { *dst = c } }
+
+// WithArch selects the training architecture (default Hybrid).
+func WithArch(a Arch) Option { return func(c *Config) { c.Arch = a } }
+
+// WithOptimizer sets the optimizer constructor (one instance per
+// replica and one per server; default SGD with learning rate 0.1).
+func WithOptimizer(newOptimizer func() Optimizer) Option {
+	return func(c *Config) { c.NewOptimizer = newOptimizer }
+}
+
+// WithAggregation chooses mean or sum aggregation per gradient type
+// (§4.1; default mean for both).
+func WithAggregation(dense, sparse AggMethod) Option {
+	return func(c *Config) { c.DenseAgg, c.SparseAgg = dense, sparse }
+}
+
+// WithoutLocalAggregation disables intra-machine gradient merging for
+// PS-managed variables (enabled by default, §4.3).
+func WithoutLocalAggregation() Option {
+	return func(c *Config) { c.DisableLocalAggregation = true }
+}
+
+// WithSparsePartitions fixes the sparse-variable partition count,
+// disabling the automatic search.
+func WithSparsePartitions(p int) Option {
+	return func(c *Config) { c.SparsePartitions = p }
+}
+
+// WithAutoPartition switches the §3.2 partition search to the live
+// runtime: the first Steps iteration samples real step times and
+// reshards the running job to the optimum (tune-while-training).
+func WithAutoPartition() Option { return func(c *Config) { c.AutoPartition = true } }
+
+// WithAlphaHints supplies per-variable sparsity estimates for the
+// partition search and the α-threshold rule (see MeasureAlpha).
+func WithAlphaHints(hints map[string]float64) Option {
+	return func(c *Config) { c.AlphaHint = hints }
+}
+
+// WithAlphaDenseThreshold promotes sparse variables with α at or above
+// the threshold to dense AllReduce treatment (§3.1; 0 disables).
+func WithAlphaDenseThreshold(threshold float64) Option {
+	return func(c *Config) { c.AlphaDenseThreshold = threshold }
+}
+
+// WithClipNorm enables global-norm gradient clipping via the
+// chief-worker aggregated-gradient read-back (§5).
+func WithClipNorm(norm float64) Option { return func(c *Config) { c.ClipNorm = norm } }
+
+// WithFusionBytes caps one dense-AllReduce fusion bucket (0 selects the
+// 4 MiB default, negative disables fusion; results are bit-identical
+// either way).
+func WithFusionBytes(n int64) Option { return func(c *Config) { c.FusionBytes = n } }
+
+// WithAsync switches PS variables to asynchronous updates (§2.1).
+func WithAsync() Option { return func(c *Config) { c.Async = true } }
+
+// WithDist places this process as machine `machine` of a multi-process
+// cluster: addrs lists one agent address per machine. The rendezvous
+// deadline comes from Open's context (tightened by DistConfig's
+// DialTimeout, default 10s); use WithDistConfig for the full contract.
+func WithDist(machine int, addrs ...string) Option {
+	return func(c *Config) { c.Dist = &DistConfig{Machine: machine, Addrs: addrs} }
+}
+
+// WithDistConfig places this process in a multi-process cluster with
+// full control over the rendezvous (pre-bound listener, dial timeout).
+func WithDistConfig(dc DistConfig) Option {
+	return func(c *Config) { c.Dist = &dc }
+}

@@ -19,42 +19,55 @@
 //	logits := g.MatMul(g.Gather(emb, tokens), w)
 //	g.SoftmaxCE(logits, labels)
 //
-//	runner, err := parallax.GetRunner(g, resources, parallax.Config{})
-//	defer runner.Close()
-//	stats, err := runner.RunLoop(dataset, 100)     // full training loop
-//	loss, err := runner.Run(feeds)                 // or one explicit step
+//	sess, err := parallax.Open(ctx, g, resources, opts...)
+//	defer sess.Close()
+//	for stats, err := range sess.Steps(ctx, dataset) {
+//		...                                        // one StepStats per synchronous step
+//	}
 //
-// The runner analyzes the graph, classifies every variable by its gradient
+// Open analyzes the graph, classifies every variable by its gradient
 // type, builds the hybrid plan (AllReduce for dense variables, partitioned
 // parameter servers for sparse ones), optionally searches for the optimal
-// number of sparse-variable partitions, and executes synchronous
-// data-parallel steps across in-process workers.
+// number of sparse-variable partitions, and starts the persistent
+// runtime that executes synchronous data-parallel steps — in one
+// process, or spanning agent processes over TCP (WithDist).
+//
+// # Sessions
+//
+// The Session is context-first: cancelling the Steps context ends the
+// loop at the next step boundary (cluster-agreed in distributed mode,
+// so every agent stops at the same step), and Open's context bounds the
+// peer rendezvous. Configuration is functional options (WithArch,
+// WithOptimizer, WithAutoPartition, ...; WithConfig installs a legacy
+// Config wholesale). Session.Save and OpenFromCheckpoint capture and
+// restore the full training state — variable values, optimizer slots,
+// step counter, dataset cursor — with bit-identical resume on either
+// fabric. Failures carry typed sentinels (ErrClosed,
+// ErrTopologyMismatch, ErrCheckpointVersion) matched with errors.Is.
+//
+// GetRunner, Runner.Run, and Runner.RunLoop/RunLoopFeeds remain as thin
+// compatibility wrappers over the same machinery for pre-Session code.
 //
 // # Persistent runtime
 //
-// GetRunner starts a persistent runtime: one long-lived worker goroutine
+// Open starts a persistent runtime: one long-lived worker goroutine
 // per GPU and one parameter server per machine, with every variable's
 // aggregation slot resolved to preallocated, index-addressed buffers. A
 // step dispatches work over channels and pushes dense partitions as
 // zero-copy views, so the hot loop allocates no per-step bookkeeping (see
 // DESIGN.md §3). Call Close to stop the workers when training is done.
 //
-// RunLoop is the loop driver on top of Run: it shards a Dataset across
-// workers, executes the requested number of synchronous steps, reports
-// per-step metrics (loss, step latency, gradient bytes pushed) to
-// optional StepHook callbacks, and returns the aggregated LoopStats.
-// RunLoopFeeds is the same loop for graphs that need custom feeds.
-//
 // The sparse-variable partition count can be tuned against the live
-// runtime: Config.AutoPartition runs the §3.2 sampling search on real
-// measured steps during the first RunLoop, resharding the running job
-// between candidates (Runner.Repartition) without a restart — the
+// runtime: WithAutoPartition runs the §3.2 sampling search on real
+// measured steps during the first Steps loop, resharding the running job
+// between candidates (Session.Repartition) without a restart — the
 // migration is lossless, so the loss trajectory is unchanged. The
 // decision and the resulting layout are observable through
-// Runner.PartitionDecision and Runner.ShardMap.
+// Session.PartitionDecision and Session.ShardMap.
 package parallax
 
 import (
+	"net"
 	"time"
 
 	"parallax/internal/cluster"
@@ -246,8 +259,14 @@ type DistConfig struct {
 	// address per machine of the ResourceInfo.
 	Addrs []string
 	// DialTimeout bounds the whole peer rendezvous (agents may start in
-	// any order and retry dials until then). Default 10s.
+	// any order and retry dials until then). Default 10s. The context
+	// passed to Open tightens this further: its deadline caps the
+	// rendezvous and cancelling it aborts the rendezvous immediately.
 	DialTimeout time.Duration
+	// Listener optionally supplies a pre-bound listener for
+	// Addrs[Machine] (tests bind ":0" and hand the resolved address to
+	// peers). The session takes ownership.
+	Listener net.Listener
 }
 
 // MeasureAlpha estimates the α a dataset induces on a vocabulary of the

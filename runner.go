@@ -1,37 +1,26 @@
 package parallax
 
 import (
+	"context"
 	"fmt"
-	"math"
-	"time"
 
-	"parallax/internal/cluster"
-	"parallax/internal/core"
-	"parallax/internal/engine"
-	"parallax/internal/graph"
 	"parallax/internal/metrics"
-	"parallax/internal/models"
 	"parallax/internal/partition"
 	"parallax/internal/transform"
-	"parallax/internal/transport"
 )
 
-// Runner executes synchronous data-parallel training steps for a
-// transformed graph, the object parallax.get_runner returns in Fig. 3.
-// Its trainer is a persistent runtime — worker goroutines and parameter
-// servers live as long as the Runner — so call Close when done with it.
+// Runner is the legacy handle on a training job, the object
+// parallax.get_runner returns in Fig. 3. It is a thin compatibility
+// wrapper over Session: GetRunner(g, res, cfg) is Open(ctx, g, res,
+// WithConfig(cfg)) with a background context, and RunLoop/RunLoopFeeds
+// drive the same step iterator Session.Steps streams — bounded, with
+// loop-relative step numbers, exactly as before. New code should use
+// Open and the Session API directly (which add context cancellation,
+// functional options, and checkpoint/restore); Runner exists so
+// existing callers keep compiling and behaving identically. Call
+// Session to reach the underlying session (for Save, for example).
 type Runner struct {
-	g        *Graph
-	trainer  *transform.Trainer
-	plan     *core.Plan
-	resource ResourceInfo
-	cfg      Config
-	workers  int
-	parts    int
-	dist     *DistConfig
-
-	decision    PartitionDecision
-	tunePending bool
+	s *Session
 }
 
 // PartitionSearch is the sampling search's outcome: the sampled
@@ -46,17 +35,17 @@ type PartitionSample = partition.Sample
 type PartitionCostModel = partition.CostModel
 
 // PartitionDecision reports how the sparse-variable partition count was
-// chosen (§3.2): fixed by Config.SparsePartitions, searched over the
-// simulated cluster, or tuned online against real measured steps.
+// chosen (§3.2): fixed by configuration, searched over the simulated
+// cluster, or tuned online against real measured steps.
 type PartitionDecision struct {
 	// P is the partition count in effect.
 	P int
 	// Source is "fixed", "simulated" (search over the discrete-event
-	// engine), or "online" (Config.AutoPartition's tune-while-training
+	// engine), or "online" (WithAutoPartition's tune-while-training
 	// search on the live runtime).
 	Source string
 	// Pending marks an online search that has not run yet; it runs
-	// during the first RunLoop / RunLoopFeeds call.
+	// during the first Steps / RunLoop iteration.
 	Pending bool
 	// Search is the search outcome; nil for fixed decisions (and for
 	// online decisions still pending).
@@ -67,205 +56,34 @@ type PartitionDecision struct {
 func (d PartitionDecision) String() string {
 	src := d.Source
 	if d.Pending {
-		src += ", pending first RunLoop"
+		src += ", pending first step loop"
 		return metrics.FormatPartitionDecision(src, d.P, nil)
 	}
 	return metrics.FormatPartitionDecision(src, d.P, d.Search)
 }
 
-// GetRunner analyzes the single-GPU graph, builds the sparsity-aware plan
-// for the given cluster, transforms the graph into per-GPU replicas plus
-// parameter servers, and returns a Runner (§4.1's get_runner).
+// GetRunner analyzes the single-GPU graph, builds the sparsity-aware
+// plan for the given cluster, transforms the graph into per-GPU
+// replicas plus parameter servers, and returns a Runner (§4.1's
+// get_runner). It is equivalent to Open with WithConfig(cfg) and a
+// background context; see Session for the context-first API.
 func GetRunner(g *Graph, resource ResourceInfo, cfg Config) (*Runner, error) {
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	if err := resource.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.NewOptimizer == nil {
-		cfg.NewOptimizer = func() Optimizer { return NewSGD(0.1) }
-	}
-
-	parts := cfg.SparsePartitions
-	decision := PartitionDecision{Source: "fixed"}
-	tunePending := false
-	if parts <= 0 {
-		if cfg.AutoPartition && hasPartitionTarget(g) {
-			// Online tuning starts from the paper's initial sample point
-			// (the machine count); the search itself runs against real
-			// steps during the first RunLoop and reshards live.
-			parts = resource.NumMachines()
-			tunePending = true
-			decision = PartitionDecision{Source: "online", Pending: true}
-		} else {
-			var sr *partition.SearchResult
-			parts, sr = searchPartitions(g, resource, cfg)
-			if sr != nil {
-				decision = PartitionDecision{Source: "simulated", Search: sr}
-			}
-		}
-	}
-	decision.P = parts
-	arch := cfg.Arch.coreArch()
-	plan, err := buildPlan(g, resource, cfg, parts)
+	s, err := open(context.Background(), g, resource, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
-	localAgg := !cfg.DisableLocalAggregation &&
-		(arch == core.ArchHybrid || arch == core.ArchOptPS)
-	var fab transport.Fabric
-	if cfg.Dist != nil {
-		fab, err = transport.DialTCP(transport.TCPConfig{
-			Topo: transport.Topology{
-				Workers:         resource.TotalGPUs(),
-				Machines:        resource.NumMachines(),
-				MachineOfWorker: resource.WorkerMachines(),
-			},
-			Process:     cfg.Dist.Machine,
-			Addrs:       cfg.Dist.Addrs,
-			DialTimeout: cfg.Dist.DialTimeout,
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	tr, err := transform.New(g, transform.Options{
-		Plan:             plan,
-		Resource:         resource,
-		NewOptimizer:     cfg.NewOptimizer,
-		DenseAgg:         cfg.DenseAgg,
-		SparseAgg:        cfg.SparseAgg,
-		LocalAggregation: localAgg,
-		ClipNorm:         cfg.ClipNorm,
-		Async:            cfg.Async,
-		FusionBytes:      cfg.FusionBytes,
-		Fabric:           fab,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Runner{
-		g: g, trainer: tr, plan: plan, resource: resource, cfg: cfg,
-		workers: resource.TotalGPUs(), parts: parts, dist: cfg.Dist,
-		decision: decision, tunePending: tunePending,
-	}, nil
+	return &Runner{s: s}, nil
 }
 
-// buildPlan derives the sparsity-aware plan for the given partition
-// count — shared between GetRunner and live repartitioning so both
-// produce identical placements for identical inputs.
-func buildPlan(g *Graph, resource ResourceInfo, cfg Config, parts int) (*core.Plan, error) {
-	arch := cfg.Arch.coreArch()
-	return core.BuildPlan(planVars(g, cfg.AlphaHint), core.Options{
-		Arch:                arch,
-		NumMachines:         resource.NumMachines(),
-		SparsePartitions:    parts,
-		AlphaDenseThreshold: cfg.AlphaDenseThreshold,
-		SmartPlacement:      arch == core.ArchHybrid || arch == core.ArchOptPS,
-	})
-}
-
-// hasPartitionTarget reports whether the graph declares any sparse
-// variable inside a partitioner scope — the variables the §3.2 search
-// (and live resharding) applies to.
-func hasPartitionTarget(g *Graph) bool {
-	for _, v := range g.Variables() {
-		if v.PartitionScope >= 0 && g.GradKind(v) == graph.GradSparse {
-			return true
-		}
-	}
-	return false
-}
-
-// maxPartitionBound is the search's upper bracket: the largest
-// partition-target variable's row count, clamped by partition.Bound.
-func maxPartitionBound(g *Graph) int {
-	maxRows := 1
-	for _, v := range g.Variables() {
-		if v.PartitionScope >= 0 && v.Shape[0] > maxRows {
-			maxRows = v.Shape[0]
-		}
-	}
-	return partition.Bound(maxRows)
-}
-
-// planVars converts graph variables to planner inputs using the α hints.
-func planVars(g *Graph, alphaHint map[string]float64) []core.VarInfo {
-	var vars []core.VarInfo
-	for _, v := range g.Variables() {
-		width := int64(1)
-		for _, d := range v.Shape[1:] {
-			width *= int64(d)
-		}
-		sparse := g.GradKind(v) == graph.GradSparse
-		alpha := 1.0
-		if sparse {
-			alpha = alphaHint[v.Name]
-			if alpha <= 0 || alpha > 1 {
-				alpha = 0.05
-			}
-		}
-		vars = append(vars, core.VarInfo{
-			Name: v.Name, Rows: int64(v.Shape[0]), Width: width,
-			Sparse: sparse, Alpha: alpha, PartitionTarget: v.PartitionScope >= 0,
-		})
-	}
-	return vars
-}
-
-// searchPartitions runs the §3.2 sampling search over the simulated
-// cluster: a spec is derived from the user's graph, each candidate P is
-// "trained for a few iterations" on the discrete-event engine, and the
-// cost model picks the best count. (The real system samples on the
-// physical cluster; Config.AutoPartition does exactly that on the live
-// runtime, see DESIGN.md §9.) The returned search result is nil when the
-// graph has no partition-target variable.
-func searchPartitions(g *Graph, resource ResourceInfo, cfg Config) (int, *partition.SearchResult) {
-	if !hasPartitionTarget(g) {
-		return 1, nil
-	}
-	batch := firstBatchDim(g)
-	spec := models.SpecFromGraph(g, cfg.AlphaHint, batch)
-	hw := cluster.DefaultHardware()
-	measure := func(p int) float64 {
-		res, err := engine.RunArch(spec, core.ArchHybrid, resource.NumMachines(),
-			maxGPUs(resource), p, hw)
-		if err != nil {
-			return 1e9
-		}
-		return res.StepTime
-	}
-	res, err := partition.Search(measure, resource.NumMachines(), maxPartitionBound(g))
-	if err != nil || res.BestP < 1 {
-		return resource.NumMachines(), nil
-	}
-	return res.BestP, &res
-}
-
-func firstBatchDim(g *Graph) int {
-	for _, n := range g.Nodes() {
-		if n.Kind == graph.OpInput && len(n.Shape) > 0 {
-			return n.Shape[0]
-		}
-	}
-	return 1
-}
-
-func maxGPUs(r ResourceInfo) int {
-	m := 1
-	for i := 0; i < r.NumMachines(); i++ {
-		if g := r.GPUsPerMachine(i); g > m {
-			m = g
-		}
-	}
-	return m
-}
+// Session returns the underlying Session, the migration path to the
+// context-first API (checkpointing via Session.Save, streaming via
+// Session.Steps).
+func (r *Runner) Session() *Session { return r.s }
 
 // Run executes one synchronous training step; feeds[w] is worker w's batch
 // (use Shard to produce disjoint batches). It returns the mean loss.
 func (r *Runner) Run(feeds []Feed) (float64, error) {
-	return r.trainer.Step(feeds)
+	return r.s.RunStep(feeds)
 }
 
 // StepStats is one training step's measurements (loss, wall-clock step
@@ -284,144 +102,50 @@ type StepHook func(StepStats)
 // batches go to successive workers, so one endless stream is consumed as
 // disjoint shards, the effect of parallax.shard in Fig. 3) and feeds them
 // to the graph's "tokens" and "labels" inputs. Per-step metrics flow to
-// the hooks and into the returned aggregate.
+// the hooks and into the returned aggregate. Step numbers in the stats
+// and hooks are relative to this call, starting at zero.
 //
 // Graphs with differently named inputs (or float inputs) should use
 // RunLoopFeeds, which accepts an arbitrary feed source.
 func (r *Runner) RunLoop(ds Dataset, steps int, hooks ...StepHook) (LoopStats, error) {
 	for _, name := range []string{"tokens", "labels"} {
-		if !hasIntInput(r.g, name) {
+		if !hasIntInput(r.s.g, name) {
 			return LoopStats{}, fmt.Errorf(
 				"parallax: RunLoop needs an int input named %q (use RunLoopFeeds for custom feeds)", name)
 		}
 	}
-	return r.RunLoopFeeds(func(step, worker int) (Feed, error) {
-		b := ds.Next()
-		return Feed{Ints: map[string][]int{"tokens": b.Tokens, "labels": b.Labels}}, nil
-	}, steps, hooks...)
+	return r.RunLoopFeeds(r.s.datasetFeeds(ds), steps, hooks...)
 }
 
 // RunLoopFeeds is RunLoop's generic core: next(step, worker) supplies
-// worker w's feed for each step. It runs the loop, timing every step and
-// collecting the trainer's per-step push-byte counter, and stops on the
-// first error.
+// worker w's feed for each (loop-relative) step. It runs the loop,
+// timing every step, and stops on the first error.
 //
-// With Config.AutoPartition set, the first call additionally runs the
-// online §3.2 partition search: its leading steps are real training
-// steps (reported to hooks and stats like any other) during which the
-// runtime measures candidate partition counts and reshards live; the
-// remaining budget then runs at the tuned P. The total step count is
-// exactly steps either way.
+// With AutoPartition set, the first call additionally runs the online
+// §3.2 partition search: its leading steps are real training steps
+// (reported to hooks and stats like any other) during which the runtime
+// measures candidate partition counts and reshards live; the remaining
+// budget then runs at the tuned P. The total step count is exactly
+// steps either way.
 func (r *Runner) RunLoopFeeds(next func(step, worker int) (Feed, error), steps int, hooks ...StepHook) (LoopStats, error) {
 	var stats LoopStats
-	feeds := make([]Feed, r.workers)
-	s := 0
-	if r.tunePending {
-		r.tunePending = false
-		if err := r.tunePartitions(next, feeds, steps, &s, &stats, hooks); err != nil {
-			return stats, err
-		}
-	}
-	for ; s < steps; s++ {
-		if _, err := r.oneStep(next, feeds, s, &stats, hooks); err != nil {
-			return stats, err
-		}
-	}
-	return stats, nil
-}
-
-// oneStep draws every worker's feed, runs one synchronous step, and
-// folds the measurements into stats and the hooks.
-func (r *Runner) oneStep(next func(step, worker int) (Feed, error), feeds []Feed, s int, stats *LoopStats, hooks []StepHook) (StepStats, error) {
-	for w := 0; w < r.workers; w++ {
-		f, err := next(s, w)
+	var retErr error
+	base := r.s.trainer.StepCount()
+	r.s.drive(context.Background(), func(abs, worker int) (Feed, error) {
+		return next(abs-base, worker)
+	}, steps, func(st StepStats, err error) bool {
 		if err != nil {
-			return StepStats{}, err
+			retErr = err
+			return false
 		}
-		feeds[w] = f
-	}
-	start := time.Now()
-	loss, err := r.trainer.Step(feeds)
-	if err != nil {
-		return StepStats{}, err
-	}
-	ph := r.trainer.PhaseStatsLastStep()
-	wireSent, wireRecv := r.trainer.WireStatsLastStep()
-	st := StepStats{
-		Step:          s,
-		Loss:          loss,
-		StepTime:      time.Since(start),
-		BytesPushed:   r.trainer.BytesPushedLastStep(),
-		WireSentBytes: wireSent,
-		WireRecvBytes: wireRecv,
-		ComputeTime:   ph.Compute,
-		CommTime:      ph.Comm,
-		SyncWait:      ph.SyncWait,
-	}
-	stats.Observe(st)
-	for _, h := range hooks {
-		h(st)
-	}
-	return st, nil
-}
-
-// Online tuning constants: each candidate partition count is measured
-// over tuneStepsPerProbe real training steps, and the whole search stays
-// within the paper's §6.5 budget of tuneMaxRuns measurement runs.
-const (
-	tuneStepsPerProbe = 3
-	tuneMaxRuns       = 5
-)
-
-// tunePartitions is the tune-while-training phase: it drives the §3.2
-// sampling search with real measured steps, resharding the live runtime
-// to each candidate P, and settles on the optimum. Measured times are
-// folded to a cluster-wide maximum through the collective layer, so in
-// distributed mode every agent derives the same probe sequence from the
-// same numbers and the repartition protocol stays in lockstep. Steps
-// consumed here advance *s; probes that would overrun the loop's step
-// budget are skipped identically on every agent.
-func (r *Runner) tunePartitions(next func(step, worker int) (Feed, error), feeds []Feed, steps int, s *int, stats *LoopStats, hooks []StepHook) error {
-	var runErr error
-	measure := func(p int) float64 {
-		if runErr != nil {
-			return math.Inf(1)
+		st.Step -= base
+		stats.Observe(st)
+		for _, h := range hooks {
+			h(st)
 		}
-		// Budget first, reshard second: an exhausted budget must not pay
-		// for a state migration it will never measure. The check depends
-		// only on *s and steps, which are identical on every agent, so
-		// the skip stays in lockstep.
-		if *s+tuneStepsPerProbe > steps {
-			return math.Inf(1)
-		}
-		if err := r.Repartition(p); err != nil {
-			runErr = err
-			return math.Inf(1)
-		}
-		var total time.Duration
-		for k := 0; k < tuneStepsPerProbe; k++ {
-			st, err := r.oneStep(next, feeds, *s, stats, hooks)
-			if err != nil {
-				runErr = err
-				return math.Inf(1)
-			}
-			*s++
-			total += st.StepTime
-		}
-		return r.trainer.AgreeScalarMax(total.Seconds() / tuneStepsPerProbe)
-	}
-	res, err := partition.SearchN(measure, r.resource.NumMachines(), maxPartitionBound(r.g), tuneMaxRuns)
-	if runErr != nil {
-		return runErr
-	}
-	if err != nil {
-		return err
-	}
-	if err := r.Repartition(res.BestP); err != nil {
-		return err
-	}
-	r.decision = PartitionDecision{P: res.BestP, Source: "online", Search: &res}
-	return nil
+		return true
+	})
+	return stats, retErr
 }
 
 // Repartition reshards the partition-target sparse variables to p
@@ -433,42 +157,16 @@ func (r *Runner) tunePartitions(next func(step, worker int) (Feed, error), feeds
 // Run/RunLoop; in distributed mode every agent must call it with the
 // same p between the same steps (Config.AutoPartition does this
 // automatically).
-func (r *Runner) Repartition(p int) error {
-	if p < 1 {
-		return fmt.Errorf("parallax: repartition to %d partitions", p)
-	}
-	plan, err := buildPlan(r.g, r.resource, r.cfg, p)
-	if err != nil {
-		return err
-	}
-	if err := r.trainer.Repartition(plan); err != nil {
-		return err
-	}
-	r.plan = plan
-	r.parts = p
-	r.decision.P = p
-	return nil
-}
+func (r *Runner) Repartition(p int) error { return r.s.Repartition(p) }
 
 // PartitionDecision reports how the current partition count was chosen
 // and, for searched decisions, the sampled points and fitted cost model.
-func (r *Runner) PartitionDecision() PartitionDecision { return r.decision }
+func (r *Runner) PartitionDecision() PartitionDecision { return r.s.PartitionDecision() }
 
 // ShardMap renders the live per-route shard map: every variable's
 // synchronization method and, for PS variables, the partition→machine
 // assignment currently in effect (it reflects live repartitioning).
-func (r *Runner) ShardMap() string {
-	return metrics.FormatShardMap(metrics.ShardRoutes(r.plan.Assignments))
-}
-
-func hasIntInput(g *Graph, name string) bool {
-	for _, n := range g.Nodes() {
-		if n.Kind == graph.OpInput && n.DType == graph.Int && n.Name == name {
-			return true
-		}
-	}
-	return false
-}
+func (r *Runner) ShardMap() string { return r.s.ShardMap() }
 
 // PhaseStats is the per-step phase breakdown of the slowest worker
 // (compute, synchronization busy time, and the exposed non-overlapped
@@ -477,56 +175,31 @@ type PhaseStats = transform.PhaseStats
 
 // PhaseStatsLastStep returns the previous step's phase breakdown. Valid
 // after Run (RunLoop reports the same numbers through StepStats).
-func (r *Runner) PhaseStatsLastStep() PhaseStats { return r.trainer.PhaseStatsLastStep() }
+func (r *Runner) PhaseStatsLastStep() PhaseStats { return r.s.PhaseStatsLastStep() }
 
 // Close stops the runner's persistent worker goroutines. The runner must
-// not be used afterwards; Close is idempotent.
-func (r *Runner) Close() { r.trainer.Close() }
+// not be used afterwards (operations return ErrClosed); Close is
+// idempotent.
+func (r *Runner) Close() { r.s.Close() }
 
 // Workers returns the number of model replicas (total GPUs) across the
 // whole cluster.
-func (r *Runner) Workers() int { return r.workers }
+func (r *Runner) Workers() int { return r.s.Workers() }
 
 // LocalWorkers returns the global ranks this process hosts — all workers
 // in single-process mode, one machine's share under Config.Dist. The
 // returned slice must not be mutated.
-func (r *Runner) LocalWorkers() []int { return r.trainer.LocalWorkers() }
+func (r *Runner) LocalWorkers() []int { return r.s.LocalWorkers() }
 
 // SparsePartitions returns the partition count in effect (searched or
 // configured).
-func (r *Runner) SparsePartitions() int { return r.parts }
+func (r *Runner) SparsePartitions() int { return r.s.SparsePartitions() }
 
 // VarValue returns the current full value of a variable (assembled from
 // the servers for PS variables).
-func (r *Runner) VarValue(name string) (*Dense, error) {
-	return r.trainer.VarValue(name)
-}
+func (r *Runner) VarValue(name string) (*Dense, error) { return r.s.VarValue(name) }
 
 // Describe summarizes the plan: how each variable is synchronized,
 // which transport the job runs over, and how the partition count was
 // decided.
-func (r *Runner) Describe() string {
-	s := fmt.Sprintf("parallax: %d workers, %s architecture\n", r.workers, r.plan.Arch)
-	if r.dist != nil {
-		s += fmt.Sprintf("transport: tcp, agent for machine %d of %d (inproc within the agent)\n",
-			r.dist.Machine, len(r.dist.Addrs))
-	} else {
-		s += "transport: inproc (single process)\n"
-	}
-	s += r.decision.String()
-	for _, a := range r.plan.Assignments {
-		extra := ""
-		if a.Method == core.MethodPS && a.Partitions > 1 {
-			extra = fmt.Sprintf(" x%d partitions", a.Partitions)
-		}
-		if a.TreatAsDense {
-			extra += " (promoted to dense)"
-		}
-		kind := "dense"
-		if a.Sparse {
-			kind = "sparse"
-		}
-		s += fmt.Sprintf("  %-24s %-6s -> %s%s\n", a.Name, kind, a.Method, extra)
-	}
-	return s
-}
+func (r *Runner) Describe() string { return r.s.Describe() }

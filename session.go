@@ -1,0 +1,830 @@
+package parallax
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"math"
+	"time"
+
+	"parallax/internal/checkpoint"
+	"parallax/internal/cluster"
+	"parallax/internal/core"
+	"parallax/internal/data"
+	"parallax/internal/engine"
+	"parallax/internal/graph"
+	"parallax/internal/metrics"
+	"parallax/internal/models"
+	"parallax/internal/partition"
+	"parallax/internal/transform"
+	"parallax/internal/transport"
+)
+
+// Session is the context-first handle on a running training job: Open
+// analyzes the single-GPU graph, builds the sparsity-aware plan,
+// transforms the graph into per-GPU replicas plus parameter servers,
+// and starts the persistent runtime. The step driver is a streaming
+// iterator —
+//
+//	s, err := parallax.Open(ctx, g, resources, parallax.WithClipNorm(5))
+//	defer s.Close()
+//	for stats, err := range s.Steps(ctx, dataset) {
+//		if err != nil { ... }
+//		if stats.Step == lastStep { break }
+//	}
+//
+// — and the full training state (variable values, optimizer slot
+// state, step counter, dataset cursor) can be captured with Save and
+// resumed bit-identically with OpenFromCheckpoint, over either fabric.
+//
+// Cancelling the Steps context ends the loop at the next step boundary:
+// the in-flight step drains cleanly and the iterator yields the context
+// error, so a cancel returns within one step with no goroutine leaks.
+// In distributed mode every step carries one scalar agreement across
+// the agents, so whichever way one agent's loop ends — cancellation or
+// a break out of the range — every agent stops at the same step
+// boundary; the agents that did not stop locally see their iterator
+// yield context.Canceled.
+//
+// In distributed mode the step drivers are collective operations:
+// every agent must run the same sequence of loops with the same bounds
+// over the same steps (identical binaries do this naturally). Within
+// that contract the agents may end a loop by any mechanism — the
+// per-step agreement keeps them at the same boundary.
+//
+// A Session must not run Steps, Save, or Repartition concurrently with
+// each other. GetRunner remains as a thin compatibility wrapper over
+// Open for existing code.
+type Session struct {
+	g        *Graph
+	trainer  *transform.Trainer
+	plan     *core.Plan
+	resource ResourceInfo
+	cfg      Config
+	workers  int
+	parts    int
+	dist     *DistConfig
+
+	decision    PartitionDecision
+	tunePending bool
+
+	feeds []Feed
+	// cursor counts dataset batches the step drivers have drawn;
+	// pendingSkip is the restored cursor the next Steps call fast-forwards
+	// its dataset by.
+	cursor      int64
+	pendingSkip int64
+	closed      bool
+}
+
+// Open builds a Session for the single-GPU graph on the given cluster.
+// ctx governs establishment: for distributed sessions (WithDist) the
+// peer-rendezvous deadline is the earlier of ctx's deadline and the
+// configured DialTimeout, and cancelling ctx aborts the rendezvous.
+func Open(ctx context.Context, g *Graph, resource ResourceInfo, opts ...Option) (*Session, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return open(ctx, g, resource, cfg, nil)
+}
+
+// restoreSpec carries a checkpoint's job-level decisions into open.
+type restoreSpec struct {
+	meta checkpoint.Meta
+}
+
+// open is the shared constructor behind Open, GetRunner, and
+// OpenFromCheckpoint.
+func open(ctx context.Context, g *Graph, resource ResourceInfo, cfg Config, restore *restoreSpec) (*Session, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := resource.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NewOptimizer == nil {
+		cfg.NewOptimizer = func() Optimizer { return NewSGD(0.1) }
+	}
+
+	parts := cfg.SparsePartitions
+	decision := PartitionDecision{Source: "fixed"}
+	tunePending := false
+	if restore != nil {
+		// A restored session rebuilds the plan with exactly the
+		// checkpointed partition count — even if the original run searched
+		// for it — so the plan fingerprints can be compared. A search that
+		// had not run yet at save time runs on the first Steps call, as it
+		// would have in the original run.
+		parts = restore.meta.Parts
+		tunePending = restore.meta.DecisionPending && cfg.AutoPartition && hasPartitionTarget(g)
+		decision = PartitionDecision{Source: restore.meta.DecisionSource, Pending: tunePending}
+	} else if parts <= 0 {
+		if cfg.AutoPartition && hasPartitionTarget(g) {
+			// Online tuning starts from the paper's initial sample point
+			// (the machine count); the search itself runs against real
+			// steps during the first loop and reshards live.
+			parts = resource.NumMachines()
+			tunePending = true
+			decision = PartitionDecision{Source: "online", Pending: true}
+		} else {
+			var sr *partition.SearchResult
+			parts, sr = searchPartitions(g, resource, cfg)
+			if sr != nil {
+				decision = PartitionDecision{Source: "simulated", Search: sr}
+			}
+		}
+	}
+	decision.P = parts
+	arch := cfg.Arch.coreArch()
+	plan, err := buildPlan(g, resource, cfg, parts)
+	if err != nil {
+		return nil, err
+	}
+	localAgg := !cfg.DisableLocalAggregation &&
+		(arch == core.ArchHybrid || arch == core.ArchOptPS)
+	var fab transport.Fabric
+	if cfg.Dist != nil {
+		fab, err = transport.DialTCP(ctx, transport.TCPConfig{
+			Topo: transport.Topology{
+				Workers:         resource.TotalGPUs(),
+				Machines:        resource.NumMachines(),
+				MachineOfWorker: resource.WorkerMachines(),
+			},
+			Process:     cfg.Dist.Machine,
+			Addrs:       cfg.Dist.Addrs,
+			Listener:    cfg.Dist.Listener,
+			DialTimeout: cfg.Dist.DialTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	tr, err := transform.New(g, transform.Options{
+		Plan:             plan,
+		Resource:         resource,
+		NewOptimizer:     cfg.NewOptimizer,
+		DenseAgg:         cfg.DenseAgg,
+		SparseAgg:        cfg.SparseAgg,
+		LocalAggregation: localAgg,
+		ClipNorm:         cfg.ClipNorm,
+		Async:            cfg.Async,
+		FusionBytes:      cfg.FusionBytes,
+		Fabric:           fab,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		g: g, trainer: tr, plan: plan, resource: resource, cfg: cfg,
+		workers: resource.TotalGPUs(), parts: parts, dist: cfg.Dist,
+		decision: decision, tunePending: tunePending,
+		feeds: make([]Feed, resource.TotalGPUs()),
+	}, nil
+}
+
+// OpenFromCheckpoint rebuilds a Session from a Save checkpoint and
+// resumes it bit-identically: variable values, optimizer slot state,
+// the step counter, and the dataset cursor are restored, so the
+// continued run's per-step losses equal an uninterrupted run's bit for
+// bit. The caller supplies the same graph, resources, and options the
+// saved session was opened with (deterministic initializers with the
+// same seeds); the restore re-validates the cluster topology and the
+// rebuilt synchronization plan against the checkpoint's fingerprints
+// and refuses a mismatch with ErrTopologyMismatch. In distributed mode
+// every agent restores from the same checkpoint directory (shared or
+// replicated filesystem): each reads its own machine's shard plus shard
+// 0's replica variables.
+func OpenFromCheckpoint(ctx context.Context, dir string, g *Graph, resource ResourceInfo, opts ...Option) (*Session, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	machine := 0
+	if cfg.Dist != nil {
+		machine = cfg.Dist.Machine
+	}
+	meta, recs, err := checkpoint.ReadShard(dir, machine)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Machines != resource.NumMachines() {
+		return nil, fmt.Errorf("parallax: %w: checkpoint spans %d machines, cluster has %d",
+			ErrTopologyMismatch, meta.Machines, resource.NumMachines())
+	}
+	if fp := checkpoint.TopoFingerprint(resource); fp != meta.TopoFP {
+		return nil, fmt.Errorf("parallax: %w: checkpoint topology %q, cluster is %q",
+			ErrTopologyMismatch, meta.TopoFP, fp)
+	}
+	s, err := open(ctx, g, resource, cfg, &restoreSpec{meta: meta})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.install(dir, machine, meta, recs); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// install loads the remaining shards and seeds the trainer with the
+// checkpointed state.
+func (s *Session) install(dir string, machine int, meta checkpoint.Meta, recs []checkpoint.Record) error {
+	if fp := checkpoint.PlanFingerprint(s.plan); fp != meta.PlanFP {
+		return fmt.Errorf("parallax: %w: checkpoint plan fingerprint %q, rebuilt plan is %q",
+			ErrTopologyMismatch, meta.PlanFP, fp)
+	}
+	// Which shards this process needs: its own (read already), shard 0
+	// for the replica variables, and — in single-process mode, where
+	// this process hosts every machine — all the rest.
+	shards := map[int][]checkpoint.Record{machine: recs}
+	need := []int{0}
+	if s.dist == nil {
+		need = make([]int, meta.Machines)
+		for m := range need {
+			need[m] = m
+		}
+	}
+	for _, m := range need {
+		if _, ok := shards[m]; ok {
+			continue
+		}
+		mm, mrecs, err := checkpoint.ReadShard(dir, m)
+		if err != nil {
+			return err
+		}
+		if mm.Step != meta.Step || mm.Cursor != meta.Cursor || mm.Parts != meta.Parts ||
+			mm.PlanFP != meta.PlanFP || mm.TopoFP != meta.TopoFP {
+			return fmt.Errorf("parallax: checkpoint shard %d disagrees with shard %d (torn save?)", m, machine)
+		}
+		shards[m] = mrecs
+	}
+	var serverStates []transform.VarState
+	for _, mrecs := range shards {
+		for _, r := range mrecs {
+			st := transform.VarState{
+				Name: r.Name, Part: r.Part, Value: r.Value,
+				SlotNames: r.SlotNames, Slots: r.Slots,
+			}
+			switch r.Kind {
+			case checkpoint.KindReplica:
+				st.Part = -1
+				if err := s.trainer.RestoreReplicaVar(st); err != nil {
+					return err
+				}
+			case checkpoint.KindServerPart:
+				serverStates = append(serverStates, st)
+			}
+		}
+	}
+	if err := s.trainer.RestoreServerVars(serverStates, meta.Step); err != nil {
+		return err
+	}
+	s.trainer.SetStepCount(int(meta.Step))
+	s.cursor = meta.Cursor
+	s.pendingSkip = meta.Cursor
+	return nil
+}
+
+// Save captures the session's full training state into a checkpoint
+// directory, one shard per machine this process hosts (all of them in
+// single-process mode, exactly one per agent in distributed mode; every
+// agent must call Save with the same directory between the same steps,
+// like Repartition). Shard files are written atomically. The saved
+// state — variable values, optimizer slots, step counter, dataset
+// cursor, and the partition decision — is everything OpenFromCheckpoint
+// needs for a bit-identical resume.
+func (s *Session) Save(dir string) error {
+	if s.closed {
+		return fmt.Errorf("parallax: save on %w session", ErrClosed)
+	}
+	meta := checkpoint.Meta{
+		Machines:        s.resource.NumMachines(),
+		Step:            int64(s.trainer.StepCount()),
+		Cursor:          s.cursor,
+		Parts:           s.parts,
+		DecisionSource:  s.decision.Source,
+		DecisionPending: s.tunePending,
+		TopoFP:          checkpoint.TopoFingerprint(s.resource),
+		PlanFP:          checkpoint.PlanFingerprint(s.plan),
+	}
+	for _, m := range s.trainer.LocalMachines() {
+		states, err := s.trainer.SnapshotServerParts(m)
+		if err != nil {
+			return err
+		}
+		if m == 0 {
+			reps, err := s.trainer.SnapshotReplicaVars()
+			if err != nil {
+				return err
+			}
+			states = append(reps, states...)
+		}
+		recs := make([]checkpoint.Record, len(states))
+		for i, st := range states {
+			recs[i] = checkpoint.Record{
+				Kind: checkpoint.KindServerPart, Name: st.Name, Part: st.Part,
+				Value: st.Value, SlotNames: st.SlotNames, Slots: st.Slots,
+			}
+			if st.Part < 0 {
+				recs[i].Kind, recs[i].Part = checkpoint.KindReplica, 0
+			}
+		}
+		shardMeta := meta
+		shardMeta.Machine = m
+		if err := checkpoint.WriteShard(dir, shardMeta, recs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Steps returns the step iterator for a token-model graph: each
+// iteration draws one batch per worker from ds (successive batches to
+// successive workers, so one endless stream is consumed as disjoint
+// shards) and yields the step's StepStats. The iterator is endless —
+// range over it and break (or cancel ctx) when done. The first call on
+// a restored session fast-forwards ds to the checkpointed cursor, so
+// pass a dataset constructed exactly like the original run's.
+//
+// On an error — a failed step, or ctx cancelled — the iterator yields
+// (zero stats, err) once and stops. Graphs with differently named
+// inputs should use StepsFeeds.
+func (s *Session) Steps(ctx context.Context, ds Dataset) iter.Seq2[StepStats, error] {
+	return func(yield func(StepStats, error) bool) {
+		for _, name := range []string{"tokens", "labels"} {
+			if !hasIntInput(s.g, name) {
+				yield(StepStats{}, fmt.Errorf(
+					"parallax: Steps needs an int input named %q (use StepsFeeds for custom feeds)", name))
+				return
+			}
+		}
+		if s.pendingSkip > 0 {
+			if err := data.FastForward(ds, s.pendingSkip); err != nil {
+				yield(StepStats{}, err)
+				return
+			}
+			s.pendingSkip = 0
+		}
+		s.drive(ctx, s.datasetFeeds(ds), math.MaxInt, yield)
+	}
+}
+
+// StepsFeeds is Steps for arbitrary feeds: next(step, worker) supplies
+// worker w's feed for the (absolute) step. Resumption of the feed
+// source is the caller's concern — next sees absolute step numbers, so
+// a restored session asks for exactly the steps that come after the
+// checkpoint.
+func (s *Session) StepsFeeds(ctx context.Context, next func(step, worker int) (Feed, error)) iter.Seq2[StepStats, error] {
+	return func(yield func(StepStats, error) bool) {
+		s.drive(ctx, next, math.MaxInt, yield)
+	}
+}
+
+// datasetFeeds adapts an endless batch stream to the feed callback,
+// advancing the session's dataset cursor (the quantity Save persists).
+func (s *Session) datasetFeeds(ds Dataset) func(step, worker int) (Feed, error) {
+	return func(step, worker int) (Feed, error) {
+		b := ds.Next()
+		s.cursor++
+		return Feed{Ints: map[string][]int{"tokens": b.Tokens, "labels": b.Labels}}, nil
+	}
+}
+
+// Online tuning constants: each candidate partition count is measured
+// over tuneStepsPerProbe real training steps, and the whole search
+// stays within the paper's §6.5 budget of tuneMaxRuns measurement runs.
+const (
+	tuneStepsPerProbe = 3
+	tuneMaxRuns       = 5
+)
+
+// stepDriver is one drive call's state: the loop that Steps,
+// StepsFeeds, and the Runner compatibility wrappers all share.
+type stepDriver struct {
+	s     *Session
+	ctx   context.Context
+	next  func(step, worker int) (Feed, error)
+	base  int // trainer step count at entry
+	limit int // maximum steps this drive may run
+	yield func(StepStats, error) bool
+	// agree: fold stop decisions cluster-wide (every distributed drive,
+	// whatever its context or wrapper), so all agents run the same
+	// agreement schedule and end at the same boundary — a cluster may
+	// freely mix Steps and legacy RunLoop drivers.
+	agree   bool
+	stopped bool // consumer broke out; never call yield again
+}
+
+// drive runs up to limit steps, yielding each step's stats: the single
+// code path behind the public iterators and the RunLoop wrappers,
+// including the tune-while-training phase of WithAutoPartition.
+func (s *Session) drive(ctx context.Context, next func(step, worker int) (Feed, error), limit int, yield func(StepStats, error) bool) {
+	if s.closed {
+		yield(StepStats{}, fmt.Errorf("parallax: steps on %w session", ErrClosed))
+		return
+	}
+	d := &stepDriver{
+		s: s, ctx: ctx, next: next, base: s.trainer.StepCount(), limit: limit,
+		yield: yield, agree: s.trainer.Distributed(),
+	}
+	d.run()
+}
+
+// emit yields one iteration; after the consumer breaks it becomes a
+// no-op (the iterator contract forbids further yield calls).
+func (d *stepDriver) emit(st StepStats, err error) bool {
+	if d.stopped {
+		return false
+	}
+	if !d.yield(st, err) {
+		d.stopped = true
+	}
+	return !d.stopped
+}
+
+// shouldStop decides whether the loop ends before the next step: the
+// local reasons are a cancelled context or a consumer break. In
+// distributed mode the local flag is folded cluster-wide first, so all
+// agents stop at the same boundary — one agent's cancellation (or
+// break) ends every agent's loop with context.Canceled within at most
+// one agreement round.
+func (d *stepDriver) shouldStop() (bool, error) {
+	stop := d.stopped || d.ctx.Err() != nil
+	if d.agree {
+		stop = d.s.trainer.AgreeStop(stop)
+	}
+	if !stop {
+		return false, nil
+	}
+	err := d.ctx.Err()
+	if err == nil {
+		err = context.Canceled // a peer agent (or the consumer) stopped the loop
+	}
+	return true, err
+}
+
+func (d *stepDriver) run() {
+	s := d.s
+	if s.tunePending {
+		s.tunePending = false
+		if err := d.tune(); err != nil {
+			// Cancellation mid-search re-arms the tuning so a later Steps
+			// call restarts it with a full budget; hard errors do not.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.tunePending = true
+				s.decision.Pending = true
+			}
+			d.emit(StepStats{}, err)
+			return
+		}
+	}
+	for s.trainer.StepCount()-d.base < d.limit {
+		if stop, err := d.shouldStop(); stop {
+			d.emit(StepStats{}, err)
+			return
+		}
+		st, err := s.oneStep(d.next)
+		if err != nil {
+			d.emit(StepStats{}, err)
+			return
+		}
+		if !d.emit(st, nil) && !d.agree {
+			return
+		}
+	}
+	// A bounded drive's limit exit runs one final agreement, so every
+	// exit path — limit, break, cancellation — performs exactly
+	// steps+1 agreement rounds. Agents that end the loop at the same
+	// step therefore stay aligned even when they end it by different
+	// mechanisms (one breaks out of Steps while another exhausts a
+	// RunLoop budget).
+	if d.agree {
+		s.trainer.AgreeStop(true)
+	}
+}
+
+// tune is the tune-while-training phase: it drives the §3.2 sampling
+// search with real measured steps, resharding the live runtime to each
+// candidate P, and settles on the optimum. Measured times are folded to
+// a cluster-wide maximum through the collective layer, so in
+// distributed mode every agent derives the same probe sequence from the
+// same numbers and the repartition protocol stays in lockstep. Probes
+// that would overrun the drive's step budget are skipped identically on
+// every agent, and a cancellation is observed (cluster-agreed) before
+// every probe step.
+func (d *stepDriver) tune() error {
+	s := d.s
+	var runErr error
+	measure := func(p int) float64 {
+		if runErr != nil {
+			return math.Inf(1)
+		}
+		// Budget first, reshard second: an exhausted budget must not pay
+		// for a state migration it will never measure. The check depends
+		// only on counters identical on every agent, so the skip stays in
+		// lockstep.
+		if s.trainer.StepCount()-d.base+tuneStepsPerProbe > d.limit {
+			return math.Inf(1)
+		}
+		if err := s.Repartition(p); err != nil {
+			runErr = err
+			return math.Inf(1)
+		}
+		var total time.Duration
+		for k := 0; k < tuneStepsPerProbe; k++ {
+			if stop, err := d.shouldStop(); stop {
+				runErr = err
+				return math.Inf(1)
+			}
+			st, err := s.oneStep(d.next)
+			if err != nil {
+				runErr = err
+				return math.Inf(1)
+			}
+			total += st.StepTime
+			d.emit(st, nil)
+		}
+		return s.trainer.AgreeScalarMax(total.Seconds() / tuneStepsPerProbe)
+	}
+	res, err := partition.SearchN(measure, s.resource.NumMachines(), maxPartitionBound(s.g), tuneMaxRuns)
+	if runErr != nil {
+		return runErr
+	}
+	if err != nil {
+		return err
+	}
+	if err := s.Repartition(res.BestP); err != nil {
+		return err
+	}
+	s.decision = PartitionDecision{P: res.BestP, Source: "online", Search: &res}
+	return nil
+}
+
+// oneStep draws every worker's feed, runs one synchronous step, and
+// assembles its StepStats (absolute step number).
+func (s *Session) oneStep(next func(step, worker int) (Feed, error)) (StepStats, error) {
+	step := s.trainer.StepCount()
+	for w := 0; w < s.workers; w++ {
+		f, err := next(step, w)
+		if err != nil {
+			return StepStats{}, err
+		}
+		s.feeds[w] = f
+	}
+	start := time.Now()
+	loss, err := s.trainer.Step(s.feeds)
+	if err != nil {
+		return StepStats{}, err
+	}
+	ph := s.trainer.PhaseStatsLastStep()
+	wireSent, wireRecv := s.trainer.WireStatsLastStep()
+	return StepStats{
+		Step:          step,
+		Loss:          loss,
+		StepTime:      time.Since(start),
+		BytesPushed:   s.trainer.BytesPushedLastStep(),
+		WireSentBytes: wireSent,
+		WireRecvBytes: wireRecv,
+		ComputeTime:   ph.Compute,
+		CommTime:      ph.Comm,
+		SyncWait:      ph.SyncWait,
+	}, nil
+}
+
+// RunStep executes one explicit synchronous step; feeds[w] is worker
+// w's batch (use Shard to produce disjoint batches). It returns the
+// mean loss. Most callers want Steps; RunStep is the escape hatch for
+// drivers that own their loop entirely.
+func (s *Session) RunStep(feeds []Feed) (float64, error) {
+	if s.closed {
+		return 0, fmt.Errorf("parallax: step on %w session", ErrClosed)
+	}
+	return s.trainer.Step(feeds)
+}
+
+// StepCount returns the number of completed training steps, including
+// steps restored from a checkpoint.
+func (s *Session) StepCount() int { return s.trainer.StepCount() }
+
+// Repartition reshards the partition-target sparse variables to p
+// partitions on the live runtime, without restarting it (DESIGN.md §9).
+// The migration is lossless — training continues bit-identically to a
+// run that used p from the start. It must not run concurrently with the
+// step drivers; in distributed mode every agent must call it with the
+// same p between the same steps (WithAutoPartition does this
+// automatically).
+func (s *Session) Repartition(p int) error {
+	if s.closed {
+		return fmt.Errorf("parallax: repartition on %w session", ErrClosed)
+	}
+	if p < 1 {
+		return fmt.Errorf("parallax: repartition to %d partitions", p)
+	}
+	plan, err := buildPlan(s.g, s.resource, s.cfg, p)
+	if err != nil {
+		return err
+	}
+	if err := s.trainer.Repartition(plan); err != nil {
+		return err
+	}
+	s.plan = plan
+	s.parts = p
+	s.decision.P = p
+	return nil
+}
+
+// Close stops the session's persistent runtime (worker goroutines,
+// parameter servers, serving loops) and tears down the transport
+// fabric. Close is idempotent; the session must not be used afterwards
+// (operations return ErrClosed).
+func (s *Session) Close() error {
+	s.closed = true
+	s.trainer.Close()
+	return nil
+}
+
+// PartitionDecision reports how the current partition count was chosen
+// and, for searched decisions, the sampled points and fitted cost model.
+func (s *Session) PartitionDecision() PartitionDecision { return s.decision }
+
+// ShardMap renders the live per-route shard map: every variable's
+// synchronization method and, for PS variables, the partition→machine
+// assignment currently in effect (it reflects live repartitioning).
+func (s *Session) ShardMap() string {
+	return metrics.FormatShardMap(metrics.ShardRoutes(s.plan.Assignments))
+}
+
+// PhaseStatsLastStep returns the previous step's phase breakdown.
+func (s *Session) PhaseStatsLastStep() PhaseStats { return s.trainer.PhaseStatsLastStep() }
+
+// Workers returns the number of model replicas (total GPUs) across the
+// whole cluster.
+func (s *Session) Workers() int { return s.workers }
+
+// LocalWorkers returns the global ranks this process hosts — all
+// workers in single-process mode, one machine's share under WithDist.
+// The returned slice must not be mutated.
+func (s *Session) LocalWorkers() []int { return s.trainer.LocalWorkers() }
+
+// SparsePartitions returns the partition count in effect (searched,
+// configured, or restored).
+func (s *Session) SparsePartitions() int { return s.parts }
+
+// VarValue returns the current full value of a variable (assembled from
+// the servers for PS variables).
+func (s *Session) VarValue(name string) (*Dense, error) {
+	if s.closed {
+		return nil, fmt.Errorf("parallax: read on %w session", ErrClosed)
+	}
+	return s.trainer.VarValue(name)
+}
+
+// Describe summarizes the plan: how each variable is synchronized,
+// which transport the job runs over, and how the partition count was
+// decided.
+func (s *Session) Describe() string {
+	out := fmt.Sprintf("parallax: %d workers, %s architecture\n", s.workers, s.plan.Arch)
+	if s.dist != nil {
+		out += fmt.Sprintf("transport: tcp, agent for machine %d of %d (inproc within the agent)\n",
+			s.dist.Machine, len(s.dist.Addrs))
+	} else {
+		out += "transport: inproc (single process)\n"
+	}
+	out += s.decision.String()
+	for _, a := range s.plan.Assignments {
+		extra := ""
+		if a.Method == core.MethodPS && a.Partitions > 1 {
+			extra = fmt.Sprintf(" x%d partitions", a.Partitions)
+		}
+		if a.TreatAsDense {
+			extra += " (promoted to dense)"
+		}
+		kind := "dense"
+		if a.Sparse {
+			kind = "sparse"
+		}
+		out += fmt.Sprintf("  %-24s %-6s -> %s%s\n", a.Name, kind, a.Method, extra)
+	}
+	return out
+}
+
+// buildPlan derives the sparsity-aware plan for the given partition
+// count — shared between session construction and live repartitioning
+// so both produce identical placements for identical inputs.
+func buildPlan(g *Graph, resource ResourceInfo, cfg Config, parts int) (*core.Plan, error) {
+	arch := cfg.Arch.coreArch()
+	return core.BuildPlan(planVars(g, cfg.AlphaHint), core.Options{
+		Arch:                arch,
+		NumMachines:         resource.NumMachines(),
+		SparsePartitions:    parts,
+		AlphaDenseThreshold: cfg.AlphaDenseThreshold,
+		SmartPlacement:      arch == core.ArchHybrid || arch == core.ArchOptPS,
+	})
+}
+
+// hasPartitionTarget reports whether the graph declares any sparse
+// variable inside a partitioner scope — the variables the §3.2 search
+// (and live resharding) applies to.
+func hasPartitionTarget(g *Graph) bool {
+	for _, v := range g.Variables() {
+		if v.PartitionScope >= 0 && g.GradKind(v) == graph.GradSparse {
+			return true
+		}
+	}
+	return false
+}
+
+// maxPartitionBound is the search's upper bracket: the largest
+// partition-target variable's row count, clamped by partition.Bound.
+func maxPartitionBound(g *Graph) int {
+	maxRows := 1
+	for _, v := range g.Variables() {
+		if v.PartitionScope >= 0 && v.Shape[0] > maxRows {
+			maxRows = v.Shape[0]
+		}
+	}
+	return partition.Bound(maxRows)
+}
+
+// planVars converts graph variables to planner inputs using the α hints.
+func planVars(g *Graph, alphaHint map[string]float64) []core.VarInfo {
+	var vars []core.VarInfo
+	for _, v := range g.Variables() {
+		width := int64(1)
+		for _, d := range v.Shape[1:] {
+			width *= int64(d)
+		}
+		sparse := g.GradKind(v) == graph.GradSparse
+		alpha := 1.0
+		if sparse {
+			alpha = alphaHint[v.Name]
+			if alpha <= 0 || alpha > 1 {
+				alpha = 0.05
+			}
+		}
+		vars = append(vars, core.VarInfo{
+			Name: v.Name, Rows: int64(v.Shape[0]), Width: width,
+			Sparse: sparse, Alpha: alpha, PartitionTarget: v.PartitionScope >= 0,
+		})
+	}
+	return vars
+}
+
+// searchPartitions runs the §3.2 sampling search over the simulated
+// cluster: a spec is derived from the user's graph, each candidate P is
+// "trained for a few iterations" on the discrete-event engine, and the
+// cost model picks the best count. (The real system samples on the
+// physical cluster; WithAutoPartition does exactly that on the live
+// runtime, see DESIGN.md §9.) The returned search result is nil when
+// the graph has no partition-target variable.
+func searchPartitions(g *Graph, resource ResourceInfo, cfg Config) (int, *partition.SearchResult) {
+	if !hasPartitionTarget(g) {
+		return 1, nil
+	}
+	batch := firstBatchDim(g)
+	spec := models.SpecFromGraph(g, cfg.AlphaHint, batch)
+	hw := cluster.DefaultHardware()
+	measure := func(p int) float64 {
+		res, err := engine.RunArch(spec, core.ArchHybrid, resource.NumMachines(),
+			maxGPUs(resource), p, hw)
+		if err != nil {
+			return 1e9
+		}
+		return res.StepTime
+	}
+	res, err := partition.Search(measure, resource.NumMachines(), maxPartitionBound(g))
+	if err != nil || res.BestP < 1 {
+		return resource.NumMachines(), nil
+	}
+	return res.BestP, &res
+}
+
+func firstBatchDim(g *Graph) int {
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.OpInput && len(n.Shape) > 0 {
+			return n.Shape[0]
+		}
+	}
+	return 1
+}
+
+func maxGPUs(r ResourceInfo) int {
+	m := 1
+	for i := 0; i < r.NumMachines(); i++ {
+		if g := r.GPUsPerMachine(i); g > m {
+			m = g
+		}
+	}
+	return m
+}
+
+func hasIntInput(g *Graph, name string) bool {
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.OpInput && n.DType == graph.Int && n.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,526 @@
+package parallax
+
+// Tests for the context-first Session API: the streaming step iterator,
+// cluster-synchronized cancellation, and checkpoint/restore with
+// bit-identical resume — over the in-process fabric here and over TCP
+// in TestSessionTCP*. The Runner compatibility surface is pinned by the
+// pre-existing tests in parallax_test.go, which must keep passing
+// unmodified.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"parallax/internal/data"
+)
+
+// waitSessionGoroutines polls until the goroutine count settles near
+// base (the persistent runtime fully unwound).
+func waitSessionGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d before", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// momentumOpts is the option set the checkpoint tests train under:
+// momentum exercises slot state on both the server (PS embedding) and
+// replica (AllReduce projection) paths.
+func momentumOpts() []Option {
+	return []Option{
+		WithSparsePartitions(3),
+		WithOptimizer(func() Optimizer { return NewMomentum(0.3, 0.9) }),
+	}
+}
+
+// runSessionSteps opens a session, drives it to totalSteps completed
+// steps, and returns the per-step losses indexed by absolute step.
+func runSessionSteps(t *testing.T, totalSteps int, opts ...Option) ([]float64, []float32) {
+	t.Helper()
+	g := buildAPIModel(8, 150)
+	s, err := Open(context.Background(), g, Uniform(2, 2), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	losses := make([]float64, totalSteps)
+	for st, err := range s.Steps(context.Background(), data.NewZipfText(150, 8, 1, 1.0, 5)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses[st.Step] = st.Loss
+		if st.Step == totalSteps-1 {
+			break
+		}
+	}
+	emb, err := s.VarValue("embedding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return losses, emb.Data()
+}
+
+// TestSessionStepsMatchesRunLoop: the streaming iterator and the legacy
+// RunLoop drive the identical schedule — per-step losses agree bit for
+// bit, and the iterator reports absolute step numbers.
+func TestSessionStepsMatchesRunLoop(t *testing.T) {
+	const steps = 8
+	g := buildAPIModel(8, 150)
+	runner, err := GetRunner(g, Uniform(2, 2), Config{SparsePartitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	var loopLosses []float64
+	if _, err := runner.RunLoop(data.NewZipfText(150, 8, 1, 1.0, 5), steps,
+		func(st StepStats) { loopLosses = append(loopLosses, st.Loss) }); err != nil {
+		t.Fatal(err)
+	}
+
+	iterLosses, _ := runSessionSteps(t, steps, WithSparsePartitions(3))
+	for i := range loopLosses {
+		if math.Float64bits(loopLosses[i]) != math.Float64bits(iterLosses[i]) {
+			t.Fatalf("step %d: RunLoop loss %x, Steps loss %x",
+				i, math.Float64bits(loopLosses[i]), math.Float64bits(iterLosses[i]))
+		}
+	}
+}
+
+// TestSessionCheckpointResumeBitIdentical is the tentpole acceptance
+// check on the in-process fabric: a run saved at step k and restored
+// continues with per-step losses (and final variable bits) equal to an
+// uninterrupted run's, momentum slot state included.
+func TestSessionCheckpointResumeBitIdentical(t *testing.T) {
+	const saveAt, total = 4, 10
+	refLosses, refEmb := runSessionSteps(t, total, momentumOpts()...)
+
+	dir := t.TempDir()
+	g := buildAPIModel(8, 150)
+	s, err := Open(context.Background(), g, Uniform(2, 2), momentumOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for st, err := range s.Steps(context.Background(), data.NewZipfText(150, 8, 1, 1.0, 5)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(st.Loss) != math.Float64bits(refLosses[st.Step]) {
+			t.Fatalf("pre-save step %d diverged", st.Step)
+		}
+		if st.Step == saveAt-1 {
+			break
+		}
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	g2 := buildAPIModel(8, 150)
+	s2, err := OpenFromCheckpoint(context.Background(), dir, g2, Uniform(2, 2), momentumOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.StepCount() != saveAt {
+		t.Fatalf("restored StepCount = %d, want %d", s2.StepCount(), saveAt)
+	}
+	sawFirst := false
+	for st, err := range s2.Steps(context.Background(), data.NewZipfText(150, 8, 1, 1.0, 5)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sawFirst {
+			sawFirst = true
+			if st.Step != saveAt {
+				t.Fatalf("resume started at step %d, want %d", st.Step, saveAt)
+			}
+		}
+		if math.Float64bits(st.Loss) != math.Float64bits(refLosses[st.Step]) {
+			t.Fatalf("resumed step %d loss %x, uninterrupted %x",
+				st.Step, math.Float64bits(st.Loss), math.Float64bits(refLosses[st.Step]))
+		}
+		if st.Step == total-1 {
+			break
+		}
+	}
+	emb, err := s2.VarValue("embedding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range refEmb {
+		if math.Float32bits(emb.Data()[i]) != math.Float32bits(v) {
+			t.Fatalf("embedding[%d] %x after resume, want %x",
+				i, math.Float32bits(emb.Data()[i]), math.Float32bits(v))
+		}
+	}
+}
+
+// TestSessionCheckpointValidation: restores that cannot be correct are
+// refused with the typed sentinels — wrong cluster shape, wrong
+// architecture (plan fingerprint), wrong optimizer (slot state), and a
+// checkpoint from a future format version.
+func TestSessionCheckpointValidation(t *testing.T) {
+	dir := t.TempDir()
+	g := buildAPIModel(8, 150)
+	s, err := Open(context.Background(), g, Uniform(2, 2), momentumOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for _, err := range s.Steps(context.Background(), data.NewZipfText(150, 8, 1, 1.0, 5)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n++; n == 2 {
+			break
+		}
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	open := func(res ResourceInfo, opts ...Option) error {
+		_, err := OpenFromCheckpoint(context.Background(), dir, buildAPIModel(8, 150), res, opts...)
+		return err
+	}
+	if err := open(Uniform(2, 3), momentumOpts()...); !errors.Is(err, ErrTopologyMismatch) {
+		t.Fatalf("wrong GPU count: err = %v, want ErrTopologyMismatch", err)
+	}
+	if err := open(Uniform(2, 2), append(momentumOpts(), WithArch(AllReduceOnly))...); !errors.Is(err, ErrTopologyMismatch) {
+		t.Fatalf("wrong architecture: err = %v, want ErrTopologyMismatch", err)
+	}
+	if err := open(Uniform(2, 2), WithSparsePartitions(3)); !errors.Is(err, ErrTopologyMismatch) {
+		t.Fatalf("wrong optimizer (no slots): err = %v, want ErrTopologyMismatch", err)
+	}
+	// Corrupt the format version byte of shard 0.
+	path := dir + "/machine-0.ckpt"
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[7] = 99
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := open(Uniform(2, 2), momentumOpts()...); !errors.Is(err, ErrCheckpointVersion) {
+		t.Fatalf("future version: err = %v, want ErrCheckpointVersion", err)
+	}
+}
+
+// TestSessionCancelMidLoop: cancelling the Steps context ends the
+// iterator at the next step boundary with the context error, and
+// closing the session afterwards leaks no goroutines under -race.
+func TestSessionCancelMidLoop(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := buildAPIModel(8, 150)
+	s, err := Open(context.Background(), g, Uniform(2, 2), WithSparsePartitions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var steps int
+	var sawErr error
+	for st, err := range s.Steps(ctx, data.NewZipfText(150, 8, 1, 1.0, 5)) {
+		if err != nil {
+			sawErr = err
+			continue // the iterator must stop on its own after an error
+		}
+		steps++
+		if st.Step == 2 {
+			cancel()
+		}
+	}
+	if !errors.Is(sawErr, context.Canceled) {
+		t.Fatalf("iterator ended with %v, want context.Canceled", sawErr)
+	}
+	if steps != 3 {
+		t.Fatalf("ran %d steps after cancel at step 2, want 3 (cancel returns within one step)", steps)
+	}
+	s.Close()
+	waitSessionGoroutines(t, base)
+}
+
+// TestSessionClosedErrors: every post-Close operation fails fast with
+// ErrClosed (errors.Is), including a second loop.
+func TestSessionClosedErrors(t *testing.T) {
+	g := buildAPIModel(8, 150)
+	s, err := Open(context.Background(), g, Uniform(2, 2), WithSparsePartitions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+
+	for _, err := range s.Steps(context.Background(), data.NewZipfText(150, 8, 1, 1.0, 5)) {
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Steps after Close: err = %v, want ErrClosed", err)
+		}
+	}
+	if err := s.Save(t.TempDir()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Save after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := s.RunStep(make([]Feed, s.Workers())); !errors.Is(err, ErrClosed) {
+		t.Fatalf("RunStep after Close: err = %v, want ErrClosed", err)
+	}
+	if err := s.Repartition(2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Repartition after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestSessionAutoPartitionCheckpoint: a checkpoint taken after the
+// online partition search settles records the decision; the restored
+// session runs at the tuned P without re-tuning, and — because live
+// resharding is lossless — its losses match an uninterrupted
+// auto-partitioned run bit for bit even though the two runs' probe
+// sequences measured different wall-clock times.
+func TestSessionAutoPartitionCheckpoint(t *testing.T) {
+	const saveAt, total = 18, 22 // tuning consumes at most 5 probes × 3 steps
+	auto := []Option{WithAutoPartition(), WithAlphaHints(map[string]float64{"embedding": 0.05})}
+	refLosses, _ := runSessionSteps(t, total, auto...)
+
+	dir := t.TempDir()
+	g := buildAPIModel(8, 150)
+	s, err := Open(context.Background(), g, Uniform(2, 2), auto...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for st, err := range s.Steps(context.Background(), data.NewZipfText(150, 8, 1, 1.0, 5)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Step == saveAt-1 {
+			break
+		}
+	}
+	d := s.PartitionDecision()
+	if d.Pending || d.Source != "online" {
+		t.Fatalf("decision before save = %+v, want settled online", d)
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenFromCheckpoint(context.Background(), dir, buildAPIModel(8, 150), Uniform(2, 2), auto...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	d2 := s2.PartitionDecision()
+	if d2.Pending || d2.P != d.P || s2.SparsePartitions() != d.P {
+		t.Fatalf("restored decision %+v, saved was %+v", d2, d)
+	}
+	for st, err := range s2.Steps(context.Background(), data.NewZipfText(150, 8, 1, 1.0, 5)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(st.Loss) != math.Float64bits(refLosses[st.Step]) {
+			t.Fatalf("resumed step %d loss %x, uninterrupted %x",
+				st.Step, math.Float64bits(st.Loss), math.Float64bits(refLosses[st.Step]))
+		}
+		if st.Step == total-1 {
+			break
+		}
+	}
+}
+
+// sessionTCPPair opens the two agents of a 2-machine × 2-GPU cluster
+// over TCP on loopback, each built from an identical graph.
+func sessionTCPPair(t *testing.T, opts ...Option) [2]*Session {
+	t.Helper()
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln0.Addr().String(), "127.0.0.1:0"}
+	var sessions [2]*Session
+	errs := [2]error{}
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			dc := DistConfig{Machine: p, Addrs: addrs, DialTimeout: 10 * time.Second}
+			if p == 0 {
+				dc.Listener = ln0
+			}
+			sessions[p], errs[p] = Open(context.Background(), buildAPIModel(8, 150), Uniform(2, 2),
+				append(append([]Option{}, opts...), WithDistConfig(dc))...)
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", p, err)
+		}
+	}
+	return sessions
+}
+
+// TestSessionTCPCancelAgreed: with cancellable contexts, one agent's
+// cancellation ends BOTH agents' iterators at the same step boundary
+// (cluster-agreed stop), both sessions close cleanly, and no goroutines
+// leak.
+func TestSessionTCPCancelAgreed(t *testing.T) {
+	base := runtime.NumGoroutine()
+	sessions := sessionTCPPair(t, WithSparsePartitions(3))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lastStep := [2]int{-1, -1}
+	finalErr := [2]error{}
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for st, err := range sessions[p].Steps(ctx, data.NewZipfText(150, 8, 1, 1.0, 5)) {
+				if err != nil {
+					finalErr[p] = err
+					continue
+				}
+				lastStep[p] = st.Step
+				// Only agent 0 cancels; agent 1 must stop via the agreement.
+				if p == 0 && st.Step == 2 {
+					cancel()
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("agreed cancellation did not end both loops")
+	}
+	for p := 0; p < 2; p++ {
+		if !errors.Is(finalErr[p], context.Canceled) {
+			t.Fatalf("agent %d ended with %v, want context.Canceled", p, finalErr[p])
+		}
+	}
+	if lastStep[0] != lastStep[1] {
+		t.Fatalf("agents stopped at different steps: %d vs %d", lastStep[0], lastStep[1])
+	}
+	sessions[0].Close()
+	sessions[1].Close()
+	waitSessionGoroutines(t, base)
+}
+
+// TestSessionTCPCheckpointResume is the cross-fabric half of the
+// tentpole acceptance: two TCP agents save at step k (each writing its
+// machine's shard), fresh agents restore from the same directory, and
+// the continued run matches the uninterrupted single-process run bit
+// for bit.
+func TestSessionTCPCheckpointResume(t *testing.T) {
+	const saveAt, total = 4, 8
+	refLosses, refEmb := runSessionSteps(t, total, momentumOpts()...)
+	dir := t.TempDir()
+
+	phase := func(restore bool, from, to int) {
+		var sessions [2]*Session
+		if restore {
+			ln0, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs := []string{ln0.Addr().String(), "127.0.0.1:0"}
+			errs := [2]error{}
+			var wg sync.WaitGroup
+			for p := 0; p < 2; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					dc := DistConfig{Machine: p, Addrs: addrs, DialTimeout: 10 * time.Second}
+					if p == 0 {
+						dc.Listener = ln0
+					}
+					sessions[p], errs[p] = OpenFromCheckpoint(context.Background(), dir,
+						buildAPIModel(8, 150), Uniform(2, 2),
+						append(momentumOpts(), WithDistConfig(dc))...)
+				}(p)
+			}
+			wg.Wait()
+			for p, err := range errs {
+				if err != nil {
+					t.Fatalf("restore agent %d: %v", p, err)
+				}
+			}
+		} else {
+			sessions = sessionTCPPair(t, momentumOpts()...)
+		}
+		var wg sync.WaitGroup
+		agentErr := [2]error{}
+		for p := 0; p < 2; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				s := sessions[p]
+				defer s.Close()
+				first := true
+				for st, err := range s.Steps(context.Background(), data.NewZipfText(150, 8, 1, 1.0, 5)) {
+					if err != nil {
+						agentErr[p] = err
+						return
+					}
+					if first && st.Step != from {
+						agentErr[p] = errors.New("wrong resume step")
+						return
+					}
+					first = false
+					if math.Float64bits(st.Loss) != math.Float64bits(refLosses[st.Step]) {
+						t.Errorf("agent %d step %d loss %x, reference %x",
+							p, st.Step, math.Float64bits(st.Loss), math.Float64bits(refLosses[st.Step]))
+						return
+					}
+					if st.Step == to-1 {
+						break
+					}
+				}
+				if err := s.Save(dir); err != nil {
+					agentErr[p] = err
+					return
+				}
+				if !restore {
+					return
+				}
+				emb, err := s.VarValue("embedding")
+				if err != nil {
+					agentErr[p] = err
+					return
+				}
+				for i, v := range refEmb {
+					if math.Float32bits(emb.Data()[i]) != math.Float32bits(v) {
+						t.Errorf("agent %d embedding[%d] diverged after resume", p, i)
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		for p, err := range agentErr {
+			if err != nil {
+				t.Fatalf("agent %d: %v", p, err)
+			}
+		}
+	}
+	phase(false, 0, saveAt)    // run to k over TCP, save shards
+	phase(true, saveAt, total) // restart both agents from the checkpoint
+}
