@@ -1,0 +1,64 @@
+// Command bench2json converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can publish the benchmark smoke
+// as a structured artifact (BENCH.json) instead of only a text log.
+//
+// Usage:
+//
+//	go test -bench . | bench2json -o BENCH.json
+//	bench2json -o BENCH.json bench.txt
+//
+// Context lines (goos/goarch/cpu) become top-level fields; every
+// "Benchmark..." result line becomes one entry with the unit pairs
+// (ns/op, MB/s, B/op, allocs/op) parsed into numbers. Unknown units are
+// preserved under extra so future benchmark metrics survive the
+// conversion. Input that contains no benchmark lines is an error: a
+// silently empty artifact would read as "benchmarks ran, found nothing".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := Parse(string(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usageErr(format string, args ...any) error {
+	return fmt.Errorf("bench2json: "+format, args...)
+}

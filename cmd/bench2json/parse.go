@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Doc is the top-level BENCH.json shape.
+type Doc struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Result is one "Benchmark..." line. Procs is the -N GOMAXPROCS suffix
+// go test appends to the name (0 if absent); Name keeps the suffix
+// stripped so the same benchmark diffs cleanly across machines.
+type Result struct {
+	Pkg         string             `json:"pkg,omitempty"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Parse converts `go test -bench` text output (possibly the
+// concatenation of several package runs) into a Doc.
+func Parse(text string) (*Doc, error) {
+	doc := &Doc{}
+	pkg := ""
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			r, err := parseResult(line)
+			if err != nil {
+				return nil, usageErr("line %d: %v", ln+1, err)
+			}
+			r.Pkg = pkg
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, usageErr("no benchmark result lines in input")
+	}
+	return doc, nil
+}
+
+func parseResult(line string) (Result, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Result{}, usageErr("truncated result %q", line)
+	}
+	r := Result{Name: f[0]}
+	// BenchmarkFoo/case-8 -> name BenchmarkFoo/case, procs 8.
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, usageErr("iteration count %q: %v", f[1], err)
+	}
+	r.Iterations = iters
+	// The rest of the line is (value, unit) pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, usageErr("value %q: %v", f[i], err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "MB/s":
+			r.MBPerS = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, nil
+}

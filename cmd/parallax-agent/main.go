@@ -13,6 +13,14 @@
 // -checkpoint is set, and the fabric tears down cleanly. Restarting
 // every agent with -resume continues the run bit-identically.
 //
+// -compression enables the sparsity-aware wire compression layer
+// (DESIGN.md §11): none|f16|bf16|topk[=FRAC]. The policy is part of the
+// job's identity — every agent must pass the same value (the TCP
+// rendezvous refuses mismatched peers) and a -resume must match the
+// checkpoint. Because the lossy transforms run deterministically in the
+// data plane, a compressed TCP run still reproduces the compressed
+// in-process reference bit for bit.
+//
 // Usage:
 //
 //	# in-process reference (no wire):
@@ -61,6 +69,8 @@ func main() {
 	partitions := flag.Int("partitions", 8, "sparse partitions (fixed so every agent plans identically)")
 	autoPartition := flag.Bool("auto-partition", false,
 		"tune the partition count online during the first steps (overrides -partitions; agents agree on every measurement, so they reshard in lockstep)")
+	compression := flag.String("compression", "none",
+		"wire compression: none|f16|bf16|topk[=FRAC] (part of job identity: every agent must pass the same value, and a -resume must match the checkpoint)")
 	dialTimeout := flag.Duration("dial-timeout", 15*time.Second, "peer rendezvous timeout")
 	ckpt := flag.String("checkpoint", "", "checkpoint directory: written on exit (normal completion or SIGINT/SIGTERM drain)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint instead of initializing (run it on every agent)")
@@ -76,6 +86,10 @@ func main() {
 	if *resume && *ckpt == "" {
 		log.Fatal("-resume requires -checkpoint")
 	}
+	policy, err := parallax.ParseCompression(*compression)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// SIGINT/SIGTERM cancel the context; the step loop drains the
 	// in-flight step, every agent stops at the same agreed boundary, and
@@ -87,6 +101,7 @@ func main() {
 		parallax.WithArch(arch),
 		parallax.WithOptimizer(func() parallax.Optimizer { return parallax.NewSGD(float32(*lr)) }),
 		parallax.WithClipNorm(*clip),
+		parallax.WithCompression(policy),
 	}
 	if *autoPartition {
 		opts = append(opts, parallax.WithAutoPartition())
@@ -125,7 +140,6 @@ func main() {
 
 	resources := parallax.Uniform(n, *gpus)
 	var sess *parallax.Session
-	var err error
 	if *resume {
 		sess, err = parallax.OpenFromCheckpoint(ctx, *ckpt, g, resources, opts...)
 	} else {
@@ -136,6 +150,7 @@ func main() {
 	}
 	defer sess.Close()
 	fmt.Print(sess.Describe())
+	fmt.Print(policy.Describe())
 	fmt.Printf("local workers: %v of %d\n", sess.LocalWorkers(), sess.Workers())
 	if *resume {
 		fmt.Printf("resumed from %s at step %d\n", *ckpt, sess.StepCount())

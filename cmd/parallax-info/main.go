@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"parallax"
 	"parallax/internal/cluster"
 	"parallax/internal/core"
 	"parallax/internal/engine"
@@ -32,7 +33,14 @@ func main() {
 	machines := flag.Int("machines", 8, "machines")
 	gpus := flag.Int("gpus", 6, "GPUs per machine")
 	partitions := flag.Int("partitions", 0, "sparse partitions (0 = run the §3.2 search on the simulated cluster)")
+	compression := flag.String("compression", "none", "wire compression policy to describe: none|f16|bf16|topk[=FRAC]")
 	flag.Parse()
+
+	policy, err := parallax.ParseCompression(*compression)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	specs := map[string]*models.Spec{
 		"resnet50": models.ResNet50(), "inception": models.InceptionV3(),
@@ -115,6 +123,7 @@ func main() {
 		} else {
 			fmt.Println("transport: inproc (single process)")
 		}
+		fmt.Print(policy.Describe())
 		fmt.Printf("%-24s %-7s %-10s %-12s %-14s %-22s\n", "variable", "kind", "alpha", "method", "transport", "Table-3 bytes/machine")
 		fmt.Println(strings.Repeat("-", 95))
 		for i, v := range spec.Vars {

@@ -10,6 +10,7 @@
 //
 //	parallax-train [-machines 2] [-gpus 2] [-vocab 2000] [-steps 100]
 //	               [-arch hybrid|ar|ps|optps] [-async] [-clip 5.0]
+//	               [-compression none|f16|bf16|topk[=FRAC]]
 //	               [-checkpoint dir [-resume]]
 package main
 
@@ -38,6 +39,8 @@ func main() {
 	async := flag.Bool("async", false, "asynchronous PS updates")
 	clip := flag.Float64("clip", 0, "global-norm clip (0 = off)")
 	lr := flag.Float64("lr", 0.5, "learning rate")
+	compression := flag.String("compression", "none",
+		"wire compression: none|f16|bf16|topk[=FRAC] (a -resume must match the checkpoint's policy)")
 	ckpt := flag.String("checkpoint", "", "checkpoint directory: written on exit (normal completion or Ctrl-C drain)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint instead of initializing")
 	flag.Parse()
@@ -48,6 +51,10 @@ func main() {
 	}[*archFlag]
 	if *resume && *ckpt == "" {
 		log.Fatal("-resume requires -checkpoint")
+	}
+	policy, err := parallax.ParseCompression(*compression)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -76,12 +83,12 @@ func main() {
 		parallax.WithOptimizer(func() parallax.Optimizer { return parallax.NewSGD(float32(*lr)) }),
 		parallax.WithAlphaHints(map[string]float64{"embedding": alpha}),
 		parallax.WithClipNorm(*clip),
+		parallax.WithCompression(policy),
 	}
 	if *async {
 		opts = append(opts, parallax.WithAsync())
 	}
 	var sess *parallax.Session
-	var err error
 	if *resume {
 		sess, err = parallax.OpenFromCheckpoint(ctx, *ckpt, g, resources, opts...)
 	} else {
@@ -92,6 +99,7 @@ func main() {
 	}
 	defer sess.Close()
 	fmt.Print(sess.Describe())
+	fmt.Print(policy.Describe())
 	fmt.Printf("measured alpha(embedding) = %.4f, sparse partitions = %d\n",
 		alpha, sess.SparsePartitions())
 	if *resume {

@@ -25,4 +25,10 @@ var (
 	// ErrCheckpointVersion marks a checkpoint file whose magic bytes or
 	// format version this build cannot read.
 	ErrCheckpointVersion = errs.ErrCheckpointVersion
+
+	// ErrCompressionMismatch marks a disagreement over the wire
+	// compression policy: a distributed peer configured with a different
+	// policy (caught at the TCP rendezvous), or a checkpoint restored
+	// under a policy other than the one that wrote it.
+	ErrCompressionMismatch = errs.ErrCompressionMismatch
 )

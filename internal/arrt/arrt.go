@@ -12,6 +12,7 @@ import (
 	"parallax/internal/collective"
 	"parallax/internal/optim"
 	"parallax/internal/tensor"
+	"parallax/internal/transport"
 )
 
 // Replica is one worker's endpoint of the AR runtime.
@@ -55,6 +56,22 @@ func DenseTags(name string) collective.Tags {
 // bucket rather than a single variable's gradient).
 func (r *Replica) SyncDenseTagged(tags collective.Tags, grad *tensor.Dense) {
 	collective.AllReduceTagged(r.comm, tags, grad)
+	optim.FinalizeDense(grad, r.comm.Size(), r.denseAgg)
+}
+
+// SyncDenseCompressed is SyncDenseTagged under a wire compression
+// policy: DenseTopK > 0 routes through the top-k sparsified exchange
+// with error feedback (res must have grad's length and persist across
+// steps; scratch is the reusable selection workspace), otherwise the
+// bucket travels under the policy's dense codec. Finalization is
+// unchanged, so a CompressionNone policy is bit-identical to
+// SyncDenseTagged.
+func (r *Replica) SyncDenseCompressed(tags collective.Tags, grad *tensor.Dense, policy transport.Policy, res []float32, scratch *collective.TopKScratch) {
+	if policy.DenseTopK > 0 {
+		collective.AllReduceTopKTagged(r.comm, tags, grad, policy.DenseTopK, policy.Dense, res, scratch)
+	} else {
+		collective.AllReduceCodecTagged(r.comm, tags, grad, policy.Dense)
+	}
 	optim.FinalizeDense(grad, r.comm.Size(), r.denseAgg)
 }
 

@@ -21,23 +21,30 @@
 // are the same IEEE-754 bit patterns the TCP fabric frames, which is
 // what makes the save path serialize straight from snapshot tensors):
 //
-//	magic "PLXCKPT" | u8 version (=1)
+//	magic "PLXCKPT" | u8 version (=1, or 2 when compression state exists)
 //	u32 machine | u32 machines | u64 step | u64 cursor | u32 parts
 //	u8 decision flags (bit0: search still pending) | str source
 //	str topoFP | str planFP
+//	str compressionFP          (version 2 only)
 //	u32 nrecords, each:
-//	  u8 kind (1 replica variable, 2 server partition)
-//	  str name | u32 part (kind 2; 0 otherwise)
+//	  u8 kind (1 replica variable, 2 server partition, 3 residual [v2])
+//	  str name | u32 part (kind 2/3; 0 otherwise)
 //	  u8 rank | rank × u32 dims
 //	  u32 n | n × f32            (value)
 //	  u32 nslots, each: str slot | u32 n | n × f32
 //
-// where str is u16 length + bytes. Decoding validates every declared
-// length against the remaining bytes before allocating, so truncated or
-// corrupt files yield errors, never panics (FuzzCheckpointDecode pins
-// this). An unrecognized magic or version fails with
-// errs.ErrCheckpointVersion; topology/plan fingerprint mismatches are
-// the caller's to check (errs.ErrTopologyMismatch).
+// where str is u16 length + bytes. A job saved under CompressionNone
+// with no error-feedback residuals writes version 1, byte-identical to
+// builds that predate wire compression; a compressed job writes version
+// 2, which appends the policy fingerprint to the metadata and may carry
+// KindResidual records (one per worker × fusion bucket of top-k
+// error-feedback state). Decoding validates every declared length
+// against the remaining bytes before allocating, so truncated or corrupt
+// files yield errors, never panics (FuzzCheckpointDecode pins this). An
+// unrecognized magic or version fails with errs.ErrCheckpointVersion;
+// topology/plan fingerprint mismatches are the caller's to check
+// (errs.ErrTopologyMismatch), compression fingerprint mismatches
+// likewise (errs.ErrCompressionMismatch).
 package checkpoint
 
 import (
@@ -56,8 +63,14 @@ import (
 	"parallax/internal/transport"
 )
 
-// Version is the current checkpoint format version.
-const Version = 1
+// Version is the baseline checkpoint format version; VersionCompressed
+// adds the compression fingerprint and residual records. Encode picks
+// the lowest version that can represent the shard, so uncompressed jobs
+// keep writing files older builds read.
+const (
+	Version           = 1
+	VersionCompressed = 2
+)
 
 // magic opens every shard file.
 var magic = [7]byte{'P', 'L', 'X', 'C', 'K', 'P', 'T'}
@@ -78,6 +91,11 @@ const (
 	// shard's machine: the partition value plus the server optimizer's
 	// slot state, both in partition-local row coordinates.
 	KindServerPart RecordKind = 2
+	// KindResidual is one worker's top-k error-feedback residual for one
+	// fusion bucket (Name is the worker's global rank in decimal, Part
+	// the bucket index; no slots). Version 2 files only; each worker's
+	// residuals live in its machine's shard.
+	KindResidual RecordKind = 3
 )
 
 // Meta is the job-level state every shard repeats.
@@ -103,6 +121,13 @@ type Meta struct {
 	// synchronization plan; restore recomputes both and refuses a
 	// mismatch (errs.ErrTopologyMismatch).
 	TopoFP, PlanFP string
+	// Compression is the wire compression policy fingerprint
+	// (transport.Policy.Fingerprint) the job trained under; "" or "none"
+	// means uncompressed. Restore refuses a session configured with a
+	// different policy (errs.ErrCompressionMismatch): the error-feedback
+	// residuals and quantization grids are policy state, so silently
+	// switching policies mid-run would corrupt the trajectory.
+	Compression string
 }
 
 // Record is one variable's (or partition's) checkpoint payload.
@@ -166,10 +191,21 @@ func appendTensor(b []byte, t *tensor.Dense) []byte {
 	return transport.AppendF32s(b, t.Data())
 }
 
-// Encode serializes one shard.
+// Encode serializes one shard, at the lowest format version that can
+// represent it: version 1 unless the meta carries a compression
+// fingerprint or the records include residuals.
 func Encode(meta Meta, recs []Record) ([]byte, error) {
+	version := byte(Version)
+	if meta.Compression != "" && meta.Compression != "none" {
+		version = VersionCompressed
+	}
+	for _, r := range recs {
+		if r.Kind == KindResidual {
+			version = VersionCompressed
+		}
+	}
 	b := append([]byte(nil), magic[:]...)
-	b = append(b, Version)
+	b = append(b, version)
 	b = binary.LittleEndian.AppendUint32(b, uint32(meta.Machine))
 	b = binary.LittleEndian.AppendUint32(b, uint32(meta.Machines))
 	b = binary.LittleEndian.AppendUint64(b, uint64(meta.Step))
@@ -183,10 +219,16 @@ func Encode(meta Meta, recs []Record) ([]byte, error) {
 	b = appendStr(b, meta.DecisionSource)
 	b = appendStr(b, meta.TopoFP)
 	b = appendStr(b, meta.PlanFP)
+	if version >= VersionCompressed {
+		b = appendStr(b, meta.Compression)
+	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(recs)))
 	for _, r := range recs {
-		if r.Kind != KindReplica && r.Kind != KindServerPart {
+		if r.Kind != KindReplica && r.Kind != KindServerPart && r.Kind != KindResidual {
 			return nil, fmt.Errorf("checkpoint: record %q has unknown kind %d", r.Name, r.Kind)
+		}
+		if r.Kind == KindResidual && len(r.Slots) != 0 {
+			return nil, fmt.Errorf("checkpoint: residual record %q carries %d slots", r.Name, len(r.Slots))
 		}
 		if len(r.Value.Shape()) > maxRank {
 			return nil, fmt.Errorf("checkpoint: record %q has rank %d, format caps at %d",
@@ -277,9 +319,10 @@ func Decode(b []byte) (Meta, []Record, error) {
 	if [7]byte(head[:7]) != magic {
 		return meta, nil, fmt.Errorf("checkpoint: %w: bad magic", errs.ErrCheckpointVersion)
 	}
-	if head[7] != Version {
-		return meta, nil, fmt.Errorf("checkpoint: %w: file version %d, this build reads %d",
-			errs.ErrCheckpointVersion, head[7], Version)
+	version := head[7]
+	if version != Version && version != VersionCompressed {
+		return meta, nil, fmt.Errorf("checkpoint: %w: file version %d, this build reads %d and %d",
+			errs.ErrCheckpointVersion, version, Version, VersionCompressed)
 	}
 	machine, err := d.U32()
 	if err != nil {
@@ -318,6 +361,11 @@ func Decode(b []byte) (Meta, []Record, error) {
 	if meta.PlanFP, err = decodeStr(d); err != nil {
 		return meta, nil, err
 	}
+	if version >= VersionCompressed {
+		if meta.Compression, err = decodeStr(d); err != nil {
+			return meta, nil, err
+		}
+	}
 	nrecs, err := d.Count(1)
 	if err != nil {
 		return meta, nil, err
@@ -330,7 +378,13 @@ func Decode(b []byte) (Meta, []Record, error) {
 			return meta, nil, err
 		}
 		r.Kind = RecordKind(kind)
-		if r.Kind != KindReplica && r.Kind != KindServerPart {
+		switch r.Kind {
+		case KindReplica, KindServerPart:
+		case KindResidual:
+			if version < VersionCompressed {
+				return meta, nil, fmt.Errorf("checkpoint: record %d is a residual in a version-%d file", i, version)
+			}
+		default:
 			return meta, nil, fmt.Errorf("checkpoint: record %d has unknown kind %d", i, kind)
 		}
 		if r.Name, err = decodeStr(d); err != nil {

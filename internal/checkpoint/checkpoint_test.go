@@ -101,7 +101,7 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 		t.Fatalf("bad magic error = %v, want ErrCheckpointVersion", err)
 	}
 	bad = append([]byte(nil), b...)
-	bad[7] = Version + 1
+	bad[7] = VersionCompressed + 1
 	if _, _, err := Decode(bad); !errors.Is(err, errs.ErrCheckpointVersion) {
 		t.Fatalf("future version error = %v, want ErrCheckpointVersion", err)
 	}
@@ -167,5 +167,80 @@ func TestFingerprintsDiscriminate(t *testing.T) {
 	}
 	if PlanFingerprint(mk(2)) != PlanFingerprint(mk(2)) {
 		t.Fatal("plan fingerprint unstable")
+	}
+}
+
+// TestVersionGating: uncompressed shards stay version 1, byte-identical
+// to builds that predate wire compression; a compression fingerprint or
+// residual records promote the file to version 2, which round-trips
+// both.
+func TestVersionGating(t *testing.T) {
+	meta, recs := sampleShard()
+	b1, err := Encode(meta, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1[7] != Version {
+		t.Fatalf("uncompressed shard wrote version %d, want %d", b1[7], Version)
+	}
+	// "none" is the canonical uncompressed fingerprint — still version 1,
+	// byte-identical.
+	meta.Compression = "none"
+	bNone, err := Encode(meta, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bNone) != len(b1) {
+		t.Fatalf("Compression=\"none\" changed the encoding: %d vs %d bytes", len(bNone), len(b1))
+	}
+	for i := range b1 {
+		if bNone[i] != b1[i] {
+			t.Fatalf("Compression=\"none\" changed byte %d", i)
+		}
+	}
+
+	meta.Compression = "dense=f16,topk=0.1,psdense=f32,pssparse=f32,delta=false"
+	resid := tensor.NewDense(6)
+	for i := range resid.Data() {
+		resid.Data()[i] = float32(i) * 0.125
+	}
+	recs = append(recs, Record{Kind: KindResidual, Name: "0", Part: 1, Value: resid})
+	b2, err := Encode(meta, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2[7] != VersionCompressed {
+		t.Fatalf("compressed shard wrote version %d, want %d", b2[7], VersionCompressed)
+	}
+	meta2, recs2, err := Decode(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2.Compression != meta.Compression {
+		t.Fatalf("compression fingerprint = %q, want %q", meta2.Compression, meta.Compression)
+	}
+	last := recs2[len(recs2)-1]
+	if last.Kind != KindResidual || last.Name != "0" || last.Part != 1 {
+		t.Fatalf("residual record decoded as %+v", last)
+	}
+	for i, v := range resid.Data() {
+		if math.Float32bits(last.Value.Data()[i]) != math.Float32bits(v) {
+			t.Fatalf("residual element %d mismatch", i)
+		}
+	}
+	// Residual records alone also force version 2...
+	metaPlain, _ := sampleShard()
+	bR, err := Encode(metaPlain, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bR[7] != VersionCompressed {
+		t.Fatalf("residual-bearing shard wrote version %d", bR[7])
+	}
+	// ...and a hand-built version-1 file may not carry them.
+	bad := append([]byte(nil), bR...)
+	bad[7] = Version
+	if _, _, err := Decode(bad); err == nil {
+		t.Fatal("version-1 file with residual records decoded successfully")
 	}
 }

@@ -24,4 +24,11 @@ var (
 	// ErrCheckpointVersion marks a checkpoint file whose magic or format
 	// version this build cannot read.
 	ErrCheckpointVersion = errors.New("unsupported checkpoint version")
+
+	// ErrCompressionMismatch marks a disagreement about the wire
+	// compression policy between parties that must share it: two agent
+	// processes whose rendezvous handshakes carry different policy
+	// fingerprints, or a checkpoint restored into a session configured
+	// with a different policy than the one that trained it.
+	ErrCompressionMismatch = errors.New("compression policy mismatch")
 )

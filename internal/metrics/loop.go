@@ -29,6 +29,15 @@ type StepStats struct {
 	WireSentBytes int64
 	WireRecvBytes int64
 
+	// WireSentBytesRaw / WireCompressedBytes break down the compressed
+	// share of WireSentBytes under a wire-compression policy (DESIGN.md
+	// §11): for every frame that traveled in a compressed encoding, Raw
+	// accumulates what the classic f32 frame would have cost and
+	// Compressed the bytes actually written. Both are zero for
+	// uncompressed runs and for the in-memory fabric.
+	WireSentBytesRaw    int64
+	WireCompressedBytes int64
+
 	// Per-phase breakdown (slowest worker per phase): ComputeTime is the
 	// forward+backward wall clock, CommTime is synchronization busy time,
 	// and SyncWait is the part of CommTime that was NOT hidden under
@@ -43,6 +52,20 @@ type StepStats struct {
 // backward compute, in [0,1]; 0 when the step did no synchronization.
 func (s StepStats) OverlapFraction() float64 {
 	return overlapFraction(s.CommTime, s.SyncWait)
+}
+
+// CompressionRatio returns raw/compressed over the frames that traveled
+// compressed this step — the payload reduction the wire-compression
+// policy achieved — or 0 when nothing traveled compressed.
+func (s StepStats) CompressionRatio() float64 {
+	return compressionRatio(s.WireSentBytesRaw, s.WireCompressedBytes)
+}
+
+func compressionRatio(raw, comp int64) float64 {
+	if comp <= 0 {
+		return 0
+	}
+	return float64(raw) / float64(comp)
 }
 
 func overlapFraction(comm, wait time.Duration) float64 {
@@ -74,6 +97,10 @@ type LoopStats struct {
 	// process exchanged with peer agents (zero for single-process runs).
 	TotalWireSent int64
 	TotalWireRecv int64
+	// TotalWireRaw/TotalWireCompressed sum the per-step compression
+	// accounting (see StepStats.WireSentBytesRaw).
+	TotalWireRaw        int64
+	TotalWireCompressed int64
 	// TotalCompute/TotalComm/TotalSyncWait sum the per-step phase
 	// breakdowns.
 	TotalCompute  time.Duration
@@ -102,6 +129,8 @@ func (l *LoopStats) Observe(s StepStats) {
 	l.TotalBytesPushed += s.BytesPushed
 	l.TotalWireSent += s.WireSentBytes
 	l.TotalWireRecv += s.WireRecvBytes
+	l.TotalWireRaw += s.WireSentBytesRaw
+	l.TotalWireCompressed += s.WireCompressedBytes
 	l.TotalCompute += s.ComputeTime
 	l.TotalComm += s.CommTime
 	l.TotalSyncWait += s.SyncWait
@@ -126,5 +155,14 @@ func (l LoopStats) String() string {
 		s += fmt.Sprintf(", wire tx %s rx %s",
 			HumanBytes(float64(l.TotalWireSent)), HumanBytes(float64(l.TotalWireRecv)))
 	}
+	if r := l.CompressionRatio(); r > 0 {
+		s += fmt.Sprintf(", compressed %.1fx", r)
+	}
 	return s
+}
+
+// CompressionRatio is the loop-wide payload reduction over compressed
+// frames (0 when nothing traveled compressed).
+func (l LoopStats) CompressionRatio() float64 {
+	return compressionRatio(l.TotalWireRaw, l.TotalWireCompressed)
 }

@@ -1,0 +1,139 @@
+package tensor
+
+// Half-precision conversion kernels for the wire-compression layer
+// (internal/transport's f16/bf16 payload codecs). The scalar converters
+// implement IEEE-754 round-to-nearest-even; the bulk quantizers round a
+// float32 slice onto the half grid in place — the data plane quantizes
+// at every would-cross-wire point (including local paths), so the wire
+// encoding itself is lossless on the already-on-grid values and a
+// compressed run stays bit-identical across the inproc and TCP fabrics.
+//
+// Grid round trips are exact by construction: every finite binary16 /
+// bfloat16 value is exactly representable in float32, expanding and
+// re-rounding it reproduces the same bits. NaNs keep their (truncated)
+// payloads, with a quiet bit forced when truncation would otherwise
+// collapse the payload to zero and turn the NaN into an infinity.
+
+import "math"
+
+// F32ToF16Bits rounds a float32 to the nearest IEEE-754 binary16 value
+// (ties to even) and returns its bit pattern. Overflow rounds to ±Inf,
+// magnitudes below the subnormal range round to ±0.
+func F32ToF16Bits(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int(b>>23) & 0xFF
+	man := b & 0x7FFFFF
+	if exp == 0xFF { // Inf / NaN
+		if man == 0 {
+			return sign | 0x7C00
+		}
+		m := uint16(man >> 13)
+		if m == 0 {
+			m = 0x200 // payload truncated away: force the quiet bit
+		}
+		return sign | 0x7C00 | m
+	}
+	e := exp - 127 + 15
+	if e >= 0x1F { // |f| >= 2^16: past the largest half, round to Inf
+		return sign | 0x7C00
+	}
+	if e >= 1 { // normal half: round the mantissa at bit 13
+		lsb := (man >> 13) & 1
+		m := man + 0xFFF + lsb
+		if m >= 0x800000 { // carried into the exponent
+			e++
+			if e >= 0x1F {
+				return sign | 0x7C00
+			}
+			return sign | uint16(e)<<10
+		}
+		return sign | uint16(e)<<10 | uint16(m>>13)
+	}
+	if e < -10 { // below half the smallest subnormal: rounds to zero
+		return sign
+	}
+	// Subnormal half: shift the full significand (implicit bit restored)
+	// into place, rounding ties to even on the bits shifted out.
+	m := man | 0x800000
+	shift := uint(14 - e) // 14..24
+	lsb := (m >> shift) & 1
+	m += 1<<(shift-1) - 1 + uint32(lsb)
+	return sign | uint16(m>>shift)
+}
+
+// F16BitsToF32 expands a binary16 bit pattern to the float32 with the
+// same value (exact: every half is representable).
+func F16BitsToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1F
+	man := uint32(h & 0x3FF)
+	switch {
+	case exp == 0x1F: // Inf / NaN, payload preserved
+		return math.Float32frombits(sign | 0x7F800000 | man<<13)
+	case exp == 0:
+		if man == 0 {
+			return math.Float32frombits(sign)
+		}
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 { // normalize the subnormal
+			man <<= 1
+			e--
+		}
+		man &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	}
+	return math.Float32frombits(sign | (exp+127-15)<<23 | man<<13)
+}
+
+// F32ToBF16Bits rounds a float32 to the nearest bfloat16 (ties to even)
+// and returns its bit pattern: the top 16 bits after rounding at bit 16.
+func F32ToBF16Bits(f float32) uint16 {
+	b := math.Float32bits(f)
+	if b&0x7FFFFFFF > 0x7F800000 { // NaN: truncate, keep it a NaN
+		h := uint16(b >> 16)
+		if h&0x7F == 0 {
+			h |= 0x40
+		}
+		return h
+	}
+	lsb := (b >> 16) & 1
+	return uint16((b + 0x7FFF + lsb) >> 16)
+}
+
+// BF16BitsToF32 expands a bfloat16 bit pattern to float32 (exact).
+func BF16BitsToF32(h uint16) float32 {
+	return math.Float32frombits(uint32(h) << 16)
+}
+
+// QuantizeF16 rounds every element onto the binary16 grid in place
+// (round-to-nearest-even). Idempotent: on-grid values are fixed points.
+func QuantizeF16(x []float32) {
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x[i] = F16BitsToF32(F32ToF16Bits(x[i]))
+		x[i+1] = F16BitsToF32(F32ToF16Bits(x[i+1]))
+		x[i+2] = F16BitsToF32(F32ToF16Bits(x[i+2]))
+		x[i+3] = F16BitsToF32(F32ToF16Bits(x[i+3]))
+	}
+	for ; i < n; i++ {
+		x[i] = F16BitsToF32(F32ToF16Bits(x[i]))
+	}
+}
+
+// QuantizeBF16 rounds every element onto the bfloat16 grid in place
+// (round-to-nearest-even). Idempotent like QuantizeF16.
+func QuantizeBF16(x []float32) {
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x[i] = BF16BitsToF32(F32ToBF16Bits(x[i]))
+		x[i+1] = BF16BitsToF32(F32ToBF16Bits(x[i+1]))
+		x[i+2] = BF16BitsToF32(F32ToBF16Bits(x[i+2]))
+		x[i+3] = BF16BitsToF32(F32ToBF16Bits(x[i+3]))
+	}
+	for ; i < n; i++ {
+		x[i] = BF16BitsToF32(F32ToBF16Bits(x[i]))
+	}
+}

@@ -1,0 +1,139 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestF16Conversions pins the binary16 converter on the IEEE-754 edge
+// cases: signed zeros, infinities, NaN payload preservation, the
+// normal/subnormal boundary, overflow/underflow rounding, and
+// round-to-nearest-even at the mantissa cut.
+func TestF16Conversions(t *testing.T) {
+	inf := float32(math.Inf(1))
+	cases := []struct {
+		name string
+		in   float32
+		bits uint16
+	}{
+		{"zero", 0, 0x0000},
+		{"negzero", float32(math.Copysign(0, -1)), 0x8000},
+		{"one", 1, 0x3C00},
+		{"negtwo", -2, 0xC000},
+		{"inf", inf, 0x7C00},
+		{"neginf", -inf, 0xFC00},
+		{"maxhalf", 65504, 0x7BFF},
+		{"overflow", 65536, 0x7C00},          // past the grid: Inf
+		{"overflowRound", 65520, 0x7C00},     // ties at the top round to Inf
+		{"belowOverflow", 65519, 0x7BFF},     // just under the tie: max half
+		{"minNormal", 6.103515625e-05, 0x0400},  // 2^-14
+		{"maxSubnormal", 6.097555160522461e-05, 0x03FF}, // (1023/1024)·2^-14
+		{"minSubnormal", 5.960464477539063e-08, 0x0001}, // 2^-24
+		{"underflowTie", 2.9802322387695312e-08, 0x0000}, // 2^-25 ties to even = 0
+		{"aboveUnderflowTie", 2.9802325e-08, 0x0001},     // just above: smallest subnormal
+		{"underflow", 1e-08, 0x0000},
+		{"roundEvenDown", 1.00048828125, 0x3C00},  // halfway between 1 and 1+2^-10: even
+		{"roundEvenUp", 1.00146484375, 0x3C02},    // halfway between 1+2^-10 and 1+2^-9: even
+		{"roundNearest", 1.0005, 0x3C01},          // just above the tie: up
+		{"third", 1.0 / 3.0, 0x3555},
+	}
+	for _, c := range cases {
+		if got := F32ToF16Bits(c.in); got != c.bits {
+			t.Errorf("%s: F32ToF16Bits(%g) = %#04x, want %#04x", c.name, c.in, got, c.bits)
+		}
+	}
+	// Expansion of every case's bit pattern re-rounds to the same bits:
+	// the grid is a fixed point of the round trip.
+	for h := 0; h <= 0xFFFF; h++ {
+		f := F16BitsToF32(uint16(h))
+		if got := F32ToF16Bits(f); got != uint16(h) {
+			t.Fatalf("half round trip %#04x -> %g -> %#04x", h, f, got)
+		}
+	}
+	// NaN handling: payload survives, and a payload that truncates to
+	// zero must not collapse into an infinity.
+	qnan := math.Float32frombits(0x7FC00001)
+	if got := F32ToF16Bits(qnan); got&0x7C00 != 0x7C00 || got&0x3FF == 0 {
+		t.Errorf("quiet NaN converted to %#04x, not a NaN", got)
+	}
+	thinNaN := math.Float32frombits(0x7F800001) // payload entirely below bit 13
+	if got := F32ToF16Bits(thinNaN); got != 0x7E00 {
+		t.Errorf("thin NaN converted to %#04x, want 0x7E00", got)
+	}
+	if !math.IsNaN(float64(F16BitsToF32(0x7E00))) {
+		t.Error("expanded NaN is not NaN")
+	}
+}
+
+// TestBF16Conversions pins the bfloat16 converter the same way: bf16 is
+// f32 truncated to its top 16 bits with round-to-nearest-even.
+func TestBF16Conversions(t *testing.T) {
+	inf := float32(math.Inf(1))
+	cases := []struct {
+		name string
+		in   float32
+		bits uint16
+	}{
+		{"zero", 0, 0x0000},
+		{"negzero", float32(math.Copysign(0, -1)), 0x8000},
+		{"one", 1, 0x3F80},
+		{"inf", inf, 0x7F80},
+		{"neginf", -inf, 0xFF80},
+		{"maxFinite", math.Float32frombits(0x7F7F0000), 0x7F7F},
+		{"overflowRound", math.Float32frombits(0x7F7FFFFF), 0x7F80}, // rounds past max: Inf
+		{"roundEven", math.Float32frombits(0x3F808000), 0x3F80},     // tie to even: down
+		{"roundEvenUp", math.Float32frombits(0x3F818000), 0x3F82},   // tie to even: up
+		{"roundUp", math.Float32frombits(0x3F808001), 0x3F81},
+		{"subnormal", math.Float32frombits(0x00010000), 0x0001}, // f32 subnormals stay on grid
+	}
+	for _, c := range cases {
+		if got := F32ToBF16Bits(c.in); got != c.bits {
+			t.Errorf("%s: F32ToBF16Bits(%g) = %#04x, want %#04x", c.name, c.in, got, c.bits)
+		}
+	}
+	for h := 0; h <= 0xFFFF; h++ {
+		f := BF16BitsToF32(uint16(h))
+		if got := F32ToBF16Bits(f); got != uint16(h) {
+			t.Fatalf("bf16 round trip %#04x -> %g -> %#04x", h, f, got)
+		}
+	}
+	if got := F32ToBF16Bits(math.Float32frombits(0x7F800001)); got&0x7F80 != 0x7F80 || got&0x7F == 0 {
+		t.Errorf("thin NaN converted to %#04x, not a NaN", got)
+	}
+}
+
+// TestQuantizeKernels checks the 4-wide bulk quantizers against the
+// scalar converters on a slice long enough to exercise both the unrolled
+// body and the tail, and that quantization is idempotent.
+func TestQuantizeKernels(t *testing.T) {
+	rng := NewRNG(11)
+	x := rng.RandN(3, 1031).Data() // odd length: unrolled body + 3-element tail
+	x[0] = float32(math.Inf(1))
+	x[1] = 65519
+	x[2] = 1e-8
+
+	f16 := append([]float32(nil), x...)
+	QuantizeF16(f16)
+	for i, v := range x {
+		want := F16BitsToF32(F32ToF16Bits(v))
+		if math.Float32bits(f16[i]) != math.Float32bits(want) {
+			t.Fatalf("QuantizeF16[%d] = %g, want %g", i, f16[i], want)
+		}
+	}
+	again := append([]float32(nil), f16...)
+	QuantizeF16(again)
+	for i := range again {
+		if math.Float32bits(again[i]) != math.Float32bits(f16[i]) {
+			t.Fatalf("QuantizeF16 not idempotent at %d", i)
+		}
+	}
+
+	bf16 := append([]float32(nil), x...)
+	QuantizeBF16(bf16)
+	for i, v := range x {
+		want := BF16BitsToF32(F32ToBF16Bits(v))
+		if math.Float32bits(bf16[i]) != math.Float32bits(want) {
+			t.Fatalf("QuantizeBF16[%d] = %g, want %g", i, bf16[i], want)
+		}
+	}
+}

@@ -19,6 +19,7 @@ package transform
 import (
 	"fmt"
 	"slices"
+	"strconv"
 
 	"parallax/internal/core"
 	"parallax/internal/errs"
@@ -142,6 +143,75 @@ func (t *Trainer) SnapshotServerParts(m int) ([]VarState, error) {
 		}
 	}
 	return out, nil
+}
+
+// SnapshotResiduals captures the top-k error-feedback residuals of
+// machine m's workers, one VarState per (worker, fusion bucket): Name
+// is the worker's global rank in decimal, Part the bucket index. Nil
+// when the compression policy keeps no residuals, so uncompressed jobs
+// write checkpoints without residual records (and stay on the version-1
+// format). Residuals live with the worker's machine, so each machine's
+// checkpoint shard carries exactly its own workers' residuals.
+func (t *Trainer) SnapshotResiduals(m int) ([]VarState, error) {
+	if t.closed.Load() {
+		return nil, fmt.Errorf("transform: snapshot on %w trainer", errs.ErrClosed)
+	}
+	if t.fuseResid == nil {
+		return nil, nil
+	}
+	var out []VarState
+	for _, w := range t.localWorkers {
+		if t.workerMachine[w] != m {
+			continue
+		}
+		for b, res := range t.fuseResid[w] {
+			out = append(out, VarState{
+				Name: strconv.Itoa(w), Part: b, Value: res.Clone(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RestoreResiduals installs checkpointed error-feedback residuals into
+// this process's workers. Every record must address a local worker's
+// existing residual buffer — the session layer has already verified the
+// checkpoint's compression fingerprint matches the configured policy,
+// so a mismatch here (residuals for a job without top-k, an unknown
+// worker, a bucket outside the fusion schedule) is a topology error.
+func (t *Trainer) RestoreResiduals(states []VarState) error {
+	if t.closed.Load() {
+		return fmt.Errorf("transform: restore on %w trainer", errs.ErrClosed)
+	}
+	if len(states) == 0 {
+		return nil
+	}
+	if t.fuseResid == nil {
+		return fmt.Errorf("transform: %w: checkpoint carries top-k residuals, policy keeps none",
+			errs.ErrTopologyMismatch)
+	}
+	for _, st := range states {
+		w, err := strconv.Atoi(st.Name)
+		if err != nil || w < 0 || w >= t.workers {
+			return fmt.Errorf("transform: %w: residual record names worker %q",
+				errs.ErrTopologyMismatch, st.Name)
+		}
+		if !slices.Contains(t.localWorkers, w) {
+			return fmt.Errorf("transform: %w: residual for worker %d, hosted by machine %d",
+				errs.ErrTopologyMismatch, w, t.workerMachine[w])
+		}
+		if st.Part < 0 || st.Part >= len(t.fuseResid[w]) {
+			return fmt.Errorf("transform: %w: residual bucket %d outside the %d-bucket fusion schedule",
+				errs.ErrTopologyMismatch, st.Part, len(t.fuseResid[w]))
+		}
+		dst := t.fuseResid[w][st.Part]
+		if st.Value.NumElements() != dst.NumElements() {
+			return fmt.Errorf("transform: %w: residual %d/%d has %d elements, bucket has %d",
+				errs.ErrTopologyMismatch, w, st.Part, st.Value.NumElements(), dst.NumElements())
+		}
+		copy(dst.Data(), st.Value.Data())
+	}
+	return nil
 }
 
 // RestoreReplicaVar installs a replica-managed variable's state into

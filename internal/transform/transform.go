@@ -112,6 +112,17 @@ type Options struct {
 	// rank-ordered reduction makes float32 sums independent of bucket
 	// layout.
 	FusionBytes int64
+	// Compression is the wire compression policy (DESIGN.md §11): dense
+	// fusion buckets travel under Dense/DenseTopK (half-precision
+	// payloads and/or top-k sparsification with error feedback), PS
+	// pushes under PSDense/PSSparse/DeltaIndex. The zero value is
+	// CompressionNone — exact f32 everywhere, bit-identical to builds
+	// without this field. All lossy rounding happens in the data plane at
+	// fabric-symmetric points, so a compressed run is itself
+	// bit-identical between the in-process and TCP fabrics. In
+	// distributed mode every agent must configure the identical policy
+	// (the TCP rendezvous enforces it).
+	Compression transport.Policy
 	// Fabric supplies the wire transport when the cluster spans agent
 	// processes: the trainer hosts exactly the fabric's local endpoints
 	// (one machine's workers and server) and reaches the rest over the
@@ -272,6 +283,14 @@ type Trainer struct {
 	// gradients through it.
 	fuseViews [][]*tensor.Dense
 	agvTags   []string // [ri]: precomputed AllGatherv tag, "" for others
+	// Top-k error-feedback state, allocated only when
+	// Compression.DenseTopK > 0: fuseResid[w][b] is worker w's residual
+	// for bucket b (what its selections have not shipped yet), and
+	// topkScratch[w] is the selection workspace of w's comm goroutine.
+	fuseResid   [][]*tensor.Dense
+	topkScratch []collective.TopKScratch
+	// compressDense gates the compressed bucket path in commLoop.
+	compressDense bool
 
 	// slots[ri][m] is the local-aggregation slot for route ri on machine
 	// m; merge buffers exist only for machines hosted here.
@@ -354,6 +373,9 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 	}
 	if opts.Plan.Arch == core.ArchAR && opts.Async {
 		return failEarly(fmt.Errorf("transform: async training requires PS-managed variables"))
+	}
+	if err := opts.Compression.Validate(); err != nil {
+		return failEarly(err)
 	}
 
 	workers := opts.Resource.TotalGPUs()
@@ -505,7 +527,10 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 				if t.servers[m] != nil {
 					row[m] = t.servers[m]
 				} else {
-					row[m] = psrt.NewClient(fab.Conduit(w), topo.ServerEndpoint(m))
+					cl := psrt.NewClient(fab.Conduit(w), topo.ServerEndpoint(m))
+					cl.SetCompression(opts.Compression.PSDense, opts.Compression.PSSparse,
+						opts.Compression.DeltaIndex)
+					row[m] = cl
 				}
 			}
 			t.ps[w] = row
@@ -648,14 +673,26 @@ func (t *Trainer) buildFusion() {
 	t.fuseBufs = make([][]*tensor.Dense, t.workers)
 	t.fuseViews = make([][]*tensor.Dense, t.workers)
 	t.bucketPending = make([][]int, t.workers)
+	t.compressDense = t.opt.Compression.Dense != transport.CodecF32 || t.opt.Compression.DenseTopK > 0
+	topk := t.opt.Compression.DenseTopK > 0
+	if topk {
+		t.fuseResid = make([][]*tensor.Dense, t.workers)
+		t.topkScratch = make([]collective.TopKScratch, t.workers)
+	}
 	for _, w := range t.localWorkers {
 		t.fuseBufs[w] = make([]*tensor.Dense, len(t.buckets))
 		t.fuseViews[w] = make([]*tensor.Dense, len(t.routes))
 		t.bucketPending[w] = make([]int, len(t.buckets))
+		if topk {
+			t.fuseResid[w] = make([]*tensor.Dense, len(t.buckets))
+		}
 		for i := range t.buckets {
 			b := &t.buckets[i]
 			buf := tensor.NewDense(b.elems)
 			t.fuseBufs[w][i] = buf
+			if topk {
+				t.fuseResid[w][i] = tensor.NewDense(b.elems)
+			}
 			off := 0
 			for _, ri := range b.routes {
 				n := int(t.routes[ri].v.Elements())
@@ -780,6 +817,15 @@ func (t *Trainer) BytesPushedLastStep() int64 { return t.bytesPushed.Load() }
 // traffic for remote workers lands in the step it occurs in.
 func (t *Trainer) WireStatsLastStep() (sent, recv int64) {
 	return t.lastWire.SentBytes, t.lastWire.RecvBytes
+}
+
+// WireCompressionLastStep returns the compression accounting of the most
+// recent Step: raw is the bytes the step's compressed frames would have
+// occupied as exact f32, comp their actual on-wire size. Both are zero
+// under CompressionNone or on the in-process fabric. Valid after Step
+// returns.
+func (t *Trainer) WireCompressionLastStep() (raw, comp int64) {
+	return t.lastWire.SentBytesRaw, t.lastWire.SentBytesCompressed
 }
 
 // PhaseStatsLastStep returns the previous step's phase breakdown, taken
@@ -1110,7 +1156,18 @@ func (t *Trainer) commLoop(w int) {
 		start := time.Now()
 		switch task.kind {
 		case commBucket:
-			t.replicas[w].SyncDenseTagged(t.buckets[task.idx].tags, t.fuseBufs[w][task.idx])
+			if t.compressDense {
+				var res []float32
+				var scratch *collective.TopKScratch
+				if t.fuseResid != nil {
+					res = t.fuseResid[w][task.idx].Data()
+					scratch = &t.topkScratch[w]
+				}
+				t.replicas[w].SyncDenseCompressed(t.buckets[task.idx].tags,
+					t.fuseBufs[w][task.idx], t.opt.Compression, res, scratch)
+			} else {
+				t.replicas[w].SyncDenseTagged(t.buckets[task.idx].tags, t.fuseBufs[w][task.idx])
+			}
 		case commSparse:
 			t.arSparse[w][task.idx] = t.replicas[w].SyncSparseTagged(t.agvTags[task.idx], task.sparse)
 		case commPS:
@@ -1184,8 +1241,10 @@ func (t *Trainer) Step(feeds []graph.Feed) (float64, error) {
 	}
 	wire := t.fab.Stats()
 	t.lastWire = transport.Stats{
-		SentBytes: wire.SentBytes - t.wireBase.SentBytes,
-		RecvBytes: wire.RecvBytes - t.wireBase.RecvBytes,
+		SentBytes:           wire.SentBytes - t.wireBase.SentBytes,
+		RecvBytes:           wire.RecvBytes - t.wireBase.RecvBytes,
+		SentBytesRaw:        wire.SentBytesRaw - t.wireBase.SentBytesRaw,
+		SentBytesCompressed: wire.SentBytesCompressed - t.wireBase.SentBytesCompressed,
 	}
 	if firstErr != nil {
 		return 0, t.failStep(firstErr)
@@ -1445,6 +1504,15 @@ func (t *Trainer) pushPS(w, ri int, dense *tensor.Dense, sp *tensor.Sparse) erro
 	name := r.v.Name
 
 	pushSparseParts := func(parts []*tensor.Sparse) error {
+		// Data-plane quantization: the split copies are rounded onto the
+		// codec grid before any push, colocated or remote, so the servers
+		// aggregate identical bits on every fabric. (SplitSparse allocates
+		// fresh value storage, so this never touches the exec's gradient.)
+		if c := t.opt.Compression.PSSparse; c != transport.CodecF32 {
+			for _, p := range parts {
+				c.Quantize(p.Values.Data())
+			}
+		}
 		for k, srv := range t.psServers[ri] {
 			reqs := t.psSparseReqs[w][:0]
 			for _, pi := range t.psParts[ri][k] {
@@ -1488,6 +1556,10 @@ func (t *Trainer) pushPS(w, ri int, dense *tensor.Dense, sp *tensor.Sparse) erro
 		if r.assign.Sparse {
 			return pushSparseParts(tensor.SplitSparse(sp, r.ranges))
 		}
+		// Quantize the gradient before it splits into partition views.
+		// The buffer is the exec's gradient storage, dead until the next
+		// backward pass overwrites it; PS routes never read it locally.
+		t.opt.Compression.PSDense.Quantize(dense.Data())
 		return pushDenseParts(dense, nil)
 	}
 
@@ -1524,6 +1596,9 @@ func (t *Trainer) pushPS(w, ri int, dense *tensor.Dense, sp *tensor.Sparse) erro
 	if r.assign.Sparse {
 		return pushSparseParts(tensor.SplitSparse(sparseMerged, r.ranges))
 	}
+	// Quantize the machine-merged gradient (the chief's exact f32 fold)
+	// before the partition views ship it.
+	t.opt.Compression.PSDense.Quantize(slot.dense.Data())
 	return pushDenseParts(slot.dense, t.slotViews[ri][machine])
 }
 

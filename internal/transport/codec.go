@@ -29,6 +29,18 @@ import (
 //	            | u16 nDense | nDense × (u32 n | n × f32)
 //	            | u16 nSparse | nSparse × sparse body
 //
+// The wire-compression layer (compress.go) adds:
+//
+//	kindF16:       u32 n | n × u16 binary16 bits
+//	kindBF16:      u32 n | n × u16 bfloat16 bits
+//	kindF32Sparse: u8 codec | u32 len | u32 nnz | delta-varint indices
+//	               | nnz values under codec
+//	kindPSC:       u8 denseCodec | u8 sparseCodec | u8 flags(bit0 delta)
+//	               | the kindPS body with dense payloads under denseCodec
+//	               and sparse bodies in the compressed form
+//	               (u32 dim0 | u32 width | u8 idxMode | u32 nrows
+//	               | rows | values under sparseCodec)
+//
 // Encoders append to a caller-owned scratch buffer (the TCP fabric
 // reuses one per connection, so steady-state framing allocates nothing)
 // and copy tensor data straight from the caller's views — fusion-bucket
@@ -73,22 +85,58 @@ func appendMessage(b []byte, src, dst int, m message) []byte {
 	}
 	b = appendU16(b, uint16(src))
 	b = appendU16(b, uint16(dst))
-	b = append(b, byte(m.kind), byte(len(m.tag)))
+	b = append(b, byte(wireKind(m)), byte(len(m.tag)))
 	b = append(b, m.tag...)
 	switch m.kind {
 	case kindF32:
 		b = appendU32(b, uint32(len(m.f32)))
-		b = AppendF32s(b, m.f32)
+		b = appendCodec(b, m.f32, m.codec)
 	case kindScalar:
 		b = appendU64(b, math.Float64bits(m.scalar))
 	case kindSparse:
 		b = appendSparse(b, m.sparse)
 	case kindPS:
-		b = appendPS(b, m.ps)
+		b = appendPSAuto(b, m.ps)
+	case kindF32Sparse:
+		b = appendF32Sparse(b, m.topk)
 	default:
 		panic(fmt.Sprintf("transport: encode unknown kind %d", m.kind))
 	}
 	return b
+}
+
+// wireKind maps a message to its frame kind byte: kindF32 frames with a
+// half-precision codec travel as kindF16/kindBF16, PS messages with
+// compression hints as kindPSC.
+func wireKind(m message) kind {
+	switch m.kind {
+	case kindF32:
+		switch m.codec {
+		case CodecF16:
+			return kindF16
+		case CodecBF16:
+			return kindBF16
+		}
+	case kindPS:
+		if m.ps.DenseCodec != CodecF32 || m.ps.SparseCodec != CodecF32 || m.ps.DeltaIndex {
+			return kindPSC
+		}
+	}
+	return m.kind
+}
+
+// appendPSAuto picks the classic or compressed PS body from the
+// message's encoding hints.
+func appendPSAuto(b []byte, m *PSMsg) []byte {
+	if m.DenseCodec == CodecF32 && m.SparseCodec == CodecF32 && !m.DeltaIndex {
+		return appendPS(b, m)
+	}
+	flags := byte(0)
+	if m.DeltaIndex {
+		flags = 1
+	}
+	b = append(b, byte(m.DenseCodec), byte(m.SparseCodec), flags)
+	return appendPSBody(b, m, m.DenseCodec, m.SparseCodec, m.DeltaIndex)
 }
 
 func appendSparse(b []byte, s *tensor.Sparse) []byte {
@@ -103,6 +151,13 @@ func appendSparse(b []byte, s *tensor.Sparse) []byte {
 }
 
 func appendPS(b []byte, m *PSMsg) []byte {
+	return appendPSBody(b, m, CodecF32, CodecF32, false)
+}
+
+// appendPSBody encodes the shared PS body; the classic kindPS frame is
+// the (CodecF32, CodecF32, no-delta) instantiation, byte-identical to
+// the uncompressed build.
+func appendPSBody(b []byte, m *PSMsg, denseCodec, sparseCodec Codec, delta bool) []byte {
 	if len(m.Names) > maxItems || len(m.Dense) > maxItems || len(m.Sparse) > maxItems {
 		panic(fmt.Sprintf("transport: PS batch of %d/%d/%d items exceeds %d",
 			len(m.Names), len(m.Dense), len(m.Sparse), maxItems))
@@ -128,11 +183,19 @@ func appendPS(b []byte, m *PSMsg) []byte {
 	b = appendU16(b, uint16(len(m.Dense)))
 	for _, d := range m.Dense {
 		b = appendU32(b, uint32(d.NumElements()))
-		b = AppendF32s(b, d.Data())
+		b = appendCodec(b, d.Data(), denseCodec)
 	}
+	// The frame kind decides the sparse body form: classic kindPS frames
+	// (all hints zero) keep the original encoding, kindPSC frames use
+	// the compressed one throughout.
+	classic := denseCodec == CodecF32 && sparseCodec == CodecF32 && !delta
 	b = appendU16(b, uint16(len(m.Sparse)))
 	for _, s := range m.Sparse {
-		b = appendSparse(b, s)
+		if classic {
+			b = appendSparse(b, s)
+		} else {
+			b = appendSparseC(b, s, sparseCodec, delta)
+		}
 	}
 	return b
 }
@@ -255,13 +318,23 @@ func decodeMessage(b []byte, pool *bufPool) (src, dst int, m message, err error)
 	m.tag = string(tag)
 	m.kind = kind(k)
 	switch m.kind {
-	case kindF32:
-		n, err := d.Count(4)
+	case kindF32, kindF16, kindBF16:
+		// Half-precision frames expand back into f32 messages; the codec
+		// is recorded so re-encoding stays canonical. A receiver sees
+		// the same floats either way — the payload is on the grid.
+		switch m.kind {
+		case kindF16:
+			m.codec = CodecF16
+		case kindBF16:
+			m.codec = CodecBF16
+		}
+		m.kind = kindF32
+		n, err := d.Count(payloadElemSize(m.codec))
 		if err != nil {
 			return 0, 0, m, err
 		}
 		buf := pool.get(n)
-		if err := d.F32s(n, buf); err != nil {
+		if err := d.floats(n, buf, m.codec); err != nil {
 			pool.put(buf)
 			return 0, 0, m, err
 		}
@@ -279,6 +352,17 @@ func decodeMessage(b []byte, pool *bufPool) (src, dst int, m message, err error)
 		}
 	case kindPS:
 		m.ps, err = decodePS(d)
+		if err != nil {
+			return 0, 0, m, err
+		}
+	case kindF32Sparse:
+		m.topk, err = decodeF32Sparse(d)
+		if err != nil {
+			return 0, 0, m, err
+		}
+	case kindPSC:
+		m.kind = kindPS
+		m.ps, err = decodePSC(d)
 		if err != nil {
 			return 0, 0, m, err
 		}
@@ -328,6 +412,42 @@ func decodeSparse(d *Decoder) (*tensor.Sparse, error) {
 }
 
 func decodePS(d *Decoder) (*PSMsg, error) {
+	return decodePSBody(d, CodecF32, CodecF32, false)
+}
+
+// decodePSC decodes the compressed PS frame: codec/flag bytes, then the
+// shared body. All-zero hints are rejected — such a message encodes as
+// classic kindPS, and accepting both forms would break canonicality.
+func decodePSC(d *Decoder) (*PSMsg, error) {
+	dc, err := d.U8()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := d.U8()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := d.U8()
+	if err != nil {
+		return nil, err
+	}
+	denseCodec, sparseCodec := Codec(dc), Codec(sc)
+	if !denseCodec.valid() || !sparseCodec.valid() || flags > 1 {
+		return nil, fmt.Errorf("transport: bad PS compression header %d/%d/%d", dc, sc, flags)
+	}
+	delta := flags == 1
+	if denseCodec == CodecF32 && sparseCodec == CodecF32 && !delta {
+		return nil, fmt.Errorf("transport: compressed PS frame without compression")
+	}
+	m, err := decodePSBody(d, denseCodec, sparseCodec, delta)
+	if err != nil {
+		return nil, err
+	}
+	m.DenseCodec, m.SparseCodec, m.DeltaIndex = denseCodec, sparseCodec, delta
+	return m, nil
+}
+
+func decodePSBody(d *Decoder, denseCodec, sparseCodec Codec, delta bool) (*PSMsg, error) {
 	m := &PSMsg{}
 	op, err := d.U8()
 	if err != nil {
@@ -386,22 +506,29 @@ func decodePS(d *Decoder) (*PSMsg, error) {
 		return nil, err
 	}
 	for i := 0; i < int(nDense); i++ {
-		n, err := d.Count(4)
+		n, err := d.Count(payloadElemSize(denseCodec))
 		if err != nil {
 			return nil, err
 		}
 		t := tensor.NewDense(n)
-		if err := d.F32s(n, t.Data()); err != nil {
+		if err := d.floats(n, t.Data(), denseCodec); err != nil {
 			return nil, err
 		}
 		m.Dense = append(m.Dense, t)
 	}
+	classic := denseCodec == CodecF32 && sparseCodec == CodecF32 && !delta
 	nSparse, err := d.U16()
 	if err != nil {
 		return nil, err
 	}
 	for i := 0; i < int(nSparse); i++ {
-		s, err := decodeSparse(d)
+		var s *tensor.Sparse
+		var err error
+		if classic {
+			s, err = decodeSparse(d)
+		} else {
+			s, err = decodeSparseC(d, sparseCodec, delta)
+		}
 		if err != nil {
 			return nil, err
 		}

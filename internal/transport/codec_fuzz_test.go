@@ -81,13 +81,27 @@ func sameMessage(a, b message) bool {
 	}
 	switch a.kind {
 	case kindF32:
-		return sameF32s(a.f32, b.f32)
+		return a.codec == b.codec && sameF32s(a.f32, b.f32)
 	case kindScalar:
 		return math.Float64bits(a.scalar) == math.Float64bits(b.scalar)
 	case kindSparse:
 		return sameSparse(a.sparse, b.sparse)
+	case kindF32Sparse:
+		x, y := a.topk, b.topk
+		if x.Len != y.Len || x.Codec != y.Codec || len(x.Idx) != len(y.Idx) {
+			return false
+		}
+		for i := range x.Idx {
+			if x.Idx[i] != y.Idx[i] {
+				return false
+			}
+		}
+		return sameF32s(x.Vals, y.Vals)
 	case kindPS:
 		x, y := a.ps, b.ps
+		if x.DenseCodec != y.DenseCodec || x.SparseCodec != y.SparseCodec || x.DeltaIndex != y.DeltaIndex {
+			return false
+		}
 		if x.Op != y.Op || x.Version != y.Version || x.Err != y.Err ||
 			math.Float32bits(x.Scale) != math.Float32bits(y.Scale) ||
 			math.Float64bits(x.Scalar) != math.Float64bits(y.Scalar) ||

@@ -1,0 +1,501 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+
+	"parallax/internal/tensor"
+)
+
+// Wire-compression layer: per-route payload codecs below the frame
+// codec. The discipline that keeps compressed runs bit-identical across
+// fabrics is split in two:
+//
+//   - The DATA PLANE (internal/collective, internal/transform) applies
+//     every lossy transform — f16/bf16 rounding, top-k sparsification
+//     with error feedback — deterministically at points that are
+//     symmetric across fabrics, including paths that never touch a
+//     socket. After that, all values in flight lie on the codec's grid.
+//   - The WIRE layer here re-encodes those on-grid values compactly
+//     (2-byte halves, delta-varint indices), which is lossless, so the
+//     inproc fabric (no serialization) and the TCP fabric (compressed
+//     frames) deliver bit-identical floats.
+//
+// CompressionNone (the zero Policy) routes everything through the
+// original f32 frames untouched.
+
+// Codec selects the wire encoding of a float payload. The values of a
+// compressed payload must already lie on the codec's grid — the encoder
+// truncates, it does not round — which the data-plane quantizers
+// (tensor.QuantizeF16/QuantizeBF16) guarantee.
+type Codec uint8
+
+// Payload codecs.
+const (
+	// CodecF32 is the exact 4-byte encoding (the default).
+	CodecF32 Codec = iota
+	// CodecF16 encodes IEEE-754 binary16 payloads (2 bytes/value).
+	CodecF16
+	// CodecBF16 encodes bfloat16 payloads (2 bytes/value).
+	CodecBF16
+)
+
+// String names the codec for fingerprints and diagnostics.
+func (c Codec) String() string {
+	switch c {
+	case CodecF32:
+		return "f32"
+	case CodecF16:
+		return "f16"
+	case CodecBF16:
+		return "bf16"
+	}
+	return fmt.Sprintf("codec(%d)", uint8(c))
+}
+
+func (c Codec) valid() bool { return c <= CodecBF16 }
+
+// Quantize rounds a slice onto the codec's grid in place
+// (round-to-nearest-even); CodecF32 is a no-op. This is the data-plane
+// half of the compression contract.
+func (c Codec) Quantize(x []float32) {
+	switch c {
+	case CodecF16:
+		tensor.QuantizeF16(x)
+	case CodecBF16:
+		tensor.QuantizeBF16(x)
+	}
+}
+
+// Policy selects the compression codec per route class. The zero value
+// is CompressionNone: every payload travels as exact f32 and the wire
+// format is byte-identical to the uncompressed build.
+type Policy struct {
+	// Dense is the payload codec for dense-AllReduce fusion buckets.
+	Dense Codec
+	// DenseTopK, in (0, 1], turns dense buckets into top-k sparsified
+	// exchanges with per-worker error-feedback residuals; the surviving
+	// values travel under Dense's codec. 0 disables sparsification.
+	DenseTopK float64
+	// PSDense is the payload codec for parameter-server dense pushes.
+	PSDense Codec
+	// PSSparse is the value codec for parameter-server sparse
+	// (embedding) pushes.
+	PSSparse Codec
+	// DeltaIndex delta-varint encodes sparse push row indices when they
+	// are strictly ascending (coalesced pushes are); unsorted index sets
+	// fall back to raw u32 automatically.
+	DeltaIndex bool
+}
+
+// Enabled reports whether any route compresses.
+func (p Policy) Enabled() bool {
+	return p.Dense != CodecF32 || p.DenseTopK > 0 ||
+		p.PSDense != CodecF32 || p.PSSparse != CodecF32 || p.DeltaIndex
+}
+
+// Validate rejects malformed policies.
+func (p Policy) Validate() error {
+	if !p.Dense.valid() || !p.PSDense.valid() || !p.PSSparse.valid() {
+		return fmt.Errorf("transport: unknown codec in policy %+v", p)
+	}
+	if p.DenseTopK < 0 || p.DenseTopK > 1 {
+		return fmt.Errorf("transport: DenseTopK %g outside [0,1]", p.DenseTopK)
+	}
+	return nil
+}
+
+// Fingerprint renders the policy canonically. Peers exchange it during
+// the TCP rendezvous and refuse to connect on mismatch, and checkpoints
+// record it so a compressed run cannot silently resume under a
+// different policy.
+func (p Policy) Fingerprint() string {
+	if !p.Enabled() {
+		return "none"
+	}
+	return fmt.Sprintf("dense=%s,topk=%g,psdense=%s,pssparse=%s,delta=%t",
+		p.Dense, p.DenseTopK, p.PSDense, p.PSSparse, p.DeltaIndex)
+}
+
+// Describe renders the policy per route class for operators, one route
+// per line.
+func (p Policy) Describe() string {
+	if !p.Enabled() {
+		return "compression: none (exact f32 on every route)\n"
+	}
+	dense := p.Dense.String()
+	if p.DenseTopK > 0 {
+		dense = fmt.Sprintf("top-%g%% + %s values + error feedback", p.DenseTopK*100, p.Dense)
+	}
+	sparse := p.PSSparse.String()
+	if p.DeltaIndex {
+		sparse += " values + delta-varint indices"
+	}
+	return fmt.Sprintf("compression: %s\n  dense collective  %s\n  ps dense push     %s\n  ps sparse push    %s\n  ps pull replies   f32 (always exact)\n",
+		p.Fingerprint(), dense, p.PSDense, sparse)
+}
+
+// SparseChunk is a top-k sparsified dense chunk: the nnz surviving
+// (index, value) pairs of a length-Len float buffer, the payload of a
+// kindF32Sparse frame.
+type SparseChunk struct {
+	// Len is the dense length of the chunk this selection came from.
+	Len int
+	// Idx holds the surviving positions, strictly ascending.
+	Idx []int32
+	// Vals holds the surviving values, on Codec's grid.
+	Vals []float32
+	// Codec is the wire codec for Vals.
+	Codec Codec
+}
+
+// AppendF16s bulk-encodes an on-grid float chunk as IEEE-754 binary16
+// bit patterns, 2 bytes per value — the compressed sibling of
+// AppendF32s. Same grow-once discipline: this is the fusion-bucket path.
+func AppendF16s(b []byte, data []float32) []byte {
+	off := len(b)
+	b = slices.Grow(b, 2*len(data))[:off+2*len(data)]
+	for i, v := range data {
+		binary.LittleEndian.PutUint16(b[off+2*i:], tensor.F32ToF16Bits(v))
+	}
+	return b
+}
+
+// AppendBF16s bulk-encodes an on-grid float chunk as bfloat16 bit
+// patterns, 2 bytes per value.
+func AppendBF16s(b []byte, data []float32) []byte {
+	off := len(b)
+	b = slices.Grow(b, 2*len(data))[:off+2*len(data)]
+	for i, v := range data {
+		binary.LittleEndian.PutUint16(b[off+2*i:], tensor.F32ToBF16Bits(v))
+	}
+	return b
+}
+
+// appendCodec encodes a float payload under the given codec.
+func appendCodec(b []byte, data []float32, c Codec) []byte {
+	switch c {
+	case CodecF16:
+		return AppendF16s(b, data)
+	case CodecBF16:
+		return AppendBF16s(b, data)
+	}
+	return AppendF32s(b, data)
+}
+
+// payloadElemSize is the wire bytes per float under a codec.
+func payloadElemSize(c Codec) int {
+	if c == CodecF32 {
+		return 4
+	}
+	return 2
+}
+
+// F16s consumes n binary16 values, expanding them into dst — the
+// decoder for AppendF16s.
+func (d *Decoder) F16s(n int, dst []float32) error {
+	s, err := d.Bytes(n * 2)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = tensor.F16BitsToF32(binary.LittleEndian.Uint16(s[i*2:]))
+	}
+	return nil
+}
+
+// BF16s consumes n bfloat16 values, expanding them into dst.
+func (d *Decoder) BF16s(n int, dst []float32) error {
+	s, err := d.Bytes(n * 2)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = tensor.BF16BitsToF32(binary.LittleEndian.Uint16(s[i*2:]))
+	}
+	return nil
+}
+
+// floats consumes n values under a codec.
+func (d *Decoder) floats(n int, dst []float32, c Codec) error {
+	switch c {
+	case CodecF16:
+		return d.F16s(n, dst)
+	case CodecBF16:
+		return d.BF16s(n, dst)
+	}
+	return d.F32s(n, dst)
+}
+
+// appendUvarint writes a minimal-length LEB128 varint.
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// uvarint consumes one varint and rejects non-minimal encodings (a
+// shorter encoding exists) and values past 5 bytes — both would break
+// the canonical re-encode property the frame fuzzer pins.
+func (d *Decoder) uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		c, err := d.U8()
+		if err != nil {
+			return 0, err
+		}
+		if i == 4 && c > 0x0F { // 5 bytes already cover 35 bits > u32 range
+			return 0, fmt.Errorf("transport: varint exceeds 32 bits")
+		}
+		v |= uint64(c&0x7F) << shift
+		if c&0x80 == 0 {
+			if c == 0 && i > 0 {
+				return 0, fmt.Errorf("transport: non-minimal varint")
+			}
+			return v, nil
+		}
+		shift += 7
+		if i == 4 {
+			return 0, fmt.Errorf("transport: varint exceeds 32 bits")
+		}
+	}
+}
+
+// Sparse index modes for the compressed sparse body. The encoder picks
+// deltaIndexMode exactly when the rows are strictly ascending, and the
+// decoder enforces that choice, so the encoding is canonical.
+const (
+	rawIndexMode   = 0
+	deltaIndexMode = 1
+)
+
+// rowsAscending reports whether a row sequence is strictly ascending
+// (coalesced sparse gradients are; raw per-batch gathers are not).
+func rowsAscending(rows []int) bool {
+	for i := 1; i < len(rows); i++ {
+		if rows[i] <= rows[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendSparseC encodes a sparse tensor with a value codec and
+// (optionally) delta-varint row indices:
+//
+//	u32 dim0 | u32 width | u8 idxMode | u32 nrows
+//	| rows (raw u32, or varint first + varint deltas >= 1)
+//	| nrows*width values under codec
+func appendSparseC(b []byte, s *tensor.Sparse, codec Codec, delta bool) []byte {
+	w := s.RowWidth()
+	b = appendU32(b, uint32(s.Dim0))
+	b = appendU32(b, uint32(w))
+	mode := byte(rawIndexMode)
+	if delta && rowsAscending(s.Rows) {
+		mode = deltaIndexMode
+	}
+	b = append(b, mode)
+	b = appendU32(b, uint32(len(s.Rows)))
+	if mode == deltaIndexMode {
+		prev := 0
+		for i, r := range s.Rows {
+			if i == 0 {
+				b = appendUvarint(b, uint64(r))
+			} else {
+				b = appendUvarint(b, uint64(r-prev))
+			}
+			prev = r
+		}
+	} else {
+		for _, r := range s.Rows {
+			b = appendU32(b, uint32(r))
+		}
+	}
+	return appendCodec(b, s.Values.Data(), codec)
+}
+
+// decodeSparseC decodes appendSparseC's body. Delta-mode indices must be
+// strictly ascending (each delta >= 1) and raw mode must NOT be strictly
+// ascending when delta encoding is on — the canonical-choice rule that
+// makes decode(encode(x)) byte-stable.
+func decodeSparseC(d *Decoder, codec Codec, delta bool) (*tensor.Sparse, error) {
+	dim0, err := d.U32()
+	if err != nil {
+		return nil, err
+	}
+	width, err := d.U32()
+	if err != nil {
+		return nil, err
+	}
+	mode, err := d.U8()
+	if err != nil {
+		return nil, err
+	}
+	if mode > deltaIndexMode || (mode == deltaIndexMode && !delta) {
+		return nil, fmt.Errorf("transport: sparse index mode %d invalid here", mode)
+	}
+	nrows, err := d.Count(1) // >= 1 byte per row in either mode
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]int, nrows)
+	if mode == deltaIndexMode {
+		prev := -1
+		for i := range rows {
+			dv, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if i > 0 && dv == 0 {
+				return nil, fmt.Errorf("transport: non-monotone delta index (zero delta)")
+			}
+			r := prev + int(dv)
+			if i == 0 {
+				r = int(dv)
+			}
+			if r >= int(dim0) {
+				return nil, fmt.Errorf("transport: sparse row %d out of range [0,%d)", r, dim0)
+			}
+			rows[i] = r
+			prev = r
+		}
+	} else {
+		for i := range rows {
+			r, err := d.U32()
+			if err != nil {
+				return nil, err
+			}
+			if r >= dim0 {
+				return nil, fmt.Errorf("transport: sparse row %d out of range [0,%d)", r, dim0)
+			}
+			rows[i] = int(r)
+		}
+		if delta && rowsAscending(rows) {
+			return nil, fmt.Errorf("transport: ascending rows must use delta index mode")
+		}
+	}
+	es := payloadElemSize(codec)
+	if uint64(nrows)*uint64(width)*uint64(es) > uint64(d.Remaining()) {
+		return nil, fmt.Errorf("transport: sparse values %dx%d exceed remaining %d bytes",
+			nrows, width, d.Remaining())
+	}
+	vals := tensor.NewDense(nrows, int(width))
+	if err := d.floats(nrows*int(width), vals.Data(), codec); err != nil {
+		return nil, err
+	}
+	return &tensor.Sparse{Rows: rows, Values: vals, Dim0: int(dim0)}, nil
+}
+
+// appendF32Sparse encodes a kindF32Sparse body:
+//
+//	u8 codec | u32 len | u32 nnz | varint idx[0] + varint deltas >= 1
+//	| nnz values under codec
+func appendF32Sparse(b []byte, ch *SparseChunk) []byte {
+	b = append(b, byte(ch.Codec))
+	b = appendU32(b, uint32(ch.Len))
+	b = appendU32(b, uint32(len(ch.Idx)))
+	prev := int32(0)
+	for i, x := range ch.Idx {
+		if i == 0 {
+			b = appendUvarint(b, uint64(x))
+		} else {
+			b = appendUvarint(b, uint64(x-prev))
+		}
+		prev = x
+	}
+	return appendCodec(b, ch.Vals, ch.Codec)
+}
+
+// decodeF32Sparse decodes a kindF32Sparse body. Indices must be
+// strictly ascending and inside [0, len); values expand onto f32.
+func decodeF32Sparse(d *Decoder) (*SparseChunk, error) {
+	c, err := d.U8()
+	if err != nil {
+		return nil, err
+	}
+	codec := Codec(c)
+	if !codec.valid() {
+		return nil, fmt.Errorf("transport: unknown payload codec %d", c)
+	}
+	length, err := d.U32()
+	if err != nil {
+		return nil, err
+	}
+	nnz, err := d.Count(1)
+	if err != nil {
+		return nil, err
+	}
+	if nnz > int(length) {
+		return nil, fmt.Errorf("transport: sparsified chunk with %d of %d survivors", nnz, length)
+	}
+	idx := make([]int32, nnz)
+	prev := int64(-1)
+	for i := range idx {
+		dv, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && dv == 0 {
+			return nil, fmt.Errorf("transport: non-monotone delta index (zero delta)")
+		}
+		v := prev + int64(dv)
+		if i == 0 {
+			v = int64(dv)
+		}
+		if v >= int64(length) {
+			return nil, fmt.Errorf("transport: sparsified index %d out of range [0,%d)", v, length)
+		}
+		idx[i] = int32(v)
+		prev = v
+	}
+	es := payloadElemSize(codec)
+	if uint64(nnz)*uint64(es) > uint64(d.Remaining()) {
+		return nil, fmt.Errorf("transport: sparsified values exceed remaining %d bytes", d.Remaining())
+	}
+	vals := make([]float32, nnz)
+	if err := d.floats(nnz, vals, codec); err != nil {
+		return nil, err
+	}
+	return &SparseChunk{Len: int(length), Idx: idx, Vals: vals, Codec: codec}, nil
+}
+
+// compressedFrame reports whether a message uses any compressed
+// encoding (for the raw-vs-compressed wire accounting).
+func compressedFrame(m message) bool {
+	switch m.kind {
+	case kindF32:
+		return m.codec != CodecF32
+	case kindF32Sparse:
+		return true
+	case kindPS:
+		return m.ps.DenseCodec != CodecF32 || m.ps.SparseCodec != CodecF32 || m.ps.DeltaIndex
+	}
+	return false
+}
+
+// rawFrameBytes is the payload size the same message would occupy under
+// CompressionNone — for a kindF32Sparse frame, the dense chunk it
+// replaces. The TCP fabric accumulates this next to the actual
+// compressed size, which is what StepStats' compression ratio reports.
+func rawFrameBytes(m message) int {
+	n := 2 + 2 + 1 + 1 + len(m.tag) // src, dst, kind, tagLen, tag
+	switch m.kind {
+	case kindF32:
+		n += 4 + 4*len(m.f32)
+	case kindF32Sparse:
+		n += 4 + 4*m.topk.Len
+	case kindPS:
+		ps := m.ps
+		n += 1 + 8 + 4 + 8 + 2 + len(ps.Err) + 2
+		for _, name := range ps.Names {
+			n += 1 + len(name) + 4
+		}
+		n += 2
+		for _, t := range ps.Dense {
+			n += 4 + 4*t.NumElements()
+		}
+		n += 2
+		for _, s := range ps.Sparse {
+			n += 4 + 4 + 4 + 4*len(s.Rows) + 4*s.Values.NumElements()
+		}
+	}
+	return n
+}

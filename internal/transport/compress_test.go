@@ -1,0 +1,341 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"parallax/internal/errs"
+	"parallax/internal/tensor"
+)
+
+// onGrid returns f16-grid values (also on the bf16 grid for the chosen
+// constants), as the data plane would produce before a compressed send.
+func onGrid() []float32 {
+	return []float32{0, 1.5, -2.25, 0.5, float32(math.Inf(1)), -96}
+}
+
+func topkChunk() SparseChunk {
+	return SparseChunk{
+		Len:   100,
+		Idx:   []int32{3, 7, 42, 99},
+		Vals:  []float32{1.5, -0.25, 8, -96},
+		Codec: CodecF16,
+	}
+}
+
+// compressedSeedFrames returns well-formed encoded frames of every
+// compressed kind: half-precision dense chunks, a top-k sparsified
+// chunk, and compressed PS pushes (dense codec, sparse codec + delta
+// indices).
+func compressedSeedFrames() [][]byte {
+	ascending := tensor.NewSparse([]int{1, 4, 9},
+		tensor.FromSlice([]float32{1, -2, 3, 4, 0.5, 6}, 3, 2), 16)
+	unsorted := tensor.NewSparse([]int{9, 1, 4},
+		tensor.FromSlice([]float32{1, -2, 3, 4, 0.5, 6}, 3, 2), 16)
+	frames := []message{
+		{tag: "fuse/0/rs", kind: kindF32, codec: CodecF16, f32: onGrid()},
+		{tag: "fuse/0/ag", kind: kindF32, codec: CodecBF16, f32: onGrid()},
+		{tag: "fuse/1/rs", kind: kindF32Sparse, topk: &SparseChunk{
+			Len: 100, Idx: []int32{3, 7, 42, 99},
+			Vals: []float32{1.5, -0.25, 8, -96}, Codec: CodecF16}},
+		{tag: "ps", kind: kindPS, ps: &PSMsg{
+			Op: PSPushDenseMany, Names: []string{"w"}, Parts: []int{1},
+			Dense:      []*tensor.Dense{tensor.FromSlice(onGrid(), 6)},
+			DenseCodec: CodecF16}},
+		{tag: "ps", kind: kindPS, ps: &PSMsg{
+			Op: PSPushSparseMany, Names: []string{"emb", "emb"}, Parts: []int{0, 1},
+			Sparse:      []*tensor.Sparse{ascending, unsorted},
+			SparseCodec: CodecBF16, DeltaIndex: true}},
+		{tag: "ps", kind: kindPS, ps: &PSMsg{
+			Op: PSPushSparseMany, Names: []string{"emb"}, Parts: []int{2},
+			Sparse:     []*tensor.Sparse{ascending},
+			DeltaIndex: true}},
+	}
+	var out [][]byte
+	for _, m := range frames {
+		out = append(out, appendMessage(nil, 1, 2, m))
+	}
+	return out
+}
+
+// FuzzCompressedDecode drives the decoder over the compressed frame
+// kinds: malformed input — truncations, oversized declarations,
+// non-monotone delta indices — must error, never panic; valid frames
+// must round-trip canonically (same bytes after decode + re-encode).
+func FuzzCompressedDecode(f *testing.F) {
+	for _, b := range compressedSeedFrames() {
+		f.Add(b)
+		f.Add(b[:len(b)/2])
+	}
+	// A kindF32Sparse body with a zero delta (non-monotone).
+	bad := appendMessage(nil, 0, 1, message{tag: "t", kind: kindF32Sparse, topk: &SparseChunk{
+		Len: 10, Idx: []int32{2, 5}, Vals: []float32{1, 2}, Codec: CodecF32}})
+	bad[len(bad)-9] = 0 // second delta varint -> 0
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		pool := newBufPool()
+		src, dst, m, err := decodeMessage(b, pool)
+		if err != nil {
+			return
+		}
+		re := appendMessage(nil, src, dst, m)
+		src2, dst2, m2, err := decodeMessage(re, pool)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if src2 != src || dst2 != dst || !sameMessage(m, m2) {
+			t.Fatalf("round trip changed frame:\n%+v\nvs\n%+v", m, m2)
+		}
+	})
+}
+
+// TestCompressedRejectsCorruption pins the decoder's rejection contract
+// on the compressed kinds: every truncation errors, and the specific
+// corruptions the delta encoding admits (zero deltas, out-of-range
+// indices, more survivors than the chunk is long) are errors too.
+func TestCompressedRejectsCorruption(t *testing.T) {
+	pool := newBufPool()
+	for _, b := range compressedSeedFrames() {
+		if _, _, _, err := decodeMessage(b, pool); err != nil {
+			t.Fatalf("seed frame did not decode: %v", err)
+		}
+		for cut := 0; cut < len(b); cut++ {
+			if _, _, _, err := decodeMessage(b[:cut], pool); err == nil {
+				t.Fatalf("truncated frame (%d of %d bytes) decoded", cut, len(b))
+			}
+		}
+		if _, _, _, err := decodeMessage(append(append([]byte(nil), b...), 0), pool); err == nil {
+			t.Fatal("frame with trailing byte decoded")
+		}
+	}
+
+	check := func(name string, body []byte) {
+		t.Helper()
+		if _, _, _, err := decodeMessage(body, pool); err == nil {
+			t.Fatalf("%s decoded", name)
+		}
+	}
+	header := []byte{0, 0, 1, 0, byte(kindF32Sparse), 1, 't'}
+	// nnz exceeding the dense length.
+	check("oversized survivor count", append(append([]byte(nil), header...),
+		byte(CodecF32), 2, 0, 0, 0 /*len*/, 3, 0, 0, 0 /*nnz*/, 0, 1, 1, 0, 0, 0, 0))
+	// Zero delta between survivors (non-monotone index).
+	check("zero delta", append(append([]byte(nil), header...),
+		byte(CodecF32), 9, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0))
+	// First index beyond the dense length.
+	check("out-of-range index", append(append([]byte(nil), header...),
+		byte(CodecF32), 4, 0, 0, 0, 1, 0, 0, 0, 9, 0, 0, 0, 0))
+	// Non-minimal varint (0x80 0x00 encodes 0 in two bytes).
+	check("non-minimal varint", append(append([]byte(nil), header...),
+		byte(CodecF32), 9, 0, 0, 0, 1, 0, 0, 0, 0x80, 0x00, 0, 0, 0, 0))
+	// Unknown payload codec.
+	check("unknown codec", append(append([]byte(nil), header...),
+		99, 4, 0, 0, 0, 0, 0, 0, 0))
+	// kindPSC with all-zero hints (must travel as classic kindPS).
+	psc := []byte{0, 0, 1, 0, byte(kindPSC), 1, 't', 0, 0, 0}
+	check("uncompressed PSC frame", psc)
+	// kindF16 declaring 2^30 values with an empty body.
+	check("oversized f16 declaration",
+		[]byte{0, 0, 1, 0, byte(kindF16), 1, 't', 0, 0, 0, 0x40})
+}
+
+// TestCompressedFrameSizes pins the wire wins the codecs exist for:
+// half-precision frames carry 2 bytes/value and the top-k frame is far
+// smaller than the dense chunk it replaces.
+func TestCompressedFrameSizes(t *testing.T) {
+	data := make([]float32, 1000)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	tensor.QuantizeF16(data)
+	raw := appendMessage(nil, 0, 1, message{tag: "x", kind: kindF32, f32: data})
+	half := appendMessage(nil, 0, 1, message{tag: "x", kind: kindF32, codec: CodecF16, f32: data})
+	if want := len(raw) - 2*len(data); len(half) != want {
+		t.Fatalf("f16 frame is %d bytes, want %d", len(half), want)
+	}
+	ch := topkChunk()
+	sp := appendMessage(nil, 0, 1, message{tag: "x", kind: kindF32Sparse, topk: &ch})
+	m := message{tag: "x", kind: kindF32Sparse, topk: &ch}
+	if est := rawFrameBytes(m); est != 2+2+1+1+1+4+4*ch.Len {
+		t.Fatalf("rawFrameBytes = %d", est)
+	}
+	if len(sp)*5 > rawFrameBytes(m) {
+		t.Fatalf("top-k frame %d bytes vs %d dense: less than 5x", len(sp), rawFrameBytes(m))
+	}
+}
+
+func TestPolicyFingerprintAndValidate(t *testing.T) {
+	if fp := (Policy{}).Fingerprint(); fp != "none" {
+		t.Fatalf("zero policy fingerprint %q", fp)
+	}
+	p := Policy{Dense: CodecF16, DenseTopK: 0.1, PSDense: CodecF16, PSSparse: CodecBF16, DeltaIndex: true}
+	if fp := p.Fingerprint(); fp != "dense=f16,topk=0.1,psdense=f16,pssparse=bf16,delta=true" {
+		t.Fatalf("fingerprint %q", fp)
+	}
+	if p.Fingerprint() == (Policy{Dense: CodecBF16, DenseTopK: 0.1, PSDense: CodecF16, PSSparse: CodecBF16, DeltaIndex: true}).Fingerprint() {
+		t.Fatal("fingerprint ignores the dense codec")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Policy{DenseTopK: 1.5}).Validate(); err == nil {
+		t.Fatal("DenseTopK 1.5 validated")
+	}
+	if err := (Policy{Dense: Codec(9)}).Validate(); err == nil {
+		t.Fatal("unknown codec validated")
+	}
+	if (Policy{}).Enabled() {
+		t.Fatal("zero policy enabled")
+	}
+	if !(Policy{DeltaIndex: true}).Enabled() {
+		t.Fatal("delta-only policy not enabled")
+	}
+}
+
+// exchangeCompressed sends one half-precision chunk and one top-k chunk
+// from a to b (and back), checking bit-exact delivery of on-grid data.
+func exchangeCompressed(t *testing.T, a, b Conduit) {
+	t.Helper()
+	data := onGrid()
+	ch := topkChunk()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for _, pair := range [][2]Conduit{{a, b}, {b, a}} {
+		go func(src, dst Conduit) {
+			defer wg.Done()
+			src.SendF32C(dst.Rank(), "half", data, CodecF16)
+			src.SendF32Sparse(dst.Rank(), "topk", ch)
+		}(pair[0], pair[1])
+	}
+	for _, pair := range [][2]Conduit{{a, b}, {b, a}} {
+		src, dst := pair[0], pair[1]
+		got := dst.RecvF32(src.Rank(), "half")
+		if !sameF32s(got, data) {
+			t.Fatalf("half-precision chunk changed: %v vs %v", got, data)
+		}
+		dst.PutBuf(got)
+		gotCh := dst.RecvF32Sparse(src.Rank(), "topk")
+		if gotCh.Len != ch.Len || gotCh.Codec != ch.Codec ||
+			len(gotCh.Idx) != len(ch.Idx) || !sameF32s(gotCh.Vals, ch.Vals) {
+			t.Fatalf("top-k chunk changed: %+v vs %+v", gotCh, ch)
+		}
+		for i := range ch.Idx {
+			if gotCh.Idx[i] != ch.Idx[i] {
+				t.Fatalf("top-k index %d changed", i)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+func TestCompressedExchangeInproc(t *testing.T) {
+	f := NewInproc(Topology{Workers: 2, Machines: 1, MachineOfWorker: []int{0, 0}})
+	defer f.Close()
+	exchangeCompressed(t, f.Conduit(0), f.Conduit(1))
+}
+
+func TestCompressedExchangeTCPAndAccounting(t *testing.T) {
+	f0, f1 := dialPair(t, twoMachineTopo())
+	exchangeCompressed(t, f0.Conduit(0), f1.Conduit(1))
+	s := f0.Stats()
+	if s.SentBytesCompressed <= 0 || s.SentBytesRaw <= s.SentBytesCompressed {
+		t.Fatalf("compression accounting: raw %d, compressed %d", s.SentBytesRaw, s.SentBytesCompressed)
+	}
+	// The classic counters still cover everything that hit the wire.
+	if s.SentBytes < s.SentBytesCompressed {
+		t.Fatalf("SentBytes %d < compressed %d", s.SentBytes, s.SentBytesCompressed)
+	}
+	// Uncompressed sends leave the compression counters untouched.
+	before := f0.Stats()
+	f0.Conduit(0).SendF32(1, "plain", onGrid())
+	got := f1.Conduit(1).RecvF32(0, "plain")
+	f1.Conduit(1).PutBuf(got)
+	after := f0.Stats()
+	if after.SentBytesRaw != before.SentBytesRaw || after.SentBytesCompressed != before.SentBytesCompressed {
+		t.Fatal("uncompressed frame moved the compression counters")
+	}
+	if after.SentBytes == before.SentBytes {
+		t.Fatal("uncompressed frame not counted at all")
+	}
+}
+
+// TestTCPCompressionPolicyMismatch: two agents configured with different
+// wire-compression policies must refuse the rendezvous on both sides
+// with ErrCompressionMismatch — a deployment error caught before any
+// training state diverges.
+func TestTCPCompressionPolicyMismatch(t *testing.T) {
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln0.Addr().String(), "127.0.0.1:0"}
+	policies := []Policy{{Dense: CodecF16}, {}}
+	errsOut := make([]error, 2)
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cfg := TCPConfig{
+				Topo: twoMachineTopo(), Process: p, Addrs: addrs,
+				DialTimeout: 5 * time.Second, Policy: policies[p],
+			}
+			if p == 0 {
+				cfg.Listener = ln0
+			}
+			var f *TCP
+			f, errsOut[p] = DialTCP(context.Background(), cfg)
+			if f != nil {
+				f.Close()
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errsOut {
+		if !errors.Is(err, errs.ErrCompressionMismatch) {
+			t.Fatalf("process %d: err = %v, want ErrCompressionMismatch", p, err)
+		}
+	}
+}
+
+// TestTCPMatchingPolicyConnects: agents agreeing on a non-trivial
+// policy rendezvous normally and exchange compressed frames.
+func TestTCPMatchingPolicyConnects(t *testing.T) {
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln0.Addr().String(), "127.0.0.1:0"}
+	pol := Policy{Dense: CodecF16, DenseTopK: 0.25, PSDense: CodecF16, PSSparse: CodecF16, DeltaIndex: true}
+	fabs := make([]*TCP, 2)
+	errsOut := make([]error, 2)
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cfg := TCPConfig{
+				Topo: twoMachineTopo(), Process: p, Addrs: addrs,
+				DialTimeout: 10 * time.Second, Policy: pol,
+			}
+			if p == 0 {
+				cfg.Listener = ln0
+			}
+			fabs[p], errsOut[p] = DialTCP(context.Background(), cfg)
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errsOut {
+		if err != nil {
+			t.Fatalf("process %d: %v", p, err)
+		}
+	}
+	defer fabs[0].Close()
+	defer fabs[1].Close()
+	exchangeCompressed(t, fabs[0].Conduit(0), fabs[1].Conduit(1))
+}

@@ -134,6 +134,33 @@ func (c inprocConduit) RecvF32(src int, tag string) []float32 {
 	return c.mustRecv(src, tag, kindF32).f32
 }
 
+// SendF32C ignores the codec: nothing here touches a wire, and the data
+// plane has already quantized the values onto the codec's grid, so the
+// plain copy delivers exactly what the TCP fabric's compressed frame
+// would.
+func (c inprocConduit) SendF32C(dst int, tag string, data []float32, codec Codec) {
+	c.SendF32(dst, tag, data)
+}
+
+func (c inprocConduit) SendF32Sparse(dst int, tag string, ch SparseChunk) {
+	c.send(dst, message{tag: tag, kind: kindF32Sparse, topk: copyChunk(ch)})
+}
+
+func (c inprocConduit) RecvF32Sparse(src int, tag string) SparseChunk {
+	return *c.mustRecv(src, tag, kindF32Sparse).topk
+}
+
+// copyChunk detaches a sparsified chunk from the sender's reusable
+// selection scratch (the send borrows, the receiver owns).
+func copyChunk(ch SparseChunk) *SparseChunk {
+	return &SparseChunk{
+		Len:   ch.Len,
+		Idx:   append([]int32(nil), ch.Idx...),
+		Vals:  append([]float32(nil), ch.Vals...),
+		Codec: ch.Codec,
+	}
+}
+
 func (c inprocConduit) GetBuf(n int) []float32 { return c.f.pool.get(n) }
 func (c inprocConduit) PutBuf(b []float32)     { c.f.pool.put(b) }
 

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parallax/internal/errs"
 	"parallax/internal/tensor"
 )
 
@@ -34,10 +35,17 @@ type TCPConfig struct {
 	DialTimeout time.Duration
 	// MaxFrame caps one wire frame's payload bytes. Default 1 GiB.
 	MaxFrame int
+	// Policy is the wire compression policy this process runs under. The
+	// rendezvous handshake carries its fingerprint, and peers whose
+	// fingerprints differ refuse to connect (ErrCompressionMismatch):
+	// a policy split would desync the replicas' quantization grids.
+	Policy Policy
 }
 
 // handshakeMagic opens every peer connection, followed by the dialer's
-// process index as u16.
+// process index as u16, the length of its compression-policy fingerprint
+// as u16, and the fingerprint bytes; the acceptor answers with one ack
+// byte (1 = fingerprints match).
 var handshakeMagic = [4]byte{'P', 'X', 'A', '1'}
 
 // TCP is the wire fabric: persistent length-prefixed framed connections,
@@ -68,8 +76,10 @@ type TCP struct {
 	inboxMu sync.Mutex
 	inbox   map[inboxKey]chan message
 
-	sent atomic.Int64
-	recv atomic.Int64
+	sent     atomic.Int64
+	recv     atomic.Int64
+	sentRaw  atomic.Int64 // f32-equivalent bytes of compressed frames
+	sentComp atomic.Int64 // actual wire bytes of the same frames
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -161,9 +171,11 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 	} else if cfg.Listener != nil {
 		cfg.Listener.Close()
 	}
+	fingerprint := cfg.Policy.Fingerprint()
 	type acceptRes struct {
 		peer int
 		conn net.Conn
+		err  error
 	}
 	accCh := make(chan acceptRes, nAccept+4)
 	fail := func(err error) (*TCP, error) {
@@ -178,7 +190,9 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 		for { // close accepted-but-unclaimed connections
 			select {
 			case r := <-accCh:
-				r.conn.Close()
+				if r.conn != nil {
+					r.conn.Close()
+				}
 			default:
 				return nil, err
 			}
@@ -196,9 +210,27 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 				if err != nil {
 					return // listener closed; a premature break surfaces as a timeout below
 				}
-				peer, err := readHandshake(conn)
+				peer, peerFP, err := readHandshake(conn)
 				if err != nil || peer <= cfg.Process || peer >= procs {
 					conn.Close() // junk or misrouted connection
+					continue
+				}
+				if peerFP != fingerprint {
+					// A real peer with the wrong policy: tell it (ack 0),
+					// then fail the rendezvous — this is a deployment
+					// error, not junk to ignore.
+					conn.Write([]byte{0})
+					conn.Close()
+					select {
+					case accCh <- acceptRes{err: fmt.Errorf(
+						"transport: process %d compression policy %q, peer %d has %q: %w",
+						cfg.Process, fingerprint, peer, peerFP, errs.ErrCompressionMismatch)}:
+					default:
+					}
+					continue
+				}
+				if _, err := conn.Write([]byte{1}); err != nil {
+					conn.Close()
 					continue
 				}
 				select {
@@ -216,11 +248,25 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 			return fail(fmt.Errorf("transport: process %d dialing peer %d (%s): %w",
 				cfg.Process, q, cfg.Addrs[q], err))
 		}
-		hs := append(append([]byte(nil), handshakeMagic[:]...), 0, 0)
+		hs := append(append([]byte(nil), handshakeMagic[:]...), 0, 0, 0, 0)
 		binary.LittleEndian.PutUint16(hs[4:], uint16(cfg.Process))
+		binary.LittleEndian.PutUint16(hs[6:], uint16(len(fingerprint)))
+		hs = append(hs, fingerprint...)
 		if _, err := conn.Write(hs); err != nil {
 			conn.Close()
 			return fail(fmt.Errorf("transport: handshake to peer %d: %w", q, err))
+		}
+		var ack [1]byte
+		conn.SetReadDeadline(deadline)
+		if _, err := io.ReadFull(conn, ack[:]); err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("transport: handshake ack from peer %d: %w", q, err))
+		}
+		conn.SetReadDeadline(time.Time{})
+		if ack[0] != 1 {
+			conn.Close()
+			return fail(fmt.Errorf("transport: process %d compression policy %q rejected by peer %d: %w",
+				cfg.Process, fingerprint, q, errs.ErrCompressionMismatch))
 		}
 		f.conns[q] = &wireConn{conn: conn}
 	}
@@ -232,6 +278,9 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 		}
 		select {
 		case r := <-accCh:
+			if r.err != nil {
+				return fail(r.err)
+			}
 			if f.conns[r.peer] != nil {
 				r.conn.Close() // duplicate from a retrying peer
 				continue
@@ -259,17 +308,22 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 	return f, nil
 }
 
-func readHandshake(conn net.Conn) (int, error) {
+func readHandshake(conn net.Conn) (int, string, error) {
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	defer conn.SetReadDeadline(time.Time{})
-	var hs [6]byte
+	var hs [8]byte
 	if _, err := io.ReadFull(conn, hs[:]); err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	if [4]byte(hs[:4]) != handshakeMagic {
-		return 0, fmt.Errorf("transport: bad handshake magic")
+		return 0, "", fmt.Errorf("transport: bad handshake magic")
 	}
-	return int(binary.LittleEndian.Uint16(hs[4:])), nil
+	peer := int(binary.LittleEndian.Uint16(hs[4:6]))
+	fp := make([]byte, binary.LittleEndian.Uint16(hs[6:8]))
+	if _, err := io.ReadFull(conn, fp); err != nil {
+		return 0, "", err
+	}
+	return peer, string(fp), nil
 }
 
 func dialRetry(ctx context.Context, addr string, deadline time.Time) (net.Conn, error) {
@@ -312,7 +366,12 @@ func (f *TCP) Distributed() bool { return f.topo.Processes() > 1 }
 
 // Stats returns the framed socket bytes moved so far.
 func (f *TCP) Stats() Stats {
-	return Stats{SentBytes: f.sent.Load(), RecvBytes: f.recv.Load()}
+	return Stats{
+		SentBytes:           f.sent.Load(),
+		RecvBytes:           f.recv.Load(),
+		SentBytesRaw:        f.sentRaw.Load(),
+		SentBytesCompressed: f.sentComp.Load(),
+	}
 }
 
 // Conduit returns the handle for a local endpoint.
@@ -421,6 +480,10 @@ func (f *TCP) sendWire(src, dst int, m message) {
 		}
 	}
 	f.sent.Add(int64(n))
+	if compressedFrame(m) {
+		f.sentRaw.Add(int64(4 + rawFrameBytes(m)))
+		f.sentComp.Add(int64(n))
+	}
 }
 
 // tcpConduit is one endpoint's handle on a TCP fabric.
@@ -500,6 +563,29 @@ func (c tcpConduit) SendF32(dst int, tag string, data []float32) {
 	}
 	// Cross-process: serialize straight from the caller's view.
 	c.f.sendWire(c.rank, dst, message{tag: tag, kind: kindF32, f32: data})
+}
+
+// SendF32C re-encodes the (already on-grid) chunk under codec on
+// cross-process links; colocated destinations get the plain copy, which
+// delivers the same bits.
+func (c tcpConduit) SendF32C(dst int, tag string, data []float32, codec Codec) {
+	if c.f.Local(dst) {
+		c.SendF32(dst, tag, data)
+		return
+	}
+	c.f.sendWire(c.rank, dst, message{tag: tag, kind: kindF32, codec: codec, f32: data})
+}
+
+func (c tcpConduit) SendF32Sparse(dst int, tag string, ch SparseChunk) {
+	if c.f.Local(dst) {
+		c.sendLocal(dst, message{tag: tag, kind: kindF32Sparse, topk: copyChunk(ch)})
+		return
+	}
+	c.f.sendWire(c.rank, dst, message{tag: tag, kind: kindF32Sparse, topk: &ch})
+}
+
+func (c tcpConduit) RecvF32Sparse(src int, tag string) SparseChunk {
+	return *c.recvKind(src, tag, kindF32Sparse).topk
 }
 
 func (c tcpConduit) RecvF32(src int, tag string) []float32 {

@@ -131,6 +131,14 @@ func (t Topology) Validate() error {
 type Stats struct {
 	SentBytes int64
 	RecvBytes int64
+	// SentBytesRaw and SentBytesCompressed cover only the frames that
+	// travelled under a compressed encoding: Raw is the bytes the same
+	// frames would occupy in the exact f32 encoding (a kindF32Sparse
+	// frame counts as the dense chunk it replaces), Compressed their
+	// actual on-wire size. Both stay zero under CompressionNone; their
+	// ratio is the wire compression factor.
+	SentBytesRaw        int64
+	SentBytesCompressed int64
 }
 
 // Conduit is one endpoint's handle on the fabric: point-to-point tagged
@@ -153,6 +161,22 @@ type Conduit interface {
 	// unspecified); PutBuf recycles buffers from GetBuf or RecvF32.
 	GetBuf(n int) []float32
 	PutBuf(b []float32)
+
+	// SendF32C is SendF32 with a wire payload codec: cross-process links
+	// re-encode the chunk at 2 bytes/value for CodecF16/CodecBF16. The
+	// values must already lie on the codec's grid (the data plane
+	// quantizes before sending), which keeps the re-encoding lossless
+	// and the schedule bit-identical across fabrics. CodecF32
+	// degenerates to SendF32; RecvF32 receives both.
+	SendF32C(dst int, tag string, data []float32, codec Codec)
+
+	// SendF32Sparse ships a top-k sparsified dense chunk (a
+	// kindF32Sparse frame on the wire: delta-varint indices plus values
+	// under the chunk's codec). The chunk's slices are borrowed for the
+	// duration of the call; RecvF32Sparse returns receiver-owned fresh
+	// slices.
+	SendF32Sparse(dst int, tag string, ch SparseChunk)
+	RecvF32Sparse(src int, tag string) SparseChunk
 
 	// SendSparse ships a sparse tensor read-only; see the package comment
 	// for ownership.
@@ -226,6 +250,15 @@ type PSMsg struct {
 	Parts   []int
 	Dense   []*tensor.Dense
 	Sparse  []*tensor.Sparse
+
+	// Wire-encoding hints, not semantic payload: DenseCodec/SparseCodec
+	// re-encode the Dense and Sparse values (which must already lie on
+	// the codec grid) at 2 bytes/value on cross-process links, and
+	// DeltaIndex delta-varint encodes ascending sparse row indices. All
+	// zero (the default) keeps the classic kindPS frame byte-identical.
+	DenseCodec  Codec
+	SparseCodec Codec
+	DeltaIndex  bool
 }
 
 // kind discriminates fabric datagrams.
@@ -236,16 +269,29 @@ const (
 	kindSparse
 	kindScalar
 	kindPS
+	// kindF16/kindBF16 are kindF32 with a half-precision payload; they
+	// decode back into f32 messages (codec recorded for canonical
+	// re-encoding).
+	kindF16
+	kindBF16
+	// kindF32Sparse is a top-k sparsified dense chunk: delta-varint
+	// indices plus surviving values.
+	kindF32Sparse
+	// kindPSC is kindPS with compressed payload encodings (leading
+	// codec/flag bytes select them).
+	kindPSC
 )
 
 // message is one fabric datagram.
 type message struct {
 	tag    string
 	kind   kind
+	codec  Codec // payload codec for kindF32 frames on the wire
 	f32    []float32
 	sparse *tensor.Sparse
 	scalar float64
 	ps     *PSMsg
+	topk   *SparseChunk
 }
 
 // bufPool recycles float chunk buffers by exact length, the same

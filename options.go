@@ -72,6 +72,18 @@ func WithClipNorm(norm float64) Option { return func(c *Config) { c.ClipNorm = n
 // either way).
 func WithFusionBytes(n int64) Option { return func(c *Config) { c.FusionBytes = n } }
 
+// WithCompression selects the wire-compression policy for the job's
+// gradient traffic (DESIGN.md §11): CompressionF16/CompressionBF16 for
+// half-precision payloads, CompressionTopK for sparsified dense buckets
+// with error feedback, or a hand-built CompressionPolicy. The default
+// (CompressionNone) keeps every frame exact f32. The policy is part of
+// the job's identity: in distributed mode every agent must configure
+// the same policy (the TCP rendezvous verifies this), and a checkpoint
+// can only be restored under the policy that wrote it.
+func WithCompression(p CompressionPolicy) Option {
+	return func(c *Config) { c.Compression = p }
+}
+
 // WithAsync switches PS variables to asynchronous updates (§2.1).
 func WithAsync() Option { return func(c *Config) { c.Async = true } }
 

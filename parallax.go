@@ -233,6 +233,13 @@ type Config struct {
 	// per-collective latency against how early the first bucket can
 	// overlap the backward pass.
 	FusionBytes int64
+	// Compression selects the wire-compression policy for gradient
+	// traffic (DESIGN.md §11; see WithCompression and the
+	// CompressionF16/CompressionBF16/CompressionTopK presets). The zero
+	// value keeps every frame exact f32. The policy must match across
+	// distributed agents and between a checkpoint and the session
+	// restoring it.
+	Compression CompressionPolicy
 	// Async switches PS variables to asynchronous updates (§2.1 —
 	// supported, though the paper's evaluation uses synchronous training).
 	Async bool

@@ -156,6 +156,7 @@ func open(ctx context.Context, g *Graph, resource ResourceInfo, cfg Config, rest
 			Addrs:       cfg.Dist.Addrs,
 			Listener:    cfg.Dist.Listener,
 			DialTimeout: cfg.Dist.DialTimeout,
+			Policy:      cfg.Compression,
 		})
 		if err != nil {
 			return nil, err
@@ -171,6 +172,7 @@ func open(ctx context.Context, g *Graph, resource ResourceInfo, cfg Config, rest
 		ClipNorm:         cfg.ClipNorm,
 		Async:            cfg.Async,
 		FusionBytes:      cfg.FusionBytes,
+		Compression:      cfg.Compression,
 		Fabric:           fab,
 	})
 	if err != nil {
@@ -217,6 +219,19 @@ func OpenFromCheckpoint(ctx context.Context, dir string, g *Graph, resource Reso
 		return nil, fmt.Errorf("parallax: %w: checkpoint topology %q, cluster is %q",
 			ErrTopologyMismatch, meta.TopoFP, fp)
 	}
+	// The compression policy is part of the job's identity: restoring
+	// under a different policy would resume a different optimization
+	// trajectory (and orphan or fabricate error-feedback residuals).
+	// Version-1 checkpoints predate the field and are always
+	// uncompressed.
+	ckFP := meta.Compression
+	if ckFP == "" {
+		ckFP = "none"
+	}
+	if fp := cfg.Compression.Fingerprint(); fp != ckFP {
+		return nil, fmt.Errorf("parallax: %w: checkpoint written with policy %q, session configured with %q",
+			ErrCompressionMismatch, ckFP, fp)
+	}
 	s, err := open(ctx, g, resource, cfg, &restoreSpec{meta: meta})
 	if err != nil {
 		return nil, err
@@ -260,8 +275,12 @@ func (s *Session) install(dir string, machine int, meta checkpoint.Meta, recs []
 		}
 		shards[m] = mrecs
 	}
-	var serverStates []transform.VarState
-	for _, mrecs := range shards {
+	local := make(map[int]bool)
+	for _, m := range s.trainer.LocalMachines() {
+		local[m] = true
+	}
+	var serverStates, residStates []transform.VarState
+	for m, mrecs := range shards {
 		for _, r := range mrecs {
 			st := transform.VarState{
 				Name: r.Name, Part: r.Part, Value: r.Value,
@@ -275,10 +294,21 @@ func (s *Session) install(dir string, machine int, meta checkpoint.Meta, recs []
 				}
 			case checkpoint.KindServerPart:
 				serverStates = append(serverStates, st)
+			case checkpoint.KindResidual:
+				// Each shard carries its own machine's workers' residuals;
+				// this process restores only those of the machines it hosts
+				// (shard 0, read for the replica variables, may belong to a
+				// peer agent).
+				if local[m] {
+					residStates = append(residStates, st)
+				}
 			}
 		}
 	}
 	if err := s.trainer.RestoreServerVars(serverStates, meta.Step); err != nil {
+		return err
+	}
+	if err := s.trainer.RestoreResiduals(residStates); err != nil {
 		return err
 	}
 	s.trainer.SetStepCount(int(meta.Step))
@@ -308,6 +338,7 @@ func (s *Session) Save(dir string) error {
 		DecisionPending: s.tunePending,
 		TopoFP:          checkpoint.TopoFingerprint(s.resource),
 		PlanFP:          checkpoint.PlanFingerprint(s.plan),
+		Compression:     s.cfg.Compression.Fingerprint(),
 	}
 	for _, m := range s.trainer.LocalMachines() {
 		states, err := s.trainer.SnapshotServerParts(m)
@@ -330,6 +361,18 @@ func (s *Session) Save(dir string) error {
 			if st.Part < 0 {
 				recs[i].Kind, recs[i].Part = checkpoint.KindReplica, 0
 			}
+		}
+		// Top-k error-feedback residuals ride in the shard of the machine
+		// whose workers hold them (present only under a top-k policy;
+		// their presence moves the shard to the version-2 format).
+		resids, err := s.trainer.SnapshotResiduals(m)
+		if err != nil {
+			return err
+		}
+		for _, st := range resids {
+			recs = append(recs, checkpoint.Record{
+				Kind: checkpoint.KindResidual, Name: st.Name, Part: st.Part, Value: st.Value,
+			})
 		}
 		shardMeta := meta
 		shardMeta.Machine = m
@@ -580,16 +623,19 @@ func (s *Session) oneStep(next func(step, worker int) (Feed, error)) (StepStats,
 	}
 	ph := s.trainer.PhaseStatsLastStep()
 	wireSent, wireRecv := s.trainer.WireStatsLastStep()
+	wireRaw, wireComp := s.trainer.WireCompressionLastStep()
 	return StepStats{
-		Step:          step,
-		Loss:          loss,
-		StepTime:      time.Since(start),
-		BytesPushed:   s.trainer.BytesPushedLastStep(),
-		WireSentBytes: wireSent,
-		WireRecvBytes: wireRecv,
-		ComputeTime:   ph.Compute,
-		CommTime:      ph.Comm,
-		SyncWait:      ph.SyncWait,
+		Step:                step,
+		Loss:                loss,
+		StepTime:            time.Since(start),
+		BytesPushed:         s.trainer.BytesPushedLastStep(),
+		WireSentBytes:       wireSent,
+		WireRecvBytes:       wireRecv,
+		WireSentBytesRaw:    wireRaw,
+		WireCompressedBytes: wireComp,
+		ComputeTime:         ph.Compute,
+		CommTime:            ph.Comm,
+		SyncWait:            ph.SyncWait,
 	}, nil
 }
 
