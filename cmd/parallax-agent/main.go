@@ -74,6 +74,13 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 15*time.Second, "peer rendezvous timeout")
 	ckpt := flag.String("checkpoint", "", "checkpoint directory: written on exit (normal completion or SIGINT/SIGTERM drain)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint instead of initializing (run it on every agent)")
+	autoCkpt := flag.String("auto-checkpoint", "",
+		"auto-checkpoint root (shared across agents): periodic saves land under it, and a (re)started agent resumes from the latest complete one automatically")
+	autoEvery := flag.Int("auto-checkpoint-every", 10, "auto-checkpoint cadence in steps")
+	recov := flag.Bool("recover", false,
+		"survive peer-agent failures: re-rendezvous at the next fabric epoch and restore the latest auto-checkpoint (requires -auto-checkpoint; see OPERATIONS.md)")
+	chaosSpec := flag.String("chaos", "", "fault-injection spec, e.g. kill@17 (internal testing knob; see internal/chaos)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for randomized chaos faults (internal testing knob)")
 	flag.Parse()
 
 	arch, ok := map[string]parallax.Arch{
@@ -108,6 +115,15 @@ func main() {
 	} else {
 		opts = append(opts, parallax.WithSparsePartitions(*partitions))
 	}
+	if *autoCkpt != "" {
+		opts = append(opts, parallax.WithAutoCheckpoint(*autoCkpt, *autoEvery))
+	}
+	if *recov {
+		if *autoCkpt == "" {
+			log.Fatal("-recover requires -auto-checkpoint")
+		}
+		opts = append(opts, parallax.WithRecovery(parallax.RecoveryPolicy{Enabled: true}))
+	}
 	n := *machines
 	if *addrs != "" {
 		list := strings.Split(*addrs, ",")
@@ -117,9 +133,12 @@ func main() {
 		}
 		opts = append(opts, parallax.WithDistConfig(parallax.DistConfig{
 			Machine: *machine, Addrs: list, DialTimeout: *dialTimeout,
+			Chaos: *chaosSpec, ChaosSeed: *chaosSeed,
 		}))
 	} else if *machine >= 0 {
 		log.Fatal("-machine requires -addrs")
+	} else if *chaosSpec != "" {
+		log.Fatal("-chaos requires a distributed run (-machine/-addrs)")
 	}
 
 	// Every agent must build the identical graph: fixed seed, fixed
@@ -154,6 +173,9 @@ func main() {
 	fmt.Printf("local workers: %v of %d\n", sess.LocalWorkers(), sess.Workers())
 	if *resume {
 		fmt.Printf("resumed from %s at step %d\n", *ckpt, sess.StepCount())
+	}
+	if *autoCkpt != "" && sess.StepCount() > 0 {
+		fmt.Printf("auto-resumed from %s at step %d (epoch %d)\n", *autoCkpt, sess.StepCount(), sess.Epoch())
 	}
 	fmt.Println()
 
@@ -198,6 +220,11 @@ func main() {
 	if interrupted {
 		fmt.Printf("interrupted: drained cleanly after step %d\n", sess.StepCount()-1)
 		return
+	}
+	if sess.Recoveries() > 0 {
+		// Recovery timings ride the CI artifact next to BENCH.json.
+		fmt.Printf("recoveries %d  epoch %d  last recovery %v\n",
+			sess.Recoveries(), sess.Epoch(), sess.LastRecoveryDuration().Round(time.Millisecond))
 	}
 	fmt.Printf("\n%s\n", stats)
 	if *autoPartition {

@@ -31,4 +31,27 @@ var (
 	// policy (caught at the TCP rendezvous), or a checkpoint restored
 	// under a policy other than the one that wrote it.
 	ErrCompressionMismatch = errs.ErrCompressionMismatch
+
+	// ErrPeerFailed marks the death of a peer agent: a heartbeat timeout,
+	// a broken connection, or a peer-down notification relayed by another
+	// survivor. The chain usually carries a *PeerFailure with the failed
+	// rank and fabric epoch:
+	//
+	//	var pf *parallax.PeerFailure
+	//	if errors.As(err, &pf) { log.Printf("rank %d died", pf.Rank) }
+	//
+	// With WithRecovery and WithAutoCheckpoint configured, the Steps loop
+	// recovers from this condition instead of surfacing it.
+	ErrPeerFailed = errs.ErrPeerFailed
+
+	// ErrEpochMismatch marks a rendezvous between agents that disagree
+	// about the fabric generation — one side recovered into a newer epoch
+	// while the other still carries a stale one. The stale side re-reads
+	// the epoch record in the auto-checkpoint directory and retries.
+	ErrEpochMismatch = errs.ErrEpochMismatch
 )
+
+// PeerFailure is the rank-attributed failure record produced by the
+// transport when a peer agent dies. It matches ErrPeerFailed under
+// errors.Is and unwraps to the raw symptom (EOF, heartbeat timeout).
+type PeerFailure = errs.PeerFailure

@@ -1,0 +1,284 @@
+// Package chaos is the deterministic fault-injection harness for the
+// failure-recovery protocol (DESIGN.md §12). It wraps any
+// transport.Fabric and injects faults at exact step boundaries, driven
+// by a compact spec string — so a CI round can kill an agent at step 17,
+// watch the cluster re-rendezvous at epoch+1, and assert the final loss
+// bits equal an uninterrupted reference run.
+//
+// Faults are step-indexed, never timer-driven: the trainer reports each
+// step index through the fabric's SetStep hook before any exchange of
+// that step, and the injector fires exactly there. Two runs with the
+// same spec and seed inject byte-identical fault schedules.
+//
+// Spec grammar (comma-separated faults):
+//
+//	kill@K          tear this process's fabric down at step K, as if the
+//	                process crashed (no announcement; peers attribute the
+//	                failure via broken connections). The process itself
+//	                observes ErrPeerFailed for its own rank and can
+//	                recover in place — a crash plus instant restart.
+//	sever@K:P       close only the connection to peer process P at step K
+//	crash@K         hard-exit the process (status 137) at step K
+//	crash-before-save@K   hard-exit just before writing the
+//	                auto-checkpoint at step K
+//	crash-after-save@K    hard-exit just after writing it
+//	delay@K:D       sleep duration D once, before step K (e.g. 50ms)
+//	slow@K:D        from step K on, sleep a seed-jittered duration around
+//	                D before every step (slow-peer throttling)
+//
+// The injector is created once per process and survives fabric
+// rebuilds: after an in-place recovery the session re-wraps the fresh
+// fabric with the same injector, so a fault that already fired does not
+// fire again when the replayed steps pass its index a second time.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"parallax/internal/errs"
+	"parallax/internal/transport"
+)
+
+// Kinds of injectable faults.
+const (
+	faultKill = iota
+	faultSever
+	faultCrash
+	faultCrashBeforeSave
+	faultCrashAfterSave
+	faultDelay
+	faultSlow
+)
+
+// Fault is one scheduled fault.
+type Fault struct {
+	Kind  int
+	Step  int           // step index the fault fires at (slow: fires from here on)
+	Peer  int           // sever: peer process to cut
+	Delay time.Duration // delay/slow: sleep duration
+	fired bool
+}
+
+// Injector owns a process's fault schedule. Create one with Parse and
+// wrap every fabric generation with Wrap; the fired-state carries over
+// so replayed steps after a recovery do not re-trigger old faults.
+type Injector struct {
+	mu     sync.Mutex
+	faults []Fault
+	rng    *rand.Rand
+	killed error // injected failure, reported via the wrapper's Err
+
+	// Exit is called for crash faults; overridable in tests. Defaults to
+	// os.Exit.
+	Exit func(code int)
+}
+
+// Parse builds an injector from a fault spec. The seed drives the
+// jitter of slow-peer throttling; everything else is exact.
+func Parse(spec string, seed int64) (*Injector, error) {
+	inj := &Injector{rng: rand.New(rand.NewSource(seed)), Exit: os.Exit}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("chaos: fault %q missing '@step'", part)
+		}
+		stepStr, arg, hasArg := strings.Cut(rest, ":")
+		step, err := strconv.Atoi(stepStr)
+		if err != nil || step < 0 {
+			return nil, fmt.Errorf("chaos: fault %q has bad step %q", part, stepStr)
+		}
+		f := Fault{Step: step}
+		switch name {
+		case "kill":
+			f.Kind = faultKill
+		case "sever":
+			f.Kind = faultSever
+			if !hasArg {
+				return nil, fmt.Errorf("chaos: sever needs a peer: sever@K:P")
+			}
+			if f.Peer, err = strconv.Atoi(arg); err != nil || f.Peer < 0 {
+				return nil, fmt.Errorf("chaos: sever peer %q", arg)
+			}
+		case "crash":
+			f.Kind = faultCrash
+		case "crash-before-save":
+			f.Kind = faultCrashBeforeSave
+		case "crash-after-save":
+			f.Kind = faultCrashAfterSave
+		case "delay", "slow":
+			if name == "delay" {
+				f.Kind = faultDelay
+			} else {
+				f.Kind = faultSlow
+			}
+			if !hasArg {
+				return nil, fmt.Errorf("chaos: %s needs a duration: %s@K:D", name, name)
+			}
+			if f.Delay, err = time.ParseDuration(arg); err != nil || f.Delay < 0 {
+				return nil, fmt.Errorf("chaos: %s duration %q", name, arg)
+			}
+		default:
+			return nil, fmt.Errorf("chaos: unknown fault %q", name)
+		}
+		inj.faults = append(inj.faults, f)
+	}
+	return inj, nil
+}
+
+// Wrap returns fab with this injector's faults armed. The wrapper is a
+// transparent transport.Fabric; it additionally exposes SetStep (the
+// trainer's step hook, where step-indexed faults fire) and the
+// BeforeSave/AfterSave checkpoint hooks the session calls around
+// auto-checkpoint writes.
+func (inj *Injector) Wrap(fab transport.Fabric) *Fabric {
+	// A wrap starts a fresh fabric generation: the fired-state of every
+	// fault carries over (so replayed steps do not re-trigger), but the
+	// previous generation's recorded kill does not — the new fabric is
+	// healthy until a fault says otherwise.
+	inj.mu.Lock()
+	inj.killed = nil
+	inj.mu.Unlock()
+	return &Fabric{Fabric: fab, inj: inj}
+}
+
+// Fabric is a fault-injecting fabric wrapper; see Injector.Wrap.
+type Fabric struct {
+	transport.Fabric
+	inj *Injector
+}
+
+// Err reports the injected failure when one was recorded directly (the
+// kill path for fabrics without their own attribution, i.e. in-process),
+// otherwise the inner fabric's attributed failure. The injected error
+// must win: after a kill the inner fabric only knows it was closed, not
+// why.
+func (f *Fabric) Err() error {
+	f.inj.mu.Lock()
+	killed := f.inj.killed
+	f.inj.mu.Unlock()
+	if killed != nil {
+		return killed
+	}
+	return f.Fabric.Err()
+}
+
+// selfProcess locates the process index this fabric belongs to.
+func (f *Fabric) selfProcess() int {
+	topo := f.Topology()
+	for p := 0; p < topo.Processes(); p++ {
+		if topo.Machines > 0 && f.Local(topo.ServerEndpoint(p)) {
+			return p
+		}
+	}
+	return 0
+}
+
+// SetStep receives each step index from the trainer before the step's
+// first exchange and fires every armed fault scheduled there.
+func (f *Fabric) SetStep(step int) {
+	if h, ok := f.Fabric.(interface{ SetStep(int) }); ok {
+		h.SetStep(step)
+	}
+	inj := f.inj
+	inj.mu.Lock()
+	var fire []*Fault
+	for i := range inj.faults {
+		ft := &inj.faults[i]
+		switch {
+		case ft.Kind == faultSlow:
+			if step >= ft.Step {
+				fire = append(fire, ft)
+			}
+		case ft.fired || ft.Step != step:
+		case ft.Kind == faultKill || ft.Kind == faultSever ||
+			ft.Kind == faultCrash || ft.Kind == faultDelay:
+			ft.fired = true
+			fire = append(fire, ft)
+		}
+	}
+	// Draw slow-peer jitter under the lock so the schedule is a pure
+	// function of (spec, seed, step sequence).
+	var naps []time.Duration
+	for _, ft := range fire {
+		switch ft.Kind {
+		case faultDelay:
+			naps = append(naps, ft.Delay)
+		case faultSlow:
+			naps = append(naps, time.Duration((0.5+inj.rng.Float64())*float64(ft.Delay)))
+		}
+	}
+	inj.mu.Unlock()
+
+	for _, d := range naps {
+		time.Sleep(d)
+	}
+	for _, ft := range fire {
+		switch ft.Kind {
+		case faultCrash:
+			inj.Exit(137)
+		case faultKill:
+			f.kill(step)
+		case faultSever:
+			f.sever(ft.Peer)
+		}
+	}
+}
+
+// kill simulates this process crashing at the given step: the fabric
+// tears down abruptly with no peer-down announcement, and the local
+// attribution is this process's own rank — matching what every remote
+// survivor concludes from the broken connections.
+func (f *Fabric) kill(step int) {
+	self := f.selfProcess()
+	cause := fmt.Errorf("chaos: injected kill at step %d", step)
+	if t, ok := f.Fabric.(interface{ Fail(int, error) }); ok {
+		t.Fail(self, cause)
+		return
+	}
+	f.inj.mu.Lock()
+	if f.inj.killed == nil {
+		f.inj.killed = &errs.PeerFailure{Rank: self, Cause: cause}
+	}
+	f.inj.mu.Unlock()
+	f.Fabric.Close()
+}
+
+func (f *Fabric) sever(peer int) {
+	if t, ok := f.Fabric.(interface{ SeverPeer(int) error }); ok {
+		t.SeverPeer(peer)
+	}
+}
+
+// BeforeSave fires crash-before-save faults; the session calls it just
+// before writing the auto-checkpoint for a step.
+func (f *Fabric) BeforeSave(step int) { f.inj.saveHook(step, faultCrashBeforeSave) }
+
+// AfterSave fires crash-after-save faults; the session calls it right
+// after the auto-checkpoint for a step is durably on disk.
+func (f *Fabric) AfterSave(step int) { f.inj.saveHook(step, faultCrashAfterSave) }
+
+func (inj *Injector) saveHook(step, kind int) {
+	inj.mu.Lock()
+	exit := false
+	for i := range inj.faults {
+		ft := &inj.faults[i]
+		if ft.Kind == kind && ft.Step == step && !ft.fired {
+			ft.fired = true
+			exit = true
+		}
+	}
+	inj.mu.Unlock()
+	if exit {
+		inj.Exit(137)
+	}
+}

@@ -1,0 +1,189 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"parallax/internal/errs"
+	"parallax/internal/transport"
+)
+
+func testTopo() transport.Topology {
+	return transport.Topology{Workers: 2, Machines: 2, MachineOfWorker: []int{0, 1}}
+}
+
+func TestParseSpecs(t *testing.T) {
+	good := []string{
+		"kill@17",
+		"sever@3:1",
+		"crash@5",
+		"crash-before-save@10",
+		"crash-after-save@10",
+		"delay@2:50ms",
+		"slow@4:10ms",
+		"kill@1,sever@2:0,delay@3:1ms",
+		"", // empty spec = no faults
+		"  kill@1 , crash@2  ",
+	}
+	for _, spec := range good {
+		if _, err := Parse(spec, 1); err != nil {
+			t.Errorf("Parse(%q) = %v, want ok", spec, err)
+		}
+	}
+	bad := []string{
+		"kill",            // missing @step
+		"kill@x",          // bad step
+		"kill@-1",         // negative step
+		"sever@3",         // missing peer
+		"sever@3:p",       // bad peer
+		"delay@2",         // missing duration
+		"delay@2:fast",    // bad duration
+		"explode@1",       // unknown fault
+		"kill@1,crash@zz", // one bad part poisons the spec
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// A kill on a fabric with no attribution of its own (the in-process
+// fabric) must record a rank-attributed ErrPeerFailed on the wrapper
+// and tear the inner fabric down.
+func TestKillAttributesAndCloses(t *testing.T) {
+	inj, err := Parse("kill@2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := inj.Wrap(transport.NewInproc(testTopo()))
+	fab.SetStep(0)
+	fab.SetStep(1)
+	if fab.Err() != nil {
+		t.Fatalf("fault fired early: %v", fab.Err())
+	}
+	fab.SetStep(2)
+	e := fab.Err()
+	if !errors.Is(e, errs.ErrPeerFailed) {
+		t.Fatalf("after kill, Err() = %v, want ErrPeerFailed", e)
+	}
+	var pf *errs.PeerFailure
+	if !errors.As(e, &pf) {
+		t.Fatalf("after kill, Err() = %v, want *errs.PeerFailure", e)
+	}
+	select {
+	case <-fab.Done():
+	case <-time.After(time.Second):
+		t.Fatal("inner fabric not closed by the kill")
+	}
+}
+
+// crash faults call the injector's Exit hook (os.Exit in production,
+// recorded here) with status 137.
+func TestCrashCallsExit(t *testing.T) {
+	inj, err := Parse("crash@3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := -1
+	inj.Exit = func(c int) { code = c }
+	fab := inj.Wrap(transport.NewInproc(testTopo()))
+	defer fab.Close()
+	fab.SetStep(2)
+	if code != -1 {
+		t.Fatalf("crash fired at step 2, want step 3")
+	}
+	fab.SetStep(3)
+	if code != 137 {
+		t.Fatalf("crash exit code %d, want 137", code)
+	}
+	// Fired once: the replayed step after a recovery must not crash again.
+	code = -1
+	fab.SetStep(3)
+	if code != -1 {
+		t.Fatalf("crash re-fired on a replayed step")
+	}
+}
+
+// crash-before-save / crash-after-save fire through the checkpoint
+// hooks, not SetStep, and each fires exactly once.
+func TestCrashAroundSaveHooks(t *testing.T) {
+	inj, err := Parse("crash-before-save@10,crash-after-save@20", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var codes []int
+	inj.Exit = func(c int) { codes = append(codes, c) }
+	fab := inj.Wrap(transport.NewInproc(testTopo()))
+	defer fab.Close()
+
+	fab.SetStep(10) // step hook must NOT fire save faults
+	if len(codes) != 0 {
+		t.Fatalf("save fault fired from SetStep")
+	}
+	fab.BeforeSave(9)
+	fab.AfterSave(9)
+	if len(codes) != 0 {
+		t.Fatalf("save fault fired at the wrong step")
+	}
+	fab.BeforeSave(10)
+	if len(codes) != 1 || codes[0] != 137 {
+		t.Fatalf("crash-before-save codes %v, want [137]", codes)
+	}
+	fab.AfterSave(20)
+	if len(codes) != 2 {
+		t.Fatalf("crash-after-save codes %v, want two exits", codes)
+	}
+	fab.BeforeSave(10)
+	fab.AfterSave(20)
+	if len(codes) != 2 {
+		t.Fatalf("save faults re-fired: %v", codes)
+	}
+}
+
+// The injector outlives fabric generations: a fault that fired on one
+// wrap must not fire again when the session re-wraps a fresh fabric
+// after recovery and the replayed steps pass its index a second time.
+func TestFiredFaultsSurviveRewrap(t *testing.T) {
+	inj, err := Parse("kill@2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab1 := inj.Wrap(transport.NewInproc(testTopo()))
+	fab1.SetStep(2)
+	if !errors.Is(fab1.Err(), errs.ErrPeerFailed) {
+		t.Fatalf("kill did not fire on the first generation: %v", fab1.Err())
+	}
+
+	// New fabric generation, same injector: Wrap clears the recorded
+	// kill but keeps the fired-state.
+	fab2 := inj.Wrap(transport.NewInproc(testTopo()))
+	defer fab2.Close()
+	fab2.SetStep(2) // the replayed step crosses the fault's index again
+	if err := fab2.Err(); err != nil {
+		t.Fatalf("fired fault re-triggered on re-wrap: %v", err)
+	}
+	select {
+	case <-fab2.Done():
+		t.Fatal("fired fault closed the second-generation fabric")
+	default:
+	}
+}
+
+// delay and slow faults only sleep — the schedule is deterministic in
+// (spec, seed), and neither marks the fabric failed.
+func TestDelayAndSlowDoNotFail(t *testing.T) {
+	inj, err := Parse("delay@1:1ms,slow@2:1ms", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := inj.Wrap(transport.NewInproc(testTopo()))
+	defer fab.Close()
+	for s := 0; s < 5; s++ {
+		fab.SetStep(s)
+	}
+	if err := fab.Err(); err != nil {
+		t.Fatalf("delay/slow marked the fabric failed: %v", err)
+	}
+}

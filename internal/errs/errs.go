@@ -5,7 +5,10 @@
 // contract the public Session API documents.
 package errs
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 var (
 	// ErrClosed marks an operation against a closed session, trainer, or
@@ -31,4 +34,45 @@ var (
 	// fingerprints, or a checkpoint restored into a session configured
 	// with a different policy than the one that trained it.
 	ErrCompressionMismatch = errors.New("compression policy mismatch")
+
+	// ErrPeerFailed marks the death of a peer process: a heartbeat
+	// timeout, a broken connection, or a peer-down notification relayed
+	// by another survivor. The concrete error in the chain is usually a
+	// *PeerFailure carrying the failed rank and the fabric epoch; match
+	// with errors.Is(err, ErrPeerFailed) and recover the attribution
+	// with errors.As.
+	ErrPeerFailed = errors.New("peer failed")
+
+	// ErrEpochMismatch marks a rendezvous between two processes that
+	// disagree about the fabric generation: one of them recovered (or
+	// restarted) into a newer epoch while the other still carries a
+	// stale one. The stale side should re-read the cluster's epoch
+	// record and retry.
+	ErrEpochMismatch = errors.New("epoch mismatch")
 )
+
+// PeerFailure is the rank-attributed failure record produced by the
+// transport when a peer dies. It satisfies errors.Is(err, ErrPeerFailed)
+// and unwraps to the underlying cause (EOF, heartbeat timeout, ...).
+type PeerFailure struct {
+	// Rank is the process index of the peer that failed (the process
+	// whose connection broke or that was reported down by a survivor).
+	Rank int
+	// Epoch is the fabric generation in which the failure was observed.
+	Epoch int
+	// Cause is the raw symptom, when one was observed locally.
+	Cause error
+}
+
+func (e *PeerFailure) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("peer %d failed (epoch %d): %v", e.Rank, e.Epoch, e.Cause)
+	}
+	return fmt.Sprintf("peer %d failed (epoch %d)", e.Rank, e.Epoch)
+}
+
+// Is reports the sentinel identity so errors.Is(err, ErrPeerFailed)
+// matches any wrapped *PeerFailure.
+func (e *PeerFailure) Is(target error) bool { return target == ErrPeerFailed }
+
+func (e *PeerFailure) Unwrap() error { return e.Cause }

@@ -46,6 +46,14 @@ type StepStats struct {
 	ComputeTime time.Duration
 	CommTime    time.Duration
 	SyncWait    time.Duration
+
+	// Epoch is the fabric generation the step ran at: 0 until a failure
+	// recovery, epoch+1 after each re-rendezvous (DESIGN.md §12).
+	// RecoveryCount is the number of in-place recoveries the session has
+	// performed so far. Both stay zero in single-process runs and in
+	// distributed runs that never lost a peer.
+	Epoch         int
+	RecoveryCount int
 }
 
 // OverlapFraction is the share of synchronization time hidden under

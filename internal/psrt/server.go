@@ -91,6 +91,13 @@ type Server struct {
 	cfg  Config
 	mu   sync.Mutex
 	vars map[string]*servedVar
+
+	// abortErr, once set, wakes and fails every blocked version/
+	// aggregation wait: the synchronous protocol's waits are satisfied by
+	// peer pushes, so when the transport underneath dies mid-step the
+	// missing pushes never arrive and only Abort can unpark the waiters.
+	abortMu  sync.Mutex
+	abortErr error
 }
 
 type servedVar struct {
@@ -190,6 +197,48 @@ func (s *Server) addVarLocked(name string, init *tensor.Dense, ranges []tensor.R
 	}
 	s.vars[name] = v
 	return v, nil
+}
+
+// Abort fails every present and future blocking wait (Pull, PullInto,
+// SnapshotPart, WaitAggregatedNormSquared) with err. The trainer calls
+// it when the transport fabric dies so workers parked on a version wait
+// — whose outstanding pushes will never arrive from the dead peer —
+// fail fast with the fabric's attributed error instead of hanging on a
+// condition variable forever. Idempotent; the first error wins.
+// Non-blocking operations (pushes, resharding) are unaffected: the
+// aborted server's state remains readable for post-mortem snapshots.
+func (s *Server) Abort(err error) {
+	if err == nil {
+		return
+	}
+	s.abortMu.Lock()
+	if s.abortErr == nil {
+		s.abortErr = err
+	}
+	s.abortMu.Unlock()
+	s.mu.Lock()
+	vars := make([]*servedVar, 0, len(s.vars))
+	for _, v := range s.vars {
+		vars = append(vars, v)
+	}
+	s.mu.Unlock()
+	for _, v := range vars {
+		for _, p := range v.parts {
+			if p == nil {
+				continue
+			}
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}
+}
+
+// aborted returns the Abort error, if any.
+func (s *Server) aborted() error {
+	s.abortMu.Lock()
+	defer s.abortMu.Unlock()
+	return s.abortErr
 }
 
 func (s *Server) lookupVar(name string) (*servedVar, error) {
@@ -376,6 +425,9 @@ func (s *Server) WaitAggregatedNormSquared(name string, pi int, seq int64) (floa
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.aggSeq < seq {
+		if aerr := s.aborted(); aerr != nil {
+			return 0, aerr
+		}
 		p.cond.Wait()
 	}
 	return p.aggNorm2, nil
@@ -408,6 +460,9 @@ func (s *Server) Pull(name string, pi int, minVersion int64) (*tensor.Dense, err
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.version < minVersion {
+		if aerr := s.aborted(); aerr != nil {
+			return nil, aerr
+		}
 		p.cond.Wait()
 	}
 	return p.value.Clone(), nil
@@ -422,10 +477,10 @@ func (s *Server) PullInto(name string, pi int, minVersion int64, dst *tensor.Den
 	if err != nil {
 		return err
 	}
-	return pullIntoPart(v, pi, minVersion, dst)
+	return s.pullIntoPart(v, pi, minVersion, dst)
 }
 
-func pullIntoPart(v *servedVar, pi int, minVersion int64, dst *tensor.Dense) error {
+func (s *Server) pullIntoPart(v *servedVar, pi int, minVersion int64, dst *tensor.Dense) error {
 	p, err := v.partAt(pi)
 	if err != nil {
 		return err
@@ -433,6 +488,9 @@ func pullIntoPart(v *servedVar, pi int, minVersion int64, dst *tensor.Dense) err
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.version < minVersion {
+		if aerr := s.aborted(); aerr != nil {
+			return aerr
+		}
 		p.cond.Wait()
 	}
 	if dst.NumElements() != p.value.NumElements() {
@@ -482,7 +540,7 @@ func (s *Server) PullManyInto(minVersion int64, reqs []PullReq) error {
 				return err
 			}
 		}
-		if err := pullIntoPart(v, r.Part, minVersion, r.Dst); err != nil {
+		if err := s.pullIntoPart(v, r.Part, minVersion, r.Dst); err != nil {
 			return err
 		}
 	}
@@ -573,6 +631,9 @@ func (s *Server) SnapshotPart(name string, pi int, minVersion int64) (*tensor.De
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.version < minVersion {
+		if aerr := s.aborted(); aerr != nil {
+			return nil, nil, aerr
+		}
 		p.cond.Wait()
 	}
 	val := p.value.Clone()

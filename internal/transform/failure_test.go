@@ -1,0 +1,151 @@
+package transform
+
+// Kill-a-peer-mid-step tests: whichever phase a step is in when a peer
+// dies — backprop-overlapped collectives, PS pulls, the loss exchange —
+// the surviving trainer's Step must return a rank-attributed error
+// wrapping errs.ErrPeerFailed (never hang, never crash the process),
+// and Close must unwind every goroutine. Both fabrics are covered: the
+// TCP fabric attributes failures itself; the in-process fabric relies
+// on the chaos wrapper's attribution plus failStep's upgrade path.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"parallax/internal/chaos"
+	"parallax/internal/cluster"
+	"parallax/internal/core"
+	"parallax/internal/errs"
+	"parallax/internal/models"
+	"parallax/internal/optim"
+	"parallax/internal/transport"
+)
+
+// distKillTrainers builds the two TCP-connected trainers of a
+// 2-machine × 2-GPU hybrid cluster (PS embedding + fused AllReduce, the
+// configuration where a step exercises collectives, PS pulls, and the
+// loss exchange).
+func distKillTrainers(t *testing.T) ([2]*transport.TCP, [2]*Trainer) {
+	t.Helper()
+	cfg := models.DefaultTinyLM()
+	ri := cluster.Uniform(2, 2)
+	topo := transport.Topology{Workers: 4, Machines: 2, MachineOfWorker: ri.WorkerMachines()}
+	fabs := dialTestFabrics(t, topo)
+	g := models.BuildTinyLM(cfg)
+	var trs [2]*Trainer
+	for p := 0; p < 2; p++ {
+		tr, err := New(g, Options{
+			Plan:             planFor(t, g, core.ArchHybrid, ri.NumMachines(), 3),
+			Resource:         ri,
+			NewOptimizer:     func() optim.Optimizer { return optim.NewSGD(0.2) },
+			DenseAgg:         optim.AggMean,
+			SparseAgg:        optim.AggMean,
+			LocalAggregation: true,
+			Fabric:           fabs[p],
+		})
+		if err != nil {
+			t.Fatalf("trainer %d: %v", p, err)
+		}
+		trs[p] = tr
+	}
+	return [2]*transport.TCP{fabs[0], fabs[1]}, trs
+}
+
+// TestTCPKillPeerMidStep drives both agents concurrently and kills
+// agent 1's process (abrupt fabric teardown, no announcement) while
+// steps are in flight. Both trainers must surface ErrPeerFailed with
+// the dead rank attributed, and closing both must leak nothing.
+func TestTCPKillPeerMidStep(t *testing.T) {
+	base := runtime.NumGoroutine()
+	fabs, trs := distKillTrainers(t)
+	cfg := models.DefaultTinyLM()
+
+	const killStep = 3
+	stepErr := [2]error{}
+	done := make(chan int, 2)
+	for p := 0; p < 2; p++ {
+		go func(p int) {
+			defer func() { done <- p }()
+			for s := 0; ; s++ {
+				if p == 1 && s == killStep {
+					// Simulated crash between exchanges: the remote side
+					// sees only broken connections.
+					fabs[1].Fail(1, fmt.Errorf("injected mid-step crash"))
+				}
+				feeds, _ := lmFeeds(trs[p].Workers(), cfg.Batch, cfg.Vocab, int64(s))
+				if _, err := trs[p].Step(feeds); err != nil {
+					stepErr[p] = err
+					return
+				}
+				if s > killStep+10 {
+					stepErr[p] = fmt.Errorf("no failure surfaced by step %d", s)
+					return
+				}
+			}
+		}(p)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("a trainer hung after the peer was killed")
+		}
+	}
+	for p := 0; p < 2; p++ {
+		if !errors.Is(stepErr[p], errs.ErrPeerFailed) {
+			t.Fatalf("trainer %d step error %v, want ErrPeerFailed", p, stepErr[p])
+		}
+		var pf *errs.PeerFailure
+		if !errors.As(stepErr[p], &pf) || pf.Rank != 1 {
+			t.Fatalf("trainer %d attributed %v, want rank 1", p, stepErr[p])
+		}
+	}
+	trs[0].Close()
+	trs[1].Close()
+	waitGoroutines(t, base)
+}
+
+// TestInprocKillMidStep is the in-process-fabric variant: the chaos
+// wrapper kills the channel fabric at a fixed step, and the trainer
+// must surface ErrPeerFailed through the same failStep attribution
+// path (here via the wrapper's injected failure).
+func TestInprocKillMidStep(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cfg := models.DefaultTinyLM()
+	ri := cluster.Uniform(2, 2)
+	g := models.BuildTinyLM(cfg)
+	topo := transport.Topology{Workers: 4, Machines: 2, MachineOfWorker: ri.WorkerMachines()}
+	inj, err := chaos.Parse("kill@2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := inj.Wrap(transport.NewInproc(topo))
+	tr, err := New(g, Options{
+		Plan:             planFor(t, g, core.ArchHybrid, ri.NumMachines(), 3),
+		Resource:         ri,
+		NewOptimizer:     func() optim.Optimizer { return optim.NewSGD(0.2) },
+		DenseAgg:         optim.AggMean,
+		SparseAgg:        optim.AggMean,
+		LocalAggregation: true,
+		Fabric:           fab,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stepErr error
+	for s := 0; s < 5; s++ {
+		feeds, _ := lmFeeds(tr.Workers(), cfg.Batch, cfg.Vocab, int64(s))
+		if _, err := tr.Step(feeds); err != nil {
+			stepErr = err
+			break
+		}
+	}
+	if !errors.Is(stepErr, errs.ErrPeerFailed) {
+		t.Fatalf("step error %v, want ErrPeerFailed from the chaos kill", stepErr)
+	}
+	tr.Close()
+	waitGoroutines(t, base)
+}

@@ -54,6 +54,7 @@
 package transform
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -342,6 +343,31 @@ type Trainer struct {
 	closeOnce sync.Once
 	closed    atomic.Bool
 	step      int
+
+	// stepHook, when the fabric implements SetStep(int) (the chaos
+	// fault-injection wrapper), is invoked at the top of every Step so
+	// step-indexed faults fire deterministically. Nil otherwise.
+	stepHook func(int)
+}
+
+// recoverClosed converts a recovered transport.ClosedPanic — the typed
+// panic every collective/PS path raises when the fabric dies under it —
+// into an error at *errp, preserving the first one. Any other panic
+// value is a genuine bug and propagates. Use as:
+//
+//	defer t.recoverClosed(&err)
+func (t *Trainer) recoverClosed(errp *error) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	cp, ok := p.(transport.ClosedPanic)
+	if !ok {
+		panic(p)
+	}
+	if *errp == nil {
+		*errp = cp.Err
+	}
 }
 
 // New builds a trainer for graph g under the given plan and resources and
@@ -562,22 +588,42 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 	// Distributed startup: broadcast worker 0's AR-managed variable
 	// values so replicas across agents start bit-identical even if an
 	// agent's initializer drifted, and to rendezvous all agents before
-	// the first step.
+	// the first step. A peer dying during this exchange fails New with
+	// its attributed error instead of crashing.
 	if t.dist {
 		var wg sync.WaitGroup
+		var initMu sync.Mutex
+		var initErr error
 		for _, w := range t.localWorkers {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				for _, r := range t.routes {
-					if r.assign.Method == core.MethodPS {
-						continue
+				err := func() (err error) {
+					defer t.recoverClosed(&err)
+					for _, r := range t.routes {
+						if r.assign.Method == core.MethodPS {
+							continue
+						}
+						t.replicas[w].BroadcastInit(r.v.Name, t.execs[w].VarValue(r.v.Name), 0)
 					}
-					t.replicas[w].BroadcastInit(r.v.Name, t.execs[w].VarValue(r.v.Name), 0)
+					return nil
+				}()
+				if err != nil {
+					initMu.Lock()
+					if initErr == nil {
+						initErr = err
+					}
+					initMu.Unlock()
 				}
 			}(w)
 		}
 		wg.Wait()
+		if initErr != nil {
+			if fe := fab.Err(); fe != nil {
+				initErr = fmt.Errorf("transform: startup broadcast: %w", fe)
+			}
+			return fail(initErr)
+		}
 	}
 
 	// Start the persistent runtime: compute workers, comm goroutines,
@@ -625,10 +671,39 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 				t.serveWG.Add(1)
 				go func(srv *psrt.Server, w int) {
 					defer t.serveWG.Done()
+					// A reply hitting a dead fabric raises ClosedPanic;
+					// the serving loop just ends (the requester is gone).
+					var err error
+					defer t.recoverClosed(&err)
 					psrt.ServeConduit(srv, srvConduit, w)
 				}(t.servers[m], w)
 			}
 		}
+	}
+	if anyPS {
+		// The synchronous protocol's version waits are satisfied by peer
+		// pushes, so a dead peer would park local workers (and serving
+		// loops answering other survivors) inside a server cond.Wait
+		// forever — a condition variable the fabric cannot cancel. Watch
+		// for fabric death and abort every local server's waits with the
+		// attributed failure.
+		go func() {
+			<-fab.Done()
+			err := fab.Err()
+			if err == nil {
+				err = fmt.Errorf("psrt: transport %w", errs.ErrClosed)
+			}
+			for _, srv := range t.servers {
+				if srv != nil {
+					srv.Abort(err)
+				}
+			}
+		}()
+	}
+	// The chaos fault-injection wrapper exposes SetStep so step-indexed
+	// faults fire at deterministic points; a plain fabric has no hook.
+	if h, ok := fab.(interface{ SetStep(int) }); ok {
+		t.stepHook = h.SetStep
 	}
 	return t, nil
 }
@@ -1082,7 +1157,9 @@ func (t *Trainer) repartitionBarrier(tag string) {
 // property that keeps adaptive repartitioning in lockstep across
 // processes. Single-process trainers return the value unchanged. Must
 // not run concurrently with Step.
-func (t *Trainer) AgreeScalarMax(v float64) float64 {
+// A non-nil error means the fabric died mid-agreement (peer failure);
+// the trainer is torn down fail-stop, exactly like a failed Step.
+func (t *Trainer) AgreeScalarMax(v float64) (float64, error) {
 	return t.agreeMax("tune", v)
 }
 
@@ -1095,32 +1172,53 @@ func (t *Trainer) AgreeScalarMax(v float64) float64 {
 // unchanged. Every agent must call it at the same points (the session
 // driver calls it once per step when its context is cancellable); it
 // must not run concurrently with Step.
-func (t *Trainer) AgreeStop(stop bool) bool {
+// A non-nil error means the fabric died mid-agreement (peer failure);
+// the trainer is torn down fail-stop, exactly like a failed Step.
+func (t *Trainer) AgreeStop(stop bool) (bool, error) {
 	if !t.dist {
-		return stop
+		return stop, nil
 	}
 	v := 0.0
 	if stop {
 		v = 1
 	}
-	return t.agreeMax("stop", v) >= 1
+	m, err := t.agreeMax("stop", v)
+	return m >= 1, err
 }
 
 // agreeMax all-gathers one scalar per worker in rank order under tag
 // and folds the cluster-wide maximum, bitwise identical on every agent.
-func (t *Trainer) agreeMax(tag string, v float64) float64 {
+// A fabric death mid-gather fails the step (attributed error) instead
+// of crashing.
+func (t *Trainer) agreeMax(tag string, v float64) (float64, error) {
 	if !t.dist {
-		return v
+		return v, nil
 	}
+	var mu sync.Mutex
+	var firstErr error
 	var wg sync.WaitGroup
 	for _, w := range t.localWorkers {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			t.replicas[w].GatherScalars(tag, v, t.lossGather[w])
+			err := func() (err error) {
+				defer t.recoverClosed(&err)
+				t.replicas[w].GatherScalars(tag, v, t.lossGather[w])
+				return nil
+			}()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
 		}(w)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return 0, t.failStep(firstErr)
+	}
 	out := t.lossGather[t.localWorkers[0]]
 	m := out[0]
 	for _, x := range out[1:] {
@@ -1128,15 +1226,23 @@ func (t *Trainer) agreeMax(tag string, v float64) float64 {
 			m = x
 		}
 	}
-	return m
+	return m, nil
 }
 
 // workerLoop is one persistent worker: it serves step tasks until Close.
 func (t *Trainer) workerLoop(w int) {
 	for task := range t.tasks[w] {
-		loss, err := t.workerStep(w, task.step, task.feed)
+		loss, err := t.safeWorkerStep(w, task.step, task.feed)
 		t.done <- stepResult{worker: w, loss: loss, err: err}
 	}
+}
+
+// safeWorkerStep runs one worker step, converting a fabric death
+// mid-collective (ClosedPanic) into a step error instead of crashing
+// the process — the survivors' path to a typed ErrPeerFailed.
+func (t *Trainer) safeWorkerStep(w, step int, feed graph.Feed) (loss float64, err error) {
+	defer t.recoverClosed(&err)
+	return t.workerStep(w, step, feed)
 }
 
 // commLoop drains worker w's synchronization tasks. Collectives must be
@@ -1154,37 +1260,52 @@ func (t *Trainer) commLoop(w int) {
 			continue
 		}
 		start := time.Now()
-		switch task.kind {
-		case commBucket:
-			if t.compressDense {
-				var res []float32
-				var scratch *collective.TopKScratch
-				if t.fuseResid != nil {
-					res = t.fuseResid[w][task.idx].Data()
-					scratch = &t.topkScratch[w]
-				}
-				t.replicas[w].SyncDenseCompressed(t.buckets[task.idx].tags,
-					t.fuseBufs[w][task.idx], t.opt.Compression, res, scratch)
-			} else {
-				t.replicas[w].SyncDenseTagged(t.buckets[task.idx].tags, t.fuseBufs[w][task.idx])
-			}
-		case commSparse:
-			t.arSparse[w][task.idx] = t.replicas[w].SyncSparseTagged(t.agvTags[task.idx], task.sparse)
-		case commPS:
-			if err := t.pushPS(w, task.idx, task.dense, task.sparse); err != nil && firstErr == nil {
-				firstErr = err
-			}
+		if err := t.commTask(w, task); err != nil && firstErr == nil {
+			firstErr = err
 		}
 		t.phases[w].comm += time.Since(start)
 	}
+}
+
+// commTask executes one synchronization task; a fabric death inside a
+// collective surfaces as an error (recovered ClosedPanic), not a crash.
+func (t *Trainer) commTask(w int, task commTask) (err error) {
+	defer t.recoverClosed(&err)
+	switch task.kind {
+	case commBucket:
+		if t.compressDense {
+			var res []float32
+			var scratch *collective.TopKScratch
+			if t.fuseResid != nil {
+				res = t.fuseResid[w][task.idx].Data()
+				scratch = &t.topkScratch[w]
+			}
+			t.replicas[w].SyncDenseCompressed(t.buckets[task.idx].tags,
+				t.fuseBufs[w][task.idx], t.opt.Compression, res, scratch)
+		} else {
+			t.replicas[w].SyncDenseTagged(t.buckets[task.idx].tags, t.fuseBufs[w][task.idx])
+		}
+	case commSparse:
+		t.arSparse[w][task.idx] = t.replicas[w].SyncSparseTagged(t.agvTags[task.idx], task.sparse)
+	case commPS:
+		return t.pushPS(w, task.idx, task.dense, task.sparse)
+	}
+	return nil
 }
 
 // pullLoop serves worker w's batched pulls from server m, so the pull
 // phase runs concurrently across servers.
 func (t *Trainer) pullLoop(w, m int) {
 	for minVersion := range t.pullCh[w][m] {
-		t.pullDone[w] <- t.ps[w][m].PullManyInto(minVersion, t.pullReqs[w][m])
+		t.pullDone[w] <- t.pullOnce(w, m, minVersion)
 	}
+}
+
+// pullOnce is one batched pull; a wire client whose fabric died
+// mid-call surfaces as an error (recovered ClosedPanic).
+func (t *Trainer) pullOnce(w, m int, minVersion int64) (err error) {
+	defer t.recoverClosed(&err)
+	return t.ps[w][m].PullManyInto(minVersion, t.pullReqs[w][m])
 }
 
 // Step runs one synchronous data-parallel iteration: feeds[w] is worker w's
@@ -1217,6 +1338,9 @@ func (t *Trainer) Step(feeds []graph.Feed) (float64, error) {
 	}
 	step := t.step
 	t.step++
+	if t.stepHook != nil {
+		t.stepHook(step)
+	}
 	t.resetSlots()
 	t.bytesPushed.Store(0)
 	t.wireBase = t.fab.Stats()
@@ -1273,13 +1397,29 @@ func (t *Trainer) Step(feeds []graph.Feed) (float64, error) {
 }
 
 // failStep handles a step error: in distributed mode the cluster cannot
-// recover (peers are blocked mid-protocol against this agent's ranks),
-// so the fabric is torn down fail-stop before the error is surfaced;
-// the trainer must not be stepped again. Single-process errors pass
-// through untouched — everything stays local and recoverable.
+// continue the current epoch (peers are blocked mid-protocol against
+// this agent's ranks), so the fabric is torn down fail-stop before the
+// error is surfaced; the trainer must not be stepped again. When the
+// fabric recorded a rank-attributed peer failure, the returned error is
+// upgraded to carry it — whatever local symptom arrived first (a closed
+// conduit, an aborted server wait), the caller sees ErrPeerFailed with
+// the failed rank, which is what recovery policies key on. The session
+// layer may then rebuild a whole new trainer at the next epoch
+// (DESIGN.md §12). Single-process errors pass through untouched —
+// everything stays local and recoverable.
 func (t *Trainer) failStep(err error) error {
 	if t.dist {
 		t.fab.Close()
+		if fe := t.fab.Err(); fe != nil && !errors.Is(err, errs.ErrPeerFailed) {
+			err = fmt.Errorf("%w (first local symptom: %v)", fe, err)
+		}
+		return err
+	}
+	// In-process fabrics report nothing here — except the chaos wrapper,
+	// whose injected kill records a rank-attributed failure the caller
+	// must see (the in-process analogue of a peer crash).
+	if fe := t.fab.Err(); errors.Is(fe, errs.ErrPeerFailed) && !errors.Is(err, errs.ErrPeerFailed) {
+		err = fmt.Errorf("%w (first local symptom: %v)", fe, err)
 	}
 	return err
 }

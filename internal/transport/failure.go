@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"parallax/internal/errs"
+)
+
+// ClosedPanic is the typed panic value every collective receive path
+// raises when the fabric closes underneath it (peer death, Close racing
+// an in-flight step). The data plane's hot loops stay panic-based — a
+// closed fabric mid-collective has no local recovery — but the trainer's
+// goroutine wrappers recover this one value into a step error, so a
+// dead peer surfaces to the caller as ErrPeerFailed instead of a crash.
+// Any other panic value is a genuine bug and propagates.
+type ClosedPanic struct {
+	// Err describes why the fabric is down; it wraps ErrPeerFailed when
+	// a failure was attributed, ErrClosed otherwise.
+	Err error
+}
+
+// Control frames ride the same length-prefixed stream as data frames,
+// flagged by reserved values of the length word (real payloads are
+// capped far below by MaxFrame):
+//
+//   - frameHeartbeat: empty keep-alive; the reader refreshes its read
+//     deadline and moves on. Sent every HeartbeatInterval per
+//     connection.
+//   - framePeerDown: followed by the failed process index as u32. Sent
+//     best-effort by the first process that observes a peer failure, so
+//     every survivor attributes the SAME rank instead of blaming
+//     whichever neighbor tears down first.
+const (
+	frameHeartbeat = 0xFFFFFFFF
+	framePeerDown  = 0xFFFFFFFE
+	frameCtrlMin   = framePeerDown // lowest reserved length value
+)
+
+// Epoch returns the fabric generation this process rendezvoused at.
+func (f *TCP) Epoch() int { return f.epoch }
+
+// Done is closed when the fabric shuts down, by Close or by a failure.
+func (f *TCP) Done() <-chan struct{} { return f.closed }
+
+// Err returns the rank-attributed failure that tore the fabric down, or
+// nil while the fabric is healthy (or after an orderly Close). The
+// returned error wraps errs.ErrPeerFailed via *errs.PeerFailure.
+func (f *TCP) Err() error {
+	f.failMu.Lock()
+	defer f.failMu.Unlock()
+	if f.failure == nil {
+		return nil
+	}
+	return f.failure
+}
+
+// recordFailure stores the first failure observed; later symptoms of
+// the same teardown are ignored so every caller sees one attribution.
+func (f *TCP) recordFailure(rank int, cause error) {
+	f.failMu.Lock()
+	if f.failure == nil {
+		f.failure = &errs.PeerFailure{Rank: rank, Epoch: f.epoch, Cause: cause}
+	}
+	f.failMu.Unlock()
+}
+
+// failPeer is the failure path: record the attribution, tell the other
+// survivors who died (best-effort), then tear the fabric down so every
+// blocked receive fails fast.
+func (f *TCP) failPeer(rank int, cause error) {
+	f.recordFailure(rank, cause)
+	f.announcePeerDown(rank)
+	f.shutdown()
+}
+
+// announcePeerDown broadcasts a framePeerDown control frame to every
+// live peer except the failed one. Best-effort with a short write
+// deadline: a peer that cannot be told will detect the cascade through
+// its own read deadline.
+func (f *TCP) announcePeerDown(rank int) {
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[:4], framePeerDown)
+	binary.LittleEndian.PutUint32(frame[4:], uint32(rank))
+	for p, wc := range f.conns {
+		if wc == nil || p == rank {
+			continue
+		}
+		wc.mu.Lock()
+		wc.conn.SetWriteDeadline(time.Now().Add(time.Second))
+		wc.conn.Write(frame[:])
+		wc.conn.SetWriteDeadline(time.Time{})
+		wc.mu.Unlock()
+	}
+}
+
+// readerFailed converts a reader's symptom into an attributed failure,
+// unless the fabric is already closing (orderly teardown reads as
+// connection errors too).
+func (f *TCP) readerFailed(peer int, cause error) {
+	select {
+	case <-f.closed:
+		return
+	default:
+	}
+	if ne, ok := cause.(net.Error); ok && ne.Timeout() {
+		cause = fmt.Errorf("no frames or heartbeats for %v: %w", f.hbTimeout, cause)
+	}
+	f.failPeer(peer, cause)
+}
+
+// Fail records an attributed failure and tears the fabric down abruptly
+// — no peer-down announcement, no drain. This is the fault-injection
+// hook (internal/chaos) simulating a crashed process: peers observe the
+// closed connections exactly as they would a real crash and attribute
+// the failure to this process themselves.
+func (f *TCP) Fail(rank int, cause error) {
+	f.recordFailure(rank, cause)
+	f.shutdown()
+}
+
+// SeverPeer abruptly closes the connection to one peer without any
+// announcement — the fault-injection hook for a single broken link.
+// The local reader then attributes the peer as failed; the remote side
+// observes a reset and attributes this process.
+func (f *TCP) SeverPeer(peer int) error {
+	if peer < 0 || peer >= len(f.conns) || f.conns[peer] == nil {
+		return fmt.Errorf("transport: process %d has no connection to sever for peer %d", f.proc, peer)
+	}
+	return f.conns[peer].conn.Close()
+}
+
+// closedErr is the error a receive path reports when the fabric is
+// down: the attributed peer failure when one exists, plain ErrClosed
+// otherwise (orderly shutdown).
+func (f *TCP) closedErr(rank int, tag string, src int) error {
+	if err := f.Err(); err != nil {
+		return fmt.Errorf("transport: endpoint %d recv %q from %d: %w", rank, tag, src, err)
+	}
+	return fmt.Errorf("transport: endpoint %d recv %q from %d on closed fabric: %w",
+		rank, tag, src, errs.ErrClosed)
+}
+
+// heartbeatLoop writes one empty control frame per interval on one
+// connection, so the peer's read deadline keeps sliding while the data
+// plane is idle (startup, checkpoint writes, long compute phases).
+func (f *TCP) heartbeatLoop(wc *wireConn) {
+	defer f.readers.Done()
+	t := time.NewTicker(f.hbInterval)
+	defer t.Stop()
+	var frame [4]byte
+	binary.LittleEndian.PutUint32(frame[:], frameHeartbeat)
+	for {
+		select {
+		case <-f.closed:
+			return
+		case <-t.C:
+			wc.mu.Lock()
+			wc.conn.SetWriteDeadline(time.Now().Add(f.hbTimeout))
+			_, err := wc.conn.Write(frame[:])
+			wc.conn.SetWriteDeadline(time.Time{})
+			wc.mu.Unlock()
+			if err != nil {
+				// The reader on this connection observes the same broken
+				// socket and attributes it; the sender just stops.
+				return
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"parallax/internal/errs"
 	"parallax/internal/tensor"
 )
 
@@ -55,6 +56,13 @@ func (f *Inproc) Distributed() bool { return false }
 
 // Stats reports zeros: no bytes ever touch a wire.
 func (f *Inproc) Stats() Stats { return Stats{} }
+
+// Err reports nil: channels cannot break, so the in-process fabric only
+// ever closes orderly.
+func (f *Inproc) Err() error { return nil }
+
+// Done is closed when the fabric shuts down.
+func (f *Inproc) Done() <-chan struct{} { return f.closed }
 
 // Conduit returns endpoint rank's handle.
 func (f *Inproc) Conduit(rank int) Conduit {
@@ -110,12 +118,15 @@ func (c inprocConduit) recv(src int, tag string) (message, bool) {
 	return m, true
 }
 
-// mustRecv is recv for the protocol paths that can never outlive the
-// fabric (collective phases); a closed fabric mid-collective is a bug.
+// mustRecv is recv for the protocol paths that cannot proceed without
+// the fabric (collective phases); a closed fabric mid-collective raises
+// the typed ClosedPanic the trainer's wrappers recover into an error.
 func (c inprocConduit) mustRecv(src int, tag string, k kind) message {
 	m, ok := c.recv(src, tag)
 	if !ok {
-		panic(fmt.Sprintf("transport: endpoint %d recv %q from %d on closed fabric", c.rank, tag, src))
+		panic(ClosedPanic{Err: fmt.Errorf(
+			"transport: endpoint %d recv %q from %d on closed fabric: %w",
+			c.rank, tag, src, errs.ErrClosed)})
 	}
 	if m.kind != k {
 		panic(fmt.Sprintf("transport: endpoint %d tag %q from %d: kind %d, want %d",

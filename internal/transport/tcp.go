@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,27 @@ type TCPConfig struct {
 	// on DialTCP's context tightens this further; context cancellation
 	// aborts the rendezvous immediately.
 	DialTimeout time.Duration
+	// DialBackoff shapes the retry cadence while dialing peers that have
+	// not bound their listener yet: capped exponential growth with
+	// jitter. Zero values take the Backoff defaults (25ms base, 1s cap,
+	// x2 growth, ±20% jitter).
+	DialBackoff Backoff
+	// Epoch is the fabric generation this process rendezvouses at. The
+	// handshake carries it, and peers at different generations refuse to
+	// connect (ErrEpochMismatch): after a failure, survivors re-form the
+	// fabric at epoch+1 and a stale restarted agent must catch up before
+	// joining. Default 0.
+	Epoch int
+	// HeartbeatInterval is the keep-alive cadence per connection; every
+	// interval each side writes an empty control frame so the peer's
+	// read deadline keeps sliding while the data plane is idle. Default
+	// 1s; < 0 disables heartbeats AND read deadlines (then a dead peer
+	// is only detected when the kernel reports the broken connection).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the read deadline armed before every frame
+	// read: a connection silent for this long marks its peer failed.
+	// Default 10 x HeartbeatInterval.
+	HeartbeatTimeout time.Duration
 	// MaxFrame caps one wire frame's payload bytes. Default 1 GiB.
 	MaxFrame int
 	// Policy is the wire compression policy this process runs under. The
@@ -44,9 +66,17 @@ type TCPConfig struct {
 
 // handshakeMagic opens every peer connection, followed by the dialer's
 // process index as u16, the length of its compression-policy fingerprint
-// as u16, and the fingerprint bytes; the acceptor answers with one ack
-// byte (1 = fingerprints match).
-var handshakeMagic = [4]byte{'P', 'X', 'A', '1'}
+// as u16, its fabric epoch as u32, and the fingerprint bytes; the
+// acceptor answers with one ack byte (ackOK = accepted, ackPolicy =
+// compression fingerprints differ, ackEpoch = fabric generations
+// differ).
+var handshakeMagic = [4]byte{'P', 'X', 'A', '2'}
+
+const (
+	ackPolicy = 0 // compression policy fingerprint mismatch
+	ackOK     = 1
+	ackEpoch  = 2 // fabric epoch mismatch
+)
 
 // TCP is the wire fabric: persistent length-prefixed framed connections,
 // one dialer/listener pair per peer process, reused across steps.
@@ -61,14 +91,26 @@ var handshakeMagic = [4]byte{'P', 'X', 'A', '1'}
 // keeps concurrent large sends from deadlocking on kernel socket
 // buffers.
 //
-// Failure model is fail-stop: a broken connection closes the whole
-// fabric, sends drop, RecvPS returns nil, and collective receives panic
-// rather than hang.
+// Failure model is fail-stop per epoch, with attribution: a broken or
+// silent connection (heartbeat timeout) marks its peer failed, the
+// first observer broadcasts the failed rank to the other survivors,
+// and the whole fabric shuts down — sends drop, RecvPS returns nil,
+// collective receives panic with the typed ClosedPanic value. Err()
+// then reports the rank-attributed *errs.PeerFailure, and the layers
+// above may re-form a fresh fabric at epoch+1 (DESIGN.md §12) instead
+// of dying.
 type TCP struct {
 	topo     Topology
 	proc     int
+	epoch    int
 	maxFrame int
 	pool     *bufPool
+
+	hbInterval time.Duration // <= 0: heartbeats and read deadlines off
+	hbTimeout  time.Duration
+
+	failMu  sync.Mutex
+	failure error // first *errs.PeerFailure observed, nil while healthy
 
 	pipes [][]chan message // local-pair short circuit, nil elsewhere
 	conns []*wireConn      // per peer process, nil for self
@@ -130,19 +172,34 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 	if maxFrame <= 0 {
 		maxFrame = maxFrameDefault
 	}
+	if maxFrame >= frameCtrlMin {
+		// The top length-word values are reserved for control frames.
+		maxFrame = frameCtrlMin - 1
+	}
+	hbInterval := cfg.HeartbeatInterval
+	if hbInterval == 0 {
+		hbInterval = time.Second
+	}
+	hbTimeout := cfg.HeartbeatTimeout
+	if hbTimeout <= 0 {
+		hbTimeout = 10 * hbInterval
+	}
 	deadline := time.Now().Add(timeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
 
 	f := &TCP{
-		topo:     topo,
-		proc:     cfg.Process,
-		maxFrame: maxFrame,
-		pool:     newBufPool(),
-		conns:    make([]*wireConn, procs),
-		inbox:    make(map[inboxKey]chan message),
-		closed:   make(chan struct{}),
+		topo:       topo,
+		proc:       cfg.Process,
+		epoch:      cfg.Epoch,
+		maxFrame:   maxFrame,
+		pool:       newBufPool(),
+		hbInterval: hbInterval,
+		hbTimeout:  hbTimeout,
+		conns:      make([]*wireConn, procs),
+		inbox:      make(map[inboxKey]chan message),
+		closed:     make(chan struct{}),
 	}
 	n := topo.Endpoints()
 	f.pipes = make([][]chan message, n)
@@ -210,16 +267,35 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 				if err != nil {
 					return // listener closed; a premature break surfaces as a timeout below
 				}
-				peer, peerFP, err := readHandshake(conn)
+				peer, peerFP, peerEpoch, err := readHandshake(conn)
 				if err != nil || peer <= cfg.Process || peer >= procs {
 					conn.Close() // junk or misrouted connection
 					continue
 				}
+				if peerEpoch != cfg.Epoch {
+					// A peer from another fabric generation: tell it
+					// (ackEpoch). When the peer is AHEAD, this process is
+					// the stale one — fail the rendezvous so the caller
+					// re-reads the cluster epoch and retries; when the peer
+					// is behind, keep accepting (the stale peer will catch
+					// up and redial).
+					conn.Write([]byte{ackEpoch})
+					conn.Close()
+					if peerEpoch > cfg.Epoch {
+						select {
+						case accCh <- acceptRes{err: fmt.Errorf(
+							"transport: process %d at epoch %d, peer %d already at %d: %w",
+							cfg.Process, cfg.Epoch, peer, peerEpoch, errs.ErrEpochMismatch)}:
+						default:
+						}
+					}
+					continue
+				}
 				if peerFP != fingerprint {
-					// A real peer with the wrong policy: tell it (ack 0),
-					// then fail the rendezvous — this is a deployment
-					// error, not junk to ignore.
-					conn.Write([]byte{0})
+					// A real peer with the wrong policy: tell it
+					// (ackPolicy), then fail the rendezvous — this is a
+					// deployment error, not junk to ignore.
+					conn.Write([]byte{ackPolicy})
 					conn.Close()
 					select {
 					case accCh <- acceptRes{err: fmt.Errorf(
@@ -229,7 +305,7 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 					}
 					continue
 				}
-				if _, err := conn.Write([]byte{1}); err != nil {
+				if _, err := conn.Write([]byte{ackOK}); err != nil {
 					conn.Close()
 					continue
 				}
@@ -243,14 +319,16 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 	}
 
 	for q := 0; q < cfg.Process; q++ {
-		conn, err := dialRetry(ctx, cfg.Addrs[q], deadline)
+		conn, err := dialRetry(ctx, cfg.Addrs[q], deadline, cfg.DialBackoff)
 		if err != nil {
 			return fail(fmt.Errorf("transport: process %d dialing peer %d (%s): %w",
-				cfg.Process, q, cfg.Addrs[q], err))
+				cfg.Process, q, cfg.Addrs[q],
+				&errs.PeerFailure{Rank: q, Epoch: cfg.Epoch, Cause: err}))
 		}
-		hs := append(append([]byte(nil), handshakeMagic[:]...), 0, 0, 0, 0)
+		hs := append(append([]byte(nil), handshakeMagic[:]...), 0, 0, 0, 0, 0, 0, 0, 0)
 		binary.LittleEndian.PutUint16(hs[4:], uint16(cfg.Process))
 		binary.LittleEndian.PutUint16(hs[6:], uint16(len(fingerprint)))
+		binary.LittleEndian.PutUint32(hs[8:], uint32(cfg.Epoch))
 		hs = append(hs, fingerprint...)
 		if _, err := conn.Write(hs); err != nil {
 			conn.Close()
@@ -263,18 +341,39 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 			return fail(fmt.Errorf("transport: handshake ack from peer %d: %w", q, err))
 		}
 		conn.SetReadDeadline(time.Time{})
-		if ack[0] != 1 {
+		switch ack[0] {
+		case ackOK:
+		case ackEpoch:
+			conn.Close()
+			return fail(fmt.Errorf("transport: process %d at epoch %d rejected by peer %d: %w",
+				cfg.Process, cfg.Epoch, q, errs.ErrEpochMismatch))
+		default:
 			conn.Close()
 			return fail(fmt.Errorf("transport: process %d compression policy %q rejected by peer %d: %w",
 				cfg.Process, fingerprint, q, errs.ErrCompressionMismatch))
 		}
 		f.conns[q] = &wireConn{conn: conn}
 	}
+	// A rendezvous timeout is a peer failure too — some expected agent
+	// never showed up — so it carries the first missing rank and matches
+	// errs.ErrPeerFailed, letting recovery policies treat "died before
+	// connecting" and "died mid-step" uniformly.
+	timeoutErr := func(got int) error {
+		missing := -1
+		for p := cfg.Process + 1; p < procs; p++ {
+			if f.conns[p] == nil {
+				missing = p
+				break
+			}
+		}
+		return fmt.Errorf("transport: process %d timed out waiting for %d peer(s): %w",
+			cfg.Process, nAccept-got,
+			&errs.PeerFailure{Rank: missing, Epoch: cfg.Epoch, Cause: errs.ErrPeerFailed})
+	}
 	for got := 0; got < nAccept; {
 		wait := time.Until(deadline)
 		if wait <= 0 {
-			return fail(fmt.Errorf("transport: process %d timed out waiting for %d peer(s)",
-				cfg.Process, nAccept-got))
+			return fail(timeoutErr(got))
 		}
 		select {
 		case r := <-accCh:
@@ -291,8 +390,7 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 			return fail(fmt.Errorf("transport: process %d rendezvous aborted: %w",
 				cfg.Process, ctx.Err()))
 		case <-time.After(wait):
-			return fail(fmt.Errorf("transport: process %d timed out waiting for %d peer(s)",
-				cfg.Process, nAccept-got))
+			return fail(timeoutErr(got))
 		}
 	}
 	if ln != nil {
@@ -304,30 +402,39 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 		}
 		f.readers.Add(1)
 		go f.reader(peer, wc.conn)
+		if f.hbInterval > 0 {
+			f.readers.Add(1)
+			go f.heartbeatLoop(wc)
+		}
 	}
 	return f, nil
 }
 
-func readHandshake(conn net.Conn) (int, string, error) {
+func readHandshake(conn net.Conn) (peer int, fp string, epoch int, err error) {
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	defer conn.SetReadDeadline(time.Time{})
-	var hs [8]byte
+	var hs [12]byte
 	if _, err := io.ReadFull(conn, hs[:]); err != nil {
-		return 0, "", err
+		return 0, "", 0, err
 	}
 	if [4]byte(hs[:4]) != handshakeMagic {
-		return 0, "", fmt.Errorf("transport: bad handshake magic")
+		return 0, "", 0, fmt.Errorf("transport: bad handshake magic")
 	}
-	peer := int(binary.LittleEndian.Uint16(hs[4:6]))
-	fp := make([]byte, binary.LittleEndian.Uint16(hs[6:8]))
-	if _, err := io.ReadFull(conn, fp); err != nil {
-		return 0, "", err
+	peer = int(binary.LittleEndian.Uint16(hs[4:6]))
+	epoch = int(binary.LittleEndian.Uint32(hs[8:12]))
+	raw := make([]byte, binary.LittleEndian.Uint16(hs[6:8]))
+	if _, err := io.ReadFull(conn, raw); err != nil {
+		return 0, "", 0, err
 	}
-	return peer, string(fp), nil
+	return peer, string(raw), epoch, nil
 }
 
-func dialRetry(ctx context.Context, addr string, deadline time.Time) (net.Conn, error) {
-	for {
+// dialRetry dials until the deadline under the capped-exponential
+// backoff schedule; agents may start in any order, and a recovering
+// fleet's redial storm is spread by the schedule's jitter.
+func dialRetry(ctx context.Context, addr string, deadline time.Time, bo Backoff) (net.Conn, error) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -348,7 +455,7 @@ func dialRetry(ctx context.Context, addr string, deadline time.Time) (net.Conn, 
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(50 * time.Millisecond):
+		case <-time.After(bo.delay(attempt, rng)):
 		}
 	}
 }
@@ -404,33 +511,60 @@ func (f *TCP) shutdown() {
 }
 
 // reader drains one peer connection into the per-(src, dst, tag) inbox
-// queues. Any read or decode error is fail-stop: the whole fabric shuts
-// down so blocked receivers fail fast instead of hanging.
+// queues. Every frame read is armed with the heartbeat read deadline
+// (refreshed per chunk for large payloads, so a slow-but-alive bulk
+// transfer never trips it); a timeout, read error, or decode error
+// marks the peer failed and shuts the whole fabric down so blocked
+// receivers fail fast — with attribution — instead of hanging.
 func (f *TCP) reader(peer int, conn net.Conn) {
 	defer f.readers.Done()
 	br := bufio.NewReaderSize(conn, 1<<16)
 	var lenBuf [4]byte
 	var payload []byte
 	for {
+		if f.hbInterval > 0 {
+			conn.SetReadDeadline(time.Now().Add(f.hbTimeout))
+		}
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			f.readerFailed(peer, err)
+			return
+		}
+		word := binary.LittleEndian.Uint32(lenBuf[:])
+		switch word {
+		case frameHeartbeat:
+			continue
+		case framePeerDown:
+			// Another survivor observed a failure first; adopt its
+			// attribution instead of blaming the messenger when its own
+			// teardown reaches us.
+			var rank [4]byte
+			if _, err := io.ReadFull(br, rank[:]); err != nil {
+				f.readerFailed(peer, err)
+				return
+			}
+			failed := int(binary.LittleEndian.Uint32(rank[:]))
+			f.recordFailure(failed, fmt.Errorf("reported down by process %d", peer))
 			f.shutdown()
 			return
 		}
-		n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		n := int(word)
 		if n > f.maxFrame {
-			f.shutdown()
+			f.readerFailed(peer, fmt.Errorf("frame of %d bytes exceeds cap %d", n, f.maxFrame))
 			return
 		}
 		if cap(payload) < n {
 			payload = make([]byte, n)
 		}
-		if _, err := io.ReadFull(br, payload[:n]); err != nil {
-			f.shutdown()
+		if err := f.readPayload(br, conn, payload[:n]); err != nil {
+			f.readerFailed(peer, err)
 			return
 		}
 		src, dst, m, err := decodeMessage(payload[:n], f.pool)
 		if err != nil || !f.Local(dst) || f.topo.ProcessOf(src) != peer {
-			f.shutdown()
+			if err == nil {
+				err = fmt.Errorf("misrouted frame src=%d dst=%d", src, dst)
+			}
+			f.readerFailed(peer, err)
 			return
 		}
 		f.recv.Add(int64(4 + n))
@@ -440,6 +574,27 @@ func (f *TCP) reader(peer int, conn net.Conn) {
 			return
 		}
 	}
+}
+
+// readPayload fills p, sliding the read deadline forward per chunk so a
+// large frame is judged on progress, not total duration.
+func (f *TCP) readPayload(br *bufio.Reader, conn net.Conn, p []byte) error {
+	const chunk = 1 << 20
+	for off := 0; off < len(p); {
+		end := off + chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		if f.hbInterval > 0 {
+			conn.SetReadDeadline(time.Now().Add(f.hbTimeout))
+		}
+		m, err := io.ReadFull(br, p[off:end])
+		off += m
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // queue returns the inbox channel for a (src, dst, tag) stream, creating
@@ -475,8 +630,9 @@ func (f *TCP) sendWire(src, dst int, m message) {
 		case <-f.closed:
 			return // orderly shutdown: drop
 		default:
-			f.shutdown()
-			panic(fmt.Sprintf("transport: endpoint %d send tag %q to %d: %v", src, m.tag, dst, err))
+			f.failPeer(f.topo.ProcessOf(dst), err)
+			panic(ClosedPanic{Err: fmt.Errorf("transport: endpoint %d send tag %q to %d: %w",
+				src, m.tag, dst, f.Err())})
 		}
 	}
 	f.sent.Add(int64(n))
@@ -545,7 +701,7 @@ func (c tcpConduit) recvKind(src int, tag string, k kind) message {
 		m, ok = c.recvWire(src, tag)
 	}
 	if !ok {
-		panic(fmt.Sprintf("transport: endpoint %d recv %q from %d on closed fabric", c.rank, tag, src))
+		panic(ClosedPanic{Err: c.f.closedErr(c.rank, tag, src)})
 	}
 	if m.kind != k {
 		panic(fmt.Sprintf("transport: endpoint %d tag %q from %d: kind %d, want %d",

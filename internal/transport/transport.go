@@ -208,6 +208,14 @@ type Fabric interface {
 	Distributed() bool
 	// Stats returns cumulative wire-byte counters.
 	Stats() Stats
+	// Err returns the rank-attributed failure that tore the fabric down
+	// (wrapping errs.ErrPeerFailed), or nil while the fabric is healthy
+	// or after an orderly Close. The in-process fabric never fails.
+	Err() error
+	// Done is closed when the fabric shuts down — by Close or by a
+	// failure — so watchers (server-abort, chaos) can react without
+	// polling.
+	Done() <-chan struct{}
 	// Close tears the fabric down; blocked RecvPS calls return nil.
 	// Close is idempotent.
 	Close() error

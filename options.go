@@ -100,3 +100,25 @@ func WithDist(machine int, addrs ...string) Option {
 func WithDistConfig(dc DistConfig) Option {
 	return func(c *Config) { c.Dist = &dc }
 }
+
+// WithAutoCheckpoint saves the full training state under dir every
+// everyN completed steps (everyN <= 0 selects the default of 10). The
+// periodic checkpoints are what failure recovery restores from
+// (WithRecovery); they also make the session resumable after a crash —
+// Open with the same AutoCheckpoint directory restores the latest
+// complete one automatically. In distributed mode every agent must use
+// the same directory on a shared or replicated filesystem.
+func WithAutoCheckpoint(dir string, everyN int) Option {
+	return func(c *Config) { c.AutoCheckpoint = AutoCheckpointSpec{Dir: dir, EveryN: everyN} }
+}
+
+// WithRecovery installs the failure-recovery policy (DESIGN.md §12):
+// with policy.Enabled, a distributed session survives a peer agent's
+// death by re-rendezvousing at the next fabric epoch and restoring the
+// latest complete auto-checkpoint — the Steps iterator continues
+// bit-identically instead of yielding ErrPeerFailed. Requires
+// WithAutoCheckpoint. WithRecovery(RecoveryPolicy{Enabled: true})
+// selects the defaults (3 recoveries, 2-minute redial window).
+func WithRecovery(policy RecoveryPolicy) Option {
+	return func(c *Config) { c.Recovery = policy }
+}

@@ -249,6 +249,56 @@ type Config struct {
 	// connections. nil (the default) runs the whole cluster in-process
 	// over the channel fabric. See DistConfig for the contract.
 	Dist *DistConfig
+	// AutoCheckpoint periodically saves the full training state under a
+	// directory tree the session manages, which is what failure recovery
+	// restores from (DESIGN.md §12). The zero value disables it.
+	AutoCheckpoint AutoCheckpointSpec
+	// Recovery lets a distributed session survive a peer agent's failure:
+	// on ErrPeerFailed the survivors re-rendezvous at the next fabric
+	// epoch, restore the latest complete auto-checkpoint, and continue the
+	// Steps iterator bit-identically. Requires AutoCheckpoint. The zero
+	// value (disabled) surfaces the failure as a step error instead.
+	Recovery RecoveryPolicy
+}
+
+// AutoCheckpointSpec configures periodic automatic checkpoints: every
+// EveryN completed steps the session saves a full checkpoint under
+// Dir/step-<n>/ (see Session.Save for what is captured), keeps the most
+// recent few, and records the fabric epoch in Dir/EPOCH. In distributed
+// mode every agent must see the same Dir (shared or replicated
+// filesystem) — each writes its own machine's shard, and a step's
+// checkpoint counts as complete only once every shard is present.
+type AutoCheckpointSpec struct {
+	// Dir is the auto-checkpoint root. Empty disables auto-checkpointing.
+	Dir string
+	// EveryN saves after every EveryN completed steps; <= 0 defaults
+	// to 10.
+	EveryN int
+	// Keep is how many complete step checkpoints to retain; <= 0
+	// defaults to 3.
+	Keep int
+}
+
+// RecoveryPolicy configures automatic failure recovery for distributed
+// sessions (DESIGN.md §12). When a peer agent dies mid-run, every
+// survivor's step driver observes ErrPeerFailed, tears down the dead
+// fabric, bumps the epoch in the auto-checkpoint root, re-dials its
+// peers at the new epoch, restores the latest complete auto-checkpoint,
+// verifies cluster agreement on the restore step, and resumes — the
+// Steps iterator continues as if the failure never happened (each step
+// is yielded exactly once; replayed steps after the restore point are
+// suppressed). The failed agent rejoins the same way: its supervisor
+// restarts it with the same flags, it reads the epoch from the
+// auto-checkpoint root, and the rendezvous completes.
+type RecoveryPolicy struct {
+	// Enabled turns recovery on; requires AutoCheckpoint and Dist.
+	Enabled bool
+	// MaxRecoveries bounds how many failures one session survives before
+	// giving up and surfacing the error; <= 0 defaults to 3.
+	MaxRecoveries int
+	// RedialTimeout bounds the re-rendezvous after a failure — it must
+	// outlast the failed agent's restart. <= 0 defaults to 2 minutes.
+	RedialTimeout time.Duration
 }
 
 // DistConfig places one agent process inside a multi-machine cluster.
@@ -272,8 +322,18 @@ type DistConfig struct {
 	DialTimeout time.Duration
 	// Listener optionally supplies a pre-bound listener for
 	// Addrs[Machine] (tests bind ":0" and hand the resolved address to
-	// peers). The session takes ownership.
+	// peers). The session takes ownership. A recovery re-rendezvous
+	// always rebinds from Addrs, so tests that exercise recovery must
+	// list real addresses even when they hand over a listener.
 	Listener net.Listener
+	// Chaos arms the deterministic fault-injection harness on this
+	// agent's fabric (internal/chaos): a comma-separated fault spec such
+	// as "kill@17" or "delay@5:50ms". Testing/CI knob — not for
+	// production use; see the chaos package for the grammar.
+	Chaos string
+	// ChaosSeed seeds the jitter source of randomized chaos faults
+	// (slow-peer throttling). Step-indexed faults ignore it.
+	ChaosSeed int64
 }
 
 // MeasureAlpha estimates the α a dataset induces on a vocabulary of the

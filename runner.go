@@ -68,7 +68,7 @@ func (d PartitionDecision) String() string {
 // get_runner). It is equivalent to Open with WithConfig(cfg) and a
 // background context; see Session for the context-first API.
 func GetRunner(g *Graph, resource ResourceInfo, cfg Config) (*Runner, error) {
-	s, err := open(context.Background(), g, resource, cfg, nil)
+	s, err := open(context.Background(), g, resource, cfg, nil, nil)
 	if err != nil {
 		return nil, err
 	}

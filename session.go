@@ -8,6 +8,7 @@ import (
 	"math"
 	"time"
 
+	"parallax/internal/chaos"
 	"parallax/internal/checkpoint"
 	"parallax/internal/cluster"
 	"parallax/internal/core"
@@ -76,18 +77,51 @@ type Session struct {
 	cursor      int64
 	pendingSkip int64
 	closed      bool
+
+	// Failure-recovery state (recovery.go): the fabric generation and
+	// recovery counter reported in StepStats, the feed log replays draw
+	// from, the chaos injector that survives fabric rebuilds, and the
+	// fault-injection hooks around auto-checkpoint writes.
+	epoch        int
+	recoveries   int
+	lastRecovery time.Duration
+	replay       *feedLog
+	chaos        *chaos.Injector
+	saveHook     checkpointHooks
 }
 
 // Open builds a Session for the single-GPU graph on the given cluster.
 // ctx governs establishment: for distributed sessions (WithDist) the
 // peer-rendezvous deadline is the earlier of ctx's deadline and the
 // configured DialTimeout, and cancelling ctx aborts the rendezvous.
+//
+// With WithAutoCheckpoint, Open first looks for a complete
+// auto-checkpoint under the configured directory and resumes from the
+// latest one — which is how a restarted agent rejoins a recovering
+// cluster with no flag changes (DESIGN.md §12).
 func Open(ctx context.Context, g *Graph, resource ResourceInfo, opts ...Option) (*Session, error) {
 	var cfg Config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return open(ctx, g, resource, cfg, nil)
+	if cfg.AutoCheckpoint.Dir != "" {
+		step, sdir, err := checkpoint.LatestComplete(cfg.AutoCheckpoint.Dir, resource.NumMachines())
+		if err != nil {
+			return nil, err
+		}
+		if step >= 0 {
+			return openFromCheckpointCfg(ctx, sdir, g, resource, cfg)
+		}
+	}
+	s, err := open(ctx, g, resource, cfg, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.verifyJoin(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
 // restoreSpec carries a checkpoint's job-level decisions into open.
@@ -95,9 +129,11 @@ type restoreSpec struct {
 	meta checkpoint.Meta
 }
 
-// open is the shared constructor behind Open, GetRunner, and
-// OpenFromCheckpoint.
-func open(ctx context.Context, g *Graph, resource ResourceInfo, cfg Config, restore *restoreSpec) (*Session, error) {
+// open is the shared constructor behind Open, GetRunner,
+// OpenFromCheckpoint, and the in-place recovery rebuild. inj carries a
+// chaos injector across fabric rebuilds (nil creates one from
+// DistConfig.Chaos when armed).
+func open(ctx context.Context, g *Graph, resource ResourceInfo, cfg Config, restore *restoreSpec, inj *chaos.Injector) (*Session, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -146,18 +182,12 @@ func open(ctx context.Context, g *Graph, resource ResourceInfo, cfg Config, rest
 		(arch == core.ArchHybrid || arch == core.ArchOptPS)
 	var fab transport.Fabric
 	if cfg.Dist != nil {
-		fab, err = transport.DialTCP(ctx, transport.TCPConfig{
-			Topo: transport.Topology{
-				Workers:         resource.TotalGPUs(),
-				Machines:        resource.NumMachines(),
-				MachineOfWorker: resource.WorkerMachines(),
-			},
-			Process:     cfg.Dist.Machine,
-			Addrs:       cfg.Dist.Addrs,
-			Listener:    cfg.Dist.Listener,
-			DialTimeout: cfg.Dist.DialTimeout,
-			Policy:      cfg.Compression,
-		})
+		if inj == nil && cfg.Dist.Chaos != "" {
+			if inj, err = chaos.Parse(cfg.Dist.Chaos, cfg.Dist.ChaosSeed); err != nil {
+				return nil, err
+			}
+		}
+		fab, err = dialFabric(ctx, resource, cfg, inj)
 		if err != nil {
 			return nil, err
 		}
@@ -178,12 +208,23 @@ func open(ctx context.Context, g *Graph, resource ResourceInfo, cfg Config, rest
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		g: g, trainer: tr, plan: plan, resource: resource, cfg: cfg,
 		workers: resource.TotalGPUs(), parts: parts, dist: cfg.Dist,
 		decision: decision, tunePending: tunePending,
 		feeds: make([]Feed, resource.TotalGPUs()),
-	}, nil
+		chaos: inj,
+	}
+	if cfg.AutoCheckpoint.Dir != "" {
+		if s.epoch, err = checkpoint.ReadEpoch(cfg.AutoCheckpoint.Dir); err != nil {
+			tr.Close()
+			return nil, err
+		}
+	}
+	if h, ok := fab.(checkpointHooks); ok {
+		s.saveHook = h
+	}
+	return s, nil
 }
 
 // OpenFromCheckpoint rebuilds a Session from a Save checkpoint and
@@ -203,6 +244,12 @@ func OpenFromCheckpoint(ctx context.Context, dir string, g *Graph, resource Reso
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return openFromCheckpointCfg(ctx, dir, g, resource, cfg)
+}
+
+// openFromCheckpointCfg is OpenFromCheckpoint after option folding —
+// shared with Open's auto-checkpoint resume path.
+func openFromCheckpointCfg(ctx context.Context, dir string, g *Graph, resource ResourceInfo, cfg Config) (*Session, error) {
 	machine := 0
 	if cfg.Dist != nil {
 		machine = cfg.Dist.Machine
@@ -232,11 +279,15 @@ func OpenFromCheckpoint(ctx context.Context, dir string, g *Graph, resource Reso
 		return nil, fmt.Errorf("parallax: %w: checkpoint written with policy %q, session configured with %q",
 			ErrCompressionMismatch, ckFP, fp)
 	}
-	s, err := open(ctx, g, resource, cfg, &restoreSpec{meta: meta})
+	s, err := open(ctx, g, resource, cfg, &restoreSpec{meta: meta}, nil)
 	if err != nil {
 		return nil, err
 	}
 	if err := s.install(dir, machine, meta, recs); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := s.verifyJoin(); err != nil {
 		s.Close()
 		return nil, err
 	}
@@ -410,6 +461,12 @@ func (s *Session) Steps(ctx context.Context, ds Dataset) iter.Seq2[StepStats, er
 			}
 			s.pendingSkip = 0
 		}
+		// Failure recovery replays steps from a feed log (recovery.go);
+		// arm it from the current cursor the first time the session is
+		// auto-checkpointing.
+		if s.cfg.AutoCheckpoint.Dir != "" && s.replay == nil {
+			s.replay = &feedLog{base: s.cursor, saves: []int64{s.cursor}}
+		}
 		s.drive(ctx, s.datasetFeeds(ds), math.MaxInt, yield)
 	}
 }
@@ -427,9 +484,16 @@ func (s *Session) StepsFeeds(ctx context.Context, next func(step, worker int) (F
 
 // datasetFeeds adapts an endless batch stream to the feed callback,
 // advancing the session's dataset cursor (the quantity Save persists).
+// With recovery armed, every batch routes through the feed log so a
+// post-failure replay serves the original batches again.
 func (s *Session) datasetFeeds(ds Dataset) func(step, worker int) (Feed, error) {
 	return func(step, worker int) (Feed, error) {
-		b := ds.Next()
+		var b data.Batch
+		if s.replay != nil {
+			b = s.replay.next(ds)
+		} else {
+			b = ds.Next()
+		}
 		s.cursor++
 		return Feed{Ints: map[string][]int{"tokens": b.Tokens, "labels": b.Labels}}, nil
 	}
@@ -458,6 +522,10 @@ type stepDriver struct {
 	// freely mix Steps and legacy RunLoop drivers.
 	agree   bool
 	stopped bool // consumer broke out; never call yield again
+	// maxEmitted is the highest step number yielded by this drive; after
+	// an in-place recovery, replayed steps at or below it are re-run for
+	// state but not re-yielded, so the consumer sees every step once.
+	maxEmitted int
 }
 
 // drive runs up to limit steps, yielding each step's stats: the single
@@ -471,6 +539,7 @@ func (s *Session) drive(ctx context.Context, next func(step, worker int) (Feed, 
 	d := &stepDriver{
 		s: s, ctx: ctx, next: next, base: s.trainer.StepCount(), limit: limit,
 		yield: yield, agree: s.trainer.Distributed(),
+		maxEmitted: s.trainer.StepCount() - 1,
 	}
 	d.run()
 }
@@ -496,7 +565,14 @@ func (d *stepDriver) emit(st StepStats, err error) bool {
 func (d *stepDriver) shouldStop() (bool, error) {
 	stop := d.stopped || d.ctx.Err() != nil
 	if d.agree {
-		stop = d.s.trainer.AgreeStop(stop)
+		agreed, aerr := d.s.trainer.AgreeStop(stop)
+		if aerr != nil {
+			// The agreement itself failed — a dead peer, not a stop
+			// decision. The error carries the attribution (ErrPeerFailed)
+			// and is recovery-eligible.
+			return true, aerr
+		}
+		stop = agreed
 	}
 	if !stop {
 		return false, nil
@@ -525,16 +601,40 @@ func (d *stepDriver) run() {
 	}
 	for s.trainer.StepCount()-d.base < d.limit {
 		if stop, err := d.shouldStop(); stop {
+			if err != nil && d.recoverable(err) {
+				if rerr := d.recover(err); rerr != nil {
+					d.emit(StepStats{}, rerr)
+					return
+				}
+				continue
+			}
 			d.emit(StepStats{}, err)
 			return
 		}
 		st, err := s.oneStep(d.next)
 		if err != nil {
+			if d.recoverable(err) {
+				if rerr := d.recover(err); rerr != nil {
+					d.emit(StepStats{}, rerr)
+					return
+				}
+				continue
+			}
 			d.emit(StepStats{}, err)
 			return
 		}
-		if !d.emit(st, nil) && !d.agree {
+		// Auto-save before yielding: the save schedule is then a pure
+		// function of the step count, identical on every agent whatever
+		// its consumer does with the emission.
+		if aerr := s.maybeAutoSave(); aerr != nil {
+			d.emit(StepStats{}, aerr)
 			return
+		}
+		if st.Step > d.maxEmitted {
+			d.maxEmitted = st.Step
+			if !d.emit(st, nil) && !d.agree {
+				return
+			}
 		}
 	}
 	// A bounded drive's limit exit runs one final agreement, so every
@@ -544,7 +644,7 @@ func (d *stepDriver) run() {
 	// mechanisms (one breaks out of Steps while another exhausts a
 	// RunLoop budget).
 	if d.agree {
-		s.trainer.AgreeStop(true)
+		_, _ = s.trainer.AgreeStop(true)
 	}
 }
 
@@ -589,7 +689,12 @@ func (d *stepDriver) tune() error {
 			total += st.StepTime
 			d.emit(st, nil)
 		}
-		return s.trainer.AgreeScalarMax(total.Seconds() / tuneStepsPerProbe)
+		m, aerr := s.trainer.AgreeScalarMax(total.Seconds() / tuneStepsPerProbe)
+		if aerr != nil {
+			runErr = aerr
+			return math.Inf(1)
+		}
+		return m
 	}
 	res, err := partition.SearchN(measure, s.resource.NumMachines(), maxPartitionBound(s.g), tuneMaxRuns)
 	if runErr != nil {
@@ -636,6 +741,8 @@ func (s *Session) oneStep(next func(step, worker int) (Feed, error)) (StepStats,
 		ComputeTime:         ph.Compute,
 		CommTime:            ph.Comm,
 		SyncWait:            ph.SyncWait,
+		Epoch:               s.epoch,
+		RecoveryCount:       s.recoveries,
 	}, nil
 }
 
