@@ -22,11 +22,18 @@ import (
 	"io"
 	"log"
 	"os"
+
+	"parallax/internal/buildinfo"
 )
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {

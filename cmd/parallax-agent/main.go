@@ -52,25 +52,23 @@ import (
 	"time"
 
 	"parallax"
-	"parallax/internal/data"
+	"parallax/internal/buildinfo"
+	"parallax/internal/jobspec"
 )
 
 func main() {
+	spec := jobspec.Default()
+	// Fixed partitions by default so every agent plans identically; the
+	// agent never measures α for the same reason.
+	spec.Partitions = 8
 	machine := flag.Int("machine", -1, "machine index this agent hosts (-1 = run the whole cluster in-process)")
 	addrs := flag.String("addrs", "", "comma-separated agent addresses, one per machine (required with -machine >= 0)")
 	machines := flag.Int("machines", 2, "machine count for the in-process reference mode (ignored when -addrs is set)")
 	gpus := flag.Int("gpus", 2, "GPUs per machine")
-	vocab := flag.Int("vocab", 2000, "vocabulary size")
-	batch := flag.Int("batch", 32, "batch size per GPU")
-	steps := flag.Int("steps", 100, "run until this many total steps have completed (checkpointed steps included)")
-	archFlag := flag.String("arch", "hybrid", "architecture: hybrid|ar|ps|optps")
-	clip := flag.Float64("clip", 0, "global-norm clip (0 = off)")
-	lr := flag.Float64("lr", 0.5, "learning rate")
-	partitions := flag.Int("partitions", 8, "sparse partitions (fixed so every agent plans identically)")
-	autoPartition := flag.Bool("auto-partition", false,
+	spec.BindCommonFlags(flag.CommandLine)
+	flag.IntVar(&spec.Partitions, "partitions", spec.Partitions, "sparse partitions (fixed so every agent plans identically)")
+	flag.BoolVar(&spec.AutoPartition, "auto-partition", false,
 		"tune the partition count online during the first steps (overrides -partitions; agents agree on every measurement, so they reshard in lockstep)")
-	compression := flag.String("compression", "none",
-		"wire compression: none|f16|bf16|topk[=FRAC] (part of job identity: every agent must pass the same value, and a -resume must match the checkpoint)")
 	dialTimeout := flag.Duration("dial-timeout", 15*time.Second, "peer rendezvous timeout")
 	ckpt := flag.String("checkpoint", "", "checkpoint directory: written on exit (normal completion or SIGINT/SIGTERM drain)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint instead of initializing (run it on every agent)")
@@ -81,19 +79,24 @@ func main() {
 		"survive peer-agent failures: re-rendezvous at the next fabric epoch and restore the latest auto-checkpoint (requires -auto-checkpoint; see OPERATIONS.md)")
 	chaosSpec := flag.String("chaos", "", "fault-injection spec, e.g. kill@17 (internal testing knob; see internal/chaos)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for randomized chaos faults (internal testing knob)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
-	arch, ok := map[string]parallax.Arch{
-		"hybrid": parallax.Hybrid, "ar": parallax.AllReduceOnly,
-		"ps": parallax.PSOnly, "optps": parallax.OptimizedPS,
-	}[*archFlag]
-	if !ok {
-		log.Fatalf("unknown architecture %q", *archFlag)
+	spec.Machines, spec.GPUs = *machines, *gpus
+	if *addrs != "" {
+		spec.Machines = len(strings.Split(*addrs, ","))
+	}
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
 	}
 	if *resume && *ckpt == "" {
 		log.Fatal("-resume requires -checkpoint")
 	}
-	policy, err := parallax.ParseCompression(*compression)
+	policy, err := parallax.ParseCompression(spec.Compression)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,16 +107,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := []parallax.Option{
-		parallax.WithArch(arch),
-		parallax.WithOptimizer(func() parallax.Optimizer { return parallax.NewSGD(float32(*lr)) }),
-		parallax.WithClipNorm(*clip),
-		parallax.WithCompression(policy),
-	}
-	if *autoPartition {
-		opts = append(opts, parallax.WithAutoPartition())
-	} else {
-		opts = append(opts, parallax.WithSparsePartitions(*partitions))
+	opts, err := spec.Options()
+	if err != nil {
+		log.Fatal(err)
 	}
 	if *autoCkpt != "" {
 		opts = append(opts, parallax.WithAutoCheckpoint(*autoCkpt, *autoEvery))
@@ -124,12 +120,10 @@ func main() {
 		}
 		opts = append(opts, parallax.WithRecovery(parallax.RecoveryPolicy{Enabled: true}))
 	}
-	n := *machines
 	if *addrs != "" {
 		list := strings.Split(*addrs, ",")
-		n = len(list)
-		if *machine < 0 || *machine >= n {
-			log.Fatalf("-machine %d out of range for %d addresses", *machine, n)
+		if *machine < 0 || *machine >= len(list) {
+			log.Fatalf("-machine %d out of range for %d addresses", *machine, len(list))
 		}
 		opts = append(opts, parallax.WithDistConfig(parallax.DistConfig{
 			Machine: *machine, Addrs: list, DialTimeout: *dialTimeout,
@@ -142,22 +136,9 @@ func main() {
 	}
 
 	// Every agent must build the identical graph: fixed seed, fixed
-	// shapes (see parallax.DistConfig).
-	rng := parallax.NewRNG(42)
-	g := parallax.NewGraph()
-	tokens := g.Input("tokens", parallax.Int, *batch)
-	labels := g.Input("labels", parallax.Int, *batch)
-	var emb *parallax.Node
-	g.InPartitioner(func() {
-		emb = g.Variable("embedding", rng.RandN(0.1, *vocab, 32))
-	})
-	w1 := g.Variable("hidden/kernel", rng.RandN(0.1, 32, 64))
-	b1 := g.Variable("hidden/bias", parallax.NewDense(64))
-	w2 := g.Variable("softmax/kernel", rng.RandN(0.1, 64, *vocab))
-	h := g.Tanh(g.AddBias(g.MatMul(g.Gather(emb, tokens), w1), b1))
-	g.SoftmaxCE(g.MatMul(h, w2), labels)
-
-	resources := parallax.Uniform(n, *gpus)
+	// shapes (see parallax.DistConfig and internal/jobspec).
+	g := spec.Graph()
+	resources := spec.Resources()
 	var sess *parallax.Session
 	if *resume {
 		sess, err = parallax.OpenFromCheckpoint(ctx, *ckpt, g, resources, opts...)
@@ -183,11 +164,11 @@ func main() {
 	// worker's shard from it (skipping the shards remote agents consume),
 	// so batches align across processes with zero data traffic — and a
 	// resumed session fast-forwards it to the checkpointed cursor.
-	ds := data.NewZipfText(*vocab, *batch, 1, 1.0, 7)
-	if sess.StepCount() >= *steps {
+	ds := spec.Dataset()
+	if sess.StepCount() >= spec.Steps {
 		// The checkpoint already covers the requested horizon: re-saving
 		// the untouched state is fine, training past it is not.
-		fmt.Printf("nothing to do: checkpoint at step %d >= -steps %d\n", sess.StepCount(), *steps)
+		fmt.Printf("nothing to do: checkpoint at step %d >= -steps %d\n", sess.StepCount(), spec.Steps)
 		return
 	}
 	var stats parallax.LoopStats
@@ -201,12 +182,12 @@ func main() {
 			log.Fatal(err)
 		}
 		stats.Observe(st)
-		if st.Step%10 == 0 || st.Step == *steps-1 {
+		if st.Step%10 == 0 || st.Step == spec.Steps-1 {
 			fmt.Printf("step %4d  loss %.6f  (%v, wire tx %d KB rx %d KB)\n",
 				st.Step, st.Loss, st.StepTime.Round(10*time.Microsecond),
 				st.WireSentBytes/1024, st.WireRecvBytes/1024)
 		}
-		if st.Step >= *steps-1 {
+		if st.Step >= spec.Steps-1 {
 			break
 		}
 	}
@@ -227,7 +208,7 @@ func main() {
 			sess.Recoveries(), sess.Epoch(), sess.LastRecoveryDuration().Round(time.Millisecond))
 	}
 	fmt.Printf("\n%s\n", stats)
-	if *autoPartition {
+	if spec.AutoPartition {
 		// The settled decision: which P the online search chose, from
 		// which sampled bracket, and where the rows now live.
 		fmt.Print(sess.PartitionDecision())

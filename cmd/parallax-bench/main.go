@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"parallax/internal/buildinfo"
 	"parallax/internal/experiments"
 )
 
@@ -21,7 +22,12 @@ func main() {
 	exp := flag.String("experiment", "all", "which experiment to run")
 	machines := flag.Int("machines", 8, "simulated machines")
 	gpus := flag.Int("gpus", 6, "GPUs per machine")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	env := experiments.DefaultEnv()
 	env.Machines = *machines

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"parallax"
+	"parallax/internal/buildinfo"
 	"parallax/internal/cluster"
 	"parallax/internal/core"
 	"parallax/internal/engine"
@@ -34,7 +35,12 @@ func main() {
 	gpus := flag.Int("gpus", 6, "GPUs per machine")
 	partitions := flag.Int("partitions", 0, "sparse partitions (0 = run the §3.2 search on the simulated cluster)")
 	compression := flag.String("compression", "none", "wire compression policy to describe: none|f16|bf16|topk[=FRAC]")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	policy, err := parallax.ParseCompression(*compression)
 	if err != nil {

@@ -26,33 +26,36 @@ import (
 	"time"
 
 	"parallax"
-	"parallax/internal/data"
+	"parallax/internal/buildinfo"
+	"parallax/internal/jobspec"
 )
 
 func main() {
+	spec := jobspec.Default()
+	// parallax-train measures the embedding's real α before opening; the
+	// agent binary skips this so every agent plans from identical inputs.
+	spec.MeasureAlpha = true
 	machines := flag.Int("machines", 2, "machines")
 	gpus := flag.Int("gpus", 2, "GPUs per machine")
-	vocab := flag.Int("vocab", 2000, "vocabulary size")
-	batch := flag.Int("batch", 32, "batch size per GPU")
-	steps := flag.Int("steps", 100, "run until this many total steps have completed (checkpointed steps included)")
-	archFlag := flag.String("arch", "hybrid", "architecture: hybrid|ar|ps|optps")
-	async := flag.Bool("async", false, "asynchronous PS updates")
-	clip := flag.Float64("clip", 0, "global-norm clip (0 = off)")
-	lr := flag.Float64("lr", 0.5, "learning rate")
-	compression := flag.String("compression", "none",
-		"wire compression: none|f16|bf16|topk[=FRAC] (a -resume must match the checkpoint's policy)")
+	spec.BindCommonFlags(flag.CommandLine)
+	flag.BoolVar(&spec.Async, "async", false, "asynchronous PS updates")
 	ckpt := flag.String("checkpoint", "", "checkpoint directory: written on exit (normal completion or Ctrl-C drain)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint instead of initializing")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
-	arch := map[string]parallax.Arch{
-		"hybrid": parallax.Hybrid, "ar": parallax.AllReduceOnly,
-		"ps": parallax.PSOnly, "optps": parallax.OptimizedPS,
-	}[*archFlag]
+	spec.Machines, spec.GPUs = *machines, *gpus
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	if *resume && *ckpt == "" {
 		log.Fatal("-resume requires -checkpoint")
 	}
-	policy, err := parallax.ParseCompression(*compression)
+	policy, err := parallax.ParseCompression(spec.Compression)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,34 +63,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	rng := parallax.NewRNG(42)
-	g := parallax.NewGraph()
-	tokens := g.Input("tokens", parallax.Int, *batch)
-	labels := g.Input("labels", parallax.Int, *batch)
-	var emb *parallax.Node
-	g.InPartitioner(func() {
-		emb = g.Variable("embedding", rng.RandN(0.1, *vocab, 32))
-	})
-	w1 := g.Variable("hidden/kernel", rng.RandN(0.1, 32, 64))
-	b1 := g.Variable("hidden/bias", parallax.NewDense(64))
-	w2 := g.Variable("softmax/kernel", rng.RandN(0.1, 64, *vocab))
-	h := g.Tanh(g.AddBias(g.MatMul(g.Gather(emb, tokens), w1), b1))
-	g.SoftmaxCE(g.MatMul(h, w2), labels)
-
-	resources := parallax.Uniform(*machines, *gpus)
-	ds := data.NewZipfText(*vocab, *batch, 1, 1.0, 7)
-	alpha := parallax.MeasureAlpha(data.NewZipfText(*vocab, *batch, 1, 1.0, 7), *vocab, 5)
-
-	opts := []parallax.Option{
-		parallax.WithArch(arch),
-		parallax.WithOptimizer(func() parallax.Optimizer { return parallax.NewSGD(float32(*lr)) }),
-		parallax.WithAlphaHints(map[string]float64{"embedding": alpha}),
-		parallax.WithClipNorm(*clip),
-		parallax.WithCompression(policy),
+	g := spec.Graph()
+	resources := spec.Resources()
+	ds := spec.Dataset()
+	opts, err := spec.Options()
+	if err != nil {
+		log.Fatal(err)
 	}
-	if *async {
-		opts = append(opts, parallax.WithAsync())
-	}
+
 	var sess *parallax.Session
 	if *resume {
 		sess, err = parallax.OpenFromCheckpoint(ctx, *ckpt, g, resources, opts...)
@@ -101,14 +84,14 @@ func main() {
 	fmt.Print(sess.Describe())
 	fmt.Print(policy.Describe())
 	fmt.Printf("measured alpha(embedding) = %.4f, sparse partitions = %d\n",
-		alpha, sess.SparsePartitions())
+		spec.Alpha(), sess.SparsePartitions())
 	if *resume {
 		fmt.Printf("resumed from %s at step %d\n", *ckpt, sess.StepCount())
 	}
 	fmt.Println()
 
-	if sess.StepCount() >= *steps {
-		fmt.Printf("nothing to do: checkpoint at step %d >= -steps %d\n", sess.StepCount(), *steps)
+	if sess.StepCount() >= spec.Steps {
+		fmt.Printf("nothing to do: checkpoint at step %d >= -steps %d\n", sess.StepCount(), spec.Steps)
 		return
 	}
 
@@ -125,11 +108,11 @@ func main() {
 			log.Fatal(err)
 		}
 		stats.Observe(st)
-		if st.Step%10 == 0 || st.Step == *steps-1 {
+		if st.Step%10 == 0 || st.Step == spec.Steps-1 {
 			fmt.Printf("step %4d  loss %.4f  (%v, %d KB pushed)\n",
 				st.Step, st.Loss, st.StepTime.Round(10*time.Microsecond), st.BytesPushed/1024)
 		}
-		if st.Step >= *steps-1 {
+		if st.Step >= spec.Steps-1 {
 			break
 		}
 	}

@@ -1,0 +1,44 @@
+package parallax
+
+import "parallax/internal/psrt"
+
+// PSFleet is a resident parameter-server fleet: one long-lived server
+// per machine, shared by many concurrent Sessions opened with
+// WithResidentPS. It is the serving-side half of the multi-tenant
+// training service (internal/serve, DESIGN.md §13) — the fleet is
+// created once for the daemon's cluster and each admitted job joins it
+// under its own namespace, so the paper's one-server-per-machine layout
+// (§4.2) becomes a persistent substrate instead of per-job scaffolding.
+//
+// A PSFleet carries no goroutines and needs no explicit shutdown;
+// sessions unregister their namespaces when they close, and the fleet
+// is garbage once the last reference drops.
+type PSFleet struct {
+	f *psrt.Fleet
+}
+
+// NewPSFleet creates a resident fleet spanning the given machine count.
+// Sessions opened against the fleet may use at most that many machines.
+func NewPSFleet(machines int) (*PSFleet, error) {
+	f, err := psrt.NewFleet(machines)
+	if err != nil {
+		return nil, err
+	}
+	return &PSFleet{f: f}, nil
+}
+
+// Machines returns the fleet's machine count.
+func (p *PSFleet) Machines() int { return p.f.Machines() }
+
+// Namespaces returns the tenant namespaces currently registered on
+// machine m's server — the daemon's observability hook.
+func (p *PSFleet) Namespaces(m int) []string { return p.f.Server(m).Namespaces() }
+
+// fleet unwraps to the internal fleet; nil-safe so open() can pass it
+// through unconditionally.
+func (p *PSFleet) fleet() *psrt.Fleet {
+	if p == nil {
+		return nil
+	}
+	return p.f
+}

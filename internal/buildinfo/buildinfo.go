@@ -1,0 +1,61 @@
+// Package buildinfo gives every binary and the service one consistent
+// identity string: a semantic version plus whatever VCS metadata the Go
+// toolchain stamped into the build. Binaries expose it behind -version;
+// the daemon serves it at GET /version.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the release version of this source tree. Bump alongside
+// CHANGES.md entries that change a public surface.
+const Version = "0.8.0"
+
+// Info is the resolved build identity.
+type Info struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"build_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// Get resolves the build identity from the embedded build info.
+func Get() Info {
+	info := Info{Version: Version, GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity as the one-line form -version prints:
+// "parallax <version> (<go version>[, <rev12>[ dirty]])".
+func (i Info) String() string {
+	s := fmt.Sprintf("parallax %s (%s", i.Version, i.GoVersion)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += ", " + rev
+		if i.Modified {
+			s += " dirty"
+		}
+	}
+	return s + ")"
+}

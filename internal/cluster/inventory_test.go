@@ -1,0 +1,67 @@
+package cluster
+
+import "testing"
+
+func TestInventoryAdmits(t *testing.T) {
+	inv, err := NewInventory(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Admits(DemandOf(2, 2)); err != nil {
+		t.Errorf("full-cluster job should be admissible: %v", err)
+	}
+	if err := inv.Admits(DemandOf(3, 1)); err == nil {
+		t.Error("3-machine job admitted on 2-machine cluster")
+	}
+	if err := inv.Admits(DemandOf(2, 3)); err == nil {
+		t.Error("6-GPU job admitted on 4-GPU cluster")
+	}
+	if err := inv.Admits(Demand{}); err == nil {
+		t.Error("zero demand admitted")
+	}
+}
+
+func TestInventoryAcquireRelease(t *testing.T) {
+	inv, _ := NewInventory(2, 2)
+	d := DemandOf(1, 2) // 2 GPUs
+	if !inv.TryAcquire(d) {
+		t.Fatal("first acquire failed on idle cluster")
+	}
+	if !inv.TryAcquire(d) {
+		t.Fatal("second acquire failed with 2 GPUs free")
+	}
+	if inv.FreeGPUs() != 0 {
+		t.Fatalf("free = %d, want 0", inv.FreeGPUs())
+	}
+	// Admissible but no free share: queued, not rejected.
+	if inv.TryAcquire(d) {
+		t.Fatal("acquired past capacity")
+	}
+	inv.Release(d)
+	if inv.FreeGPUs() != 2 {
+		t.Fatalf("free = %d after release, want 2", inv.FreeGPUs())
+	}
+	if !inv.TryAcquire(d) {
+		t.Fatal("acquire failed after release")
+	}
+}
+
+func TestInventoryInadmissibleNeverAcquires(t *testing.T) {
+	inv, _ := NewInventory(2, 2)
+	if inv.TryAcquire(DemandOf(4, 4)) {
+		t.Fatal("acquired a demand exceeding total capacity")
+	}
+	if inv.FreeGPUs() != 4 {
+		t.Fatalf("failed acquire charged the inventory: free = %d", inv.FreeGPUs())
+	}
+}
+
+func TestInventoryDoubleFreePanics(t *testing.T) {
+	inv, _ := NewInventory(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-release did not panic")
+		}
+	}()
+	inv.Release(DemandOf(1, 1))
+}

@@ -1,0 +1,102 @@
+package jobspec
+
+import (
+	"encoding/json"
+	"flag"
+	"testing"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := Default()
+	s.Steps, s.Clip, s.Partitions, s.Compression = 42, 5, 16, "topk=0.1"
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed the spec: %+v != %+v", back, s)
+	}
+}
+
+func TestPartialJSONInheritsDefaults(t *testing.T) {
+	// The service decodes request bodies over Default(), so a partial
+	// document is a complete job.
+	s := Default()
+	if err := json.Unmarshal([]byte(`{"steps": 7, "vocab": 300}`), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Steps != 7 || s.Vocab != 300 {
+		t.Fatalf("overrides lost: %+v", s)
+	}
+	if s.Machines != 2 || s.Arch != "hybrid" || s.LR != 0.5 {
+		t.Fatalf("defaults lost: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindCommonFlags(t *testing.T) {
+	s := Default()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	s.BindCommonFlags(fs)
+	if err := fs.Parse([]string{"-vocab", "500", "-steps", "9", "-arch", "ps", "-compression", "f16"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Vocab != 500 || s.Steps != 9 || s.Arch != "ps" || s.Compression != "f16" {
+		t.Fatalf("flags not bound: %+v", s)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for _, mut := range []func(*Spec){
+		func(s *Spec) { s.Arch = "bogus" },
+		func(s *Spec) { s.Compression = "bogus" },
+		func(s *Spec) { s.Machines = 0 },
+		func(s *Spec) { s.GPUs = 0 },
+		func(s *Spec) { s.Vocab = 1 },
+		func(s *Spec) { s.Batch = 0 },
+		func(s *Spec) { s.Steps = 0 },
+		func(s *Spec) { s.LR = 0 },
+		func(s *Spec) { s.Clip = -1 },
+		func(s *Spec) { s.Partitions = -1 },
+	} {
+		s := Default()
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v validated", s)
+		}
+	}
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default spec invalid: %v", err)
+	}
+}
+
+func TestGraphDeterministic(t *testing.T) {
+	// Two holders of an equal spec must build byte-identical graphs;
+	// the variable initializers are the part that could drift.
+	s := Default()
+	g1, g2 := s.Graph(), s.Graph()
+	v1, v2 := g1.Variables(), g2.Variables()
+	if len(v1) != len(v2) || len(v1) == 0 {
+		t.Fatalf("variable sets differ: %d vs %d", len(v1), len(v2))
+	}
+	for i := range v1 {
+		if v1[i].Name != v2[i].Name {
+			t.Fatalf("variable order differs: %s vs %s", v1[i].Name, v2[i].Name)
+		}
+		av, bv := v1[i].Init.Data(), v2[i].Init.Data()
+		if len(av) != len(bv) {
+			t.Fatalf("%s: size differs", v1[i].Name)
+		}
+		for k := range av {
+			if av[k] != bv[k] {
+				t.Fatalf("%s: initializer differs at %d", v1[i].Name, k)
+			}
+		}
+	}
+}

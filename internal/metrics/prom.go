@@ -1,0 +1,269 @@
+// Prometheus text exposition, hand-rolled. The serving daemon exposes
+// per-job training metrics at GET /metrics; this file is the whole
+// machinery behind it — a small registry of counters, gauges, and
+// histograms with label support, rendered in the Prometheus text format
+// (version 0.0.4). The repo takes no dependencies, so the format is
+// produced directly; output is deterministically ordered (families by
+// name, series by label values) so scrapes and tests are stable.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// promKind is the metric family type, named as the TYPE line spells it.
+type promKind string
+
+const (
+	kindCounter   promKind = "counter"
+	kindGauge     promKind = "gauge"
+	kindHistogram promKind = "histogram"
+)
+
+// promSeries is one labeled series within a family.
+type promSeries struct {
+	labelValues []string
+	value       float64 // counter/gauge
+	// histogram state
+	buckets []float64 // cumulative counts aligned with family bounds
+	sum     float64
+	count   uint64
+}
+
+// promFamily is one metric family: name, help, type, label names, and
+// the labeled series seen so far.
+type promFamily struct {
+	name       string
+	help       string
+	kind       promKind
+	labelNames []string
+	bounds     []float64 // histogram upper bounds, ascending, no +Inf
+	series     map[string]*promSeries
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*promFamily
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*promFamily{}}
+}
+
+// register installs a family, panicking on redefinition with a
+// different shape — metric names are code-level constants, so a clash
+// is a programming error, not an input error.
+func (r *Registry) register(name, help string, kind promKind, bounds []float64, labelNames []string) *promFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labelNames) != len(labelNames) {
+			panic(fmt.Sprintf("metrics: %s redefined with different shape", name))
+		}
+		return f
+	}
+	f := &promFamily{
+		name: name, help: help, kind: kind,
+		labelNames: append([]string(nil), labelNames...),
+		bounds:     append([]float64(nil), bounds...),
+		series:     map[string]*promSeries{},
+	}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+func (f *promFamily) get(labelValues []string) *promSeries {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	s, ok := f.series[key]
+	if !ok {
+		s = &promSeries{labelValues: append([]string(nil), labelValues...)}
+		if f.kind == kindHistogram {
+			s.buckets = make([]float64, len(f.bounds))
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing metric family.
+type Counter struct {
+	r *Registry
+	f *promFamily
+}
+
+// NewCounter registers (or reuses) a counter family.
+func (r *Registry) NewCounter(name, help string, labelNames ...string) *Counter {
+	return &Counter{r: r, f: r.register(name, help, kindCounter, nil, labelNames)}
+}
+
+// Add increments the labeled series by v (v must be >= 0).
+func (c *Counter) Add(v float64, labelValues ...string) {
+	if v < 0 {
+		panic("metrics: counter decrease")
+	}
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	c.f.get(labelValues).value += v
+}
+
+// Inc increments the labeled series by one.
+func (c *Counter) Inc(labelValues ...string) { c.Add(1, labelValues...) }
+
+// Gauge is a metric family that can go up and down.
+type Gauge struct {
+	r *Registry
+	f *promFamily
+}
+
+// NewGauge registers (or reuses) a gauge family.
+func (r *Registry) NewGauge(name, help string, labelNames ...string) *Gauge {
+	return &Gauge{r: r, f: r.register(name, help, kindGauge, nil, labelNames)}
+}
+
+// Set sets the labeled series to v.
+func (g *Gauge) Set(v float64, labelValues ...string) {
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	g.f.get(labelValues).value = v
+}
+
+// Add adjusts the labeled series by v (may be negative).
+func (g *Gauge) Add(v float64, labelValues ...string) {
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	g.f.get(labelValues).value += v
+}
+
+// Histogram is a cumulative-bucket histogram family.
+type Histogram struct {
+	r *Registry
+	f *promFamily
+}
+
+// NewHistogram registers (or reuses) a histogram family with the given
+// ascending upper bounds (the implicit +Inf bucket is added on render).
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labelNames ...string) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: %s bounds not ascending", name))
+		}
+	}
+	return &Histogram{r: r, f: r.register(name, help, kindHistogram, bounds, labelNames)}
+}
+
+// Observe records one observation in the labeled series.
+func (h *Histogram) Observe(v float64, labelValues ...string) {
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	s := h.f.get(labelValues)
+	for i, b := range h.f.bounds {
+		if v <= b {
+			s.buckets[i]++
+		}
+	}
+	s.sum += v
+	s.count++
+}
+
+// WriteText renders every family in the text exposition format:
+// families in registration order, series sorted by label values.
+func (r *Registry) WriteText(w *strings.Builder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if len(f.series) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.kind {
+			case kindHistogram:
+				for i, b := range f.bounds {
+					fmt.Fprintf(w, "%s_bucket%s %s\n", f.name,
+						labelString(f.labelNames, s.labelValues, "le", formatBound(b)),
+						formatValue(s.buckets[i]))
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labelNames, s.labelValues, "le", "+Inf"), s.count)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+					labelString(f.labelNames, s.labelValues, "", ""), formatValue(s.sum))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+					labelString(f.labelNames, s.labelValues, "", ""), s.count)
+			default:
+				fmt.Fprintf(w, "%s%s %s\n", f.name,
+					labelString(f.labelNames, s.labelValues, "", ""), formatValue(s.value))
+			}
+		}
+	}
+}
+
+// Text renders the registry to a string.
+func (r *Registry) Text() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// labelString renders {k="v",...}, appending one extra pair (used for
+// the histogram "le" label) when extraName is non-empty. Returns "" for
+// a label-free series.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	// %q escapes backslash, quote, and newline exactly as the
+	// exposition format requires.
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, values[i])
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatBound renders a histogram upper bound the way Prometheus does.
+func formatBound(b float64) string {
+	if b == math.Trunc(b) && math.Abs(b) < 1e15 {
+		return fmt.Sprintf("%g", b)
+	}
+	return fmt.Sprintf("%v", b)
+}
+
+// formatValue renders a sample value; integers render without exponent.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

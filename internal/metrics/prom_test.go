@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromCounterGaugeText(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("parallax_steps_total", "Completed training steps.", "job", "tenant")
+	g := r.NewGauge("parallax_jobs_running", "Jobs currently training.")
+	c.Add(3, "j1", "acme")
+	c.Inc("j1", "acme")
+	c.Inc("j2", "zeta")
+	g.Set(2)
+
+	got := r.Text()
+	want := strings.Join([]string{
+		`# HELP parallax_steps_total Completed training steps.`,
+		`# TYPE parallax_steps_total counter`,
+		`parallax_steps_total{job="j1",tenant="acme"} 4`,
+		`parallax_steps_total{job="j2",tenant="zeta"} 1`,
+		`# HELP parallax_jobs_running Jobs currently training.`,
+		`# TYPE parallax_jobs_running gauge`,
+		`parallax_jobs_running 2`,
+		``,
+	}, "\n")
+	if got != want {
+		t.Errorf("text mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromHistogramText(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("parallax_step_seconds", "Step latency.", []float64{0.01, 0.1, 1}, "job")
+	h.Observe(0.005, "j1")
+	h.Observe(0.05, "j1")
+	h.Observe(5, "j1")
+
+	got := r.Text()
+	want := strings.Join([]string{
+		`# HELP parallax_step_seconds Step latency.`,
+		`# TYPE parallax_step_seconds histogram`,
+		`parallax_step_seconds_bucket{job="j1",le="0.01"} 1`,
+		`parallax_step_seconds_bucket{job="j1",le="0.1"} 2`,
+		`parallax_step_seconds_bucket{job="j1",le="1"} 2`,
+		`parallax_step_seconds_bucket{job="j1",le="+Inf"} 3`,
+		`parallax_step_seconds_sum{job="j1"} 5.055`,
+		`parallax_step_seconds_count{job="j1"} 3`,
+		``,
+	}, "\n")
+	if got != want {
+		t.Errorf("text mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromDeterministicOrderAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("x_total", "X.", "l")
+	c.Inc("b")
+	c.Inc("a")
+	c.Inc(`qu"ote\back`)
+	got := r.Text()
+	// Series sort by label value; quote and backslash are escaped.
+	wantOrder := []string{`l="a"`, `l="b"`, `l="qu\"ote\\back"`}
+	pos := -1
+	for _, w := range wantOrder {
+		p := strings.Index(got, w)
+		if p < 0 {
+			t.Fatalf("missing %s in:\n%s", w, got)
+		}
+		if p < pos {
+			t.Errorf("series out of order: %s at %d before %d\n%s", w, p, pos, got)
+		}
+		pos = p
+	}
+	// Rendering twice is identical (deterministic).
+	if again := r.Text(); again != got {
+		t.Error("non-deterministic render")
+	}
+}
+
+func TestPromEmptyFamilyOmitted(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("unused_total", "Never incremented.", "job")
+	if got := r.Text(); got != "" {
+		t.Errorf("empty family rendered: %q", got)
+	}
+}
+
+func TestPromReregisterSameShape(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("dup_total", "Dup.", "j")
+	b := r.NewCounter("dup_total", "Dup.", "j")
+	a.Inc("x")
+	b.Inc("x")
+	if got := r.Text(); !strings.Contains(got, `dup_total{j="x"} 2`) {
+		t.Errorf("re-registered counter did not share state:\n%s", got)
+	}
+}

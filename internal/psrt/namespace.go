@@ -1,0 +1,231 @@
+package psrt
+
+// Per-tenant namespaces: the mechanism that lets many concurrent
+// training jobs share one resident parameter-server fleet (the
+// multi-tenant service of DESIGN.md §13) without their variables ever
+// colliding. A Namespace is a registration handle on a Server: every
+// variable added through it is stored under a qualified name
+// ("tenant/job::var"), is updated by the namespace's OWN optimizer
+// instance and aggregation config (two tenants may train with different
+// learning rates, worker counts, or modes against the same server), and
+// is released wholesale by DropNamespace when the job ends. The data
+// plane is unchanged — workers push and pull through the ordinary
+// Server surface using the qualified names, so the hot path pays one
+// string it computed at build time and nothing else.
+//
+// A Fleet is the resident form of the paper's one-server-per-machine
+// layout (§4.2): one long-lived Server per fleet machine, created once
+// when the service starts and joined by each admitted job for the
+// machines its plan spans. Fleet servers are namespace-only — they have
+// no default config, so every variable carries its tenant's.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"parallax/internal/tensor"
+)
+
+// nsSep separates a namespace from a variable name in qualified names.
+// Variable names may contain '/' (scope paths), so the separator is a
+// token that graph construction never produces.
+const nsSep = "::"
+
+// QualifiedName returns the name a variable is stored under on a server
+// when registered through namespace ns ("" returns name unchanged).
+func QualifiedName(ns, name string) string {
+	if ns == "" {
+		return name
+	}
+	return ns + nsSep + name
+}
+
+// Namespace is one tenant's registration handle on a Server: AddVar and
+// ReshardVar register qualified variables governed by the namespace's
+// config, Abort fails the namespace's blocked waits without touching
+// other tenants, and Drop releases everything at once.
+type Namespace struct {
+	s    *Server
+	name string
+	cfg  Config
+
+	abortMu  sync.Mutex
+	abortErr error
+}
+
+// Namespace registers a tenant namespace on the server. cfg governs
+// every variable added through the handle — sources, aggregation,
+// update mode, and the optimizer instance (which the namespace owns
+// exclusively, so tenants never share slot state). The name must be
+// non-empty, must not contain the "::" separator, and must not already
+// be registered.
+func (s *Server) Namespace(name string, cfg Config) (*Namespace, error) {
+	if name == "" {
+		return nil, fmt.Errorf("psrt: empty namespace")
+	}
+	if strings.Contains(name, nsSep) {
+		return nil, fmt.Errorf("psrt: namespace %q contains the reserved separator %q", name, nsSep)
+	}
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.namespaces == nil {
+		s.namespaces = map[string]*Namespace{}
+	}
+	if _, dup := s.namespaces[name]; dup {
+		return nil, fmt.Errorf("psrt: namespace %q already registered", name)
+	}
+	n := &Namespace{s: s, name: name, cfg: cfg}
+	s.namespaces[name] = n
+	return n, nil
+}
+
+// Name returns the namespace's name.
+func (n *Namespace) Name() string { return n.name }
+
+// Qualify returns the server-side name of one of this namespace's
+// variables — what the data plane must use in pull/push/snapshot calls.
+func (n *Namespace) Qualify(name string) string { return QualifiedName(n.name, name) }
+
+// AddVar registers a variable under this namespace; the arguments match
+// Server.AddVar, with the name qualified and the namespace's config
+// (sources, optimizer, aggregation, mode) attached.
+func (n *Namespace) AddVar(name string, init *tensor.Dense, ranges []tensor.RowRange, owned []int, sparse bool) error {
+	s := n.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := n.Qualify(name)
+	if _, dup := s.vars[q]; dup {
+		return fmt.Errorf("psrt: variable %q already registered", q)
+	}
+	_, err := s.addVarLocked(&n.cfg, n, q, init, ranges, owned, sparse)
+	return err
+}
+
+// ReshardVar replaces one of this namespace's variables' partitioning
+// in place — Server.ReshardVar scoped to the namespace, so live
+// resharding and checkpoint restore work identically for resident
+// tenants.
+func (n *Namespace) ReshardVar(name string, init *tensor.Dense, ranges []tensor.RowRange, owned []int, sparse bool, slots []*tensor.Dense, version int64) error {
+	return n.s.reshardVar(&n.cfg, n, n.Qualify(name), init, ranges, owned, sparse, slots, version)
+}
+
+// SlotNames returns the namespace optimizer's slot names in SlotState
+// order (the per-tenant analogue of Server.SlotNames).
+func (n *Namespace) SlotNames() []string { return slotNamesOf(n.cfg.Optimizer) }
+
+// Abort fails every present and future blocking wait on THIS
+// namespace's variables with err, leaving other tenants' waits — and
+// the namespace's state, still readable for post-mortem snapshots —
+// untouched. Idempotent; the first error wins.
+func (n *Namespace) Abort(err error) {
+	if err == nil {
+		return
+	}
+	n.abortMu.Lock()
+	if n.abortErr == nil {
+		n.abortErr = err
+	}
+	n.abortMu.Unlock()
+	s := n.s
+	s.mu.Lock()
+	vars := make([]*servedVar, 0, len(s.vars))
+	for _, v := range s.vars {
+		if v.ns == n {
+			vars = append(vars, v)
+		}
+	}
+	s.mu.Unlock()
+	broadcastParts(vars)
+}
+
+// aborted returns the namespace's Abort error, if any.
+func (n *Namespace) aborted() error {
+	n.abortMu.Lock()
+	defer n.abortMu.Unlock()
+	return n.abortErr
+}
+
+// Drop releases the namespace: every variable registered through it is
+// removed from the server (with its optimizer slot state, which dies
+// with the namespace's optimizer instance) and the name becomes
+// available again. The caller must have quiesced the namespace's
+// traffic first — dropping under in-flight pushes is a protocol
+// violation, exactly like resharding under traffic.
+func (n *Namespace) Drop() { n.s.DropNamespace(n.name) }
+
+// DropNamespace removes namespace name and every variable registered
+// through it. Unknown names are a no-op, so teardown paths can call it
+// unconditionally.
+func (s *Server) DropNamespace(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.namespaces[name]
+	if !ok {
+		return
+	}
+	delete(s.namespaces, name)
+	for q, v := range s.vars {
+		if v.ns == n {
+			delete(s.vars, q)
+		}
+	}
+}
+
+// Namespaces returns the names of the currently registered namespaces
+// (order unspecified) — the service's observability hook.
+func (s *Server) Namespaces() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.namespaces))
+	for name := range s.namespaces {
+		out = append(out, name)
+	}
+	return out
+}
+
+// broadcastParts wakes every condition wait parked on the given vars.
+func broadcastParts(vars []*servedVar) {
+	for _, v := range vars {
+		for _, p := range v.parts {
+			if p == nil {
+				continue
+			}
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}
+}
+
+// Fleet is a set of resident, namespace-only parameter servers — one
+// per fleet machine — that outlives any single job. A multi-tenant
+// service creates the fleet once; each admitted job joins the servers
+// of the machines its plan spans under its own namespace and leaves
+// them on completion. Fleet servers reject un-namespaced AddVar, so a
+// tenant cannot accidentally claim global names.
+type Fleet struct {
+	servers []*Server
+}
+
+// NewFleet returns a resident fleet of one namespace-only server per
+// machine.
+func NewFleet(machines int) (*Fleet, error) {
+	if machines < 1 {
+		return nil, fmt.Errorf("psrt: fleet needs at least one machine, got %d", machines)
+	}
+	f := &Fleet{servers: make([]*Server, machines)}
+	for m := range f.servers {
+		f.servers[m] = NewResident()
+	}
+	return f, nil
+}
+
+// Machines returns the fleet's machine count.
+func (f *Fleet) Machines() int { return len(f.servers) }
+
+// Server returns machine m's resident server.
+func (f *Fleet) Server(m int) *Server { return f.servers[m] }

@@ -149,7 +149,7 @@ func TestReshardValidation(t *testing.T) {
 	if _, err := srv.Version("emb", 0); err == nil {
 		t.Fatal("dropped variable still served")
 	}
-	mom := srv.cfg.Optimizer.(*optim.Momentum)
+	mom := srv.def.Optimizer.(*optim.Momentum)
 	for _, key := range []string{"emb/part0", "emb/part1", "emb/part2"} {
 		if mom.SlotValue("velocity", key) != nil {
 			t.Fatalf("velocity for %s survived the drop", key)

@@ -88,9 +88,15 @@ func (c Config) meanDiv() int {
 
 // Server hosts variable partitions.
 type Server struct {
-	cfg  Config
+	// def is the server-wide default config that un-namespaced variables
+	// are governed by; nil for resident (namespace-only) servers, which
+	// require every variable to be registered through a Namespace.
+	def  *Config
 	mu   sync.Mutex
 	vars map[string]*servedVar
+
+	// namespaces tracks the registered tenant namespaces (namespace.go).
+	namespaces map[string]*Namespace
 
 	// abortErr, once set, wakes and fails every blocked version/
 	// aggregation wait: the synchronous protocol's waits are satisfied by
@@ -110,6 +116,12 @@ type servedVar struct {
 	// keys[pi] is the optimizer state key for partition pi, precomputed so
 	// the per-push apply path never formats strings.
 	keys []string
+	// cfg governs this variable's update semantics — the server default
+	// for legacy variables, the tenant's own config (with its own
+	// optimizer instance) for namespaced ones.
+	cfg *Config
+	// ns is the owning namespace, nil for un-namespaced variables.
+	ns *Namespace
 }
 
 type part struct {
@@ -137,36 +149,58 @@ type part struct {
 	version int64 // applied updates
 }
 
-// NewServer creates an empty server.
-func NewServer(cfg Config) (*Server, error) {
+// validateConfig checks the invariants shared by server defaults and
+// namespace configs.
+func validateConfig(cfg Config) error {
 	if cfg.Mode == Sync && cfg.Sources <= 0 {
-		return nil, fmt.Errorf("psrt: sync server needs Sources > 0")
+		return fmt.Errorf("psrt: sync server needs Sources > 0")
 	}
 	if cfg.Optimizer == nil {
-		return nil, fmt.Errorf("psrt: nil optimizer")
+		return fmt.Errorf("psrt: nil optimizer")
 	}
 	if cfg.Mode == Async && cfg.DeferUpdates {
-		return nil, fmt.Errorf("psrt: DeferUpdates requires Sync mode")
+		return fmt.Errorf("psrt: DeferUpdates requires Sync mode")
 	}
-	return &Server{cfg: cfg, vars: map[string]*servedVar{}}, nil
+	return nil
+}
+
+// NewServer creates an empty server with a server-wide default config.
+func NewServer(cfg Config) (*Server, error) {
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
+	}
+	return &Server{def: &cfg, vars: map[string]*servedVar{}}, nil
+}
+
+// NewResident creates a namespace-only server: it has no default config,
+// so every variable must be registered through a Namespace handle and
+// carries that tenant's config. This is the building block of a
+// multi-tenant resident fleet (see Fleet).
+func NewResident() *Server {
+	return &Server{vars: map[string]*servedVar{}}
 }
 
 // AddVar registers a variable (or a subset of its partitions) on this
-// server. init is the full initial value; ranges lists the row ranges of
-// ALL partitions (so indices agree across servers); owned lists which
-// partition indices this server hosts.
+// server under the server default config. init is the full initial
+// value; ranges lists the row ranges of ALL partitions (so indices agree
+// across servers); owned lists which partition indices this server
+// hosts. Resident servers reject AddVar — register through a Namespace.
 func (s *Server) AddVar(name string, init *tensor.Dense, ranges []tensor.RowRange, owned []int, sparse bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.def == nil {
+		return fmt.Errorf("psrt: resident server requires a namespace to register %q", name)
+	}
 	if _, dup := s.vars[name]; dup {
 		return fmt.Errorf("psrt: variable %q already registered", name)
 	}
-	_, err := s.addVarLocked(name, init, ranges, owned, sparse)
+	_, err := s.addVarLocked(s.def, nil, name, init, ranges, owned, sparse)
 	return err
 }
 
-// addVarLocked builds and registers a servedVar; the caller holds s.mu.
-func (s *Server) addVarLocked(name string, init *tensor.Dense, ranges []tensor.RowRange, owned []int, sparse bool) (*servedVar, error) {
+// addVarLocked builds and registers a servedVar governed by cfg (owned
+// by namespace ns, nil for legacy variables); the caller holds s.mu.
+func (s *Server) addVarLocked(cfg *Config, ns *Namespace, name string, init *tensor.Dense, ranges []tensor.RowRange, owned []int, sparse bool) (*servedVar, error) {
 	if init.Rank() < 1 {
 		return nil, fmt.Errorf("psrt: variable %q has rank 0", name)
 	}
@@ -179,6 +213,8 @@ func (s *Server) addVarLocked(name string, init *tensor.Dense, ranges []tensor.R
 		dim0:   init.Dim(0),
 		parts:  make([]*part, len(ranges)),
 		keys:   make([]string, len(ranges)),
+		cfg:    cfg,
+		ns:     ns,
 	}
 	for _, pi := range owned {
 		if pi < 0 || pi >= len(ranges) {
@@ -241,6 +277,18 @@ func (s *Server) aborted() error {
 	return s.abortErr
 }
 
+// abortedVar returns the error that should fail v's blocked waits: a
+// server-wide Abort, or an Abort scoped to v's namespace.
+func (s *Server) abortedVar(v *servedVar) error {
+	if err := s.aborted(); err != nil {
+		return err
+	}
+	if v.ns != nil {
+		return v.ns.aborted()
+	}
+	return nil
+}
+
 func (s *Server) lookupVar(name string) (*servedVar, error) {
 	s.mu.Lock()
 	v, ok := s.vars[name]
@@ -297,10 +345,10 @@ func (s *Server) pushDensePart(v *servedVar, pi int, grad *tensor.Dense) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if s.cfg.Mode == Async {
+	if v.cfg.Mode == Async {
 		copy(p.accDense.Data(), grad.Data())
-		optim.FinalizeDense(p.accDense, s.cfg.meanDiv(), s.cfg.DenseAgg)
-		s.cfg.Optimizer.ApplyDense(v.keys[pi], p.value, p.accDense)
+		optim.FinalizeDense(p.accDense, v.cfg.meanDiv(), v.cfg.DenseAgg)
+		v.cfg.Optimizer.ApplyDense(v.keys[pi], p.value, p.accDense)
 		p.version++
 		p.cond.Broadcast()
 		return nil
@@ -314,7 +362,7 @@ func (s *Server) pushDensePart(v *servedVar, pi int, grad *tensor.Dense) error {
 		tensor.AddTo(grad.Data(), p.accDense.Data())
 	}
 	p.pushes++
-	if p.pushes == s.cfg.Sources {
+	if p.pushes == v.cfg.Sources {
 		s.completeLocked(pi, v, p)
 	}
 	return nil
@@ -342,16 +390,16 @@ func (s *Server) pushSparsePart(v *servedVar, pi int, grad *tensor.Sparse) error
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if s.cfg.Mode == Async {
-		optim.FinalizeSparse(grad, s.cfg.meanDiv(), s.cfg.SparseAgg)
-		s.cfg.Optimizer.ApplySparse(v.keys[pi], p.value, grad)
+	if v.cfg.Mode == Async {
+		optim.FinalizeSparse(grad, v.cfg.meanDiv(), v.cfg.SparseAgg)
+		v.cfg.Optimizer.ApplySparse(v.keys[pi], p.value, grad)
 		p.version++
 		p.cond.Broadcast()
 		return nil
 	}
 	p.accSparse = append(p.accSparse, grad)
 	p.pushes++
-	if p.pushes == s.cfg.Sources {
+	if p.pushes == v.cfg.Sources {
 		s.completeLocked(pi, v, p)
 	}
 	return nil
@@ -362,18 +410,18 @@ func (s *Server) pushSparsePart(v *servedVar, pi int, grad *tensor.Sparse) error
 func (s *Server) completeLocked(pi int, v *servedVar, p *part) {
 	if v.sparse {
 		agg := tensor.SumSparse(p.accSparse)
-		optim.FinalizeSparse(agg, s.cfg.meanDiv(), s.cfg.SparseAgg)
+		optim.FinalizeSparse(agg, v.cfg.meanDiv(), v.cfg.SparseAgg)
 		p.aggSparse = agg
 		clear(p.accSparse)
 		p.accSparse = p.accSparse[:0]
 	} else {
-		optim.FinalizeDense(p.accDense, s.cfg.meanDiv(), s.cfg.DenseAgg)
+		optim.FinalizeDense(p.accDense, v.cfg.meanDiv(), v.cfg.DenseAgg)
 		p.aggDense = p.accDense
 	}
 	p.pushes = 0
 	p.aggregated = true
 	p.aggSeq++
-	if s.cfg.DeferUpdates {
+	if v.cfg.DeferUpdates {
 		// The aggregated norm is only read through
 		// WaitAggregatedNormSquared, which the chief-clipping path uses;
 		// skip the O(elements) computation on the plain sync path.
@@ -383,7 +431,7 @@ func (s *Server) completeLocked(pi int, v *servedVar, p *part) {
 			p.aggNorm2 = p.aggDense.L2NormSquared()
 		}
 	}
-	if !s.cfg.DeferUpdates {
+	if !v.cfg.DeferUpdates {
 		s.applyLocked(pi, v, p, 1)
 		return
 	}
@@ -396,13 +444,13 @@ func (s *Server) applyLocked(pi int, v *servedVar, p *part, scale float32) {
 		if scale != 1 {
 			g.Scale(scale)
 		}
-		s.cfg.Optimizer.ApplySparse(v.keys[pi], p.value, g)
+		v.cfg.Optimizer.ApplySparse(v.keys[pi], p.value, g)
 	} else {
 		g := p.aggDense
 		if scale != 1 {
 			g.Scale(scale)
 		}
-		s.cfg.Optimizer.ApplyDense(v.keys[pi], p.value, g)
+		v.cfg.Optimizer.ApplyDense(v.keys[pi], p.value, g)
 	}
 	p.aggSparse = nil
 	p.aggDense = nil // the persistent accDense buffer itself is kept
@@ -418,14 +466,14 @@ func (s *Server) applyLocked(pi int, v *servedVar, p *part, scale float32) {
 // of gradients for clipping"). The norm is retained after the update
 // applies, so non-chief workers can read it at any point of the step.
 func (s *Server) WaitAggregatedNormSquared(name string, pi int, seq int64) (float64, error) {
-	_, p, err := s.lookup(name, pi)
+	v, p, err := s.lookup(name, pi)
 	if err != nil {
 		return 0, err
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.aggSeq < seq {
-		if aerr := s.aborted(); aerr != nil {
+		if aerr := s.abortedVar(v); aerr != nil {
 			return 0, aerr
 		}
 		p.cond.Wait()
@@ -453,14 +501,14 @@ func (s *Server) ApplyUpdate(name string, pi int, scale float32) error {
 // minVersion (pass the iteration number for synchronous training; 0 never
 // waits).
 func (s *Server) Pull(name string, pi int, minVersion int64) (*tensor.Dense, error) {
-	_, p, err := s.lookup(name, pi)
+	v, p, err := s.lookup(name, pi)
 	if err != nil {
 		return nil, err
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.version < minVersion {
-		if aerr := s.aborted(); aerr != nil {
+		if aerr := s.abortedVar(v); aerr != nil {
 			return nil, aerr
 		}
 		p.cond.Wait()
@@ -488,7 +536,7 @@ func (s *Server) pullIntoPart(v *servedVar, pi int, minVersion int64, dst *tenso
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.version < minVersion {
-		if aerr := s.aborted(); aerr != nil {
+		if aerr := s.abortedVar(v); aerr != nil {
 			return aerr
 		}
 		p.cond.Wait()
@@ -597,11 +645,20 @@ func (s *Server) Version(name string, pi int) (int64, error) {
 	return p.version, nil
 }
 
-// SlotNames returns the server optimizer's slot names in SlotState
-// order (empty for stateless optimizers) — the labels SnapshotPart's
-// slot tensors carry in a checkpoint.
+// SlotNames returns the server default optimizer's slot names in
+// SlotState order (empty for stateless optimizers and resident servers)
+// — the labels SnapshotPart's slot tensors carry in a checkpoint.
+// Namespaced tenants read their own optimizer's via Namespace.SlotNames.
 func (s *Server) SlotNames() []string {
-	if ss, ok := s.cfg.Optimizer.(optim.SlotState); ok {
+	if s.def == nil {
+		return nil
+	}
+	return slotNamesOf(s.def.Optimizer)
+}
+
+// slotNamesOf returns opt's slot names if it keeps slot state.
+func slotNamesOf(opt optim.Optimizer) []string {
+	if ss, ok := opt.(optim.SlotState); ok {
 		return ss.Slots()
 	}
 	return nil
@@ -631,14 +688,14 @@ func (s *Server) SnapshotPart(name string, pi int, minVersion int64) (*tensor.De
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.version < minVersion {
-		if aerr := s.aborted(); aerr != nil {
+		if aerr := s.abortedVar(v); aerr != nil {
 			return nil, nil, aerr
 		}
 		p.cond.Wait()
 	}
 	val := p.value.Clone()
 	var slots []*tensor.Dense
-	if ss, ok := s.cfg.Optimizer.(optim.SlotState); ok {
+	if ss, ok := v.cfg.Optimizer.(optim.SlotState); ok {
 		for _, slot := range ss.Slots() {
 			if sv := ss.SlotValue(slot, v.keys[pi]); sv != nil {
 				slots = append(slots, sv.Clone())
@@ -664,14 +721,24 @@ func (s *Server) SnapshotPart(name string, pi int, minVersion int64) (*tensor.De
 // pulls, or snapshots in flight (the trainer guarantees this with its
 // cross-agent resharding barriers).
 func (s *Server) ReshardVar(name string, init *tensor.Dense, ranges []tensor.RowRange, owned []int, sparse bool, slots []*tensor.Dense, version int64) error {
+	if s.def == nil {
+		return fmt.Errorf("psrt: resident server requires a namespace to reshard %q", name)
+	}
+	return s.reshardVar(s.def, nil, name, init, ranges, owned, sparse, slots, version)
+}
+
+// reshardVar is ReshardVar with the governing config and owning
+// namespace made explicit (Namespace.ReshardVar passes its own).
+func (s *Server) reshardVar(cfg *Config, ns *Namespace, name string, init *tensor.Dense, ranges []tensor.RowRange, owned []int, sparse bool, slots []*tensor.Dense, version int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ss, stateful := s.cfg.Optimizer.(optim.SlotState)
 	if old, ok := s.vars[name]; ok {
-		if stateful {
+		// Slot state lives in the OLD variable's optimizer (== cfg's for
+		// same-tenant reshards, the only kind the trainer performs).
+		if oss, ok := old.cfg.Optimizer.(optim.SlotState); ok {
 			for pi, p := range old.parts {
 				if p != nil {
-					ss.DeleteKey(old.keys[pi])
+					oss.DeleteKey(old.keys[pi])
 				}
 			}
 		}
@@ -680,11 +747,12 @@ func (s *Server) ReshardVar(name string, init *tensor.Dense, ranges []tensor.Row
 	if len(owned) == 0 {
 		return nil
 	}
+	ss, stateful := cfg.Optimizer.(optim.SlotState)
 	if stateful && len(slots) != len(ss.Slots()) {
 		return fmt.Errorf("psrt: reshard of %q has %d slot tensors, optimizer keeps %d slots",
 			name, len(slots), len(ss.Slots()))
 	}
-	v, err := s.addVarLocked(name, init, ranges, owned, sparse)
+	v, err := s.addVarLocked(cfg, ns, name, init, ranges, owned, sparse)
 	if err != nil {
 		return err
 	}

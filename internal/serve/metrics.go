@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"parallax"
+	"parallax/internal/metrics"
+)
+
+// serviceMetrics is the daemon's Prometheus surface: per-job training
+// series labeled {job, tenant} plus whole-service gauges, rendered at
+// GET /metrics by the hand-rolled registry (internal/metrics/prom.go).
+type serviceMetrics struct {
+	reg *metrics.Registry
+
+	submitted   *metrics.Counter
+	jobsDone    *metrics.Counter
+	jobsQueued  *metrics.Gauge
+	jobsRunning *metrics.Gauge
+
+	capacityGPUs *metrics.Gauge
+	freeGPUs     *metrics.Gauge
+
+	steps            *metrics.Counter
+	stepSeconds      *metrics.Histogram
+	loss             *metrics.Gauge
+	overlap          *metrics.Gauge
+	pushBytes        *metrics.Counter
+	wireSentBytes    *metrics.Counter
+	wireRecvBytes    *metrics.Counter
+	compressionRatio *metrics.Gauge
+	epoch            *metrics.Gauge
+	recoveries       *metrics.Gauge
+	checkpoints      *metrics.Counter
+}
+
+func newServiceMetrics() *serviceMetrics {
+	r := metrics.NewRegistry()
+	return &serviceMetrics{
+		reg: r,
+		submitted: r.NewCounter("parallax_jobs_submitted_total",
+			"Jobs accepted by admission control.", "tenant"),
+		jobsDone: r.NewCounter("parallax_jobs_done_total",
+			"Jobs that reached a terminal state.", "state", "tenant"),
+		jobsQueued: r.NewGauge("parallax_jobs_queued",
+			"Jobs admitted but waiting for free GPUs."),
+		jobsRunning: r.NewGauge("parallax_jobs_running",
+			"Jobs currently training."),
+		capacityGPUs: r.NewGauge("parallax_gpus_capacity",
+			"Total GPUs in the cluster inventory."),
+		freeGPUs: r.NewGauge("parallax_gpus_free",
+			"GPUs not allocated to any running job."),
+		steps: r.NewCounter("parallax_steps_total",
+			"Completed training steps.", "job", "tenant"),
+		stepSeconds: r.NewHistogram("parallax_step_seconds",
+			"Training step latency.",
+			[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5},
+			"job", "tenant"),
+		loss: r.NewGauge("parallax_loss",
+			"Loss at the most recent step.", "job", "tenant"),
+		overlap: r.NewGauge("parallax_comm_overlap_ratio",
+			"Share of synchronization hidden under backward compute at the most recent step.",
+			"job", "tenant"),
+		pushBytes: r.NewCounter("parallax_push_bytes_total",
+			"Gradient payload bytes handed to the synchronization layer.", "job", "tenant"),
+		wireSentBytes: r.NewCounter("parallax_wire_sent_bytes_total",
+			"Framed bytes sent over the wire transport.", "job", "tenant"),
+		wireRecvBytes: r.NewCounter("parallax_wire_recv_bytes_total",
+			"Framed bytes received over the wire transport.", "job", "tenant"),
+		compressionRatio: r.NewGauge("parallax_wire_compression_ratio",
+			"Raw/compressed payload ratio at the most recent step (0 = nothing traveled compressed).",
+			"job", "tenant"),
+		epoch: r.NewGauge("parallax_session_epoch",
+			"Fabric epoch of the job's session (bumps on recovery).", "job", "tenant"),
+		recoveries: r.NewGauge("parallax_session_recoveries",
+			"Recoveries the job's session has survived.", "job", "tenant"),
+		checkpoints: r.NewCounter("parallax_checkpoints_total",
+			"Checkpoints written on request.", "job", "tenant"),
+	}
+}
+
+// observeStep records one completed step of job j.
+func (m *serviceMetrics) observeStep(j *Job, st parallax.StepStats) {
+	id, tn := j.ID, j.Tenant
+	m.steps.Inc(id, tn)
+	m.stepSeconds.Observe(st.StepTime.Seconds(), id, tn)
+	m.loss.Set(st.Loss, id, tn)
+	m.overlap.Set(st.OverlapFraction(), id, tn)
+	m.pushBytes.Add(float64(st.BytesPushed), id, tn)
+	m.wireSentBytes.Add(float64(st.WireSentBytes), id, tn)
+	m.wireRecvBytes.Add(float64(st.WireRecvBytes), id, tn)
+	m.compressionRatio.Set(st.CompressionRatio(), id, tn)
+}
+
+// observeSession records session-level counters (epoch, recoveries).
+func (m *serviceMetrics) observeSession(j *Job, epoch, recoveries int) {
+	m.epoch.Set(float64(epoch), j.ID, j.Tenant)
+	m.recoveries.Set(float64(recoveries), j.ID, j.Tenant)
+}

@@ -122,7 +122,7 @@ func (t *Trainer) SnapshotServerParts(m int) ([]VarState, error) {
 	if t.opt.Async {
 		minV = 0
 	}
-	slotNames := t.servers[m].SlotNames()
+	slotNames := t.psAdmin(m).SlotNames()
 	var out []VarState
 	for _, r := range t.routes {
 		if r.assign.Method != core.MethodPS {
@@ -132,7 +132,10 @@ func (t *Trainer) SnapshotServerParts(m int) ([]VarState, error) {
 			if r.assign.Servers[pi] != m || rr.Len() == 0 {
 				continue
 			}
-			val, slots, err := t.servers[m].SnapshotPart(r.v.Name, pi, minV)
+			// Snapshot under the served (namespace-qualified) name but
+			// record the bare one: checkpoints stay job-portable between
+			// resident and private deployments.
+			val, slots, err := t.servers[m].SnapshotPart(r.psName, pi, minV)
 			if err != nil {
 				return nil, err
 			}
@@ -314,7 +317,7 @@ func (t *Trainer) RestoreServerVars(states []VarState, version int64) error {
 	for name, a := range full {
 		r := &t.routes[t.routeIdx[name]]
 		for _, m := range t.LocalMachines() {
-			want := t.servers[m].SlotNames()
+			want := t.psAdmin(m).SlotNames()
 			if !slices.Equal(a.slotNames, want) {
 				return fmt.Errorf("transform: %w: checkpoint slots %v for %q, server optimizer keeps %v",
 					errs.ErrTopologyMismatch, a.slotNames, name, want)
@@ -328,7 +331,7 @@ func (t *Trainer) RestoreServerVars(states []VarState, version int64) error {
 			if len(owned) == 0 {
 				continue
 			}
-			if err := t.servers[m].ReshardVar(name, a.value, r.ranges, owned,
+			if err := t.psAdmin(m).ReshardVar(name, a.value, r.ranges, owned,
 				r.assign.Sparse, a.slots, version); err != nil {
 				return err
 			}

@@ -136,12 +136,27 @@ type Options struct {
 	// variables are additionally broadcast from worker 0 at build time so
 	// replicas start bit-identical.
 	Fabric transport.Fabric
+	// Resident, when set, hosts this trainer's PS variables on the given
+	// long-lived fleet of resident servers instead of launching private
+	// ones — the multi-tenant service mode. PSNamespace must name the
+	// tenant (e.g. "tenant/jobID"); every variable is registered under it
+	// so same-named variables of concurrent jobs never collide, and the
+	// namespace is dropped wholesale when the trainer closes. Resident
+	// mode is single-process only (the fleet lives in the daemon), so it
+	// cannot be combined with a distributed Fabric.
+	Resident    *psrt.Fleet
+	PSNamespace string
 }
 
 type varRoute struct {
 	v      *graph.Variable
 	assign core.Assignment
 	ranges []tensor.RowRange
+	// psName is the name this variable is served under on its PS servers:
+	// v.Name qualified with the tenant namespace in resident mode,
+	// v.Name itself otherwise. Precomputed so the pull/push/clip hot
+	// paths and snapshot/restore never re-derive it.
+	psName string
 }
 
 // stepTask is one worker's share of a dispatched iteration.
@@ -265,6 +280,11 @@ type Trainer struct {
 	arOpts   []optim.Optimizer
 
 	servers []*psrt.Server // one per LOCAL machine; nil elsewhere or when no PS variables
+	// nsHandles[m] is this trainer's namespace registration handle on
+	// machine m's resident server (resident mode only, nil otherwise);
+	// variable registration, resharding, and checkpoint slot metadata go
+	// through it so they carry the tenant's config.
+	nsHandles []*psrt.Namespace
 	// ps[w][m] is worker w's endpoint for machine m's server: the server
 	// itself when colocated, a psrt.Client stub over the conduit when
 	// remote. Non-nil only for local workers (and only when PS routes
@@ -350,6 +370,38 @@ type Trainer struct {
 	stepHook func(int)
 }
 
+// psAdmin is the variable-administration surface of a PS host: the
+// server itself for private servers, the tenant's namespace handle (which
+// qualifies names and attaches the tenant config) in resident mode.
+type psAdmin interface {
+	AddVar(name string, init *tensor.Dense, ranges []tensor.RowRange, owned []int, sparse bool) error
+	ReshardVar(name string, init *tensor.Dense, ranges []tensor.RowRange, owned []int, sparse bool, slots []*tensor.Dense, version int64) error
+	SlotNames() []string
+}
+
+// psAdmin returns machine m's administration handle. Callers pass
+// UNqualified variable names through it — qualification is the handle's
+// concern — which keeps checkpoint records namespace-free and therefore
+// portable between resident and private deployments.
+func (t *Trainer) psAdmin(m int) psAdmin {
+	if t.nsHandles != nil && t.nsHandles[m] != nil {
+		return t.nsHandles[m]
+	}
+	return t.servers[m]
+}
+
+// dropResidentNamespaces releases this trainer's namespaces from the
+// resident fleet (no-op otherwise). Idempotent, and deliberately
+// non-mutating: the fabric-death watcher reads t.nsHandles concurrently,
+// and aborting an already-dropped namespace is harmless.
+func (t *Trainer) dropResidentNamespaces() {
+	for _, ns := range t.nsHandles {
+		if ns != nil {
+			ns.Drop()
+		}
+	}
+}
+
 // recoverClosed converts a recovered transport.ClosedPanic — the typed
 // panic every collective/PS path raises when the fabric dies under it —
 // into an error at *errp, preserving the first one. Any other panic
@@ -402,6 +454,23 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 	}
 	if err := opts.Compression.Validate(); err != nil {
 		return failEarly(err)
+	}
+	if opts.Resident != nil {
+		// Resident fleets are an in-daemon construct: remote agents have no
+		// conduit to a fleet server, and a per-tenant namespace abort must
+		// never be escalated to a whole-fleet one by the fabric watcher.
+		if opts.Fabric != nil {
+			return failEarly(fmt.Errorf("transform: resident PS fleet requires single-process mode"))
+		}
+		if opts.PSNamespace == "" {
+			return failEarly(fmt.Errorf("transform: resident PS fleet requires a namespace"))
+		}
+		if opts.Resident.Machines() < opts.Resource.NumMachines() {
+			return failEarly(fmt.Errorf("transform: cluster spans %d machines, resident fleet has %d",
+				opts.Resource.NumMachines(), opts.Resident.Machines()))
+		}
+	} else if opts.PSNamespace != "" {
+		return failEarly(fmt.Errorf("transform: PS namespace %q without a resident fleet", opts.PSNamespace))
 	}
 
 	workers := opts.Resource.TotalGPUs()
@@ -492,6 +561,7 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 		if a.Method == core.MethodPS {
 			anyPS = true
 			r.ranges = tensor.PartitionRows(v.Shape[0], a.Partitions)
+			r.psName = psrt.QualifiedName(opts.PSNamespace, v.Name)
 		}
 		t.routeIdx[v.Name] = len(t.routes)
 		t.routes = append(t.routes, r)
@@ -510,12 +580,8 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 		if opts.Async {
 			mode = psrt.Async
 		}
-		t.servers = make([]*psrt.Server, machines)
-		for m := 0; m < machines; m++ {
-			if !t.localMachine[m] {
-				continue
-			}
-			srv, err := psrt.NewServer(psrt.Config{
+		psCfg := func() psrt.Config {
+			return psrt.Config{
 				Sources:      sources,
 				Optimizer:    opts.NewOptimizer(),
 				DenseAgg:     opts.DenseAgg,
@@ -523,11 +589,42 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 				Mode:         mode,
 				DeferUpdates: opts.ClipNorm > 0 && !opts.Async,
 				MeanDivisor:  workers,
-			})
-			if err != nil {
-				return fail(err)
 			}
-			t.servers[m] = srv
+		}
+		// failPS releases any namespaces already registered on the
+		// resident fleet before tearing down; a failed New must not leave
+		// the tenant's name claimed on the daemon's servers.
+		failPS := func(err error) (*Trainer, error) {
+			t.dropResidentNamespaces()
+			return fail(err)
+		}
+		t.servers = make([]*psrt.Server, machines)
+		if opts.Resident != nil {
+			// Join the resident fleet under the tenant namespace instead of
+			// launching private servers; each machine's namespace carries
+			// its own optimizer instance, exactly like a private server
+			// would.
+			t.nsHandles = make([]*psrt.Namespace, machines)
+			for m := 0; m < machines; m++ {
+				srv := opts.Resident.Server(m)
+				ns, err := srv.Namespace(opts.PSNamespace, psCfg())
+				if err != nil {
+					return failPS(err)
+				}
+				t.servers[m] = srv
+				t.nsHandles[m] = ns
+			}
+		} else {
+			for m := 0; m < machines; m++ {
+				if !t.localMachine[m] {
+					continue
+				}
+				srv, err := psrt.NewServer(psCfg())
+				if err != nil {
+					return fail(err)
+				}
+				t.servers[m] = srv
+			}
 		}
 		for _, r := range t.routes {
 			if r.assign.Method != core.MethodPS {
@@ -541,8 +638,8 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 				if t.servers[m] == nil {
 					continue // hosted by another agent
 				}
-				if err := t.servers[m].AddVar(r.v.Name, r.v.Init, r.ranges, parts, r.assign.Sparse); err != nil {
-					return fail(err)
+				if err := t.psAdmin(m).AddVar(r.v.Name, r.v.Init, r.ranges, parts, r.assign.Sparse); err != nil {
+					return failPS(err)
 				}
 			}
 		}
@@ -692,6 +789,16 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 			err := fab.Err()
 			if err == nil {
 				err = fmt.Errorf("psrt: transport %w", errs.ErrClosed)
+			}
+			if t.nsHandles != nil {
+				// Resident mode: the servers are shared with other tenants,
+				// so scope the abort to this trainer's namespace.
+				for _, ns := range t.nsHandles {
+					if ns != nil {
+						ns.Abort(err)
+					}
+				}
+				return
 			}
 			for _, srv := range t.servers {
 				if srv != nil {
@@ -862,7 +969,7 @@ func (t *Trainer) buildPullReqs() {
 				}
 				m := r.assign.Servers[pi]
 				t.pullReqs[w][m] = append(t.pullReqs[w][m], psrt.PullReq{
-					Name: r.v.Name, Part: pi, Dst: val.SliceRows(rr.Start, rr.End),
+					Name: r.psName, Part: pi, Dst: val.SliceRows(rr.Start, rr.End),
 				})
 			}
 		}
@@ -971,6 +1078,9 @@ func (t *Trainer) Close() {
 		case <-done:
 		case <-time.After(5 * time.Second):
 		}
+		// Resident mode: the fleet servers outlive this trainer, so hand
+		// the tenant's variables (and namespace name) back to the fleet.
+		t.dropResidentNamespaces()
 	})
 }
 
@@ -1064,7 +1174,7 @@ func (t *Trainer) Repartition(newPlan *core.Plan) error {
 			if rr.Len() == 0 {
 				continue
 			}
-			val, slots, err := t.ps[w0][r.assign.Servers[pi]].SnapshotPart(r.v.Name, pi, minV)
+			val, slots, err := t.ps[w0][r.assign.Servers[pi]].SnapshotPart(r.psName, pi, minV)
 			if err != nil {
 				return t.failStep(err)
 			}
@@ -1112,7 +1222,7 @@ func (t *Trainer) Repartition(newPlan *core.Plan) error {
 					owned = append(owned, pi)
 				}
 			}
-			if err := t.servers[m].ReshardVar(r.v.Name, full[ri].value, newRanges,
+			if err := t.psAdmin(m).ReshardVar(r.v.Name, full[ri].value, newRanges,
 				owned, r.assign.Sparse, full[ri].slots, minV); err != nil {
 				return t.failStep(err)
 			}
@@ -1570,7 +1680,7 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 				norm2 += g.Values.L2NormSquared()
 			case core.MethodPS:
 				for pi := range r.ranges {
-					n2, err := t.ps[w][r.assign.Servers[pi]].WaitAggregatedNormSquared(r.v.Name, pi, int64(step+1))
+					n2, err := t.ps[w][r.assign.Servers[pi]].WaitAggregatedNormSquared(r.psName, pi, int64(step+1))
 					if err != nil {
 						return 0, err
 					}
@@ -1587,7 +1697,7 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 					continue
 				}
 				for pi := range r.ranges {
-					if err := t.ps[w][r.assign.Servers[pi]].ApplyUpdate(r.v.Name, pi, scale); err != nil {
+					if err := t.ps[w][r.assign.Servers[pi]].ApplyUpdate(r.psName, pi, scale); err != nil {
 						return 0, err
 					}
 				}
@@ -1641,7 +1751,7 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 // ownership transfers to the server. Runs on the worker's comm goroutine.
 func (t *Trainer) pushPS(w, ri int, dense *tensor.Dense, sp *tensor.Sparse) error {
 	r := &t.routes[ri]
-	name := r.v.Name
+	name := r.psName
 
 	pushSparseParts := func(parts []*tensor.Sparse) error {
 		// Data-plane quantization: the split copies are rounded onto the
@@ -1764,7 +1874,7 @@ func (t *Trainer) VarValue(name string) (*tensor.Dense, error) {
 				continue
 			}
 			dst := out.SliceRows(rr.Start, rr.End)
-			if err := t.ps[w0][r.assign.Servers[pi]].PullInto(name, pi, minVersion, dst); err != nil {
+			if err := t.ps[w0][r.assign.Servers[pi]].PullInto(r.psName, pi, minVersion, dst); err != nil {
 				return nil, err
 			}
 		}

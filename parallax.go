@@ -259,6 +259,16 @@ type Config struct {
 	// Steps iterator bit-identically. Requires AutoCheckpoint. The zero
 	// value (disabled) surfaces the failure as a step error instead.
 	Recovery RecoveryPolicy
+	// ResidentPS hosts this session's parameter-server variables on a
+	// long-lived shared fleet under PSNamespace instead of private
+	// per-session servers — the multi-tenant service mode (see NewPSFleet
+	// and WithResidentPS). Requires single-process mode (no Dist) and a
+	// non-empty namespace; the fleet must span at least as many machines
+	// as the session's resources.
+	ResidentPS *PSFleet
+	// PSNamespace is the tenant namespace (e.g. "tenant/jobID") this
+	// session's variables are served under on the resident fleet.
+	PSNamespace string
 }
 
 // AutoCheckpointSpec configures periodic automatic checkpoints: every

@@ -143,6 +143,20 @@ func open(ctx context.Context, g *Graph, resource ResourceInfo, cfg Config, rest
 	if cfg.NewOptimizer == nil {
 		cfg.NewOptimizer = func() Optimizer { return NewSGD(0.1) }
 	}
+	if cfg.ResidentPS != nil {
+		if cfg.Dist != nil {
+			return nil, fmt.Errorf("parallax: resident PS fleet requires single-process mode")
+		}
+		if cfg.PSNamespace == "" {
+			return nil, fmt.Errorf("parallax: resident PS fleet requires a namespace (WithResidentPS)")
+		}
+		if cfg.ResidentPS.Machines() < resource.NumMachines() {
+			return nil, fmt.Errorf("parallax: session spans %d machines, resident fleet has %d",
+				resource.NumMachines(), cfg.ResidentPS.Machines())
+		}
+	} else if cfg.PSNamespace != "" {
+		return nil, fmt.Errorf("parallax: PS namespace %q without a resident fleet", cfg.PSNamespace)
+	}
 
 	parts := cfg.SparsePartitions
 	decision := PartitionDecision{Source: "fixed"}
@@ -204,6 +218,8 @@ func open(ctx context.Context, g *Graph, resource ResourceInfo, cfg Config, rest
 		FusionBytes:      cfg.FusionBytes,
 		Compression:      cfg.Compression,
 		Fabric:           fab,
+		Resident:         cfg.ResidentPS.fleet(),
+		PSNamespace:      cfg.PSNamespace,
 	})
 	if err != nil {
 		return nil, err
