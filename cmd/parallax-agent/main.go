@@ -77,6 +77,15 @@ func main() {
 	autoEvery := flag.Int("auto-checkpoint-every", 10, "auto-checkpoint cadence in steps")
 	recov := flag.Bool("recover", false,
 		"survive peer-agent failures: re-rendezvous at the next fabric epoch and restore the latest auto-checkpoint (requires -auto-checkpoint; see OPERATIONS.md)")
+	elastic := flag.Bool("elastic", false,
+		"enable elastic membership (DESIGN.md §14): the cluster admits joiners and sheds leavers at step boundaries without a restart (requires -auto-checkpoint on a shared root)")
+	join := flag.String("join", "",
+		"join a running elastic cluster through the given agent address instead of rendezvousing from -addrs (requires -elastic and -listen)")
+	listen := flag.String("listen", "",
+		"address this agent serves on when joining with -join (the survivors dial it at the post-admission rendezvous)")
+	allowShrink := flag.Bool("allow-shrink", false,
+		"with -elastic and -recover: shed a dead peer by resharding onto the survivors instead of waiting out its restart")
+	leaveAt := flag.Int("leave-at", -1, "request a voluntary departure from the elastic cluster after completing this step (testing/preemption drills)")
 	chaosSpec := flag.String("chaos", "", "fault-injection spec, e.g. kill@17 (internal testing knob; see internal/chaos)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for randomized chaos faults (internal testing knob)")
 	version := flag.Bool("version", false, "print version and exit")
@@ -87,7 +96,11 @@ func main() {
 	}
 
 	spec.Machines, spec.GPUs = *machines, *gpus
-	if *addrs != "" {
+	if *join != "" {
+		// A joiner contributes exactly one machine; the admission offer
+		// assigns its index and the full address list.
+		spec.Machines = 1
+	} else if *addrs != "" {
 		spec.Machines = len(strings.Split(*addrs, ","))
 	}
 	if err := spec.Validate(); err != nil {
@@ -118,9 +131,31 @@ func main() {
 		if *autoCkpt == "" {
 			log.Fatal("-recover requires -auto-checkpoint")
 		}
-		opts = append(opts, parallax.WithRecovery(parallax.RecoveryPolicy{Enabled: true}))
+		opts = append(opts, parallax.WithRecovery(parallax.RecoveryPolicy{
+			Enabled: true, AllowShrink: *allowShrink,
+		}))
+	} else if *allowShrink {
+		log.Fatal("-allow-shrink requires -recover")
 	}
-	if *addrs != "" {
+	if *elastic {
+		if *autoCkpt == "" {
+			log.Fatal("-elastic requires -auto-checkpoint")
+		}
+		opts = append(opts, parallax.WithElastic())
+	} else if *join != "" {
+		log.Fatal("-join requires -elastic")
+	} else if *leaveAt >= 0 {
+		log.Fatal("-leave-at requires -elastic")
+	}
+	if *join != "" {
+		if *listen == "" {
+			log.Fatal("-join requires -listen (the address this agent will serve on)")
+		}
+		opts = append(opts, parallax.WithDistConfig(parallax.DistConfig{
+			JoinTarget: *join, JoinAddr: *listen, Addrs: []string{*listen},
+			DialTimeout: *dialTimeout, Chaos: *chaosSpec, ChaosSeed: *chaosSeed,
+		}))
+	} else if *addrs != "" {
 		list := strings.Split(*addrs, ",")
 		if *machine < 0 || *machine >= len(list) {
 			log.Fatalf("-machine %d out of range for %d addresses", *machine, len(list))
@@ -172,11 +207,15 @@ func main() {
 		return
 	}
 	var stats parallax.LoopStats
-	interrupted := false
+	interrupted, left := false, false
 	for st, err := range sess.Steps(ctx, ds) {
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				interrupted = true
+				break
+			}
+			if errors.Is(err, parallax.ErrLeft) {
+				left = true
 				break
 			}
 			log.Fatal(err)
@@ -187,9 +226,20 @@ func main() {
 				st.Step, st.Loss, st.StepTime.Round(10*time.Microsecond),
 				st.WireSentBytes/1024, st.WireRecvBytes/1024)
 		}
+		if *leaveAt >= 0 && st.Step == *leaveAt {
+			if err := sess.Leave(); err != nil {
+				log.Fatalf("leave: %v", err)
+			}
+		}
 		if st.Step >= spec.Steps-1 {
 			break
 		}
+	}
+	if left {
+		// A voluntary departure is a clean shutdown: the survivors own the
+		// resharded state from here.
+		fmt.Printf("left the cluster cleanly after step %d\n", sess.StepCount())
+		return
 	}
 
 	if *ckpt != "" {

@@ -1,0 +1,671 @@
+package parallax
+
+// Chaos-driven elasticity suite (DESIGN.md §14): a TCP cluster grows
+// 2→3 mid-run when a joiner knocks, shrinks 3→2 on a voluntary (chaos
+// leave fault) departure and on an unrecovered kill with AllowShrink,
+// stays bit-identical to the uninterrupted reference across a same-size
+// kill+recover with elastic membership enabled, and resizes a
+// single-process session in place. Every test counts each step exactly
+// once per agent and checks for leaked goroutines.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"parallax/internal/checkpoint"
+	"parallax/internal/data"
+)
+
+// elasticTCPCluster opens the n agents of an n×2 TCP cluster with every
+// listener pre-bound (an elastic fabric keeps its listener for joiners,
+// so every address must be real and re-bindable), returning the
+// sessions and the address list.
+func elasticTCPCluster(t *testing.T, n int, perProc func(p int, dc *DistConfig) []Option) ([]*Session, []string) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for p := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[p] = ln
+		addrs[p] = ln.Addr().String()
+	}
+	sessions := make([]*Session, n)
+	oerrs := make([]error, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			dc := DistConfig{
+				Machine: p, Addrs: append([]string(nil), addrs...),
+				Listener: lns[p], DialTimeout: 15 * time.Second,
+			}
+			opts := perProc(p, &dc)
+			sessions[p], oerrs[p] = Open(context.Background(), buildAPIModel(8, 150), Uniform(n, 2),
+				append(opts, WithDistConfig(dc))...)
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range oerrs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", p, err)
+		}
+	}
+	return sessions, addrs
+}
+
+// elasticOpts is the option set every member of an elastic test cluster
+// runs under: the shared auto-checkpoint root, recovery, and elastic
+// membership.
+func elasticOpts(root string) []Option {
+	return append(momentumOpts(),
+		WithAutoCheckpoint(root, 4),
+		WithElastic(),
+		WithRecovery(RecoveryPolicy{Enabled: true, RedialTimeout: 30 * time.Second}))
+}
+
+type elasticResult struct {
+	losses map[int]float64
+	err    error
+}
+
+// driveElastic consumes a session's Steps up to step total-1, recording
+// each step's loss and failing on any step emitted twice. onStep (when
+// set) runs inside the loop body — on the driver's goroutine, so it may
+// touch session state.
+func driveElastic(sess *Session, total int, onStep func(st StepStats)) elasticResult {
+	r := elasticResult{losses: map[int]float64{}}
+	for st, err := range sess.Steps(context.Background(), data.NewZipfText(150, 8, 1, 1.0, 5)) {
+		if err != nil {
+			r.err = err
+			return r
+		}
+		if _, dup := r.losses[st.Step]; dup {
+			r.err = errDupStep(st.Step)
+			return r
+		}
+		r.losses[st.Step] = st.Loss
+		if onStep != nil {
+			onStep(st)
+		}
+		if st.Step == total-1 {
+			return r
+		}
+	}
+	return r
+}
+
+func waitElastic(t *testing.T, wg *sync.WaitGroup, what string) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatalf("%s did not complete", what)
+	}
+}
+
+func varBits(t *testing.T, s *Session, name string) []uint32 {
+	t.Helper()
+	v, err := s.VarValue(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := make([]uint32, len(v.Data()))
+	for i, x := range v.Data() {
+		bits[i] = math.Float32bits(x)
+	}
+	return bits
+}
+
+// TestSessionElasticGrowTCP is the scale-out tentpole: a 2-agent TCP
+// cluster is mid-run when a third agent knocks with DistConfig.
+// JoinTarget. The survivors admit it at a step boundary, bump the
+// fabric epoch, and re-rendezvous at world size 3; the joiner restores
+// its share of the boundary checkpoint and enters the collective. The
+// survivors emit every step exactly once, the joiner emits a contiguous
+// suffix, and all three agents' losses agree bit for bit on every
+// shared step.
+func TestSessionElasticGrowTCP(t *testing.T) {
+	const total = 16
+	base := runtime.NumGoroutine()
+	root := t.TempDir()
+	sessions, addrs := elasticTCPCluster(t, 2, func(p int, dc *DistConfig) []Option {
+		return elasticOpts(root)
+	})
+
+	lnJ, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinAddr := lnJ.Addr().String()
+
+	var joiner *Session
+	res := make([]elasticResult, 3)
+	var wg sync.WaitGroup
+	var launchOnce sync.Once
+	launch := func() {
+		launchOnce.Do(func() {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dc := DistConfig{
+					JoinTarget: addrs[0], JoinAddr: joinAddr, Addrs: []string{joinAddr},
+					Listener: lnJ, DialTimeout: 60 * time.Second,
+				}
+				js, jerr := Open(context.Background(), buildAPIModel(8, 150), Uniform(1, 2),
+					append(elasticOpts(root), WithDistConfig(dc))...)
+				if jerr != nil {
+					res[2] = elasticResult{err: jerr}
+					return
+				}
+				joiner = js
+				res[2] = driveElastic(js, total, nil)
+			}()
+		})
+	}
+
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sess := sessions[p]
+			res[p] = driveElastic(sess, total, func(st StepStats) {
+				if st.Step < 3 {
+					return
+				}
+				if p == 0 {
+					launch()
+				}
+				// Pace the survivors until the admission lands so the join
+				// request cannot miss every remaining boundary; once the
+				// cluster is 3-wide the run flies again.
+				if len(sess.Members()) < 3 {
+					time.Sleep(150 * time.Millisecond)
+				}
+			})
+		}(p)
+	}
+	waitElastic(t, &wg, "elastic grow")
+
+	for p := 0; p < 2; p++ {
+		if res[p].err != nil {
+			t.Fatalf("agent %d: %v", p, res[p].err)
+		}
+		if len(res[p].losses) != total {
+			t.Fatalf("agent %d emitted %d steps, want %d (each exactly once)", p, len(res[p].losses), total)
+		}
+		if n := sessions[p].Recoveries(); n != 0 {
+			t.Fatalf("agent %d recoveries = %d, want 0 (a grow is not a recovery)", p, n)
+		}
+	}
+	if res[2].err != nil {
+		t.Fatalf("joiner: %v", res[2].err)
+	}
+	if joiner == nil {
+		t.Fatal("joiner session was never opened")
+	}
+	joinStep := total
+	for step := range res[2].losses {
+		if step < joinStep {
+			joinStep = step
+		}
+	}
+	if joinStep < 4 || joinStep >= total {
+		t.Fatalf("joiner's first step %d, want within [4, %d)", joinStep, total)
+	}
+	if len(res[2].losses) != total-joinStep {
+		t.Fatalf("joiner emitted %d steps from step %d, want %d (contiguous suffix)",
+			len(res[2].losses), joinStep, total-joinStep)
+	}
+	for step, loss := range res[1].losses {
+		if math.Float64bits(loss) != math.Float64bits(res[0].losses[step]) {
+			t.Fatalf("step %d: agent 1 loss %x, agent 0 loss %x",
+				step, math.Float64bits(loss), math.Float64bits(res[0].losses[step]))
+		}
+	}
+	for step, loss := range res[2].losses {
+		if math.Float64bits(loss) != math.Float64bits(res[0].losses[step]) {
+			t.Fatalf("step %d: joiner loss %x, agent 0 loss %x",
+				step, math.Float64bits(loss), math.Float64bits(res[0].losses[step]))
+		}
+	}
+	for i, s := range []*Session{sessions[0], sessions[1], joiner} {
+		if got := len(s.Members()); got != 3 {
+			t.Fatalf("member %d sees %d members, want 3", i, got)
+		}
+		if e := s.Epoch(); e != 1 {
+			t.Fatalf("member %d at epoch %d, want 1", i, e)
+		}
+	}
+	if e, err := checkpoint.ReadEpoch(root); err != nil || e != 1 {
+		t.Fatalf("recorded epoch %d (err %v), want 1", e, err)
+	}
+	m, err := checkpoint.ReadMembers(root)
+	if err != nil || m == nil || len(m.Members) != 3 {
+		t.Fatalf("MEMBERS record %+v (err %v), want 3 members", m, err)
+	}
+	if m.Members[2].Addr != joinAddr {
+		t.Fatalf("MEMBERS[2] = %q, want the joiner %q", m.Members[2].Addr, joinAddr)
+	}
+	sessions[0].Close()
+	sessions[1].Close()
+	joiner.Close()
+	waitSessionGoroutines(t, base)
+}
+
+// TestSessionElasticLeaveTCP scales in 3→2 through the chaos harness: a
+// leave@5:2 fault arms agent 2's voluntary departure at step 5. At the
+// next boundary the cluster agrees on the shrunken membership, the
+// leaver's iterator ends with ErrLeft after emitting steps 0..5 exactly
+// once, and the survivors reshard its parameter-server state and finish
+// the run bit-identically to each other.
+func TestSessionElasticLeaveTCP(t *testing.T) {
+	const total = 12
+	base := runtime.NumGoroutine()
+	root := t.TempDir()
+	sessions, _ := elasticTCPCluster(t, 3, func(p int, dc *DistConfig) []Option {
+		if p == 2 {
+			dc.Chaos = "leave@5:2"
+			dc.ChaosSeed = 1
+		}
+		return elasticOpts(root)
+	})
+
+	res := make([]elasticResult, 3)
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			res[p] = driveElastic(sessions[p], total, nil)
+		}(p)
+	}
+	waitElastic(t, &wg, "elastic leave")
+
+	if res[2].err == nil || !errors.Is(res[2].err, ErrLeft) {
+		t.Fatalf("leaver ended with %v, want ErrLeft", res[2].err)
+	}
+	if len(res[2].losses) != 6 {
+		t.Fatalf("leaver emitted %d steps, want 6 (0..5 then departure)", len(res[2].losses))
+	}
+	for step := 0; step < 6; step++ {
+		if _, ok := res[2].losses[step]; !ok {
+			t.Fatalf("leaver missed step %d", step)
+		}
+	}
+	for p := 0; p < 2; p++ {
+		if res[p].err != nil {
+			t.Fatalf("survivor %d: %v", p, res[p].err)
+		}
+		if len(res[p].losses) != total {
+			t.Fatalf("survivor %d emitted %d steps, want %d (each exactly once)", p, len(res[p].losses), total)
+		}
+		if n := sessions[p].Recoveries(); n != 0 {
+			t.Fatalf("survivor %d recoveries = %d, want 0 (a leave is not a failure)", p, n)
+		}
+		if e := sessions[p].Epoch(); e != 1 {
+			t.Fatalf("survivor %d at epoch %d, want 1", p, e)
+		}
+		if got := len(sessions[p].Members()); got != 2 {
+			t.Fatalf("survivor %d sees %d members, want 2", p, got)
+		}
+	}
+	for step, loss := range res[1].losses {
+		if math.Float64bits(loss) != math.Float64bits(res[0].losses[step]) {
+			t.Fatalf("step %d: survivors' losses diverged", step)
+		}
+	}
+	for step, loss := range res[2].losses {
+		if math.Float64bits(loss) != math.Float64bits(res[0].losses[step]) {
+			t.Fatalf("step %d: leaver's pre-departure loss diverged from the survivors'", step)
+		}
+	}
+	m, err := checkpoint.ReadMembers(root)
+	if err != nil || m == nil || len(m.Members) != 2 {
+		t.Fatalf("MEMBERS record %+v (err %v), want 2 members", m, err)
+	}
+	// A distributed session resizes through membership, never in place.
+	if err := sessions[0].Resize(context.Background(), Uniform(2, 2)); err == nil {
+		t.Fatal("Resize on a distributed session must refuse")
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+	waitSessionGoroutines(t, base)
+}
+
+// TestSessionElasticShrinkOnKillTCP scales in on failure: a chaos fault
+// kills agent 2's fabric at step 6 and every agent runs with
+// AllowShrink. The killed agent fails fast (its own rank is the
+// attributed failure, so it must not redial a cluster that re-formed
+// without it); the survivors agree the machine is gone, reshard its
+// partitions onto themselves from the step-4 auto-checkpoint, and
+// finish at world size 2 with every step emitted exactly once.
+func TestSessionElasticShrinkOnKillTCP(t *testing.T) {
+	const total = 12
+	base := runtime.NumGoroutine()
+	root := t.TempDir()
+	sessions, _ := elasticTCPCluster(t, 3, func(p int, dc *DistConfig) []Option {
+		if p == 2 {
+			dc.Chaos = "kill@6"
+			dc.ChaosSeed = 1
+		}
+		return append(momentumOpts(),
+			WithAutoCheckpoint(root, 4),
+			WithElastic(),
+			WithRecovery(RecoveryPolicy{Enabled: true, AllowShrink: true, RedialTimeout: 30 * time.Second}))
+	})
+
+	res := make([]elasticResult, 3)
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			res[p] = driveElastic(sessions[p], total, nil)
+		}(p)
+	}
+	waitElastic(t, &wg, "elastic shrink")
+
+	if res[2].err == nil || !errors.Is(res[2].err, ErrPeerFailed) {
+		t.Fatalf("killed agent ended with %v, want ErrPeerFailed (fail fast, no self-recovery)", res[2].err)
+	}
+	if len(res[2].losses) != 6 {
+		t.Fatalf("killed agent emitted %d steps, want 6 (0..5 then the kill)", len(res[2].losses))
+	}
+	for p := 0; p < 2; p++ {
+		if res[p].err != nil {
+			t.Fatalf("survivor %d: %v", p, res[p].err)
+		}
+		if len(res[p].losses) != total {
+			t.Fatalf("survivor %d emitted %d steps, want %d (each exactly once)", p, len(res[p].losses), total)
+		}
+		if n := sessions[p].Recoveries(); n != 1 {
+			t.Fatalf("survivor %d recoveries = %d, want 1", p, n)
+		}
+		if e := sessions[p].Epoch(); e != 1 {
+			t.Fatalf("survivor %d at epoch %d, want 1", p, e)
+		}
+		if got := len(sessions[p].Members()); got != 2 {
+			t.Fatalf("survivor %d sees %d members, want 2", p, got)
+		}
+	}
+	for step, loss := range res[1].losses {
+		if math.Float64bits(loss) != math.Float64bits(res[0].losses[step]) {
+			t.Fatalf("step %d: survivors' losses diverged", step)
+		}
+	}
+	for step, loss := range res[2].losses {
+		if math.Float64bits(loss) != math.Float64bits(res[0].losses[step]) {
+			t.Fatalf("step %d: killed agent's pre-kill loss diverged from the survivors'", step)
+		}
+	}
+	if e, err := checkpoint.ReadEpoch(root); err != nil || e != 1 {
+		t.Fatalf("recorded epoch %d (err %v), want 1", e, err)
+	}
+	m, err := checkpoint.ReadMembers(root)
+	if err != nil || m == nil || len(m.Members) != 2 {
+		t.Fatalf("MEMBERS record %+v (err %v), want 2 members", m, err)
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+	waitSessionGoroutines(t, base)
+}
+
+// TestSessionElasticKillRecoverBitIdentical pins that enabling elastic
+// membership does not perturb the same-size recovery path: a kill@6
+// with AllowShrink off recovers in place exactly as without
+// WithElastic, and the loss trajectory stays bit-identical to an
+// uninterrupted single-process reference.
+func TestSessionElasticKillRecoverBitIdentical(t *testing.T) {
+	const every, total = 4, 12
+	refLosses, _ := runSessionSteps(t, total, momentumOpts()...)
+
+	base := runtime.NumGoroutine()
+	root := t.TempDir()
+	sessions := recoveryTCPPair(t, func(p int, dc *DistConfig) []Option {
+		if p == 1 {
+			dc.Chaos = "kill@6"
+			dc.ChaosSeed = 1
+		}
+		return append(momentumOpts(),
+			WithAutoCheckpoint(root, every),
+			WithElastic(),
+			WithRecovery(RecoveryPolicy{Enabled: true, RedialTimeout: 30 * time.Second}))
+	})
+
+	res := [2]elasticResult{}
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			res[p] = driveElastic(sessions[p], total, nil)
+		}(p)
+	}
+	waitElastic(t, &wg, "elastic same-size recovery")
+
+	for p := 0; p < 2; p++ {
+		if res[p].err != nil {
+			t.Fatalf("agent %d: %v", p, res[p].err)
+		}
+		if len(res[p].losses) != total {
+			t.Fatalf("agent %d emitted %d steps, want %d (each exactly once)", p, len(res[p].losses), total)
+		}
+		for step, loss := range res[p].losses {
+			if math.Float64bits(loss) != math.Float64bits(refLosses[step]) {
+				t.Fatalf("agent %d step %d loss %x, uninterrupted reference %x",
+					p, step, math.Float64bits(loss), math.Float64bits(refLosses[step]))
+			}
+		}
+		if n := sessions[p].Recoveries(); n != 1 {
+			t.Fatalf("agent %d recoveries = %d, want 1 (in-place, same size)", p, n)
+		}
+		if got := len(sessions[p].Members()); got != 2 {
+			t.Fatalf("agent %d sees %d members, want 2 (no membership change)", p, got)
+		}
+	}
+	sessions[0].Close()
+	sessions[1].Close()
+	waitSessionGoroutines(t, base)
+}
+
+// TestSessionElasticResizeInProc drives the single-process resharding
+// path: a 2×2 elastic session grows to 3×2 and back mid-run. Every
+// resize preserves the variables bit for bit, the step counter, and the
+// exactly-once step numbering across the Steps calls that bracket it.
+func TestSessionElasticResizeInProc(t *testing.T) {
+	ctx := context.Background()
+	refLosses, _ := runSessionSteps(t, 6, momentumOpts()...)
+
+	s, err := Open(ctx, buildAPIModel(8, 150), Uniform(2, 2), append(momentumOpts(), WithElastic())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ds := data.NewZipfText(150, 8, 1, 1.0, 5)
+	seen := map[int]float64{}
+	runTo := func(last int) {
+		t.Helper()
+		for st, err := range s.Steps(ctx, ds) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := seen[st.Step]; dup {
+				t.Fatalf("step %d emitted twice", st.Step)
+			}
+			seen[st.Step] = st.Loss
+			if st.Step == last {
+				break
+			}
+		}
+	}
+	runTo(5)
+	for step := 0; step < 6; step++ {
+		if math.Float64bits(seen[step]) != math.Float64bits(refLosses[step]) {
+			t.Fatalf("pre-resize step %d diverged from the reference", step)
+		}
+	}
+	before := varBits(t, s, "embedding")
+	if err := s.Resize(ctx, Uniform(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.StepCount() != 6 {
+		t.Fatalf("StepCount after grow = %d, want 6", s.StepCount())
+	}
+	if s.Workers() != 6 {
+		t.Fatalf("Workers after grow = %d, want 6", s.Workers())
+	}
+	after := varBits(t, s, "embedding")
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("embedding[%d] changed across the grow resize", i)
+		}
+	}
+	runTo(9)
+	mid := varBits(t, s, "embedding")
+	if err := s.Resize(ctx, Uniform(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers() != 4 {
+		t.Fatalf("Workers after shrink = %d, want 4", s.Workers())
+	}
+	back := varBits(t, s, "embedding")
+	for i := range mid {
+		if mid[i] != back[i] {
+			t.Fatalf("embedding[%d] changed across the shrink resize", i)
+		}
+	}
+	runTo(11)
+	if len(seen) != 12 {
+		t.Fatalf("emitted %d distinct steps across resizes, want 12", len(seen))
+	}
+}
+
+// TestSessionElasticCrossTopologyRestore pins OpenFromCheckpoint's
+// topology contract both ways: restoring a checkpoint onto a different
+// machine count is a hard ErrTopologyMismatch without WithElastic and
+// an explicit resharding restore with it — in both directions, with the
+// variables surviving bit for bit.
+func TestSessionElasticCrossTopologyRestore(t *testing.T) {
+	ctx := context.Background()
+	dir2 := t.TempDir()
+	s, err := Open(ctx, buildAPIModel(8, 150), Uniform(2, 2), momentumOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for st, err := range s.Steps(ctx, data.NewZipfText(150, 8, 1, 1.0, 5)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Step == 4 {
+			break
+		}
+	}
+	if err := s.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	ref := varBits(t, s, "embedding")
+	s.Close()
+
+	if _, err := OpenFromCheckpoint(ctx, dir2, buildAPIModel(8, 150), Uniform(3, 2), momentumOpts()...); !errors.Is(err, ErrTopologyMismatch) {
+		t.Fatalf("2→3 restore without WithElastic: %v, want ErrTopologyMismatch", err)
+	}
+	s3, err := OpenFromCheckpoint(ctx, dir2, buildAPIModel(8, 150), Uniform(3, 2),
+		append(momentumOpts(), WithElastic())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.StepCount() != 5 {
+		t.Fatalf("grown restore StepCount = %d, want 5", s3.StepCount())
+	}
+	grown := varBits(t, s3, "embedding")
+	for i := range ref {
+		if ref[i] != grown[i] {
+			t.Fatalf("embedding[%d] changed across the 2→3 restore", i)
+		}
+	}
+	// The grown cluster trains on: steps 5 and 6 each exactly once (the
+	// fresh dataset fast-forwards to the checkpointed cursor).
+	steps := map[int]bool{}
+	for st, err := range s3.Steps(ctx, data.NewZipfText(150, 8, 1, 1.0, 5)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps[st.Step] {
+			t.Fatalf("step %d emitted twice after the grown restore", st.Step)
+		}
+		steps[st.Step] = true
+		if st.Step == 6 {
+			break
+		}
+	}
+	if !steps[5] || !steps[6] || len(steps) != 2 {
+		t.Fatalf("grown restore emitted steps %v, want exactly {5, 6}", steps)
+	}
+	dir3 := t.TempDir()
+	if err := s3.Save(dir3); err != nil {
+		t.Fatal(err)
+	}
+	ref3 := varBits(t, s3, "embedding")
+	s3.Close()
+
+	if _, err := OpenFromCheckpoint(ctx, dir3, buildAPIModel(8, 150), Uniform(2, 2), momentumOpts()...); !errors.Is(err, ErrTopologyMismatch) {
+		t.Fatalf("3→2 restore without WithElastic: %v, want ErrTopologyMismatch", err)
+	}
+	s4, err := OpenFromCheckpoint(ctx, dir3, buildAPIModel(8, 150), Uniform(2, 2),
+		append(momentumOpts(), WithElastic())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s4.Close()
+	if s4.StepCount() != 7 {
+		t.Fatalf("shrunken restore StepCount = %d, want 7", s4.StepCount())
+	}
+	shrunk := varBits(t, s4, "embedding")
+	for i := range ref3 {
+		if ref3[i] != shrunk[i] {
+			t.Fatalf("embedding[%d] changed across the 3→2 restore", i)
+		}
+	}
+}
+
+// TestSessionElasticValidation pins the API preconditions: Resize and
+// Leave demand the elastic opt-in (and a live session), and a joiner
+// cannot target a cluster without WithElastic.
+func TestSessionElasticValidation(t *testing.T) {
+	ctx := context.Background()
+	s, err := Open(ctx, buildAPIModel(8, 150), Uniform(2, 2), momentumOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resize(ctx, Uniform(3, 2)); err == nil {
+		t.Fatal("Resize without WithElastic must fail")
+	}
+	if err := s.Leave(); err == nil {
+		t.Fatal("Leave on a non-elastic single-process session must fail")
+	}
+	s.Close()
+	if err := s.Resize(ctx, Uniform(3, 2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Resize after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Leave(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Leave after Close: %v, want ErrClosed", err)
+	}
+	if _, err := Open(ctx, buildAPIModel(8, 150), Uniform(1, 2),
+		WithDistConfig(DistConfig{JoinTarget: "127.0.0.1:1", JoinAddr: "127.0.0.1:2"})); err == nil {
+		t.Fatal("JoinTarget without WithElastic must fail")
+	}
+}

@@ -49,6 +49,13 @@ var (
 	// while the other still carries a stale one. The stale side re-reads
 	// the epoch record in the auto-checkpoint directory and retries.
 	ErrEpochMismatch = errs.ErrEpochMismatch
+
+	// ErrLeft marks this agent's clean voluntary departure from an
+	// elastic cluster (Session.Leave): survivors agreed on a membership
+	// without this machine and resharded its parameter-server state, and
+	// the session closed itself. Steps returns an error wrapping ErrLeft
+	// exactly once; treat it as a normal shutdown, not a failure.
+	ErrLeft = errs.ErrLeft
 )
 
 // PeerFailure is the rank-attributed failure record produced by the

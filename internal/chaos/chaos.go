@@ -25,6 +25,12 @@
 //	delay@K:D       sleep duration D once, before step K (e.g. 50ms)
 //	slow@K:D        from step K on, sleep a seed-jittered duration around
 //	                D before every step (slow-peer throttling)
+//	join@K          fire the OnJoin hook once at step K — the harness's
+//	                cue to launch a joining agent against the elastic
+//	                cluster (DESIGN.md §14)
+//	leave@K:P       fire the OnLeave hook once at step K with machine P:
+//	                the session requests a voluntary departure for P when
+//	                P is the machine it hosts
 //
 // The injector is created once per process and survives fabric
 // rebuilds: after an in-place recovery the session re-wraps the fresh
@@ -54,6 +60,8 @@ const (
 	faultCrashAfterSave
 	faultDelay
 	faultSlow
+	faultJoin
+	faultLeave
 )
 
 // Fault is one scheduled fault.
@@ -77,6 +85,14 @@ type Injector struct {
 	// Exit is called for crash faults; overridable in tests. Defaults to
 	// os.Exit.
 	Exit func(code int)
+
+	// OnJoin receives join@K faults: the elastic-test harness's cue to
+	// launch a joining agent. Set before the first step; may be nil.
+	OnJoin func(step int)
+	// OnLeave receives leave@K:P faults with the target machine; the
+	// session's elastic arm turns a hit on its own machine into a
+	// voluntary-leave request. Set before the first step; may be nil.
+	OnLeave func(step, machine int)
 }
 
 // Parse builds an injector from a fault spec. The seed drives the
@@ -101,6 +117,16 @@ func Parse(spec string, seed int64) (*Injector, error) {
 		switch name {
 		case "kill":
 			f.Kind = faultKill
+		case "join":
+			f.Kind = faultJoin
+		case "leave":
+			f.Kind = faultLeave
+			if !hasArg {
+				return nil, fmt.Errorf("chaos: leave needs a machine: leave@K:P")
+			}
+			if f.Peer, err = strconv.Atoi(arg); err != nil || f.Peer < 0 {
+				return nil, fmt.Errorf("chaos: leave machine %q", arg)
+			}
 		case "sever":
 			f.Kind = faultSever
 			if !hasArg {
@@ -157,6 +183,10 @@ type Fabric struct {
 	inj *Injector
 }
 
+// Unwrap returns the wrapped inner fabric — the session reaches the TCP
+// fabric's elastic join endpoints through the chaos wrapper with it.
+func (f *Fabric) Unwrap() transport.Fabric { return f.Fabric }
+
 // Err reports the injected failure when one was recorded directly (the
 // kill path for fabrics without their own attribution, i.e. in-process),
 // otherwise the inner fabric's attributed failure. The injected error
@@ -201,7 +231,8 @@ func (f *Fabric) SetStep(step int) {
 			}
 		case ft.fired || ft.Step != step:
 		case ft.Kind == faultKill || ft.Kind == faultSever ||
-			ft.Kind == faultCrash || ft.Kind == faultDelay:
+			ft.Kind == faultCrash || ft.Kind == faultDelay ||
+			ft.Kind == faultJoin || ft.Kind == faultLeave:
 			ft.fired = true
 			fire = append(fire, ft)
 		}
@@ -230,6 +261,14 @@ func (f *Fabric) SetStep(step int) {
 			f.kill(step)
 		case faultSever:
 			f.sever(ft.Peer)
+		case faultJoin:
+			if inj.OnJoin != nil {
+				inj.OnJoin(step)
+			}
+		case faultLeave:
+			if inj.OnLeave != nil {
+				inj.OnLeave(step, ft.Peer)
+			}
 		}
 	}
 }

@@ -23,6 +23,9 @@ func TestParseSpecs(t *testing.T) {
 		"delay@2:50ms",
 		"slow@4:10ms",
 		"kill@1,sever@2:0,delay@3:1ms",
+		"join@5",
+		"leave@5:2",
+		"join@3,leave@7:0",
 		"", // empty spec = no faults
 		"  kill@1 , crash@2  ",
 	}
@@ -41,6 +44,10 @@ func TestParseSpecs(t *testing.T) {
 		"delay@2:fast",    // bad duration
 		"explode@1",       // unknown fault
 		"kill@1,crash@zz", // one bad part poisons the spec
+		"leave@5",         // missing machine
+		"leave@5:x",       // bad machine
+		"leave@5:-1",      // negative machine
+		"join@x",          // bad step
 	}
 	for _, spec := range bad {
 		if _, err := Parse(spec, 1); err == nil {
@@ -168,6 +175,60 @@ func TestFiredFaultsSurviveRewrap(t *testing.T) {
 	case <-fab2.Done():
 		t.Fatal("fired fault closed the second-generation fabric")
 	default:
+	}
+}
+
+// join@K and leave@K:P fire their hooks exactly once at step K, carry
+// the right arguments, and never mark the fabric failed — membership
+// churn is not a fault in the failure-attribution sense.
+func TestJoinLeaveHooksFireOnce(t *testing.T) {
+	inj, err := Parse("join@2,leave@4:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joins []int
+	var leaves [][2]int
+	inj.OnJoin = func(step int) { joins = append(joins, step) }
+	inj.OnLeave = func(step, machine int) { leaves = append(leaves, [2]int{step, machine}) }
+	fab := inj.Wrap(transport.NewInproc(testTopo()))
+	defer fab.Close()
+	for s := 0; s < 6; s++ {
+		fab.SetStep(s)
+	}
+	if len(joins) != 1 || joins[0] != 2 {
+		t.Fatalf("OnJoin fired at %v, want exactly [2]", joins)
+	}
+	if len(leaves) != 1 || leaves[0] != [2]int{4, 1} {
+		t.Fatalf("OnLeave fired with %v, want exactly [[4 1]]", leaves)
+	}
+	if err := fab.Err(); err != nil {
+		t.Fatalf("join/leave marked the fabric failed: %v", err)
+	}
+	// Replayed steps after a rebuild must not re-fire membership cues —
+	// a second join request for an already-admitted agent would be
+	// rejected as a stale rejoin, but there is no reason to send one.
+	fab2 := inj.Wrap(transport.NewInproc(testTopo()))
+	defer fab2.Close()
+	for s := 0; s < 6; s++ {
+		fab2.SetStep(s)
+	}
+	if len(joins) != 1 || len(leaves) != 1 {
+		t.Fatalf("membership cues re-fired on re-wrap: joins %v leaves %v", joins, leaves)
+	}
+}
+
+// Nil hooks are legal: an agent without an elastic harness parses and
+// runs a join/leave spec as a no-op instead of panicking.
+func TestJoinLeaveNilHooks(t *testing.T) {
+	inj, err := Parse("join@1,leave@1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := inj.Wrap(transport.NewInproc(testTopo()))
+	defer fab.Close()
+	fab.SetStep(1)
+	if err := fab.Err(); err != nil {
+		t.Fatalf("nil-hook join/leave failed the fabric: %v", err)
 	}
 }
 

@@ -1,0 +1,134 @@
+package checkpoint
+
+// Durable membership records for elastic clusters (DESIGN.md §14),
+// living next to EPOCH in the auto-checkpoint root:
+//
+//	root/
+//	  EPOCH                        current fabric generation
+//	  MEMBERS                      agreed membership of that generation
+//	  membership/
+//	    epoch-00000002-from-001    machine 1's proposal for epoch 2
+//
+// MEMBERS is the authoritative member list: a restarted agent reads it
+// before rendezvous and reindexes itself by its own address (or learns
+// it was shrunk away). Proposal records are written by a proposer
+// BEFORE its membership agreement round, so once the cluster max-folds
+// a winner, every survivor can read the winner's full member list off
+// the shared root — the scalar agreement only has to carry the winner's
+// identity. All writes use the same atomic temp+rename as WriteEpoch;
+// concurrent writers of MEMBERS write identical bytes (everyone adopts
+// the same agreed record), so any interleaving is safe.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"parallax/internal/transport"
+)
+
+const (
+	membersFile   = "MEMBERS"
+	membershipDir = "membership"
+)
+
+// ReadMembers returns the membership recorded in root, nil (no error)
+// when none has been recorded yet — a cluster still running on its
+// launch flags.
+func ReadMembers(root string) (*transport.Membership, error) {
+	b, err := os.ReadFile(filepath.Join(root, membersFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	m, err := transport.DecodeMembership(b)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: malformed MEMBERS record in %s: %w", root, err)
+	}
+	return m, nil
+}
+
+// WriteMembers atomically records the agreed membership in root.
+func WriteMembers(root string, m *transport.Membership) error {
+	return writeAtomic(root, membersFile, transport.AppendMembership(nil, m))
+}
+
+// recordName returns the proposal-record filename for one (epoch,
+// proposer) pair; including the proposer keeps concurrent proposals for
+// the same epoch from clobbering each other.
+func recordName(epoch, proposer int) string {
+	return fmt.Sprintf("epoch-%08d-from-%03d", epoch, proposer)
+}
+
+// WriteMembershipRecord durably publishes a machine's membership
+// proposal for an epoch, before the agreement round that may elect it.
+func WriteMembershipRecord(root string, proposer int, m *transport.Membership) error {
+	dir := filepath.Join(root, membershipDir)
+	return writeAtomic(dir, recordName(m.Epoch, proposer), transport.AppendMembership(nil, m))
+}
+
+// ReadMembershipRecord reads the proposal a machine published for an
+// epoch — the step survivors take after the agreement elects a winner.
+func ReadMembershipRecord(root string, epoch, proposer int) (*transport.Membership, error) {
+	path := filepath.Join(root, membershipDir, recordName(epoch, proposer))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := transport.DecodeMembership(b)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: malformed membership record %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// PruneMembershipRecords removes proposal records for epochs before the
+// given one — transition debris no survivor can need again.
+func PruneMembershipRecords(root string, beforeEpoch int) error {
+	dir := filepath.Join(root, membershipDir)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var firstErr error
+	for _, e := range ents {
+		var epoch, proposer int
+		if _, err := fmt.Sscanf(e.Name(), "epoch-%d-from-%d", &epoch, &proposer); err != nil {
+			continue
+		}
+		if epoch < beforeEpoch {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// writeAtomic is the shared temp+rename write behind every control file
+// in the root (see WriteEpoch).
+func writeAtomic(dir, base string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, filepath.Join(dir, base))
+}

@@ -1,0 +1,91 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parallax/internal/transport"
+)
+
+func TestMembersRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	if m, err := ReadMembers(root); err != nil || m != nil {
+		t.Fatalf("fresh root: members %v err %v, want nil/nil", m, err)
+	}
+	want := &transport.Membership{
+		Epoch: 2, Step: 30, Cursor: 120, Parts: 8, Joiner: 1,
+		Members: []transport.Member{
+			{Addr: "127.0.0.1:7001", GPUs: 2},
+			{Addr: "127.0.0.1:7003", GPUs: 2},
+		},
+	}
+	if err := WriteMembers(root, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMembers(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != want.Epoch || got.Joiner != want.Joiner || len(got.Members) != 2 ||
+		got.Members[1].Addr != "127.0.0.1:7003" {
+		t.Fatalf("ReadMembers = %+v", got)
+	}
+	// A corrupt record is an error, not a nil (the caller must not
+	// silently fall back to launch flags on a torn root).
+	if err := os.WriteFile(filepath.Join(root, membersFile), []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMembers(root); err == nil {
+		t.Fatal("corrupt MEMBERS accepted")
+	}
+}
+
+func TestMembershipRecords(t *testing.T) {
+	root := t.TempDir()
+	rec := func(epoch, proposer, n int) *transport.Membership {
+		members := make([]transport.Member, n)
+		for i := range members {
+			members[i] = transport.Member{Addr: filepath.Join("m", string(rune('a'+i))), GPUs: 1}
+		}
+		return &transport.Membership{Epoch: epoch, Parts: 1, Joiner: -1, Members: members}
+	}
+	// Two proposers publish for the same epoch without clobbering.
+	if err := WriteMembershipRecord(root, 0, rec(1, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMembershipRecord(root, 1, rec(1, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	m0, err := ReadMembershipRecord(root, 1, 0)
+	if err != nil || len(m0.Members) != 2 {
+		t.Fatalf("proposer 0 record: %+v err %v", m0, err)
+	}
+	m1, err := ReadMembershipRecord(root, 1, 1)
+	if err != nil || len(m1.Members) != 3 {
+		t.Fatalf("proposer 1 record: %+v err %v", m1, err)
+	}
+	// Re-publishing overwrites (a retried proposal at the same epoch).
+	if err := WriteMembershipRecord(root, 0, rec(1, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if m0, err = ReadMembershipRecord(root, 1, 0); err != nil || len(m0.Members) != 3 {
+		t.Fatalf("overwritten record: %+v err %v", m0, err)
+	}
+	if _, err := ReadMembershipRecord(root, 2, 0); err == nil {
+		t.Fatal("missing record read succeeded")
+	}
+	// Pruning removes only strictly-older epochs.
+	if err := WriteMembershipRecord(root, 0, rec(3, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := PruneMembershipRecords(root, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMembershipRecord(root, 1, 0); err == nil {
+		t.Fatal("pruned record still readable")
+	}
+	if _, err := ReadMembershipRecord(root, 3, 0); err != nil {
+		t.Fatalf("current-epoch record pruned: %v", err)
+	}
+}

@@ -49,6 +49,13 @@ var (
 	// stale one. The stale side should re-read the cluster's epoch
 	// record and retry.
 	ErrEpochMismatch = errors.New("epoch mismatch")
+
+	// ErrLeft marks the clean voluntary departure of this agent from an
+	// elastic cluster: Session.Leave was requested, the survivors agreed
+	// on a membership without this machine, its parameter-server shards
+	// were handed off, and the session closed itself. It is a terminal
+	// outcome, not a failure — agent processes should exit 0 on it.
+	ErrLeft = errors.New("left cluster")
 )
 
 // PeerFailure is the rank-attributed failure record produced by the

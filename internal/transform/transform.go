@@ -1296,6 +1296,26 @@ func (t *Trainer) AgreeStop(stop bool) (bool, error) {
 	return m >= 1, err
 }
 
+// AgreeMembership folds a locally proposed membership-change code into
+// the cluster-wide maximum — the admission/departure vote of the
+// elastic membership protocol (DESIGN.md §14). The session layer's code
+// encoding makes the max fold pick a unique winner from any combination
+// of concurrent proposals (0 = no proposal), so every agent derives the
+// identical transition. It rides the same all-gather as the other
+// agreements: every agent must call it at the same step boundaries, and
+// it must not run concurrently with Step. Single-process trainers
+// return the proposal unchanged.
+// A non-nil error means the fabric died mid-agreement (peer failure);
+// the trainer is torn down fail-stop, exactly like a failed Step.
+func (t *Trainer) AgreeMembership(v float64) (float64, error) {
+	return t.agreeMax("member", v)
+}
+
+// Fabric returns the trainer's transport fabric, so the session layer
+// can reach fabric-specific surfaces (the elastic join listener). The
+// trainer still owns it; callers must not Close it.
+func (t *Trainer) Fabric() transport.Fabric { return t.fab }
+
 // agreeMax all-gathers one scalar per worker in rank order under tag
 // and folds the cluster-wide maximum, bitwise identical on every agent.
 // A fabric death mid-gather fails the step (attributed error) instead

@@ -1,0 +1,366 @@
+package transport
+
+// Tests for the elastic-membership frames and the join handshake
+// (membership.go): canonical encode/decode under the §8 codec
+// discipline, and the park-then-offer protocol over a live elastic
+// fabric. The unit cases here seed FuzzMembershipDecode's corpus.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parallax/internal/errs"
+)
+
+func sampleMemberships() []*Membership {
+	return []*Membership{
+		{Epoch: 0, Step: 0, Cursor: 0, Parts: 1, Joiner: -1,
+			Members: []Member{{Addr: "127.0.0.1:7001", GPUs: 1}}},
+		{Epoch: 3, Step: 20, Cursor: 80, Parts: 8, Joiner: 2, Members: []Member{
+			{Addr: "10.0.0.1:7001", GPUs: 2},
+			{Addr: "10.0.0.2:7001", GPUs: 2},
+			{Addr: "10.0.0.3:7001", GPUs: 4},
+		}},
+		{Epoch: 1, Step: 1 << 40, Cursor: 1 << 41, Parts: 64, Joiner: -1, Members: []Member{
+			{Addr: strings.Repeat("h", 255), GPUs: 0xFFFF},
+			{Addr: "b:1", GPUs: 1},
+		}},
+	}
+}
+
+func sampleJoinRequests() []*JoinRequest {
+	return []*JoinRequest{
+		{Addr: "127.0.0.1:7003", GPUs: 2, Fingerprint: "none"},
+		{Addr: "j:1", GPUs: 1, Fingerprint: ""},
+		{Addr: strings.Repeat("a", 255), GPUs: 0xFFFF, Fingerprint: strings.Repeat("f", 255)},
+	}
+}
+
+func TestMembershipRoundTrip(t *testing.T) {
+	for i, m := range sampleMemberships() {
+		b := AppendMembership(nil, m)
+		got, err := DecodeMembership(b)
+		if err != nil {
+			t.Fatalf("membership %d: %v", i, err)
+		}
+		if got.Epoch != m.Epoch || got.Step != m.Step || got.Cursor != m.Cursor ||
+			got.Parts != m.Parts || got.Joiner != m.Joiner || len(got.Members) != len(m.Members) {
+			t.Fatalf("membership %d: decoded %+v, want %+v", i, got, m)
+		}
+		for j := range m.Members {
+			if got.Members[j] != m.Members[j] {
+				t.Fatalf("membership %d member %d: %+v != %+v", i, j, got.Members[j], m.Members[j])
+			}
+		}
+		// Canonical: re-encoding the decoded value is byte-stable.
+		if !bytes.Equal(AppendMembership(nil, got), b) {
+			t.Fatalf("membership %d: re-encode not byte-stable", i)
+		}
+		if got.IndexOf(m.Members[0].Addr) != 0 || got.IndexOf("nobody") != -1 {
+			t.Fatalf("membership %d: IndexOf wrong", i)
+		}
+	}
+	for i, r := range sampleJoinRequests() {
+		b := AppendJoinRequest(nil, r)
+		got, err := DecodeJoinRequest(b)
+		if err != nil {
+			t.Fatalf("join request %d: %v", i, err)
+		}
+		if *got != *r {
+			t.Fatalf("join request %d: decoded %+v, want %+v", i, got, r)
+		}
+		if !bytes.Equal(AppendJoinRequest(nil, got), b) {
+			t.Fatalf("join request %d: re-encode not byte-stable", i)
+		}
+	}
+}
+
+func TestMembershipDecodeRejectsMalformed(t *testing.T) {
+	good := AppendMembership(nil, sampleMemberships()[1])
+	// Every strict prefix is a truncation and must error.
+	for n := 0; n < len(good); n++ {
+		if _, err := DecodeMembership(good[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing bytes break canonicality.
+	if _, err := DecodeMembership(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	mutate := func(name string, f func(m *Membership)) {
+		m := sampleMemberships()[1]
+		c := *m
+		c.Members = append([]Member(nil), m.Members...)
+		f(&c)
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: encoding an invalid membership did not panic", name)
+			}
+		}()
+		AppendMembership(nil, &c)
+	}
+	mutate("no members", func(m *Membership) { m.Members = nil })
+	mutate("duplicate rank", func(m *Membership) { m.Members[1].Addr = m.Members[0].Addr })
+	mutate("empty addr", func(m *Membership) { m.Members[0].Addr = "" })
+	mutate("zero gpus", func(m *Membership) { m.Members[0].GPUs = 0 })
+	mutate("joiner out of range", func(m *Membership) { m.Joiner = 3 })
+	mutate("zero parts", func(m *Membership) { m.Parts = 0 })
+	mutate("negative epoch", func(m *Membership) { m.Epoch = -1 })
+
+	// The same invariants rejected at decode time: hand-craft frames the
+	// encoder refuses to produce.
+	over := append([]byte(nil), good...)
+	// member count lives at offset 1+4+8+8+4+2 = 27..28 (LE u16)
+	over[27], over[28] = 0xFF, 0xFF
+	if _, err := DecodeMembership(over); err == nil {
+		t.Fatal("oversized member count accepted")
+	}
+	dup := AppendMembership(nil, &Membership{
+		Epoch: 0, Step: 0, Cursor: 0, Parts: 1, Joiner: -1,
+		Members: []Member{{Addr: "a:1", GPUs: 1}, {Addr: "b:1", GPUs: 1}},
+	})
+	// Rewrite member 1's addr bytes to member 0's ("a:1" == "b:1" length).
+	copy(dup[len(dup)-6:len(dup)-3], "a:1")
+	if _, err := DecodeMembership(dup); err == nil {
+		t.Fatal("duplicate-rank frame accepted")
+	}
+	if _, err := DecodeMembership(nil); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+
+	jr := AppendJoinRequest(nil, sampleJoinRequests()[0])
+	for n := 0; n < len(jr); n++ {
+		if _, err := DecodeJoinRequest(jr[:n]); err == nil {
+			t.Fatalf("join request truncation to %d bytes accepted", n)
+		}
+	}
+	if _, err := DecodeJoinRequest(append(append([]byte(nil), jr...), 7)); err == nil {
+		t.Fatal("join request trailing byte accepted")
+	}
+}
+
+// FuzzMembershipDecode pins the §8 discipline on the membership frames:
+// any input either errors or decodes to a value whose canonical
+// re-encoding round-trips — and nothing panics. The corpus is seeded
+// from the unit-test samples plus targeted malformations.
+func FuzzMembershipDecode(f *testing.F) {
+	for _, m := range sampleMemberships() {
+		f.Add(AppendMembership(nil, m))
+	}
+	for _, r := range sampleJoinRequests() {
+		f.Add(AppendJoinRequest(nil, r))
+	}
+	good := AppendMembership(nil, sampleMemberships()[1])
+	f.Add(good[:len(good)/2])                          // truncation
+	f.Add(append(append([]byte(nil), good...), 0))     // trailing byte
+	over := append([]byte(nil), good...)
+	over[27], over[28] = 0xFF, 0xFF
+	f.Add(over) // oversized member count
+	f.Add([]byte{membershipVersion})
+	f.Add([]byte{99, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if m, err := DecodeMembership(b); err == nil {
+			enc := AppendMembership(nil, m)
+			m2, err := DecodeMembership(enc)
+			if err != nil {
+				t.Fatalf("re-decode of canonical encoding failed: %v", err)
+			}
+			if !bytes.Equal(AppendMembership(nil, m2), enc) {
+				t.Fatal("canonical encoding not byte-stable")
+			}
+		}
+		if r, err := DecodeJoinRequest(b); err == nil {
+			enc := AppendJoinRequest(nil, r)
+			if r2, err := DecodeJoinRequest(enc); err != nil || *r2 != *r {
+				t.Fatalf("join request canonical round-trip failed: %v", err)
+			}
+		}
+	})
+}
+
+// dialElasticPair is dialPair with Elastic set, returning the fabrics
+// and process 0's live listen address for joiners to knock on.
+func dialElasticPair(t *testing.T, topo Topology) (*TCP, *TCP, string) {
+	t.Helper()
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln0.Addr().String(), ln1.Addr().String()}
+	lns := []net.Listener{ln0, ln1}
+	fabs := make([]*TCP, 2)
+	derrs := make([]error, 2)
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			fabs[p], derrs[p] = DialTCP(context.Background(), TCPConfig{
+				Topo: topo, Process: p, Addrs: addrs, Listener: lns[p],
+				DialTimeout: 10 * time.Second, Elastic: true,
+			})
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range derrs {
+		if err != nil {
+			t.Fatalf("process %d: %v", p, err)
+		}
+	}
+	t.Cleanup(func() { fabs[0].Close(); fabs[1].Close() })
+	return fabs[0], fabs[1], addrs[0]
+}
+
+// TestTCPJoinHandshake drives the full park-then-offer protocol: a
+// joiner knocks on a running elastic fabric, the member sees the parked
+// request, and OfferJoin delivers the agreed membership.
+func TestTCPJoinHandshake(t *testing.T) {
+	f0, f1, addr0 := dialElasticPair(t, twoMachineTopo())
+	if f1.PendingJoin() != nil || f0.PendingJoin() != nil {
+		t.Fatal("pending join on a fresh fabric")
+	}
+
+	offer := &Membership{Epoch: 1, Step: 10, Cursor: 20, Parts: 8, Joiner: 2, Members: []Member{
+		{Addr: "127.0.0.1:7001", GPUs: 1},
+		{Addr: "127.0.0.1:7002", GPUs: 1},
+		{Addr: "127.0.0.1:7003", GPUs: 1},
+	}}
+	var got *Membership
+	var joinErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got, joinErr = RequestJoin(context.Background(),
+			addr0, JoinRequest{Addr: "127.0.0.1:7003", GPUs: 1, Fingerprint: "none"}, 10*time.Second)
+	}()
+
+	// The knock lands on process 0's listener asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	var req *JoinRequest
+	for req == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("join request never parked")
+		}
+		req = f0.PendingJoin()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if req.Addr != "127.0.0.1:7003" || req.GPUs != 1 {
+		t.Fatalf("parked request %+v", req)
+	}
+	if err := f0.OfferJoin(offer); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if joinErr != nil {
+		t.Fatal(joinErr)
+	}
+	if got.Joiner != 2 || len(got.Members) != 3 || got.Members[2].Addr != "127.0.0.1:7003" {
+		t.Fatalf("joiner received %+v", got)
+	}
+	if err := f0.OfferJoin(offer); err == nil {
+		t.Fatal("second OfferJoin with no parked joiner must fail")
+	}
+}
+
+// TestTCPJoinRejections: a fingerprint mismatch is fatal to the joiner
+// (ErrCompressionMismatch); an address that is already a member is
+// dropped; a second concurrent joiner is told busy and keeps retrying
+// until the first is released.
+func TestTCPJoinRejections(t *testing.T) {
+	f0, _, addr0 := dialElasticPair(t, twoMachineTopo())
+
+	_, err := RequestJoin(context.Background(), addr0,
+		JoinRequest{Addr: "127.0.0.1:7003", GPUs: 1, Fingerprint: "topk0.01+f16"}, 5*time.Second)
+	if !errors.Is(err, errs.ErrCompressionMismatch) {
+		t.Fatalf("fingerprint mismatch gave %v, want ErrCompressionMismatch", err)
+	}
+
+	// Re-using a member address never parks; the request times out.
+	_, err = RequestJoin(context.Background(), addr0,
+		JoinRequest{Addr: f0.addrs[1], GPUs: 1, Fingerprint: "none"}, 500*time.Millisecond)
+	if err == nil {
+		t.Fatal("duplicate member address was admitted")
+	}
+	if f0.PendingJoin() != nil {
+		t.Fatal("duplicate member address parked")
+	}
+
+	// First joiner parks; a second gets busy-bounced until the first is
+	// offered its membership, then succeeds.
+	res := make(chan error, 2)
+	join := func(addr string) {
+		_, err := RequestJoin(context.Background(), addr0,
+			JoinRequest{Addr: addr, GPUs: 1, Fingerprint: "none"}, 10*time.Second)
+		res <- err
+	}
+	go join("127.0.0.1:7003")
+	deadline := time.Now().Add(5 * time.Second)
+	for f0.PendingJoin() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("first joiner never parked")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	go join("127.0.0.1:7004")
+	time.Sleep(50 * time.Millisecond) // give the second knock time to bounce
+	offer := func(addr string) *Membership {
+		return &Membership{Epoch: 1, Step: 0, Cursor: 0, Parts: 1, Joiner: 2, Members: []Member{
+			{Addr: "127.0.0.1:7001", GPUs: 1},
+			{Addr: "127.0.0.1:7002", GPUs: 1},
+			{Addr: addr, GPUs: 1},
+		}}
+	}
+	if err := f0.OfferJoin(offer(f0.PendingJoin().Addr)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+	for f0.PendingJoin() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("second joiner never parked")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := f0.OfferJoin(offer(f0.PendingJoin().Addr)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPElasticShutdownReleasesParkedJoiner: closing the fabric closes
+// the listener and any parked connection; the joiner's RequestJoin sees
+// the teardown as a retryable close, not a hang.
+func TestTCPElasticShutdownReleasesParkedJoiner(t *testing.T) {
+	f0, f1, addr0 := dialElasticPair(t, twoMachineTopo())
+	res := make(chan error, 1)
+	go func() {
+		_, err := RequestJoin(context.Background(), addr0,
+			JoinRequest{Addr: "127.0.0.1:7003", GPUs: 1, Fingerprint: "none"}, 2*time.Second)
+		res <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for f0.PendingJoin() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("joiner never parked")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	f0.Close()
+	f1.Close()
+	if err := <-res; err == nil {
+		t.Fatal("parked joiner outlived the fabric without an error")
+	}
+}

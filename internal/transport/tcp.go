@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -62,6 +63,11 @@ type TCPConfig struct {
 	// fingerprints differ refuse to connect (ErrCompressionMismatch):
 	// a policy split would desync the replicas' quantization grids.
 	Policy Policy
+	// Elastic keeps the rendezvous listener open after the fabric is up,
+	// so prospective members can knock with the join handshake
+	// (membership.go) while training runs. Without it the listener closes
+	// once every peer is connected and membership is static.
+	Elastic bool
 }
 
 // handshakeMagic opens every peer connection, followed by the dialer's
@@ -105,6 +111,18 @@ type TCP struct {
 	epoch    int
 	maxFrame int
 	pool     *bufPool
+
+	// Elastic-membership state: the listener kept open for joiners, this
+	// process's policy fingerprint and the cluster address list (to vet
+	// join requests), and at most one parked joiner connection awaiting
+	// an admission offer (membership.go).
+	elastic     bool
+	fingerprint string
+	addrs       []string
+	ln          net.Listener
+	joinMu      sync.Mutex
+	joinConn    net.Conn
+	joinReq     *JoinRequest
 
 	hbInterval time.Duration // <= 0: heartbeats and read deadlines off
 	hbTimeout  time.Duration
@@ -215,9 +233,12 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 		}
 	}
 
+	// An elastic fabric listens even when no peer rendezvous is expected
+	// (the highest-indexed process, or a single-machine cluster): the
+	// listener is the door joiners knock on.
 	nAccept := procs - 1 - cfg.Process
 	var ln net.Listener
-	if nAccept > 0 {
+	if nAccept > 0 || cfg.Elastic {
 		ln = cfg.Listener
 		if ln == nil {
 			var err error
@@ -229,6 +250,9 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 		cfg.Listener.Close()
 	}
 	fingerprint := cfg.Policy.Fingerprint()
+	f.elastic = cfg.Elastic
+	f.fingerprint = fingerprint
+	f.addrs = append([]string(nil), cfg.Addrs...)
 	type acceptRes struct {
 		peer int
 		conn net.Conn
@@ -239,6 +263,7 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 		if ln != nil {
 			ln.Close() // ends the accept goroutine
 		}
+		f.closeJoin()
 		for _, wc := range f.conns {
 			if wc != nil {
 				wc.conn.Close()
@@ -256,16 +281,35 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 		}
 	}
 
-	if nAccept > 0 {
-		// Accept until the listener closes (success path closes it once
-		// all peers are connected; the fail path closes it on error), not
-		// until nAccept good handshakes: a duplicate connection from a
-		// restarted peer must not eat a genuine peer's slot.
+	if ln != nil {
+		// Accept until the listener closes, not until nAccept good
+		// handshakes: a duplicate connection from a restarted peer must
+		// not eat a genuine peer's slot. On a static fabric the success
+		// path closes the listener once all peers are connected (the fail
+		// path closes it on error); an elastic fabric keeps it open for
+		// joiners until shutdown, so the goroutine is tracked and reaped
+		// by Close.
+		f.readers.Add(1)
 		go func() {
+			defer f.readers.Done()
 			for {
 				conn, err := ln.Accept()
 				if err != nil {
 					return // listener closed; a premature break surfaces as a timeout below
+				}
+				conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+				var magic [4]byte
+				if _, err := io.ReadFull(conn, magic[:]); err != nil {
+					conn.Close()
+					continue
+				}
+				if magic == joinMagic {
+					f.acceptJoin(conn)
+					continue
+				}
+				if magic != handshakeMagic {
+					conn.Close() // junk
+					continue
 				}
 				peer, peerFP, peerEpoch, err := readHandshake(conn)
 				if err != nil || peer <= cfg.Process || peer >= procs {
@@ -319,38 +363,60 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 	}
 
 	for q := 0; q < cfg.Process; q++ {
-		conn, err := dialRetry(ctx, cfg.Addrs[q], deadline, cfg.DialBackoff)
-		if err != nil {
-			return fail(fmt.Errorf("transport: process %d dialing peer %d (%s): %w",
-				cfg.Process, q, cfg.Addrs[q],
-				&errs.PeerFailure{Rank: q, Epoch: cfg.Epoch, Cause: err}))
-		}
 		hs := append(append([]byte(nil), handshakeMagic[:]...), 0, 0, 0, 0, 0, 0, 0, 0)
 		binary.LittleEndian.PutUint16(hs[4:], uint16(cfg.Process))
 		binary.LittleEndian.PutUint16(hs[6:], uint16(len(fingerprint)))
 		binary.LittleEndian.PutUint32(hs[8:], uint32(cfg.Epoch))
 		hs = append(hs, fingerprint...)
-		if _, err := conn.Write(hs); err != nil {
-			conn.Close()
-			return fail(fmt.Errorf("transport: handshake to peer %d: %w", q, err))
-		}
-		var ack [1]byte
-		conn.SetReadDeadline(deadline)
-		if _, err := io.ReadFull(conn, ack[:]); err != nil {
-			conn.Close()
-			return fail(fmt.Errorf("transport: handshake ack from peer %d: %w", q, err))
-		}
-		conn.SetReadDeadline(time.Time{})
-		switch ack[0] {
-		case ackOK:
-		case ackEpoch:
-			conn.Close()
-			return fail(fmt.Errorf("transport: process %d at epoch %d rejected by peer %d: %w",
-				cfg.Process, cfg.Epoch, q, errs.ErrEpochMismatch))
-		default:
-			conn.Close()
-			return fail(fmt.Errorf("transport: process %d compression policy %q rejected by peer %d: %w",
-				cfg.Process, fingerprint, q, errs.ErrCompressionMismatch))
+		// A write error or a dropped connection mid-handshake means the
+		// peer's fabric tore down between accepting and answering — an
+		// epoch transition in flight (elastic grow, recovery rebind).
+		// That is as transient as connection-refused, so redial; only an
+		// explicit rejection (wrong epoch, wrong policy) is final.
+		rng := rand.New(rand.NewSource(int64(cfg.Process)*104729 + int64(q)*7919 + 1))
+		var conn net.Conn
+		for attempt := 0; ; attempt++ {
+			c, err := dialRetry(ctx, cfg.Addrs[q], deadline, cfg.DialBackoff)
+			if err != nil {
+				return fail(fmt.Errorf("transport: process %d dialing peer %d (%s): %w",
+					cfg.Process, q, cfg.Addrs[q],
+					&errs.PeerFailure{Rank: q, Epoch: cfg.Epoch, Cause: err}))
+			}
+			herr := func() error {
+				if _, err := c.Write(hs); err != nil {
+					return fmt.Errorf("transport: handshake to peer %d: %w", q, err)
+				}
+				var ack [1]byte
+				c.SetReadDeadline(deadline)
+				if _, err := io.ReadFull(c, ack[:]); err != nil {
+					return fmt.Errorf("transport: handshake ack from peer %d: %w", q, err)
+				}
+				c.SetReadDeadline(time.Time{})
+				switch ack[0] {
+				case ackOK:
+					return nil
+				case ackEpoch:
+					return fmt.Errorf("transport: process %d at epoch %d rejected by peer %d: %w",
+						cfg.Process, cfg.Epoch, q, errs.ErrEpochMismatch)
+				default:
+					return fmt.Errorf("transport: process %d compression policy %q rejected by peer %d: %w",
+						cfg.Process, fingerprint, q, errs.ErrCompressionMismatch)
+				}
+			}()
+			if herr == nil {
+				conn = c
+				break
+			}
+			c.Close()
+			if errors.Is(herr, errs.ErrEpochMismatch) || errors.Is(herr, errs.ErrCompressionMismatch) ||
+				time.Now().After(deadline) || ctx.Err() != nil {
+				return fail(herr)
+			}
+			select {
+			case <-ctx.Done():
+				return fail(ctx.Err())
+			case <-time.After(cfg.DialBackoff.delay(attempt, rng)):
+			}
 		}
 		f.conns[q] = &wireConn{conn: conn}
 	}
@@ -394,7 +460,11 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 		}
 	}
 	if ln != nil {
-		ln.Close() // all peers connected; membership is static
+		if f.elastic {
+			f.ln = ln // stays open: joiners knock here (DESIGN.md §14)
+		} else {
+			ln.Close() // all peers connected; membership is static
+		}
 	}
 	for peer, wc := range f.conns {
 		if wc == nil {
@@ -410,23 +480,135 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 	return f, nil
 }
 
+// readHandshake reads the rendezvous header after the accept loop has
+// consumed (and matched) the 4 magic bytes; the loop armed the read
+// deadline, readHandshake clears it.
 func readHandshake(conn net.Conn) (peer int, fp string, epoch int, err error) {
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	defer conn.SetReadDeadline(time.Time{})
-	var hs [12]byte
+	var hs [8]byte
 	if _, err := io.ReadFull(conn, hs[:]); err != nil {
 		return 0, "", 0, err
 	}
-	if [4]byte(hs[:4]) != handshakeMagic {
-		return 0, "", 0, fmt.Errorf("transport: bad handshake magic")
-	}
-	peer = int(binary.LittleEndian.Uint16(hs[4:6]))
-	epoch = int(binary.LittleEndian.Uint32(hs[8:12]))
-	raw := make([]byte, binary.LittleEndian.Uint16(hs[6:8]))
+	peer = int(binary.LittleEndian.Uint16(hs[0:2]))
+	epoch = int(binary.LittleEndian.Uint32(hs[4:8]))
+	raw := make([]byte, binary.LittleEndian.Uint16(hs[2:4]))
 	if _, err := io.ReadFull(conn, raw); err != nil {
 		return 0, "", 0, err
 	}
 	return peer, string(raw), epoch, nil
+}
+
+// acceptJoin handles one join-handshake connection (magic already
+// consumed): decode the request, vet it, and park the connection until
+// the session layer agrees on admission and calls OfferJoin (or the
+// fabric shuts down). One joiner parks at a time; later ones are told
+// to retry (joinAckBusy).
+func (f *TCP) acceptJoin(conn net.Conn) {
+	if !f.elastic {
+		conn.Close()
+		return
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		conn.Close()
+		return
+	}
+	n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if n <= 0 || n > maxJoinFrame {
+		conn.Close()
+		return
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		conn.Close()
+		return
+	}
+	req, err := DecodeJoinRequest(payload)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if req.Fingerprint != f.fingerprint {
+		conn.Write([]byte{ackPolicy}) // a different job, not a member-to-be
+		conn.Close()
+		return
+	}
+	for _, a := range f.addrs {
+		if a == req.Addr {
+			conn.Close() // already a member (a duplicate rank); let it time out
+			return
+		}
+	}
+	conn.SetReadDeadline(time.Time{})
+	f.joinMu.Lock()
+	if f.joinConn != nil {
+		f.joinMu.Unlock()
+		conn.Write([]byte{joinAckBusy})
+		conn.Close()
+		return
+	}
+	select {
+	case <-f.closed:
+		f.joinMu.Unlock()
+		conn.Close()
+		return
+	default:
+	}
+	if _, err := conn.Write([]byte{joinAckWait}); err != nil {
+		f.joinMu.Unlock()
+		conn.Close()
+		return
+	}
+	f.joinConn, f.joinReq = conn, req
+	f.joinMu.Unlock()
+}
+
+// PendingJoin returns a copy of the join request parked on this
+// process's listener, or nil when none is. The session layer polls it
+// at step boundaries to turn knocks into admission proposals.
+func (f *TCP) PendingJoin() *JoinRequest {
+	f.joinMu.Lock()
+	defer f.joinMu.Unlock()
+	if f.joinReq == nil {
+		return nil
+	}
+	r := *f.joinReq
+	return &r
+}
+
+// OfferJoin delivers the agreed membership to the parked joiner and
+// releases the connection. Call it only after the new epoch is durable
+// (EPOCH/MEMBERS written): the joiner dials the new epoch the moment
+// the offer lands.
+func (f *TCP) OfferJoin(m *Membership) error {
+	f.joinMu.Lock()
+	conn := f.joinConn
+	f.joinConn, f.joinReq = nil, nil
+	f.joinMu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("transport: no joiner parked on process %d", f.proc)
+	}
+	defer conn.Close()
+	payload := AppendMembership(nil, m)
+	buf := appendU32(make([]byte, 0, 4+len(payload)), uint32(len(payload)))
+	buf = append(buf, payload...)
+	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("transport: delivering join offer: %w", err)
+	}
+	return nil
+}
+
+// closeJoin drops a parked joiner connection, if any; the joiner sees
+// the close and retries against the next epoch's listener.
+func (f *TCP) closeJoin() {
+	f.joinMu.Lock()
+	conn := f.joinConn
+	f.joinConn, f.joinReq = nil, nil
+	f.joinMu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
 }
 
 // dialRetry dials until the deadline under the capped-exponential
@@ -502,6 +684,10 @@ func (f *TCP) Close() error {
 func (f *TCP) shutdown() {
 	f.closeOnce.Do(func() {
 		close(f.closed)
+		if f.ln != nil {
+			f.ln.Close() // ends the elastic accept goroutine
+		}
+		f.closeJoin()
 		for _, wc := range f.conns {
 			if wc != nil {
 				wc.conn.Close()

@@ -125,6 +125,18 @@ func WithResidentPS(fleet *PSFleet, namespace string) Option {
 	return func(c *Config) { c.ResidentPS, c.PSNamespace = fleet, namespace }
 }
 
+// WithElastic enables elastic cluster membership (DESIGN.md §14): new
+// agents join the running cluster with DistConfig.JoinTarget, members
+// depart voluntarily with Session.Leave, and — with
+// RecoveryPolicy.AllowShrink — the cluster sheds a dead machine instead
+// of waiting for its restart. Transitions happen at step boundaries and
+// move state through the auto-checkpoint root, so WithAutoCheckpoint is
+// required. WithElastic also unlocks cross-topology restores: a
+// checkpoint written at one machine count opens at another through the
+// resharding path (without it, OpenFromCheckpoint hard-rejects the
+// mismatch with ErrTopologyMismatch).
+func WithElastic() Option { return func(c *Config) { c.Elastic = true } }
+
 // WithRecovery installs the failure-recovery policy (DESIGN.md §12):
 // with policy.Enabled, a distributed session survives a peer agent's
 // death by re-rendezvousing at the next fabric epoch and restoring the

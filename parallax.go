@@ -259,6 +259,16 @@ type Config struct {
 	// Steps iterator bit-identically. Requires AutoCheckpoint. The zero
 	// value (disabled) surfaces the failure as a step error instead.
 	Recovery RecoveryPolicy
+	// Elastic enables elastic cluster membership (DESIGN.md §14): a new
+	// agent started with DistConfig.JoinTarget is admitted into the
+	// running cluster at a step boundary, and departures — voluntary
+	// (Session.Leave) or crash-driven (Recovery.AllowShrink) — reshard
+	// the departing machine's parameter-server state onto the survivors
+	// without a restart. Requires AutoCheckpoint (transitions hand state
+	// between topologies through the checkpoint root); it also relaxes
+	// OpenFromCheckpoint's topology check so a checkpoint from one
+	// machine count restores onto another via the resharding path.
+	Elastic bool
 	// ResidentPS hosts this session's parameter-server variables on a
 	// long-lived shared fleet under PSNamespace instead of private
 	// per-session servers — the multi-tenant service mode (see NewPSFleet
@@ -309,6 +319,17 @@ type RecoveryPolicy struct {
 	// RedialTimeout bounds the re-rendezvous after a failure — it must
 	// outlast the failed agent's restart. <= 0 defaults to 2 minutes.
 	RedialTimeout time.Duration
+	// AllowShrink, with Config.Elastic, changes what happens when a peer
+	// fails and does not come back: instead of re-dialing the same
+	// topology and waiting for a restart, the survivors agree on a
+	// membership without the dead machine, reshard its parameter-server
+	// partitions onto themselves, and continue at the reduced world size
+	// (DESIGN.md §14). The excluded agent, if it was merely partitioned
+	// rather than dead, fails fast instead of recovering in place. The
+	// post-shrink loss trajectory necessarily diverges from the
+	// uninterrupted run (a machine's workers vanished), but every step is
+	// still yielded exactly once.
+	AllowShrink bool
 }
 
 // DistConfig places one agent process inside a multi-machine cluster.
@@ -336,6 +357,19 @@ type DistConfig struct {
 	// always rebinds from Addrs, so tests that exercise recovery must
 	// list real addresses even when they hand over a listener.
 	Listener net.Listener
+	// JoinTarget, when non-empty, starts this agent as a JOINER instead
+	// of a founding member: rather than rendezvousing from Addrs, Open
+	// sends a join request to the given running agent's address
+	// ("host:port"), waits to be admitted at a step boundary, pulls its
+	// shard of the training state from the cluster's auto-checkpoint
+	// root, and enters the collective at the agreed step. Requires
+	// Config.Elastic, JoinAddr, and AutoCheckpoint on the shared root.
+	// Machine and Addrs are ignored (the admission offer assigns them).
+	JoinTarget string
+	// JoinAddr is the address this joining agent will serve on — the
+	// address the survivors will dial at the post-admission rendezvous.
+	// Only used with JoinTarget.
+	JoinAddr string
 	// Chaos arms the deterministic fault-injection harness on this
 	// agent's fabric (internal/chaos): a comma-separated fault spec such
 	// as "kill@17" or "delay@5:50ms". Testing/CI knob — not for

@@ -131,6 +131,7 @@ func dialFabric(ctx context.Context, resource ResourceInfo, cfg Config, inj *cha
 			DialTimeout: time.Until(deadline),
 			Policy:      cfg.Compression,
 			Epoch:       epoch,
+			Elastic:     cfg.Elastic,
 		})
 		if err == nil {
 			if inj != nil {
@@ -241,6 +242,16 @@ func (d *stepDriver) recoverable(err error) bool {
 	if d.limit != math.MaxInt || s.replay == nil {
 		return false
 	}
+	// Under an elastic shrink policy a self-attributed failure is
+	// terminal: the survivors will re-form without this machine, so
+	// recovering in place would redial a cluster that no longer lists
+	// it. Without AllowShrink the peers wait, and the in-place path
+	// (kill + instant restart) still applies.
+	if s.cfg.Elastic && s.cfg.Recovery.AllowShrink {
+		if pf := peerFailureOf(err); pf != nil && pf.Rank == s.dist.Machine {
+			return false
+		}
+	}
 	max := s.cfg.Recovery.MaxRecoveries
 	if max <= 0 {
 		max = 3
@@ -254,6 +265,17 @@ func (d *stepDriver) recoverable(err error) bool {
 func (d *stepDriver) recover(cause error) error {
 	s := d.s
 	start := time.Now()
+	if failed, ok := s.shrinkTarget(cause); ok {
+		// Elastic shrink (elastic.go): shed the dead machine instead of
+		// waiting out its restart. The world size changes, so the
+		// driver's agreement flag must track the rebuilt trainer.
+		if err := s.shrinkRecover(d.ctx, failed); err != nil {
+			return fmt.Errorf("parallax: elastic shrink after peer failure gave up: %v (original failure: %w)", err, cause)
+		}
+		d.agree = s.trainer.Distributed()
+		s.lastRecovery = time.Since(start)
+		return nil
+	}
 	if err := s.recoverInPlace(d.ctx); err != nil {
 		return fmt.Errorf("parallax: recovery from peer failure gave up: %v (original failure: %w)", err, cause)
 	}

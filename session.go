@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"iter"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"parallax/internal/chaos"
@@ -88,6 +89,12 @@ type Session struct {
 	replay       *feedLog
 	chaos        *chaos.Injector
 	saveHook     checkpointHooks
+
+	// Elastic-membership state (elastic.go): the voluntary-leave intent,
+	// set by Leave (or a chaos leave fault, possibly from another
+	// goroutine) and consumed at the next step boundary's membership
+	// round.
+	leaving atomic.Bool
 }
 
 // Open builds a Session for the single-GPU graph on the given cluster.
@@ -103,6 +110,17 @@ func Open(ctx context.Context, g *Graph, resource ResourceInfo, opts ...Option) 
 	var cfg Config
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.Dist != nil && cfg.Dist.JoinTarget != "" {
+		return joinCluster(ctx, g, resource, cfg)
+	}
+	if cfg.Elastic && cfg.Dist != nil && cfg.AutoCheckpoint.Dir != "" {
+		// An elastic cluster's authoritative membership lives in the
+		// checkpoint root, not in the launch flags: a restarted agent may
+		// come back after the cluster grew or shrank around it.
+		if err := adoptMembers(&cfg, &resource); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.AutoCheckpoint.Dir != "" {
 		step, sdir, err := checkpoint.LatestComplete(cfg.AutoCheckpoint.Dir, resource.NumMachines())
@@ -121,6 +139,7 @@ func Open(ctx context.Context, g *Graph, resource ResourceInfo, opts ...Option) 
 		s.Close()
 		return nil, err
 	}
+	s.armChaosElastic()
 	return s, nil
 }
 
@@ -272,13 +291,27 @@ func openFromCheckpointCfg(ctx context.Context, dir string, g *Graph, resource R
 	}
 	meta, recs, err := checkpoint.ReadShard(dir, machine)
 	if err != nil {
-		return nil, err
+		if !cfg.Elastic || machine == 0 {
+			return nil, err
+		}
+		// An elastic regrow may give this machine an index with no shard
+		// in a checkpoint written at a smaller topology; shard 0 always
+		// exists and carries the same meta, and the resharding install
+		// below reads every shard anyway.
+		meta0, recs0, err0 := checkpoint.ReadShard(dir, 0)
+		if err0 != nil || machine < meta0.Machines {
+			return nil, err
+		}
+		meta, recs = meta0, recs0
 	}
 	if meta.Machines != resource.NumMachines() {
-		return nil, fmt.Errorf("parallax: %w: checkpoint spans %d machines, cluster has %d",
-			ErrTopologyMismatch, meta.Machines, resource.NumMachines())
-	}
-	if fp := checkpoint.TopoFingerprint(resource); fp != meta.TopoFP {
+		// Restoring onto a different machine count is only sound through
+		// the explicit resharding path — the caller must opt in.
+		if !cfg.Elastic {
+			return nil, fmt.Errorf("parallax: %w: checkpoint spans %d machines, cluster has %d (WithElastic enables cross-topology restore)",
+				ErrTopologyMismatch, meta.Machines, resource.NumMachines())
+		}
+	} else if fp := checkpoint.TopoFingerprint(resource); fp != meta.TopoFP {
 		return nil, fmt.Errorf("parallax: %w: checkpoint topology %q, cluster is %q",
 			ErrTopologyMismatch, meta.TopoFP, fp)
 	}
@@ -307,25 +340,45 @@ func openFromCheckpointCfg(ctx context.Context, dir string, g *Graph, resource R
 		s.Close()
 		return nil, err
 	}
+	s.armChaosElastic()
 	return s, nil
 }
 
 // install loads the remaining shards and seeds the trainer with the
 // checkpointed state.
 func (s *Session) install(dir string, machine int, meta checkpoint.Meta, recs []checkpoint.Record) error {
-	if fp := checkpoint.PlanFingerprint(s.plan); fp != meta.PlanFP {
-		return fmt.Errorf("parallax: %w: checkpoint plan fingerprint %q, rebuilt plan is %q",
-			ErrTopologyMismatch, meta.PlanFP, fp)
+	// A cross-topology (elastic) restore reshards: server placement is a
+	// function of the machine count, so the rebuilt plan's fingerprint
+	// legitimately differs from the checkpoint's. Partition ranges are
+	// not — they depend only on row counts and the partition count, which
+	// the restore preserves — so re-placing the checkpointed parts onto
+	// the new servers is exact.
+	reshard := meta.Machines != s.resource.NumMachines()
+	if !reshard {
+		if fp := checkpoint.PlanFingerprint(s.plan); fp != meta.PlanFP {
+			return fmt.Errorf("parallax: %w: checkpoint plan fingerprint %q, rebuilt plan is %q",
+				ErrTopologyMismatch, meta.PlanFP, fp)
+		}
 	}
 	// Which shards this process needs: its own (read already), shard 0
 	// for the replica variables, and — in single-process mode, where
-	// this process hosts every machine — all the rest.
-	shards := map[int][]checkpoint.Record{machine: recs}
-	need := []int{0}
-	if s.dist == nil {
+	// this process hosts every machine, or when resharding across
+	// topologies, where old server parts live anywhere — all the rest.
+	shards := map[int][]checkpoint.Record{}
+	var need []int
+	if reshard {
 		need = make([]int, meta.Machines)
 		for m := range need {
 			need[m] = m
+		}
+	} else {
+		shards[machine] = recs
+		need = []int{0}
+		if s.dist == nil {
+			need = make([]int, meta.Machines)
+			for m := range need {
+				need[m] = m
+			}
 		}
 	}
 	for _, m := range need {
@@ -365,8 +418,12 @@ func (s *Session) install(dir string, machine int, meta checkpoint.Meta, recs []
 				// Each shard carries its own machine's workers' residuals;
 				// this process restores only those of the machines it hosts
 				// (shard 0, read for the replica variables, may belong to a
-				// peer agent).
-				if local[m] {
+				// peer agent). A resharding restore drops residuals
+				// entirely: they are indexed by the old worker numbering,
+				// which has no mapping onto the new one. Only top-k
+				// policies carry residuals; their error feedback restarts
+				// from zero after an elastic transition.
+				if !reshard && local[m] {
 					residStates = append(residStates, st)
 				}
 			}
@@ -626,6 +683,28 @@ func (d *stepDriver) run() {
 			}
 			d.emit(StepStats{}, err)
 			return
+		}
+		// Elastic membership round (elastic.go): propose/observe joins and
+		// leaves at this boundary. A transition rebuilds the trainer at
+		// the new world size; re-enter the boundary from the top so the
+		// agreement schedule matches a joiner's fresh driver exactly.
+		if s.memberRounds() {
+			transitioned, merr := d.membership()
+			if merr != nil {
+				if d.recoverable(merr) {
+					if rerr := d.recover(merr); rerr != nil {
+						d.emit(StepStats{}, rerr)
+						return
+					}
+					continue
+				}
+				d.emit(StepStats{}, merr)
+				return
+			}
+			if transitioned {
+				d.agree = s.trainer.Distributed()
+				continue
+			}
 		}
 		st, err := s.oneStep(d.next)
 		if err != nil {
