@@ -1,0 +1,78 @@
+// Command parallaxvet runs the parallax static-analysis suite
+// (internal/analysis: detfold, detsource, wrapsentinel, lockheld)
+// over the module and exits non-zero on any finding. It is the tier-1
+// CI gate for the determinism, error-discipline, and lock-safety
+// invariants (DESIGN.md §15).
+//
+// Usage:
+//
+//	parallaxvet [-list] [-analyzers name,name] [packages...]
+//
+// Patterns default to ./... and are resolved at the module root, so
+// the tool means the same thing from any working directory. The
+// self-check in internal/analysis/self_test.go runs the identical
+// suite under plain `go test ./...`, so CI catches regressions even
+// where the vet binary is not wired in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parallax/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: parallaxvet [-list] [-analyzers name,name] [packages...]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the parallax determinism/error/lock analyzers; exits 1 on findings.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.Analyzers()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "parallaxvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+
+	pkgs, err := analysis.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parallaxvet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parallaxvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "parallaxvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,24 @@
+package analysis
+
+import "testing"
+
+// Each analyzer runs over its fixture package under testdata/src; the
+// fixtures hold at least one flagged, one clean, and one
+// pragma-suppressed case per rule (see harness_test.go for the `want`
+// matching contract).
+
+func TestDetFold(t *testing.T) {
+	runAnalysisTest(t, DetFold, "parallax/internal/analysis/testdata/src/detfold")
+}
+
+func TestDetSource(t *testing.T) {
+	runAnalysisTest(t, DetSource, "parallax/internal/analysis/testdata/src/detsource")
+}
+
+func TestWrapSentinel(t *testing.T) {
+	runAnalysisTest(t, WrapSentinel, "parallax/internal/analysis/testdata/src/wrapsentinel")
+}
+
+func TestLockHeld(t *testing.T) {
+	runAnalysisTest(t, LockHeld, "parallax/internal/analysis/testdata/src/lockheld")
+}

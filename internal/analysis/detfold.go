@@ -1,0 +1,399 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetFold flags `range` over a map in a data-plane package whose body
+// is order-dependent: Go randomizes map iteration, so a fold that
+// accumulates floats, appends to a wire/checkpoint buffer, mutates
+// shared trainer/server state, or sends on a channel in iteration
+// order produces run-to-run-different bits. The fix is to collect the
+// keys, sort them, and iterate the sorted slice (the analyzer
+// recognizes that shape: an append target that is sorted later in the
+// same function is clean), or to justify the site with
+// //parallax:orderinvariant when the fold genuinely commutes.
+//
+// Order-invariant bodies are exempt without annotation: integer
+// counting (x++, x += n), writes indexed by the loop key itself
+// (out[k] = v — keys are distinct, so iterations commute), delete
+// calls, and loops that never bind the key or value (every iteration
+// is indistinguishable).
+var DetFold = &Analyzer{
+	Name: "detfold",
+	Doc: "flag order-dependent folds over randomized map iteration in data-plane packages; " +
+		"sort keys first or annotate //parallax:orderinvariant",
+	Run: runDetFold,
+}
+
+// mutationVerbs are method-name prefixes treated as writes when
+// called on state declared outside the loop with loop-derived
+// arguments.
+var mutationVerbs = []string{
+	"Append", "Write", "Encode", "Push", "Set", "Add", "Store", "Observe",
+	"Record", "Reshard", "Install", "Restore", "Apply", "Merge", "Fold",
+	"Send", "Emit", "Enqueue", "Put", "Register",
+}
+
+func runDetFold(pass *Pass) error {
+	if !pass.DataPlane() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, body := range functionBodies(file) {
+			fd := &foldDetector{pass: pass, funcBody: body}
+			fd.walk(body)
+		}
+	}
+	return nil
+}
+
+// functionBodies returns every function body in the file — FuncDecl
+// bodies and FuncLit bodies — each analyzed as its own sort-scan
+// scope.
+func functionBodies(file *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				bodies = append(bodies, x.Body)
+			}
+		case *ast.FuncLit:
+			if x.Body != nil {
+				bodies = append(bodies, x.Body)
+			}
+		}
+		return true
+	})
+	return bodies
+}
+
+type foldDetector struct {
+	pass     *Pass
+	funcBody *ast.BlockStmt
+}
+
+// walk visits one function body looking for map ranges, without
+// descending into nested function literals (they are scopes of their
+// own and appear separately in functionBodies).
+func (fd *foldDetector) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			if _, ok := fd.pass.Info.TypeOf(x.X).Underlying().(*types.Map); ok {
+				fd.checkMapRange(x)
+			}
+		}
+		return true
+	})
+}
+
+func (fd *foldDetector) checkMapRange(rs *ast.RangeStmt) {
+	info := fd.pass.Info
+	keyObj := rangeVarObject(info, rs.Key)
+	valObj := rangeVarObject(info, rs.Value)
+	if keyObj == nil && valObj == nil {
+		// `for range m`: every iteration is indistinguishable, so
+		// iteration order cannot be observed.
+		return
+	}
+
+	tainted := fd.taintSet(rs, keyObj, valObj)
+	mapName := exprString(rs.X)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			fd.checkAssign(rs, x, keyObj, tainted, mapName)
+		case *ast.CallExpr:
+			fd.checkCall(rs, x, tainted, mapName)
+		case *ast.SendStmt:
+			if referencesAny(info, x, tainted) {
+				fd.pass.Reportf(x.Pos(),
+					"range over map %s sends on %s in map-iteration order; iterate sorted keys or annotate //parallax:orderinvariant",
+					mapName, exprString(x.Chan))
+			}
+		}
+		return true
+	})
+}
+
+// rangeVarObject resolves a range-clause variable to its object,
+// treating the blank identifier as unbound.
+func rangeVarObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id] // `for k = range m` with a pre-declared k
+}
+
+// taintSet seeds the loop variables and propagates through local
+// assignments inside the body (row := v.data taints row), iterating
+// to a fixpoint so later-statement definitions flow too.
+func (fd *foldDetector) taintSet(rs *ast.RangeStmt, keyObj, valObj types.Object) map[types.Object]bool {
+	info := fd.pass.Info
+	tainted := map[types.Object]bool{}
+	if keyObj != nil {
+		tainted[keyObj] = true
+	}
+	if valObj != nil {
+		tainted[valObj] = true
+	}
+	for {
+		grew := false
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || !referencesAny(info, as, tainted) {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj != nil && declaredWithin(obj, rs.Pos(), rs.End()) && !tainted[obj] {
+						tainted[obj] = true
+						grew = true
+					}
+				}
+			}
+			return true
+		})
+		if !grew {
+			return tainted
+		}
+	}
+}
+
+func (fd *foldDetector) checkAssign(rs *ast.RangeStmt, as *ast.AssignStmt, keyObj types.Object, tainted map[types.Object]bool, mapName string) {
+	info := fd.pass.Info
+	if !referencesAny(info, as, tainted) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		obj := fd.outerObject(rs, lhs)
+		if obj == nil {
+			continue // declared inside the loop, or not rooted at an identifier
+		}
+		if indexedByKey(info, lhs, keyObj) {
+			// out[k] = v / counts[k] += n: map keys are distinct, so
+			// per-key writes commute across iterations.
+			continue
+		}
+		// x = append(x, ...): clean iff x is sorted later in this
+		// function before anything else can observe its order.
+		if i < len(as.Rhs) {
+			if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+				if !fd.sortedAfter(rs.End(), obj) {
+					fd.pass.Reportf(as.Pos(),
+						"range over map %s appends to %s in map-iteration order and %s is never sorted before use; sort it (sort.* / slices.Sort*) or annotate //parallax:orderinvariant",
+						mapName, obj.Name(), obj.Name())
+				}
+				continue
+			}
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if isFloat(info.TypeOf(lhs)) {
+				fd.pass.Reportf(as.Pos(),
+					"range over map %s accumulates floating-point values into %s in map-iteration order (FP addition is not associative); iterate sorted keys or annotate //parallax:orderinvariant",
+					mapName, exprString(lhs))
+			}
+			// Integer/bitwise folds commute; leave them alone.
+		case token.ASSIGN, token.DEFINE:
+			fd.pass.Reportf(as.Pos(),
+				"range over map %s assigns loop-derived values to shared %s in map-iteration order; iterate sorted keys or annotate //parallax:orderinvariant",
+				mapName, exprString(lhs))
+		}
+	}
+}
+
+func (fd *foldDetector) checkCall(rs *ast.RangeStmt, call *ast.CallExpr, tainted map[types.Object]bool, mapName string) {
+	info := fd.pass.Info
+	if !referencesAny(info, call, tainted) {
+		return
+	}
+	// delete(m2, k) commutes per key.
+	if isBuiltinNamed(info, call, "delete") {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return // type conversion or non-function selector
+	}
+	// fmt.Fprint* to a writer declared outside the loop emits bytes in
+	// map-iteration order.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		if w := fd.outerObject(rs, call.Args[0]); w != nil {
+			fd.pass.Reportf(call.Pos(),
+				"range over map %s writes to %s in map-iteration order via fmt.%s; iterate sorted keys or annotate //parallax:orderinvariant",
+				mapName, exprString(call.Args[0]), fn.Name())
+		}
+		return
+	}
+	// Mutation-verb method on a receiver declared outside the loop; for
+	// package-level functions (receiver is the package name), the
+	// mutation target is an argument, so one must be outer-rooted.
+	recv := fd.outerObject(rs, sel.X)
+	if recv == nil {
+		return
+	}
+	if _, isPkg := recv.(*types.PkgName); isPkg {
+		outerArg := false
+		for _, arg := range call.Args {
+			if fd.outerObject(rs, arg) != nil {
+				outerArg = true
+				break
+			}
+		}
+		if !outerArg {
+			return
+		}
+	}
+	for _, verb := range mutationVerbs {
+		if strings.HasPrefix(fn.Name(), verb) {
+			fd.pass.Reportf(call.Pos(),
+				"range over map %s calls %s.%s with loop-derived arguments in map-iteration order; iterate sorted keys or annotate //parallax:orderinvariant",
+				mapName, exprString(sel.X), fn.Name())
+			return
+		}
+	}
+}
+
+// outerObject resolves an expression to its root identifier's object
+// when that object is declared OUTSIDE the range statement (shared
+// state); returns nil for loop-local roots.
+func (fd *foldDetector) outerObject(rs *ast.RangeStmt, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	obj := fd.pass.Info.Uses[id]
+	if obj == nil {
+		obj = fd.pass.Info.Defs[id]
+	}
+	if obj == nil || declaredWithin(obj, rs.Pos(), rs.End()) {
+		return nil
+	}
+	return obj
+}
+
+// indexedByKey reports whether lhs is base[k] with k exactly the
+// range key identifier.
+func indexedByKey(info *types.Info, lhs ast.Expr, keyObj types.Object) bool {
+	if keyObj == nil {
+		return false
+	}
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	return ok && (info.Uses[id] == keyObj || info.Defs[id] == keyObj)
+}
+
+// sortedAfter reports whether some call after pos in the enclosing
+// function sorts the slice obj: sort.* / slices.Sort* from the
+// standard library, or any local helper whose name contains "sort".
+func (fd *foldDetector) sortedAfter(pos token.Pos, obj types.Object) bool {
+	info := fd.pass.Info
+	found := false
+	ast.Inspect(fd.funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		name := calleeName(call)
+		if !strings.Contains(strings.ToLower(name), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if referencesObject(info, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeName renders the full call target path — "sort.Strings",
+// "slices.Sort", "sortRoutes" — so the substring test sees the
+// package qualifier too (sort.Strings's final identifier alone does
+// not contain "sort").
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return exprString(f)
+	default:
+		return ""
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	return isBuiltinNamed(info, call, "append")
+}
+
+func isBuiltinNamed(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// referencesAny reports whether the subtree mentions any tainted
+// object.
+func referencesAny(info *types.Info, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// referencesObject reports whether the subtree mentions obj.
+func referencesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	return referencesAny(info, n, map[types.Object]bool{obj: true})
+}

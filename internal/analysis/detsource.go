@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// DetSource forbids wall-clock and ambient-randomness sources in
+// data-plane packages: per the §12/§14 epoch discipline, everything
+// that decides WHAT the data plane computes must be a pure function
+// of the step count, or recovery replay and elastic transitions stop
+// being bit-identical. Flagged: time.Now/Since/Until/After/AfterFunc/
+// Tick/NewTimer/NewTicker/Sleep and the math/rand (+ v2) package-level
+// functions, which draw from the shared, time-seeded global source.
+//
+// Deliberately NOT flagged: rand.New / rand.NewSource / rand.NewPCG /
+// rand.NewChaCha8 / rand.NewZipf and methods on an explicit *rand.Rand
+// — a generator seeded from configuration is a pure function of that
+// seed, which is exactly how the dataset RNG works.
+//
+// Files whose basename contains "backoff", "chaos", "metrics", or
+// "heartbeat" are allowlisted: retry jitter, fault injection pacing,
+// and timing measurement are wall-clock by design and live in those
+// files so the exemption is visible in the tree. Anything else needs
+// //parallax:allow(detsource) with a justification.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc: "forbid time.Now/math-rand globals in data-plane packages outside allowlisted " +
+		"metrics/backoff/chaos/heartbeat files; control flow must be a pure function of step count",
+	Run: runDetSource,
+}
+
+var nondetTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "Sleep": true,
+}
+
+// seededRandConstructors take an explicit seed (or an explicit
+// source), so their output is deterministic in their inputs.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+var detsourceAllowlist = []string{"backoff", "chaos", "metrics", "heartbeat"}
+
+func allowlistedFile(filename string) bool {
+	base := filepath.Base(filename)
+	for _, frag := range detsourceAllowlist {
+		if strings.Contains(base, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func runDetSource(pass *Pass) error {
+	if !pass.DataPlane() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if allowlistedFile(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Package-level functions only: methods on *rand.Rand /
+			// *time.Timer values are reached through an explicitly
+			// constructed (and therefore seeded/justified) value.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if nondetTimeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock source time.%s in data-plane package %s: step-count-pure control flow only (move to an allowlisted *backoff*/*chaos*/*metrics*/*heartbeat* file or annotate //parallax:allow(detsource))",
+						fn.Name(), pass.Path)
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"ambient randomness rand.%s (shared time-seeded source) in data-plane package %s: use an explicitly seeded *rand.Rand or annotate //parallax:allow(detsource)",
+						fn.Name(), pass.Path)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

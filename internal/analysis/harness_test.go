@@ -1,0 +1,92 @@
+package analysis
+
+// analysistest-style harness: each analyzer has a testdata package
+// under testdata/src/<name> whose files carry `// want "regexp"`
+// comments on the lines where a diagnostic must appear (several wants
+// on one line are allowed). The harness loads the package through the
+// real loader — so testdata must type-check, exactly as under the
+// upstream framework — runs one analyzer, and fails on any unmatched
+// diagnostic or unsatisfied want. Pragma-suppressed cases are simply
+// flagged lines with a pragma and no want: a suppression regression
+// shows up as an unmatched diagnostic.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+func runAnalysisTest(t *testing.T, a *Analyzer, pkgPath string) {
+	t.Helper()
+	pkgs, err := Load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for %s, want 1", len(pkgs), pkgPath)
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	type want struct {
+		re       *regexp.Regexp
+		consumed bool
+	}
+	wants := map[key][]*want{}
+	pkg := pkgs[0]
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line}
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					pattern, err := strconv.Unquote(`"` + arg[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %q: %v", k.file, k.line, arg[1], err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", k.file, k.line, pattern, err)
+					}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.consumed && w.re.MatchString(d.Message) {
+				w.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s", k.file, k.line, d.Analyzer, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.consumed {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked target of an analysis run.
+type Package struct {
+	Path  string // import path
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// BadPragmas are malformed //parallax: comments found while
+	// indexing suppressions; Run folds them into the findings.
+	BadPragmas []Diagnostic
+
+	pragmas pragmaIndex
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// goList runs `go list` with the given arguments in dir and decodes
+// the JSON stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// moduleRoot locates the enclosing module's directory so patterns
+// like ./... mean the whole repo regardless of the caller's cwd.
+func moduleRoot() (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("analysis: not inside a Go module: %w", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// Load type-checks the packages matching the patterns (resolved at
+// the module root; ./... therefore always means the whole repo). The
+// driver is hermetic: dependencies are imported from the compiled
+// export data `go list -export` records in the build cache, and only
+// the target packages themselves are parsed from source. Test files
+// are not loaded — the invariants govern shipped code, and tests
+// legitimately use wall clocks and unordered walks.
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(root, append([]string{"-json=ImportPath,Name,Dir,GoFiles,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	// -deps compiles the full import universe and records export-data
+	// file paths for every package, including the targets' own deps
+	// on one another.
+	universe, err := goList(root, append([]string{"-export", "-deps", "-json=ImportPath,Export,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(universe))
+	for _, e := range universe {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Standard || len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", t.ImportPath, err)
+		}
+		pragmas, bad := buildPragmaIndex(fset, files)
+		pkgs = append(pkgs, &Package{
+			Path:       t.ImportPath,
+			Name:       t.Name,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+			BadPragmas: bad,
+			pragmas:    pragmas,
+		})
+	}
+	return pkgs, nil
+}

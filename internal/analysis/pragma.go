@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Pragma grammar (DESIGN.md §15). A pragma is a line or trailing
+// comment of the form
+//
+//	//parallax:orderinvariant -- <justification>
+//	//parallax:allow(<name>[,<name>...]) -- <justification>
+//
+// where <name> is an analyzer name (detfold, detsource, wrapsentinel,
+// lockheld) and <justification> is mandatory non-empty free text — an
+// unjustified suppression is itself a diagnostic. `orderinvariant` is
+// the canonical spelling for detfold suppressions ("this fold
+// commutes; iteration order cannot reach the wire"); allow(...) is
+// the general form. A pragma suppresses findings reported on its own
+// source line and on the immediately following line, so both trailing
+// and preceding-line placements work:
+//
+//	for k := range m { ... } //parallax:orderinvariant -- counts only
+//
+//	//parallax:allow(detsource) -- dial deadline is wall-clock by design
+//	conn.SetDeadline(time.Now().Add(d))
+const pragmaPrefix = "parallax:"
+
+// A Pragma is one parsed suppression directive.
+type Pragma struct {
+	// Analyzers are the analyzer names the pragma suppresses.
+	Analyzers []string
+	// Justification is the mandatory free-text reason after " -- ".
+	Justification string
+}
+
+// Suppresses reports whether the pragma covers the named analyzer.
+func (p *Pragma) Suppresses(analyzer string) bool {
+	for _, a := range p.Analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzerNames are the valid targets of allow(...).
+var analyzerNames = map[string]bool{
+	"detfold":      true,
+	"detsource":    true,
+	"wrapsentinel": true,
+	"lockheld":     true,
+}
+
+// ParsePragma parses the text of a //parallax:... comment (with the
+// leading "//" stripped, as go/ast presents it). It returns an error
+// for an unknown directive, an unknown analyzer name, an empty
+// allow() list, or a missing justification.
+func ParsePragma(text string) (*Pragma, error) {
+	body, ok := strings.CutPrefix(strings.TrimSpace(text), pragmaPrefix)
+	if !ok {
+		return nil, fmt.Errorf("not a parallax pragma: %q", text)
+	}
+	directive, justification, found := strings.Cut(body, "--")
+	directive = strings.TrimSpace(directive)
+	justification = strings.TrimSpace(justification)
+	if !found || justification == "" {
+		return nil, fmt.Errorf("pragma %q needs a justification: //parallax:%s -- <why this site is safe>", directive, directive)
+	}
+	switch {
+	case directive == "orderinvariant":
+		return &Pragma{Analyzers: []string{"detfold"}, Justification: justification}, nil
+	case strings.HasPrefix(directive, "allow(") && strings.HasSuffix(directive, ")"):
+		list := directive[len("allow(") : len(directive)-1]
+		var names []string
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !analyzerNames[name] {
+				return nil, fmt.Errorf("pragma allow(...) names unknown analyzer %q (have detfold, detsource, wrapsentinel, lockheld)", name)
+			}
+			names = append(names, name)
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("pragma allow() suppresses nothing: name at least one analyzer")
+		}
+		return &Pragma{Analyzers: names, Justification: justification}, nil
+	default:
+		return nil, fmt.Errorf("unknown pragma directive %q (have orderinvariant, allow(...))", directive)
+	}
+}
+
+// pragmaIndex maps file name -> source line -> pragmas anchored there.
+type pragmaIndex map[string]map[int][]*Pragma
+
+// suppresses reports whether a pragma on pos's line or the preceding
+// line covers the analyzer.
+func (idx pragmaIndex) suppresses(analyzer string, pos token.Position) bool {
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, p := range lines[line] {
+			if p.Suppresses(analyzer) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildPragmaIndex scans a package's comments for parallax pragmas.
+// Malformed pragmas become diagnostics (analyzer "pragma") — a typo
+// in a suppression must fail the gate, not silently re-enable it.
+func buildPragmaIndex(fset *token.FileSet, files []*ast.File) (pragmaIndex, []Diagnostic) {
+	idx := pragmaIndex{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok || !strings.HasPrefix(strings.TrimSpace(text), pragmaPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				p, err := ParsePragma(text)
+				if err != nil {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "pragma", Message: err.Error()})
+					continue
+				}
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int][]*Pragma{}
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], p)
+			}
+		}
+	}
+	return idx, bad
+}

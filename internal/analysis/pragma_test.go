@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParsePragma(t *testing.T) {
+	cases := []struct {
+		text          string
+		analyzers     []string
+		justification string
+		errContains   string // non-empty: parse must fail with this substring
+	}{
+		{
+			text:          "parallax:orderinvariant -- fold commutes",
+			analyzers:     []string{"detfold"},
+			justification: "fold commutes",
+		},
+		{
+			text:          "parallax:allow(detsource) -- dial deadline is wall-clock by design",
+			analyzers:     []string{"detsource"},
+			justification: "dial deadline is wall-clock by design",
+		},
+		{
+			text:          "parallax:allow(detsource,lockheld) -- bounded hold",
+			analyzers:     []string{"detsource", "lockheld"},
+			justification: "bounded hold",
+		},
+		{
+			text:          "  parallax:allow( wrapsentinel , detfold ) --  spaced out  ",
+			analyzers:     []string{"wrapsentinel", "detfold"},
+			justification: "spaced out",
+		},
+		{text: "parallax:orderinvariant", errContains: "needs a justification"},
+		{text: "parallax:orderinvariant -- ", errContains: "needs a justification"},
+		{text: "parallax:allow(detfold)", errContains: "needs a justification"},
+		{text: "parallax:allow() -- why", errContains: "suppresses nothing"},
+		{text: "parallax:allow(nosuch) -- why", errContains: "unknown analyzer"},
+		{text: "parallax:frobnicate -- why", errContains: "unknown pragma directive"},
+		{text: "go:generate stringer", errContains: "not a parallax pragma"},
+	}
+	for _, c := range cases {
+		p, err := ParsePragma(c.text)
+		if c.errContains != "" {
+			if err == nil {
+				t.Errorf("ParsePragma(%q) = %+v, want error containing %q", c.text, p, c.errContains)
+			} else if !strings.Contains(err.Error(), c.errContains) {
+				t.Errorf("ParsePragma(%q) error %q, want it to contain %q", c.text, err, c.errContains)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePragma(%q): %v", c.text, err)
+			continue
+		}
+		if !reflect.DeepEqual(p.Analyzers, c.analyzers) {
+			t.Errorf("ParsePragma(%q).Analyzers = %v, want %v", c.text, p.Analyzers, c.analyzers)
+		}
+		if p.Justification != c.justification {
+			t.Errorf("ParsePragma(%q).Justification = %q, want %q", c.text, p.Justification, c.justification)
+		}
+	}
+}
+
+func TestPragmaIndexSuppression(t *testing.T) {
+	const src = `package p
+
+func f() int {
+	x := 1 //parallax:allow(detsource) -- same-line trailing pragma
+	//parallax:orderinvariant -- preceding-line pragma
+	y := 2
+	z := 3
+	return x + y + z
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, bad := buildPragmaIndex(fset, []*ast.File{f})
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-pragma diagnostics: %v", bad)
+	}
+	at := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+
+	if !idx.suppresses("detsource", at(4)) {
+		t.Error("trailing pragma must suppress its own line")
+	}
+	if idx.suppresses("lockheld", at(4)) {
+		t.Error("pragma must only suppress the analyzers it names")
+	}
+	if !idx.suppresses("detfold", at(6)) {
+		t.Error("pragma must suppress the immediately following line")
+	}
+	if idx.suppresses("detfold", at(7)) {
+		t.Error("pragma must not reach two lines down")
+	}
+}
+
+func TestBuildPragmaIndexMalformed(t *testing.T) {
+	const src = `package p
+
+//parallax:allow(bogus) -- not an analyzer
+func g() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, bad := buildPragmaIndex(fset, []*ast.File{f})
+	if len(bad) != 1 {
+		t.Fatalf("got %d malformed-pragma diagnostics, want 1: %v", len(bad), bad)
+	}
+	if bad[0].Analyzer != "pragma" || !strings.Contains(bad[0].Message, "unknown analyzer") {
+		t.Errorf("diagnostic = %v, want analyzer %q mentioning the unknown analyzer", bad[0], "pragma")
+	}
+	// A malformed pragma must not enter the index: a typo cannot
+	// silently re-enable the site it meant to justify.
+	if idx.suppresses("detfold", token.Position{Filename: "p.go", Line: 4}) {
+		t.Error("malformed pragma must not suppress anything")
+	}
+}

@@ -1,0 +1,156 @@
+// Package detfold is the analysistest fixture for the detfold
+// analyzer. Its import path sits under a testdata tree, which the
+// driver treats as data-plane, so every rule is live here. The
+// flushSorted/flushUnsorted pair is the acceptance demo: the same
+// map fold with the key sort present is clean, and with the sort
+// removed it must fail the gate.
+package detfold
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// floatFold accumulates floats in map-iteration order: FP addition is
+// not associative, so the sum differs run to run. Flagged.
+func floatFold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "accumulates floating-point values into sum"
+	}
+	return sum
+}
+
+// intFold counts entries: integer folds commute, and a bind-free
+// `for range` cannot observe order at all. Clean.
+func intFold(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	for k := range m {
+		if len(k) > 3 {
+			n++
+		}
+	}
+	return n
+}
+
+// flushSorted mirrors the metrics text flush: collect the keys, sort
+// them, then emit in sorted order — the sanctioned shape. Clean.
+func flushSorted(series map[string]float64, w *strings.Builder) {
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %g\n", name, series[name])
+	}
+}
+
+// flushUnsorted is flushSorted with the key sort removed — the
+// acceptance demo that dropping the sort from a data-plane map fold
+// fails the gate.
+func flushUnsorted(series map[string]float64, w *strings.Builder) {
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name) // want "appends to names in map-iteration order"
+	}
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %g\n", name, series[name])
+	}
+}
+
+// directEmit writes to an outer writer from inside the range: bytes
+// hit the buffer in map-iteration order. Flagged.
+func directEmit(series map[string]float64, w *strings.Builder) {
+	for name, v := range series {
+		fmt.Fprintf(w, "%s %g\n", name, v) // want "writes to w in map-iteration order via fmt.Fprintf"
+	}
+}
+
+// rebuild writes indexed by the loop key: map keys are distinct, so
+// per-key writes commute across iterations. Clean.
+func rebuild(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// lastKey publishes whichever key the randomized iteration visits
+// last. Flagged.
+func lastKey(m map[string]int) string {
+	last := ""
+	for k := range m {
+		last = k // want "assigns loop-derived values to shared last"
+	}
+	return last
+}
+
+// drain sends loop values on a channel: the receiver observes
+// map-iteration order. Flagged.
+func drain(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "sends on ch in map-iteration order"
+	}
+}
+
+type sink struct{ rows []string }
+
+func (s *sink) Append(row string) { s.rows = append(s.rows, row) }
+
+// pushRows calls a mutation-verb method on state declared outside the
+// loop with a loop-derived argument. Flagged.
+func pushRows(m map[string]int, s *sink) {
+	for k := range m {
+		s.Append(k) // want "calls s.Append with loop-derived arguments"
+	}
+}
+
+// scaled propagates taint through a loop-local: row derives from v,
+// so appending it is still an ordered emission. Flagged.
+func scaled(m map[string]float64, scale float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		row := v * scale
+		out = append(out, row) // want "appends to out in map-iteration order"
+	}
+	return out
+}
+
+// prune deletes by key: delete commutes. Clean.
+func prune(keep map[string]bool, m map[string]int) {
+	for k := range m {
+		if !keep[k] {
+			delete(m, k)
+		}
+	}
+}
+
+// maxVal folds with max, which commutes — justified with the pragma,
+// so the assignment is suppressed.
+func maxVal(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v //parallax:orderinvariant -- max commutes; any iteration order yields the same result
+		}
+	}
+	return best
+}
+
+// badPragma carries a justification-less pragma: the malformed
+// suppression is itself a diagnostic and must NOT silence the finding
+// on the following line.
+func badPragma(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//parallax:orderinvariant // want "needs a justification"
+		sum += v // want "accumulates floating-point values into sum"
+	}
+	return sum
+}

@@ -1,0 +1,39 @@
+// Package detsource is the analysistest fixture for the detsource
+// analyzer: wall-clock and ambient-randomness reads in a data-plane
+// package (any testdata path counts as data-plane) are flagged unless
+// the file is allowlisted (see backoff.go) or the site carries a
+// justified pragma.
+package detsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock in ordinary data-plane code. Flagged.
+func stamp() time.Time {
+	return time.Now() // want "wall-clock source time.Now"
+}
+
+// stepDelay measures elapsed wall time. Flagged.
+func stepDelay(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock source time.Since"
+}
+
+// shuffled draws from the shared, time-seeded global source. Flagged.
+func shuffled(n int) []int {
+	return rand.Perm(n) // want "ambient randomness rand.Perm"
+}
+
+// seeded builds an explicit generator: its output is a pure function
+// of the seed, exactly how the dataset RNG works. Clean.
+func seeded(seed int64, n int) []int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Perm(n)
+}
+
+// justified reads the clock under a pragma with a justification:
+// suppressed.
+func justified() time.Time {
+	return time.Now() //parallax:allow(detsource) -- fixture: justified wall-clock read outside step control flow
+}

@@ -1,0 +1,104 @@
+// Package lockheld is the analysistest fixture for the lockheld
+// analyzer: blocking operations — channel ops, time.Sleep,
+// WaitGroup.Wait, a select without a default, a foreign Cond.Wait —
+// while a sync.Mutex/RWMutex is held.
+package lockheld
+
+import (
+	"sync"
+	"time"
+)
+
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+	vals []int
+}
+
+// sendHeld sends on a channel with the mutex held. Flagged.
+func (q *queue) sendHeld(v int) {
+	q.mu.Lock()
+	q.ch <- v // want "blocking send on channel q.ch while q.mu is held"
+	q.mu.Unlock()
+}
+
+// sendReleased releases the lock before the send. Clean.
+func (q *queue) sendReleased(v int) {
+	q.mu.Lock()
+	q.vals = append(q.vals, v)
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// recvDeferred holds to function end via defer, so the receive parks
+// under the lock. Flagged.
+func (q *queue) recvDeferred() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want "blocking receive from channel q.ch while q.mu is held"
+}
+
+// sleepHeld naps with the lock held. Flagged.
+func (q *queue) sleepHeld() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) // want "blocking time.Sleep while q.mu is held"
+	q.mu.Unlock()
+}
+
+// tryPublish uses select-with-default: non-blocking by construction.
+// Clean.
+func (q *queue) tryPublish(v int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// parkBlind selects without a default under the lock: as blocking as
+// a bare channel op. Flagged once, at the select.
+func (q *queue) parkBlind(stop chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want "blocking select without default while q.mu is held"
+	case <-stop:
+	case v := <-q.ch:
+		q.vals = append(q.vals, v)
+	}
+}
+
+// waitOwn parks on its own cond under its own mutex — the pattern
+// sync.Cond exists for. Clean.
+func (q *queue) waitOwn() {
+	q.mu.Lock()
+	for len(q.vals) == 0 {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// waitForeign parks on another queue's cond while holding q's lock:
+// our lock stays held while we sleep on theirs. Flagged.
+func (q *queue) waitForeign(other *queue) {
+	q.mu.Lock()
+	other.cond.Wait() // want "parks while foreign lock q.mu is held"
+	q.mu.Unlock()
+}
+
+// waitGroupHeld waits on a WaitGroup under the lock. Flagged.
+func (q *queue) waitGroupHeld(wg *sync.WaitGroup) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	wg.Wait() // want "sync.WaitGroup.Wait on wg while q.mu is held"
+}
+
+// justified blocks under the lock with a justified pragma: suppressed.
+func (q *queue) justified(v int) {
+	q.mu.Lock()
+	q.ch <- v //parallax:allow(lockheld) -- fixture: buffered channel sized so the send never parks
+	q.mu.Unlock()
+}

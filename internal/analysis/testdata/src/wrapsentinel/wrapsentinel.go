@@ -1,0 +1,58 @@
+// Package wrapsentinel is the analysistest fixture for the
+// wrapsentinel analyzer: fmt.Errorf over a module sentinel (from
+// internal/errs or declared locally) must use %w, and errors.Is
+// against an unexported local sentinel with no construction path is
+// dead code.
+package wrapsentinel
+
+import (
+	"errors"
+	"fmt"
+
+	"parallax/internal/errs"
+)
+
+// ErrStale is a package-local sentinel; construction paths below must
+// preserve its chain.
+var ErrStale = errors.New("wrapsentinel: stale")
+
+// errOrphan is never returned or wrapped anywhere in the package, so
+// matching against it is dead.
+var errOrphan = errors.New("wrapsentinel: orphan")
+
+// errReachable is wrapped by makeReachable, keeping liveIs live.
+var errReachable = errors.New("wrapsentinel: reachable")
+
+// flattened formats sentinels through value verbs: the chain flattens
+// to text and errors.Is stops matching. Both flagged.
+func flattened(name string) error {
+	if name == "" {
+		return fmt.Errorf("lookup %q: %v", name, errs.ErrClosed) // want "sentinel ErrClosed formatted with %v"
+	}
+	return fmt.Errorf("lookup %q: %s", name, ErrStale) // want "sentinel ErrStale formatted with %s"
+}
+
+// wrapped preserves the chains with %w. Clean.
+func wrapped(name string) error {
+	if name == "" {
+		return fmt.Errorf("lookup %q: %w", name, errs.ErrClosed)
+	}
+	return fmt.Errorf("lookup %q: %w", name, ErrStale)
+}
+
+// deadIs compares against errOrphan, which no construction path ever
+// mints into a chain: the comparison can never be true. Flagged.
+func deadIs(err error) bool {
+	return errors.Is(err, errOrphan) // want "errors.Is target errOrphan is never returned or wrapped"
+}
+
+// makeReachable mints errReachable into a chain.
+func makeReachable() error { return fmt.Errorf("step: %w", errReachable) }
+
+// liveIs is clean: makeReachable constructs its target.
+func liveIs(err error) bool { return errors.Is(err, errReachable) }
+
+// justified flattens a sentinel under a pragma: suppressed.
+func justified() string {
+	return fmt.Errorf("display only: %v", errs.ErrClosed).Error() //parallax:allow(wrapsentinel) -- fixture: display-only rendering, never matched with errors.Is
+}

@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// WrapSentinel enforces the error discipline the public API
+// documents: conditions are matched with errors.Is against the
+// internal/errs sentinels, so every construction path must preserve
+// the chain.
+//
+// Check 1: fmt.Errorf called with a sentinel argument must wrap it
+// with %w. A sentinel formatted through %v/%s/%d flattens to text and
+// errors.Is(err, ErrX) silently stops matching — the exact regression
+// class PR 5 converted the tree away from. A sentinel here is a
+// package-level `Err*` variable of type error declared in this
+// module (internal/errs itself, the root package's re-exports, or a
+// package-local sentinel).
+//
+// Check 2: errors.Is(err, target) where target is an unexported
+// package-level sentinel that no code in the same package ever
+// returns, wraps, or otherwise references cannot match anything —
+// nobody outside the package can construct an unexported sentinel, so
+// the comparison is dead and almost certainly a refactoring leftover.
+var WrapSentinel = &Analyzer{
+	Name: "wrapsentinel",
+	Doc: "require %w when fmt.Errorf wraps an internal/errs sentinel, and flag errors.Is " +
+		"targets no in-package construction path can ever match",
+	Run: runWrapSentinel,
+}
+
+func runWrapSentinel(pass *Pass) error {
+	errorType := types.Universe.Lookup("error").Type()
+
+	// sentinelObject resolves an expression to a module-level error
+	// sentinel var, unwrapping parens and selectors (errs.ErrClosed).
+	sentinelObject := func(e ast.Expr) *types.Var {
+		var id *ast.Ident
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		default:
+			return nil
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return nil
+		}
+		// Both spellings of the sentinel convention: exported ErrFoo and
+		// package-private errFoo (check 2 only ever concerns the latter).
+		if !strings.HasPrefix(v.Name(), "Err") && !strings.HasPrefix(v.Name(), "err") {
+			return nil
+		}
+		if !types.Identical(v.Type(), errorType) {
+			return nil
+		}
+		// Module packages only: the discipline governs our own
+		// sentinels, not stdlib vars like io.EOF (which have their own
+		// vet story).
+		path := v.Pkg().Path()
+		if path != "parallax" && !strings.HasPrefix(path, "parallax/") {
+			return nil
+		}
+		if v.Parent() != v.Pkg().Scope() {
+			return nil // not package-level
+		}
+		return v
+	}
+
+	type isTarget struct {
+		call *ast.CallExpr
+		obj  *types.Var
+	}
+	var isTargets []isTarget
+	// Every use position of each sentinel object, so check 2 can ask
+	// "is it referenced anywhere besides its errors.Is sites?".
+	otherUses := map[*types.Var]int{}
+
+	// Pass A: find fmt.Errorf misuses and collect errors.Is targets.
+	targetIdents := map[*ast.Ident]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+				checkErrorf(pass, call, sentinelObject)
+			case fn.Pkg().Path() == "errors" && (fn.Name() == "Is" || fn.Name() == "As") && len(call.Args) == 2:
+				if fn.Name() == "Is" {
+					if obj := sentinelObject(call.Args[1]); obj != nil && obj.Pkg() == pass.Pkg {
+						isTargets = append(isTargets, isTarget{call, obj})
+					}
+				}
+				// Remember the target ident so pass B doesn't count it
+				// as a construction use.
+				switch x := ast.Unparen(call.Args[1]).(type) {
+				case *ast.Ident:
+					targetIdents[x] = true
+				case *ast.SelectorExpr:
+					targetIdents[x.Sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass B: count non-target, non-declaration uses of each local
+	// sentinel that appears as an errors.Is target.
+	wanted := map[*types.Var]bool{}
+	for _, t := range isTargets {
+		wanted[t.obj] = true
+	}
+	if len(wanted) > 0 {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || targetIdents[id] {
+					return true
+				}
+				if v, ok := pass.Info.Uses[id].(*types.Var); ok && wanted[v] {
+					otherUses[v]++
+				}
+				return true
+			})
+		}
+	}
+	for _, t := range isTargets {
+		// Exported sentinels (and re-exports of another package's
+		// sentinel) can legitimately be constructed elsewhere.
+		if t.obj.Exported() || !declaredViaErrorsNew(pass, t.obj) {
+			continue
+		}
+		if otherUses[t.obj] == 0 {
+			pass.Reportf(t.call.Pos(),
+				"errors.Is target %s is never returned or wrapped by any construction path in this package; the comparison can never be true",
+				t.obj.Name())
+		}
+	}
+	return nil
+}
+
+// checkErrorf verifies that every sentinel argument of a fmt.Errorf
+// call is consumed by a %w verb.
+func checkErrorf(pass *Pass, call *ast.CallExpr, sentinelObject func(ast.Expr) *types.Var) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return // non-literal format: out of scope
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, indexed := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		obj := sentinelObject(arg)
+		if obj == nil {
+			continue
+		}
+		if indexed || i >= len(verbs) {
+			// Explicit argument indexes (or a verb/arg mismatch vet
+			// already flags): fall back to requiring %w somewhere.
+			if !strings.Contains(format, "%w") {
+				pass.Reportf(arg.Pos(),
+					"sentinel %s passed to fmt.Errorf without %%w; errors.Is stops matching the chain",
+					obj.Name())
+			}
+			continue
+		}
+		if verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(),
+				"sentinel %s formatted with %%%c; use %%w so errors.Is keeps matching the chain",
+				obj.Name(), verbs[i])
+		}
+	}
+}
+
+// formatVerbs extracts the verb letters of a format string in
+// argument order. indexed reports whether any explicit argument index
+// ([n]) appears, in which case positional alignment is unsound.
+func formatVerbs(format string) (verbs []rune, indexed bool) {
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(runes) && strings.ContainsRune("+-# 0123456789.*", runes[i]) {
+			if runes[i] == '*' {
+				verbs = append(verbs, '*') // * consumes an argument
+			}
+			i++
+		}
+		if i < len(runes) && runes[i] == '[' {
+			indexed = true
+			for i < len(runes) && runes[i] != ']' {
+				i++
+			}
+			i++
+		}
+		if i < len(runes) {
+			verbs = append(verbs, runes[i])
+		}
+	}
+	return verbs, indexed
+}
+
+// declaredViaErrorsNew reports whether the sentinel's declaration
+// initializer is a direct errors.New / fmt.Errorf call — i.e. the
+// package mints the identity itself rather than aliasing another
+// package's sentinel (var ErrClosed = errs.ErrClosed).
+func declaredViaErrorsNew(pass *Pass, obj *types.Var) bool {
+	for _, file := range pass.Files {
+		if file.Pos() > obj.Pos() || obj.Pos() > file.End() {
+			continue
+		}
+		found := false
+		ast.Inspect(file, func(n ast.Node) bool {
+			spec, ok := n.(*ast.ValueSpec)
+			if !ok || found {
+				return !found
+			}
+			for i, name := range spec.Names {
+				if pass.Info.Defs[name] != obj || i >= len(spec.Values) {
+					continue
+				}
+				if call, ok := ast.Unparen(spec.Values[i]).(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+							((fn.Pkg().Path() == "errors" && fn.Name() == "New") ||
+								(fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf")) {
+							found = true
+						}
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -14,7 +14,7 @@ func TestAllReduceCodecF32MatchesExact(t *testing.T) {
 		exact := make([]*tensor.Dense, n)
 		coded := make([]*tensor.Dense, n)
 		input := func(rank int) *tensor.Dense {
-			return tensor.NewRNG(int64(rank + 1)).RandN(1, elems)
+			return tensor.NewRNG(int64(rank+1)).RandN(1, elems)
 		}
 		RunWorld(n, func(c *Comm) {
 			d := input(c.Rank())
@@ -44,7 +44,7 @@ func TestAllReduceCodecHalfPrecision(t *testing.T) {
 			results := make([]*tensor.Dense, n)
 			inputs := make([]*tensor.Dense, n)
 			for r := 0; r < n; r++ {
-				inputs[r] = tensor.NewRNG(int64(100*r + elems)).RandN(1, elems)
+				inputs[r] = tensor.NewRNG(int64(100*r+elems)).RandN(1, elems)
 			}
 			RunWorld(n, func(c *Comm) {
 				d := inputs[c.Rank()].Clone()
@@ -95,7 +95,7 @@ func TestAllReduceTopKFullFractionExact(t *testing.T) {
 		const elems = 23
 		inputs := make([]*tensor.Dense, n)
 		for r := 0; r < n; r++ {
-			inputs[r] = tensor.NewRNG(int64(7 * (r + 1))).RandN(1, elems)
+			inputs[r] = tensor.NewRNG(int64(7*(r+1))).RandN(1, elems)
 		}
 		want := tensor.NewDense(elems)
 		for _, in := range inputs {
@@ -156,7 +156,7 @@ func TestAllReduceTopKAllRanksAgreeBitwise(t *testing.T) {
 		const n, elems = 4, 53
 		results := make([]*tensor.Dense, n)
 		RunWorld(n, func(c *Comm) {
-			d := tensor.NewRNG(int64(31 * (c.Rank() + 1))).RandN(1, elems)
+			d := tensor.NewRNG(int64(31*(c.Rank()+1))).RandN(1, elems)
 			res := make([]float32, elems)
 			AllReduceTopKTagged(c, TagsFor("agree"), d, 0.1, codec, res, &TopKScratch{})
 			results[c.Rank()] = d

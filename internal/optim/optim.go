@@ -9,6 +9,7 @@ package optim
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 
 	"parallax/internal/graph"
@@ -185,13 +186,25 @@ func ClipByGlobalNorm(gs *graph.GradSet, maxNorm float64) float64 {
 	if maxNorm <= 0 {
 		panic(fmt.Sprintf("optim: maxNorm %v", maxNorm))
 	}
-	var dense []*tensor.Dense
-	var sparse []*tensor.Sparse
-	for _, d := range gs.Dense {
-		dense = append(dense, d)
+	// Collect in sorted-name order: GlobalNorm folds the squared norms
+	// in slice order, and a map-ordered fold would make the clip scale
+	// — and therefore every clipped bit — differ run to run.
+	var denseNames, sparseNames []string
+	for name := range gs.Dense {
+		denseNames = append(denseNames, name)
 	}
-	for _, s := range gs.Sparse {
-		sparse = append(sparse, s)
+	slices.Sort(denseNames)
+	for name := range gs.Sparse {
+		sparseNames = append(sparseNames, name)
+	}
+	slices.Sort(sparseNames)
+	dense := make([]*tensor.Dense, 0, len(denseNames))
+	for _, name := range denseNames {
+		dense = append(dense, gs.Dense[name])
+	}
+	sparse := make([]*tensor.Sparse, 0, len(sparseNames))
+	for _, name := range sparseNames {
+		sparse = append(sparse, gs.Sparse[name])
 	}
 	norm := tensor.GlobalNorm(dense, sparse)
 	if norm > maxNorm && norm > 0 {

@@ -21,6 +21,7 @@ package psrt
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 	"sync"
 
@@ -135,7 +136,7 @@ func (n *Namespace) Abort(err error) {
 	vars := make([]*servedVar, 0, len(s.vars))
 	for _, v := range s.vars {
 		if v.ns == n {
-			vars = append(vars, v)
+			vars = append(vars, v) //parallax:orderinvariant -- wakeup set: the order of cond Broadcasts is unobservable
 		}
 	}
 	s.mu.Unlock()
@@ -176,7 +177,8 @@ func (s *Server) DropNamespace(name string) {
 }
 
 // Namespaces returns the names of the currently registered namespaces
-// (order unspecified) — the service's observability hook.
+// in sorted order — the service's observability hook, so the output
+// must not leak map-iteration jitter into logs or API responses.
 func (s *Server) Namespaces() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -184,6 +186,7 @@ func (s *Server) Namespaces() []string {
 	for name := range s.namespaces {
 		out = append(out, name)
 	}
+	slices.Sort(out)
 	return out
 }
 

@@ -255,7 +255,7 @@ func (s *Server) Abort(err error) {
 	s.mu.Lock()
 	vars := make([]*servedVar, 0, len(s.vars))
 	for _, v := range s.vars {
-		vars = append(vars, v)
+		vars = append(vars, v) //parallax:orderinvariant -- wakeup set: the order of cond Broadcasts is unobservable
 	}
 	s.mu.Unlock()
 	for _, v := range vars {

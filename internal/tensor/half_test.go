@@ -23,18 +23,18 @@ func TestF16Conversions(t *testing.T) {
 		{"inf", inf, 0x7C00},
 		{"neginf", -inf, 0xFC00},
 		{"maxhalf", 65504, 0x7BFF},
-		{"overflow", 65536, 0x7C00},          // past the grid: Inf
-		{"overflowRound", 65520, 0x7C00},     // ties at the top round to Inf
-		{"belowOverflow", 65519, 0x7BFF},     // just under the tie: max half
-		{"minNormal", 6.103515625e-05, 0x0400},  // 2^-14
-		{"maxSubnormal", 6.097555160522461e-05, 0x03FF}, // (1023/1024)·2^-14
-		{"minSubnormal", 5.960464477539063e-08, 0x0001}, // 2^-24
+		{"overflow", 65536, 0x7C00},                      // past the grid: Inf
+		{"overflowRound", 65520, 0x7C00},                 // ties at the top round to Inf
+		{"belowOverflow", 65519, 0x7BFF},                 // just under the tie: max half
+		{"minNormal", 6.103515625e-05, 0x0400},           // 2^-14
+		{"maxSubnormal", 6.097555160522461e-05, 0x03FF},  // (1023/1024)·2^-14
+		{"minSubnormal", 5.960464477539063e-08, 0x0001},  // 2^-24
 		{"underflowTie", 2.9802322387695312e-08, 0x0000}, // 2^-25 ties to even = 0
 		{"aboveUnderflowTie", 2.9802325e-08, 0x0001},     // just above: smallest subnormal
 		{"underflow", 1e-08, 0x0000},
-		{"roundEvenDown", 1.00048828125, 0x3C00},  // halfway between 1 and 1+2^-10: even
-		{"roundEvenUp", 1.00146484375, 0x3C02},    // halfway between 1+2^-10 and 1+2^-9: even
-		{"roundNearest", 1.0005, 0x3C01},          // just above the tie: up
+		{"roundEvenDown", 1.00048828125, 0x3C00}, // halfway between 1 and 1+2^-10: even
+		{"roundEvenUp", 1.00146484375, 0x3C02},   // halfway between 1+2^-10 and 1+2^-9: even
+		{"roundNearest", 1.0005, 0x3C01},         // just above the tie: up
 		{"third", 1.0 / 3.0, 0x3555},
 	}
 	for _, c := range cases {

@@ -314,7 +314,17 @@ func (t *Trainer) RestoreServerVars(states []VarState, version int64) error {
 			copy(a.slots[k].Data()[rr.Start*width:rr.End*width], st.Slots[k].Data())
 		}
 	}
-	for name, a := range full {
+	// Install in sorted-name order: ReshardVar mutates server state, and
+	// a map-ordered install would make the restore sequence differ run
+	// to run (harmless today, but the §15 discipline is that nothing on
+	// the restore path depends on map iteration order).
+	names := make([]string, 0, len(full))
+	for name := range full {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		a := full[name]
 		r := &t.routes[t.routeIdx[name]]
 		for _, m := range t.LocalMachines() {
 			want := t.psAdmin(m).SlotNames()

@@ -634,9 +634,13 @@ func New(g *graph.Graph, opts Options) (*Trainer, error) {
 			for pi, srv := range r.assign.Servers {
 				owned[srv] = append(owned[srv], pi)
 			}
-			for m, parts := range owned {
-				if t.servers[m] == nil {
-					continue // hosted by another agent
+			// Machine-ordered registration, not map-ordered: each server's
+			// own state is independent, but the registration sequence is
+			// part of the §8 deterministic startup discipline.
+			for m := 0; m < machines; m++ {
+				parts, ok := owned[m]
+				if !ok || t.servers[m] == nil {
+					continue // not a PS machine, or hosted by another agent
 				}
 				if err := t.psAdmin(m).AddVar(r.v.Name, r.v.Init, r.ranges, parts, r.assign.Sparse); err != nil {
 					return failPS(err)
@@ -1042,7 +1046,7 @@ func (t *Trainer) Close() {
 			}()
 			select {
 			case <-done:
-			case <-time.After(closeBarrierTimeout):
+			case <-time.After(closeBarrierTimeout): //parallax:allow(detsource) -- teardown liveness bound after the last step; never in step control flow
 				// A peer died; proceed with teardown.
 			}
 		}
@@ -1076,7 +1080,7 @@ func (t *Trainer) Close() {
 		}()
 		select {
 		case <-done:
-		case <-time.After(5 * time.Second):
+		case <-time.After(5 * time.Second): //parallax:allow(detsource) -- teardown liveness bound after the last step; never in step control flow
 		}
 		// Resident mode: the fleet servers outlive this trainer, so hand
 		// the tenant's variables (and namespace name) back to the fleet.
@@ -1389,11 +1393,11 @@ func (t *Trainer) commLoop(w int) {
 			firstErr = nil
 			continue
 		}
-		start := time.Now()
+		start := time.Now() //parallax:allow(detsource) -- StepStats phase timing: observability only, never feeds control flow
 		if err := t.commTask(w, task); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		t.phases[w].comm += time.Since(start)
+		t.phases[w].comm += time.Since(start) //parallax:allow(detsource) -- StepStats phase timing: observability only, never feeds control flow
 	}
 }
 
@@ -1639,7 +1643,7 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 	for b := range pending {
 		pending[b] = len(t.buckets[b].routes)
 	}
-	computeStart := time.Now()
+	computeStart := time.Now() //parallax:allow(detsource) -- StepStats phase timing: observability only, never feeds control flow
 	loss, _, err := exec.StepStream(feed, func(name string, d *tensor.Dense, sp *tensor.Sparse) {
 		ri := t.routeIdx[name]
 		switch t.routes[ri].assign.Method {
@@ -1665,14 +1669,14 @@ func (t *Trainer) workerStep(w, step int, feed graph.Feed) (float64, error) {
 			t.comm[w] <- commTask{kind: commPS, idx: ri, dense: d, sparse: sp}
 		}
 	})
-	computeEnd := time.Now()
+	computeEnd := time.Now() //parallax:allow(detsource) -- StepStats phase timing: observability only, never feeds control flow
 	ph.compute = computeEnd.Sub(computeStart)
 
 	// Drain: wait for this worker's synchronization to finish. Whatever
 	// comm time is left here was not hidden under compute.
 	t.comm[w] <- commTask{kind: commFlush}
 	commErr := <-t.commAck[w]
-	ph.wait = time.Since(computeEnd)
+	ph.wait = time.Since(computeEnd) //parallax:allow(detsource) -- StepStats phase timing: observability only, never feeds control flow
 	if err != nil {
 		return 0, err
 	}

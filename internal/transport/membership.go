@@ -67,11 +67,11 @@ type Member struct {
 // It is both the admission offer sent over a parked join connection and
 // the durable MEMBERS record in the auto-checkpoint root.
 type Membership struct {
-	Epoch  int
-	Step   int64
-	Cursor int64
-	Parts  int
-	Joiner int // index into Members of the newly admitted machine; -1 = none
+	Epoch   int
+	Step    int64
+	Cursor  int64
+	Parts   int
+	Joiner  int // index into Members of the newly admitted machine; -1 = none
 	Members []Member
 }
 
@@ -204,11 +204,11 @@ func DecodeMembership(b []byte) (*Membership, error) {
 		return nil, fmt.Errorf("transport: membership frame declares %d members (want 1..%d)", n, maxMembers)
 	}
 	m := &Membership{
-		Epoch:  int(epoch),
-		Step:   int64(step),
-		Cursor: int64(cursor),
-		Parts:  int(parts),
-		Joiner: -1,
+		Epoch:   int(epoch),
+		Step:    int64(step),
+		Cursor:  int64(cursor),
+		Parts:   int(parts),
+		Joiner:  -1,
 		Members: make([]Member, n),
 	}
 	if joiner16 != noJoiner {
@@ -332,7 +332,7 @@ func RequestJoin(ctx context.Context, target string, req JoinRequest, timeout ti
 	if timeout <= 0 {
 		timeout = 2 * time.Minute
 	}
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //parallax:allow(detsource) -- join rendezvous deadline is wall-clock by design; the admitted roster is epoch-fenced
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
@@ -342,7 +342,7 @@ func RequestJoin(ctx context.Context, target string, req JoinRequest, timeout ti
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if !time.Now().Before(deadline) {
+		if !time.Now().Before(deadline) { //parallax:allow(detsource) -- join retry budget is wall-clock by design; the admitted roster is epoch-fenced
 			if lastErr == nil {
 				lastErr = fmt.Errorf("no response")
 			}
@@ -359,14 +359,14 @@ func RequestJoin(ctx context.Context, target string, req JoinRequest, timeout ti
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(Backoff{}.delay(attempt, rng)):
+		case <-time.After(Backoff{}.delay(attempt, rng)): //parallax:allow(detsource) -- join retry backoff pacing; never in step control flow
 		}
 	}
 }
 
 // tryJoin is one join attempt; fatal marks errors no retry can fix.
 func tryJoin(target string, req JoinRequest, deadline time.Time) (m *Membership, fatal bool, err error) {
-	dialTO := time.Until(deadline)
+	dialTO := time.Until(deadline) //parallax:allow(detsource) -- dial timeout derived from the wall-clock join budget
 	if dialTO > 2*time.Second {
 		dialTO = 2 * time.Second
 	}

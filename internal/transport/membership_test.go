@@ -157,8 +157,8 @@ func FuzzMembershipDecode(f *testing.F) {
 		f.Add(AppendJoinRequest(nil, r))
 	}
 	good := AppendMembership(nil, sampleMemberships()[1])
-	f.Add(good[:len(good)/2])                          // truncation
-	f.Add(append(append([]byte(nil), good...), 0))     // trailing byte
+	f.Add(good[:len(good)/2])                      // truncation
+	f.Add(append(append([]byte(nil), good...), 0)) // trailing byte
 	over := append([]byte(nil), good...)
 	over[27], over[28] = 0xFF, 0xFF
 	f.Add(over) // oversized member count

@@ -202,7 +202,7 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 	if hbTimeout <= 0 {
 		hbTimeout = 10 * hbInterval
 	}
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //parallax:allow(detsource) -- rendezvous deadline is wall-clock by design; the data plane starts only after the epoch-fenced handshake
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
@@ -297,7 +297,7 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 				if err != nil {
 					return // listener closed; a premature break surfaces as a timeout below
 				}
-				conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+				conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //parallax:allow(detsource) -- handshake read deadline; connection management, not step control flow
 				var magic [4]byte
 				if _, err := io.ReadFull(conn, magic[:]); err != nil {
 					conn.Close()
@@ -409,13 +409,13 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 			}
 			c.Close()
 			if errors.Is(herr, errs.ErrEpochMismatch) || errors.Is(herr, errs.ErrCompressionMismatch) ||
-				time.Now().After(deadline) || ctx.Err() != nil {
+				time.Now().After(deadline) || ctx.Err() != nil { //parallax:allow(detsource) -- rendezvous retry budget; wall-clock by design
 				return fail(herr)
 			}
 			select {
 			case <-ctx.Done():
 				return fail(ctx.Err())
-			case <-time.After(cfg.DialBackoff.delay(attempt, rng)):
+			case <-time.After(cfg.DialBackoff.delay(attempt, rng)): //parallax:allow(detsource) -- dial backoff pacing; never in step control flow
 			}
 		}
 		f.conns[q] = &wireConn{conn: conn}
@@ -437,7 +437,7 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 			&errs.PeerFailure{Rank: missing, Epoch: cfg.Epoch, Cause: errs.ErrPeerFailed})
 	}
 	for got := 0; got < nAccept; {
-		wait := time.Until(deadline)
+		wait := time.Until(deadline) //parallax:allow(detsource) -- accept-side rendezvous budget; wall-clock by design
 		if wait <= 0 {
 			return fail(timeoutErr(got))
 		}
@@ -455,7 +455,7 @@ func DialTCP(ctx context.Context, cfg TCPConfig) (*TCP, error) {
 		case <-ctx.Done():
 			return fail(fmt.Errorf("transport: process %d rendezvous aborted: %w",
 				cfg.Process, ctx.Err()))
-		case <-time.After(wait):
+		case <-time.After(wait): //parallax:allow(detsource) -- accept-side rendezvous budget; wall-clock by design
 			return fail(timeoutErr(got))
 		}
 	}
@@ -592,7 +592,7 @@ func (f *TCP) OfferJoin(m *Membership) error {
 	payload := AppendMembership(nil, m)
 	buf := appendU32(make([]byte, 0, 4+len(payload)), uint32(len(payload)))
 	buf = append(buf, payload...)
-	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	conn.SetWriteDeadline(time.Now().Add(10 * time.Second)) //parallax:allow(detsource) -- join-offer write deadline; connection management, not step control flow
 	if _, err := conn.Write(buf); err != nil {
 		return fmt.Errorf("transport: delivering join offer: %w", err)
 	}
@@ -615,12 +615,12 @@ func (f *TCP) closeJoin() {
 // backoff schedule; agents may start in any order, and a recovering
 // fleet's redial storm is spread by the schedule's jitter.
 func dialRetry(ctx context.Context, addr string, deadline time.Time, bo Backoff) (net.Conn, error) {
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	rng := rand.New(rand.NewSource(time.Now().UnixNano())) //parallax:allow(detsource) -- redial jitter: deliberately unsynchronized pacing, spreads the fleet's redial storm
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		wait := time.Until(deadline)
+		wait := time.Until(deadline) //parallax:allow(detsource) -- dial retry budget; wall-clock by design
 		if wait <= 0 {
 			return nil, fmt.Errorf("dial timed out")
 		}
@@ -631,13 +631,13 @@ func dialRetry(ctx context.Context, addr string, deadline time.Time, bo Backoff)
 		if err == nil {
 			return conn, nil
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //parallax:allow(detsource) -- dial retry budget; wall-clock by design
 			return nil, err
 		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(bo.delay(attempt, rng)):
+		case <-time.After(bo.delay(attempt, rng)): //parallax:allow(detsource) -- dial backoff pacing; never in step control flow
 		}
 	}
 }
@@ -709,7 +709,7 @@ func (f *TCP) reader(peer int, conn net.Conn) {
 	var payload []byte
 	for {
 		if f.hbInterval > 0 {
-			conn.SetReadDeadline(time.Now().Add(f.hbTimeout))
+			conn.SetReadDeadline(time.Now().Add(f.hbTimeout)) //parallax:allow(detsource) -- heartbeat read deadline: liveness detection, outside the data path
 		}
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			f.readerFailed(peer, err)
@@ -772,7 +772,7 @@ func (f *TCP) readPayload(br *bufio.Reader, conn net.Conn, p []byte) error {
 			end = len(p)
 		}
 		if f.hbInterval > 0 {
-			conn.SetReadDeadline(time.Now().Add(f.hbTimeout))
+			conn.SetReadDeadline(time.Now().Add(f.hbTimeout)) //parallax:allow(detsource) -- heartbeat read deadline: liveness detection, outside the data path
 		}
 		m, err := io.ReadFull(br, p[off:end])
 		off += m
@@ -809,7 +809,7 @@ func (f *TCP) sendWire(src, dst int, m message) {
 	wc.buf = appendMessage(wc.buf, src, dst, m)
 	binary.LittleEndian.PutUint32(wc.buf[:4], uint32(len(wc.buf)-4))
 	n := len(wc.buf)
-	_, err := wc.conn.Write(wc.buf)
+	_, err := wc.conn.Write(wc.buf) //parallax:allow(lockheld) -- wc.mu serializes socket writes by design; heartbeat deadlines bound a wedged peer
 	wc.mu.Unlock()
 	if err != nil {
 		select {
